@@ -1,0 +1,83 @@
+// E5 — Chapter 7: the Alternating Bit protocol under varying loss rates.
+// Reports transmissions per delivered message (the retransmission overhead
+// curve) and the specification-checking cost.
+#include <benchmark/benchmark.h>
+
+#include "core/check.h"
+#include "systems/ab_protocol.h"
+#include "systems/queue_system.h"
+
+namespace {
+
+using namespace il;
+using namespace il::sys;
+
+std::vector<std::int64_t> domain(std::size_t n) {
+  std::vector<std::int64_t> d;
+  for (std::size_t i = 1; i <= n; ++i) d.push_back(static_cast<std::int64_t>(i));
+  return d;
+}
+
+void bench_ab_run(benchmark::State& state) {
+  AbRunConfig config;
+  config.messages = 3;
+  config.loss_probability = static_cast<double>(state.range(0)) / 100.0;
+  std::uint64_t tx = 0;
+  std::size_t delivered = 0;
+  for (auto _ : state) {
+    config.seed++;
+    auto r = run_ab_protocol(config);
+    tx = r.transmissions;
+    delivered = r.delivered;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["transmissions"] = static_cast<double>(tx);
+  state.counters["delivered"] = static_cast<double>(delivered);
+}
+
+void bench_ab_check_sender(benchmark::State& state) {
+  AbRunConfig config;
+  config.messages = 3;
+  config.seed = 5;
+  auto run = run_ab_protocol(config);
+  Spec spec = ab_sender_spec(domain(config.messages));
+  for (auto _ : state) {
+    auto r = check_spec(spec, run.trace);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["trace_len"] = static_cast<double>(run.trace.size());
+}
+
+void bench_ab_check_receiver(benchmark::State& state) {
+  AbRunConfig config;
+  config.messages = 3;
+  config.seed = 5;
+  auto run = run_ab_protocol(config);
+  Spec spec = ab_receiver_spec(domain(config.messages));
+  for (auto _ : state) {
+    auto r = check_spec(spec, run.trace);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void bench_ab_check_service(benchmark::State& state) {
+  AbRunConfig config;
+  config.messages = 3;
+  config.seed = 5;
+  auto run = run_ab_protocol(config);
+  Spec spec = fifo_service_spec("Send", "Rec", domain(config.messages), "ab_service");
+  for (auto _ : state) {
+    auto r = check_spec(spec, run.trace);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+}  // namespace
+
+// Loss percentage sweep: retransmission overhead grows with loss.
+BENCHMARK(bench_ab_run)->Arg(0)->Arg(25)->Arg(50);
+BENCHMARK(bench_ab_check_sender);
+BENCHMARK(bench_ab_check_receiver);
+BENCHMARK(bench_ab_check_service);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// E1 — Appendix B Section 6 table.
+//
+// The paper's only measured artifact: Plaisted's Interlisp implementation of
+// Algorithm B run on the formulas R3, R4, R5 (all valid in pure temporal
+// logic), reporting graph construction time, iteration time, and graph
+// size.  The paper's numbers (F2 computer, Interlisp, 1983):
+//
+//           Construction(s)  Iteration(s)  Nodes  Edges
+//     R3         67              14          13    108
+//     R4        105              22          16    166
+//     R5         13.8             5           8     34
+//
+// We regenerate the same rows from our C++ tableau + Algorithm B.  Absolute
+// times are incomparable across four decades of hardware; the *shape* to
+// check is: R5 is by far the smallest/fastest, R4 the largest/slowest, and
+// construction dominates iteration.  Node/edge counts depend on the tableau
+// normalization, so ours differ in absolute value but must preserve the
+// R5 < R3 < R4 ordering.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "ltl/tableau.h"
+#include "theory/combined.h"
+
+namespace {
+
+std::string LU(const std::string& p, const std::string& q) {
+  return "U(!(" + p + "), U((" + p + ") /\\ !(" + q + "), " + q + "))";
+}
+std::string LUA(const std::string& p, const std::string& q) {
+  return LU(p, "(" + p + ") /\\ (" + q + ")");
+}
+
+std::string formula_text(const std::string& name) {
+  if (name == "R3") {
+    return "([](" + LUA("A", "X") + ")) /\\ ([](" + LUA("A", "Y") + ")) -> ([](" +
+           LUA("A", "X /\\ Y") + "))";
+  }
+  if (name == "R4") {
+    return "([](" + LUA("A", "B /\\ C") + ")) /\\ ([](" + LUA("B", "A /\\ !C") +
+           ")) -> ([](" + LUA("A \\/ B", "false") + "))";
+  }
+  return "(" + LUA("A", "B") + ") /\\ (" + LUA("B", "C") + ") -> (" + LUA("A \\/ B", "C") +
+         ")";  // R5
+}
+
+void bench_graph_construction(benchmark::State& state, const std::string& name) {
+  const std::string text = formula_text(name);
+  std::size_t nodes = 0, edges = 0;
+  for (auto _ : state) {
+    il::ltl::Arena arena;
+    il::ltl::Id f = arena.parse(text);
+    il::ltl::Tableau tableau(arena, arena.nnf(arena.mk_not(f)));
+    nodes = tableau.node_count();
+    edges = tableau.edge_count();
+    benchmark::DoNotOptimize(tableau);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["edges"] = static_cast<double>(edges);
+}
+
+void bench_algorithm_b(benchmark::State& state, const std::string& name) {
+  const std::string text = formula_text(name);
+  bool valid = false;
+  std::size_t cubes = 0;
+  for (auto _ : state) {
+    il::ltl::Arena arena;
+    il::ltl::Id f = arena.parse(text);
+    il::theory::PropositionalOracle oracle;
+    auto r = il::theory::algorithm_b_valid(arena, f, oracle);
+    valid = r.valid;
+    cubes = r.condition_cubes;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["valid"] = valid ? 1 : 0;
+  state.counters["condition_cubes"] = static_cast<double>(cubes);
+}
+
+void bench_iteration_only(benchmark::State& state, const std::string& name) {
+  const std::string text = formula_text(name);
+  for (auto _ : state) {
+    state.PauseTiming();
+    il::ltl::Arena arena;
+    il::ltl::Id f = arena.parse(text);
+    il::ltl::Tableau tableau(arena, arena.nnf(arena.mk_not(f)));
+    state.ResumeTiming();
+    bool sat = tableau.iterate();
+    benchmark::DoNotOptimize(sat);
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bench_graph_construction, R3, "R3");
+BENCHMARK_CAPTURE(bench_graph_construction, R4, "R4");
+BENCHMARK_CAPTURE(bench_graph_construction, R5, "R5");
+BENCHMARK_CAPTURE(bench_iteration_only, R3, "R3");
+BENCHMARK_CAPTURE(bench_iteration_only, R4, "R4");
+BENCHMARK_CAPTURE(bench_iteration_only, R5, "R5");
+BENCHMARK_CAPTURE(bench_algorithm_b, R3, "R3");
+BENCHMARK_CAPTURE(bench_algorithm_b, R4, "R4");
+BENCHMARK_CAPTURE(bench_algorithm_b, R5, "R5");
+
+int main(int argc, char** argv) {
+  // Print the regenerated Appendix B table before the timing runs.
+  std::printf("Appendix B Section 6 table (regenerated)\n");
+  std::printf("%-4s %-8s %-8s %-8s %-10s %-8s\n", "id", "nodes", "edges", "valid",
+              "aliveN", "aliveE");
+  for (const char* name : {"R3", "R4", "R5"}) {
+    il::ltl::Arena arena;
+    il::ltl::Id f = arena.parse(formula_text(name));
+    il::ltl::Tableau tableau(arena, arena.nnf(arena.mk_not(f)));
+    const std::size_t nodes = tableau.node_count();
+    const std::size_t edges = tableau.edge_count();
+    const bool sat = tableau.iterate();  // !valid iff a model of !R survives
+    std::printf("%-4s %-8zu %-8zu %-8s %-10zu %-8zu\n", name, nodes, edges,
+                sat ? "no" : "yes", tableau.alive_node_count(), tableau.alive_edge_count());
+  }
+  std::printf("(paper, Interlisp/F2: R3 13n/108e 67s+14s; R4 16n/166e 105s+22s; "
+              "R5 8n/34e 13.8s+5s)\n\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

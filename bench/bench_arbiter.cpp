@@ -1,0 +1,63 @@
+// E4 — Chapter 6: self-timed protocol and arbiter simulation plus
+// specification checking.
+#include <benchmark/benchmark.h>
+
+#include "core/check.h"
+#include "systems/arbiter.h"
+#include "systems/selftimed.h"
+
+namespace {
+
+using namespace il;
+using namespace il::sys;
+
+void bench_request_ack(benchmark::State& state) {
+  SelfTimedRunConfig config;
+  config.handshakes = static_cast<std::size_t>(state.range(0));
+  Spec spec = request_ack_spec();
+  std::size_t len = 0;
+  for (auto _ : state) {
+    config.seed++;
+    Trace tr = run_request_ack(config);
+    auto r = check_spec(spec, tr);
+    len = tr.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["trace_len"] = static_cast<double>(len);
+}
+
+void bench_arbiter_simulate(benchmark::State& state) {
+  ArbiterRunConfig config;
+  config.grants = static_cast<std::size_t>(state.range(0));
+  std::size_t len = 0;
+  for (auto _ : state) {
+    config.seed++;
+    Trace tr = run_arbiter(config);
+    len = tr.size();
+    benchmark::DoNotOptimize(tr);
+  }
+  state.counters["trace_len"] = static_cast<double>(len);
+}
+
+void bench_arbiter_check(benchmark::State& state) {
+  ArbiterRunConfig config;
+  config.grants = static_cast<std::size_t>(state.range(0));
+  Trace tr = run_arbiter(config);
+  Spec spec = arbiter_spec();
+  auto mutex = arbiter_mutual_exclusion();
+  for (auto _ : state) {
+    auto r = check_spec(spec, tr);
+    bool ok = check(mutex, tr);
+    benchmark::DoNotOptimize(r);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["trace_len"] = static_cast<double>(tr.size());
+}
+
+}  // namespace
+
+BENCHMARK(bench_request_ack)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(bench_arbiter_simulate)->Arg(4)->Arg(8);
+BENCHMARK(bench_arbiter_check)->Arg(4)->Arg(8);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// E12 — runtime-monitor overhead: cost of observing a state and
+// re-evaluating a specification online, versus trace length.
+#include <benchmark/benchmark.h>
+
+#include "core/monitor.h"
+#include "core/parser.h"
+#include "systems/mutex.h"
+
+namespace {
+
+using namespace il;
+
+Spec monitored_spec() {
+  Spec spec;
+  spec.name = "monitored";
+  spec.axioms.push_back({"safety", parse_formula("[] (cs1 -> x1)")});
+  spec.axioms.push_back({"scan", parse_formula("[] [ x1 <= cs1 ] <> !x2")});
+  return spec;
+}
+
+void bench_monitor_per_state(benchmark::State& state) {
+  const std::size_t prefix = static_cast<std::size_t>(state.range(0));
+  sys::MutexRunConfig config;
+  config.entries = 20;
+  config.max_steps = prefix + 50;
+  Trace tr = sys::run_mutex(config);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Monitor m(monitored_spec());
+    for (std::size_t k = 0; k < std::min(prefix, tr.size()); ++k) m.observe(tr.at(k));
+    state.ResumeTiming();
+    m.observe(tr.at(std::min(prefix, tr.size() - 1)));
+    auto r = m.current();
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void bench_monitor_full_run(benchmark::State& state) {
+  sys::MutexRunConfig config;
+  config.entries = static_cast<std::size_t>(state.range(0));
+  Trace tr = sys::run_mutex(config);
+  for (auto _ : state) {
+    Monitor m(monitored_spec());
+    bool final_ok = true;
+    for (std::size_t k = 0; k < tr.size(); ++k) {
+      m.observe(tr.at(k));
+    }
+    final_ok = m.current().ok;
+    benchmark::DoNotOptimize(final_ok);
+  }
+  state.counters["states"] = static_cast<double>(tr.size());
+}
+
+}  // namespace
+
+BENCHMARK(bench_monitor_per_state)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(bench_monitor_full_run)->Arg(4)->Arg(8);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// E6 — Chapter 8: distributed mutual exclusion: simulation/checking cost as
+// the process count grows, and the bounded-exhaustive entailment check that
+// renders the Figure 8-2 proof.
+#include <benchmark/benchmark.h>
+
+#include "core/check.h"
+#include "systems/mutex.h"
+
+namespace {
+
+using namespace il;
+using namespace il::sys;
+
+void bench_mutex_simulate(benchmark::State& state) {
+  MutexRunConfig config;
+  config.processes = static_cast<std::size_t>(state.range(0));
+  std::size_t len = 0;
+  for (auto _ : state) {
+    config.seed++;
+    Trace tr = run_mutex(config);
+    len = tr.size();
+    benchmark::DoNotOptimize(tr);
+  }
+  state.counters["trace_len"] = static_cast<double>(len);
+}
+
+void bench_mutex_check(benchmark::State& state) {
+  MutexRunConfig config;
+  config.processes = static_cast<std::size_t>(state.range(0));
+  Trace tr = run_mutex(config);
+  Spec spec = mutex_spec(config.processes);
+  auto theorem = mutex_theorem(config.processes);
+  for (auto _ : state) {
+    auto r = check_spec(spec, tr);
+    bool ok = check(theorem, tr);
+    benchmark::DoNotOptimize(r);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["axioms"] = static_cast<double>(spec.all().size());
+}
+
+void bench_mutex_entailment(benchmark::State& state) {
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  std::size_t traces = 0;
+  for (auto _ : state) {
+    auto r = check_mutex_entailment_bounded(len);
+    traces = r.traces_checked;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["traces"] = static_cast<double>(traces);
+}
+
+}  // namespace
+
+BENCHMARK(bench_mutex_simulate)->Arg(2)->Arg(3)->Arg(5);
+BENCHMARK(bench_mutex_check)->Arg(2)->Arg(3)->Arg(5);
+BENCHMARK(bench_mutex_entailment)->Arg(2)->Arg(3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// E3 — Chapter 5 queues: simulation and specification-checking cost as the
+// number of values (and hence trace length and quantifier domain) grows.
+#include <benchmark/benchmark.h>
+
+#include "core/check.h"
+#include "systems/queue_system.h"
+
+namespace {
+
+using namespace il;
+using namespace il::sys;
+
+std::vector<std::int64_t> domain(std::size_t n) {
+  std::vector<std::int64_t> d;
+  for (std::size_t i = 1; i <= n; ++i) d.push_back(static_cast<std::int64_t>(i));
+  return d;
+}
+
+void bench_fifo_simulate(benchmark::State& state) {
+  QueueRunConfig config;
+  config.values = static_cast<std::size_t>(state.range(0));
+  std::size_t len = 0;
+  for (auto _ : state) {
+    config.seed++;
+    Trace tr = run_fifo_queue(config);
+    len = tr.size();
+    benchmark::DoNotOptimize(tr);
+  }
+  state.counters["trace_len"] = static_cast<double>(len);
+}
+
+void bench_fifo_check(benchmark::State& state) {
+  QueueRunConfig config;
+  config.values = static_cast<std::size_t>(state.range(0));
+  Trace tr = run_fifo_queue(config);
+  Spec spec = queue_spec(domain(config.values));
+  for (auto _ : state) {
+    auto r = check_spec(spec, tr);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["trace_len"] = static_cast<double>(tr.size());
+}
+
+void bench_unreliable_check(benchmark::State& state) {
+  UnreliableQueueRunConfig config;
+  config.values = static_cast<std::size_t>(state.range(0));
+  Trace tr = run_unreliable_queue(config);
+  Spec spec = unreliable_queue_spec(domain(config.values));
+  for (auto _ : state) {
+    auto r = check_spec(spec, tr);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["trace_len"] = static_cast<double>(tr.size());
+}
+
+}  // namespace
+
+BENCHMARK(bench_fifo_simulate)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(bench_fifo_check)->Arg(4)->Arg(6)->Arg(8);
+BENCHMARK(bench_unreliable_check)->Arg(3)->Arg(5);
+
+BENCHMARK_MAIN();

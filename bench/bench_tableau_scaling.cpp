@@ -1,0 +1,85 @@
+// E9 — tableau cost versus formula size.
+//
+// The paper reports the interval logic (like linear temporal logic) has a
+// PSPACE-complete decision problem; the practical tableau grows
+// exponentially with formula size.  This bench sweeps chains of temporal
+// operators and reports node/edge counts alongside decision time, so the
+// growth curve is visible in one run.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "ltl/tableau.h"
+
+namespace {
+
+/// /\_{i<n} [](p_i -> <>q_i): a classic response-property chain.
+std::string response_chain(int n) {
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i) out += " /\\ ";
+    out += "[](p" + std::to_string(i) + " -> <>q" + std::to_string(i) + ")";
+  }
+  return out;
+}
+
+/// Nested untils: U(p0, U(p1, ... U(pn-1, q)))
+std::string until_nest(int n) {
+  std::string out = "q";
+  for (int i = n - 1; i >= 0; --i) out = "U(p" + std::to_string(i) + ", " + out + ")";
+  return out;
+}
+
+void bench_response_chain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::string text = response_chain(n);
+  std::size_t nodes = 0, edges = 0;
+  for (auto _ : state) {
+    il::ltl::Arena arena;
+    il::ltl::Tableau tableau(arena, arena.nnf(arena.parse(text)));
+    bool sat = tableau.iterate();
+    nodes = tableau.node_count();
+    edges = tableau.edge_count();
+    benchmark::DoNotOptimize(sat);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["edges"] = static_cast<double>(edges);
+}
+
+void bench_until_nest(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::string text = until_nest(n);
+  std::size_t nodes = 0, edges = 0;
+  for (auto _ : state) {
+    il::ltl::Arena arena;
+    il::ltl::Tableau tableau(arena, arena.nnf(arena.parse(text)));
+    bool sat = tableau.iterate();
+    nodes = tableau.node_count();
+    edges = tableau.edge_count();
+    benchmark::DoNotOptimize(sat);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["edges"] = static_cast<double>(edges);
+}
+
+void bench_validity_check(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  // []p -> p chained with distractors; valid at every size.
+  std::string text = "([]p -> p)";
+  for (int i = 0; i < n; ++i) {
+    text = "([](" + text + ")) \\/ <>r" + std::to_string(i);
+  }
+  for (auto _ : state) {
+    il::ltl::Arena arena;
+    bool v = il::ltl::valid(arena, arena.parse(text));
+    benchmark::DoNotOptimize(v);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(bench_response_chain)->DenseRange(1, 4);
+BENCHMARK(bench_until_nest)->DenseRange(1, 5);
+BENCHMARK(bench_validity_check)->DenseRange(0, 3);
+
+BENCHMARK_MAIN();

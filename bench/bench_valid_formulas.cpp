@@ -1,0 +1,48 @@
+// E2 — cost of exhaustively validating the Chapter 4 catalogue: bounded
+// trace enumeration throughput as the trace-length bound grows.
+#include <benchmark/benchmark.h>
+
+#include "core/bounded.h"
+#include "core/parser.h"
+
+namespace {
+
+void bench_v1_distribution(benchmark::State& state) {
+  auto f = il::parse_formula(
+      "(([ a => b ] p) /\\ ([ a => b ] q)) <=> ([ a => b ] (p /\\ q))");
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  std::size_t traces = 0;
+  for (auto _ : state) {
+    auto r = il::check_valid_bounded(f, {"a", "b", "p", "q"}, len);
+    traces = r.traces_checked;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["traces"] = static_cast<double>(traces);
+}
+
+void bench_v9_event_hold(benchmark::State& state) {
+  auto f = il::parse_formula("[ a => begin(!(a)) ] [] a");
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = il::check_valid_bounded(f, {"a"}, len);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void bench_v15_composition(benchmark::State& state) {
+  auto f = il::parse_formula(
+      "(([ a => b ] [] p) /\\ ([ (a => b) => c ] [] p)) => ([ a => (b => c) ] [] p)");
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = il::check_valid_bounded(f, {"a", "b", "c", "p"}, len);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(bench_v1_distribution)->DenseRange(2, 3);
+BENCHMARK(bench_v9_event_hold)->DenseRange(3, 6);
+BENCHMARK(bench_v15_composition)->DenseRange(2, 3);
+
+BENCHMARK_MAIN();

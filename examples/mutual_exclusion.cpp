@@ -1,0 +1,45 @@
+// Chapter 8 demo: run the distributed mutual-exclusion algorithm, check the
+// Figure 8-1 axioms and the exclusion theorem, show a buggy variant being
+// caught, and model-check the entailment behind the Figure 8-2 proof.
+//
+//   ./mutual_exclusion [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/check.h"
+#include "systems/mutex.h"
+
+int main(int argc, char** argv) {
+  using namespace il;
+  using namespace il::sys;
+
+  MutexRunConfig config;
+  config.processes = 3;
+  config.entries = 6;
+  if (argc > 1) config.seed = static_cast<std::uint64_t>(std::atoll(argv[1]));
+
+  std::printf("== conforming algorithm (seed %llu, %zu processes) ==\n",
+              static_cast<unsigned long long>(config.seed), config.processes);
+  Trace tr = run_mutex(config);
+  std::printf("trace: %zu states\n", tr.size());
+  auto r = check_spec(mutex_spec(config.processes), tr);
+  std::printf("Figure 8-1 axioms: %s\n", r.to_string().c_str());
+  std::printf("[] !(cs_i /\\ cs_j): %s\n",
+              check(mutex_theorem(config.processes), tr) ? "holds" : "VIOLATED");
+
+  std::printf("\n== racy variant (skips the flag scan) ==\n");
+  MutexRunConfig bad = config;
+  bad.processes = 2;
+  Trace btr = run_mutex_buggy(bad);
+  auto br = check_spec(mutex_spec(2), btr);
+  std::printf("Figure 8-1 axioms: %s\n", br.to_string().c_str());
+  std::printf("[] !(cs1 /\\ cs2): %s\n",
+              check(mutex_theorem(2), btr) ? "holds" : "VIOLATED");
+
+  std::printf("\n== the Figure 8-2 proof, model-checked ==\n");
+  auto proof = check_mutex_entailment_bounded(4);
+  std::printf("Init /\\ A1 /\\ A2 -> []!(cs1 /\\ cs2) on all traces <= 4 states: %s "
+              "(%zu traces)\n",
+              proof.valid ? "valid" : "REFUTED", proof.traces_checked);
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "bdd/bdd.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace il::bdd {
+
+namespace {
+constexpr int kTerminalVar = std::numeric_limits<int>::max();
+}
+
+Manager::Manager() {
+  nodes_.push_back({kTerminalVar, kFalse, kFalse});  // FALSE
+  nodes_.push_back({kTerminalVar, kTrue, kTrue});    // TRUE
+}
+
+Node Manager::make(int var, Node lo, Node hi) {
+  if (lo == hi) return lo;
+  const std::uint64_t key = unique_key(var, lo, hi);
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  nodes_.push_back({var, lo, hi});
+  const Node n = static_cast<Node>(nodes_.size() - 1);
+  unique_.emplace(key, n);
+  return n;
+}
+
+Node Manager::var(int v) {
+  IL_REQUIRE(v >= 0);
+  return make(v, kFalse, kTrue);
+}
+
+Node Manager::nvar(int v) {
+  IL_REQUIRE(v >= 0);
+  return make(v, kTrue, kFalse);
+}
+
+Node Manager::ite(Node f, Node g, Node h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const std::uint64_t key = (static_cast<std::uint64_t>(f) << 40) ^
+                            (static_cast<std::uint64_t>(g) << 20) ^ static_cast<std::uint64_t>(h);
+  auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const int vf = nodes_[f].var;
+  const int vg = nodes_[g].var;
+  const int vh = nodes_[h].var;
+  const int top = std::min(vf, std::min(vg, vh));
+
+  auto lo_of = [&](Node n) { return nodes_[n].var == top ? nodes_[n].lo : n; };
+  auto hi_of = [&](Node n) { return nodes_[n].var == top ? nodes_[n].hi : n; };
+
+  const Node lo = ite(lo_of(f), lo_of(g), lo_of(h));
+  const Node hi = ite(hi_of(f), hi_of(g), hi_of(h));
+  const Node result = make(top, lo, hi);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+Node Manager::restrict_var(Node f, int v, bool value) {
+  if (f <= kTrue) return f;
+  const NodeData& nd = nodes_[f];
+  if (nd.var > v) return f;
+  if (nd.var == v) return value ? nd.hi : nd.lo;
+  // nd.var < v: rebuild children.
+  const Node lo = restrict_var(nd.lo, v, value);
+  const Node hi = restrict_var(nd.hi, v, value);
+  return make(nd.var, lo, hi);
+}
+
+Node Manager::exists(int v, Node f) {
+  return apply_or(restrict_var(f, v, false), restrict_var(f, v, true));
+}
+
+Node Manager::forall(int v, Node f) {
+  return apply_and(restrict_var(f, v, false), restrict_var(f, v, true));
+}
+
+std::vector<std::pair<int, bool>> Manager::any_sat(Node f) const {
+  IL_REQUIRE(f != kFalse, "no satisfying assignment of FALSE");
+  std::vector<std::pair<int, bool>> out;
+  while (f != kTrue) {
+    const NodeData& nd = nodes_[f];
+    if (nd.hi != kFalse) {
+      out.emplace_back(nd.var, true);
+      f = nd.hi;
+    } else {
+      out.emplace_back(nd.var, false);
+      f = nd.lo;
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::pair<int, bool>>> Manager::all_sat(Node f) const {
+  std::vector<std::vector<std::pair<int, bool>>> out;
+  std::vector<std::pair<int, bool>> path;
+  // Iterative DFS with explicit recursion via lambda.
+  auto rec = [&](auto&& self, Node n) -> void {
+    if (n == kFalse) return;
+    if (n == kTrue) {
+      out.push_back(path);
+      return;
+    }
+    const NodeData& nd = nodes_[n];
+    path.emplace_back(nd.var, false);
+    self(self, nd.lo);
+    path.back().second = true;
+    self(self, nd.hi);
+    path.pop_back();
+  };
+  rec(rec, f);
+  return out;
+}
+
+}  // namespace il::bdd

@@ -1,0 +1,84 @@
+// A small reduced ordered binary decision diagram (ROBDD) package.
+//
+// Algorithm B of Appendix B computes Delete/Fail *conditions* — elements of
+// the free Boolean algebra over "[]!prop(e)" atoms — by a double fixpoint
+// iteration.  Convergence detection needs canonical forms and the fixpoint
+// needs cheap conjunction/disjunction, which is exactly what an ROBDD gives.
+// The same package provides propositional quantification (used to
+// universally quantify state variables in the extracted conditions) and cube
+// enumeration (used to split the final condition C into the paper's
+// disjunction ∨_i []C_i).
+//
+// Node 0 is FALSE, node 1 is TRUE.  Variables are dense non-negative
+// integers ordered by index.  The manager owns all nodes; BDD values are
+// plain indices, cheap to copy and compare (equal index == equivalent
+// function).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace il::bdd {
+
+using Node = std::uint32_t;
+
+constexpr Node kFalse = 0;
+constexpr Node kTrue = 1;
+
+class Manager {
+ public:
+  Manager();
+
+  /// The BDD for variable `v` (creates the variable on first use).
+  Node var(int v);
+  /// The BDD for !variable.
+  Node nvar(int v);
+
+  Node ite(Node f, Node g, Node h);
+  Node apply_not(Node f) { return ite(f, kFalse, kTrue); }
+  Node apply_and(Node f, Node g) { return ite(f, g, kFalse); }
+  Node apply_or(Node f, Node g) { return ite(f, kTrue, g); }
+  Node apply_implies(Node f, Node g) { return ite(f, g, kTrue); }
+  Node apply_xor(Node f, Node g) { return ite(f, apply_not(g), g); }
+
+  /// Existential/universal quantification of one variable.
+  Node exists(int v, Node f);
+  Node forall(int v, Node f);
+
+  /// Restricts variable `v` to a constant.
+  Node restrict_var(Node f, int v, bool value);
+
+  bool is_true(Node f) const { return f == kTrue; }
+  bool is_false(Node f) const { return f == kFalse; }
+
+  /// One satisfying assignment as (var, value) pairs over the variables
+  /// actually tested on the chosen path.  Requires f != FALSE.
+  std::vector<std::pair<int, bool>> any_sat(Node f) const;
+
+  /// All satisfying paths (cubes).  Each cube lists only tested variables.
+  /// Intended for small functions (the Algorithm B condition extraction);
+  /// the number of paths can be exponential in general.
+  std::vector<std::vector<std::pair<int, bool>>> all_sat(Node f) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct NodeData {
+    int var;
+    Node lo, hi;
+  };
+
+  Node make(int var, Node lo, Node hi);
+
+  std::vector<NodeData> nodes_;
+  std::unordered_map<std::uint64_t, Node> unique_;
+  std::unordered_map<std::uint64_t, Node> ite_cache_;
+
+  static std::uint64_t unique_key(int var, Node lo, Node hi) {
+    return (static_cast<std::uint64_t>(var) << 42) ^ (static_cast<std::uint64_t>(lo) << 21) ^
+           static_cast<std::uint64_t>(hi);
+  }
+};
+
+}  // namespace il::bdd

@@ -1,0 +1,306 @@
+#include "core/ast.h"
+
+#include <algorithm>
+
+#include "trace/predicate_parser.h"
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace il {
+
+struct FormulaFactory {
+  static std::shared_ptr<Formula> make(Formula::Kind k) {
+    auto p = std::make_shared<Formula>();
+    p->kind_ = k;
+    return p;
+  }
+  static void set_pred(Formula& f, PredPtr p) { f.pred_ = std::move(p); }
+  static void set_lhs(Formula& f, FormulaPtr p) { f.lhs_ = std::move(p); }
+  static void set_rhs(Formula& f, FormulaPtr p) { f.rhs_ = std::move(p); }
+  static void set_term(Formula& f, TermPtr p) { f.term_ = std::move(p); }
+  static void set_quant(Formula& f, std::string var, std::vector<std::int64_t> dom) {
+    f.quant_var_ = std::move(var);
+    f.quant_domain_ = std::move(dom);
+  }
+};
+
+struct TermFactory {
+  static std::shared_ptr<Term> make(Term::Kind k) {
+    auto p = std::make_shared<Term>();
+    p->kind_ = k;
+    return p;
+  }
+  static void set_event(Term& t, FormulaPtr f) { t.event_ = std::move(f); }
+  static void set_arg(Term& t, TermPtr p) { t.arg_ = std::move(p); }
+  static void set_left(Term& t, TermPtr p) { t.left_ = std::move(p); }
+  static void set_right(Term& t, TermPtr p) { t.right_ = std::move(p); }
+};
+
+// ----------------------------- printing ------------------------------------
+
+std::string Formula::to_string() const {
+  switch (kind_) {
+    case Kind::Atom:
+      return pred_->to_string();
+    case Kind::Not:
+      return "!(" + lhs_->to_string() + ")";
+    case Kind::And:
+      return "(" + lhs_->to_string() + " /\\ " + rhs_->to_string() + ")";
+    case Kind::Or:
+      return "(" + lhs_->to_string() + " \\/ " + rhs_->to_string() + ")";
+    case Kind::Implies:
+      return "(" + lhs_->to_string() + " => " + rhs_->to_string() + ")";
+    case Kind::Iff:
+      return "(" + lhs_->to_string() + " <=> " + rhs_->to_string() + ")";
+    case Kind::Always:
+      return "[]" + lhs_->to_string();
+    case Kind::Eventually:
+      return "<>" + lhs_->to_string();
+    case Kind::Interval:
+      return "[ " + term_->to_string() + " ] " + lhs_->to_string();
+    case Kind::Occurs:
+      return "*" + term_->to_string();
+    case Kind::Forall:
+    case Kind::Exists: {
+      std::string head = (kind_ == Kind::Forall) ? "forall " : "exists ";
+      std::vector<std::string> vals;
+      vals.reserve(quant_domain_.size());
+      for (std::int64_t v : quant_domain_) vals.push_back(to_string_i64(v));
+      return head + quant_var_ + " in {" + join(vals, ",") + "} . " + lhs_->to_string();
+    }
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+void Formula::collect_vars(std::vector<std::string>& out) const {
+  switch (kind_) {
+    case Kind::Atom:
+      pred_->collect_vars(out);
+      return;
+    case Kind::Interval:
+      term_->collect_vars(out);
+      lhs_->collect_vars(out);
+      return;
+    case Kind::Occurs:
+      term_->collect_vars(out);
+      return;
+    default:
+      if (lhs_) lhs_->collect_vars(out);
+      if (rhs_) rhs_->collect_vars(out);
+  }
+}
+
+bool Formula::has_star_modifier() const {
+  switch (kind_) {
+    case Kind::Atom:
+      return false;
+    case Kind::Interval:
+      return term_->has_star_modifier() || lhs_->has_star_modifier();
+    case Kind::Occurs:
+      return term_->has_star_modifier();
+    default:
+      return (lhs_ && lhs_->has_star_modifier()) || (rhs_ && rhs_->has_star_modifier());
+  }
+}
+
+std::string Term::to_string() const {
+  switch (kind_) {
+    case Kind::Event: {
+      // Events on plain predicates print bare; compound events are braced.
+      if (event_->kind() == Formula::Kind::Atom) return event_->to_string();
+      return "{" + event_->to_string() + "}";
+    }
+    case Kind::Begin:
+      return "begin(" + arg_->to_string() + ")";
+    case Kind::End:
+      return "end(" + arg_->to_string() + ")";
+    case Kind::Fwd: {
+      std::string l = left_ ? left_->to_string() + " " : "";
+      std::string r = right_ ? " " + right_->to_string() : "";
+      return "(" + l + "=>" + r + ")";
+    }
+    case Kind::Bwd: {
+      std::string l = left_ ? left_->to_string() + " " : "";
+      std::string r = right_ ? " " + right_->to_string() : "";
+      return "(" + l + "<=" + r + ")";
+    }
+    case Kind::Star:
+      return "*" + arg_->to_string();
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+void Term::collect_vars(std::vector<std::string>& out) const {
+  switch (kind_) {
+    case Kind::Event:
+      event_->collect_vars(out);
+      return;
+    case Kind::Begin:
+    case Kind::End:
+    case Kind::Star:
+      arg_->collect_vars(out);
+      return;
+    case Kind::Fwd:
+    case Kind::Bwd:
+      if (left_) left_->collect_vars(out);
+      if (right_) right_->collect_vars(out);
+  }
+}
+
+bool Term::has_star_modifier() const {
+  switch (kind_) {
+    case Kind::Event:
+      return event_->has_star_modifier();
+    case Kind::Begin:
+    case Kind::End:
+      return arg_->has_star_modifier();
+    case Kind::Star:
+      return true;
+    case Kind::Fwd:
+    case Kind::Bwd:
+      return (left_ && left_->has_star_modifier()) || (right_ && right_->has_star_modifier());
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+// ----------------------------- factories -----------------------------------
+
+namespace f {
+
+FormulaPtr atom(PredPtr p) {
+  IL_REQUIRE(p != nullptr);
+  auto node = FormulaFactory::make(Formula::Kind::Atom);
+  FormulaFactory::set_pred(*node, std::move(p));
+  return node;
+}
+
+FormulaPtr atom(const std::string& pred_text) { return atom(parse_pred(pred_text)); }
+
+FormulaPtr truth() { return atom(Pred::constant(true)); }
+FormulaPtr falsity() { return atom(Pred::constant(false)); }
+
+FormulaPtr negate(FormulaPtr a) {
+  IL_REQUIRE(a != nullptr);
+  auto node = FormulaFactory::make(Formula::Kind::Not);
+  FormulaFactory::set_lhs(*node, std::move(a));
+  return node;
+}
+
+namespace {
+FormulaPtr binary(Formula::Kind k, FormulaPtr a, FormulaPtr b) {
+  IL_REQUIRE(a && b);
+  auto node = FormulaFactory::make(k);
+  FormulaFactory::set_lhs(*node, std::move(a));
+  FormulaFactory::set_rhs(*node, std::move(b));
+  return node;
+}
+}  // namespace
+
+FormulaPtr conj(FormulaPtr a, FormulaPtr b) { return binary(Formula::Kind::And, a, b); }
+FormulaPtr disj(FormulaPtr a, FormulaPtr b) { return binary(Formula::Kind::Or, a, b); }
+FormulaPtr implies(FormulaPtr a, FormulaPtr b) { return binary(Formula::Kind::Implies, a, b); }
+FormulaPtr iff(FormulaPtr a, FormulaPtr b) { return binary(Formula::Kind::Iff, a, b); }
+
+FormulaPtr always(FormulaPtr a) {
+  IL_REQUIRE(a != nullptr);
+  auto node = FormulaFactory::make(Formula::Kind::Always);
+  FormulaFactory::set_lhs(*node, std::move(a));
+  return node;
+}
+
+FormulaPtr eventually(FormulaPtr a) {
+  IL_REQUIRE(a != nullptr);
+  auto node = FormulaFactory::make(Formula::Kind::Eventually);
+  FormulaFactory::set_lhs(*node, std::move(a));
+  return node;
+}
+
+FormulaPtr interval(TermPtr term, FormulaPtr body) {
+  IL_REQUIRE(term && body);
+  auto node = FormulaFactory::make(Formula::Kind::Interval);
+  FormulaFactory::set_term(*node, std::move(term));
+  FormulaFactory::set_lhs(*node, std::move(body));
+  return node;
+}
+
+FormulaPtr occurs(TermPtr term) {
+  IL_REQUIRE(term != nullptr);
+  auto node = FormulaFactory::make(Formula::Kind::Occurs);
+  FormulaFactory::set_term(*node, std::move(term));
+  return node;
+}
+
+FormulaPtr forall(std::string var, std::vector<std::int64_t> domain, FormulaPtr body) {
+  IL_REQUIRE(body != nullptr);
+  auto node = FormulaFactory::make(Formula::Kind::Forall);
+  FormulaFactory::set_quant(*node, std::move(var), std::move(domain));
+  FormulaFactory::set_lhs(*node, std::move(body));
+  return node;
+}
+
+FormulaPtr exists(std::string var, std::vector<std::int64_t> domain, FormulaPtr body) {
+  IL_REQUIRE(body != nullptr);
+  auto node = FormulaFactory::make(Formula::Kind::Exists);
+  FormulaFactory::set_quant(*node, std::move(var), std::move(domain));
+  FormulaFactory::set_lhs(*node, std::move(body));
+  return node;
+}
+
+FormulaPtr conj_all(const std::vector<FormulaPtr>& fs) {
+  if (fs.empty()) return truth();
+  FormulaPtr out = fs.front();
+  for (std::size_t i = 1; i < fs.size(); ++i) out = conj(out, fs[i]);
+  return out;
+}
+
+}  // namespace f
+
+namespace t {
+
+TermPtr event(FormulaPtr defining_formula) {
+  IL_REQUIRE(defining_formula != nullptr);
+  auto node = TermFactory::make(Term::Kind::Event);
+  TermFactory::set_event(*node, std::move(defining_formula));
+  return node;
+}
+
+TermPtr event(const std::string& pred_text) { return event(f::atom(pred_text)); }
+
+TermPtr begin(TermPtr inner) {
+  IL_REQUIRE(inner != nullptr);
+  auto node = TermFactory::make(Term::Kind::Begin);
+  TermFactory::set_arg(*node, std::move(inner));
+  return node;
+}
+
+TermPtr end(TermPtr inner) {
+  IL_REQUIRE(inner != nullptr);
+  auto node = TermFactory::make(Term::Kind::End);
+  TermFactory::set_arg(*node, std::move(inner));
+  return node;
+}
+
+TermPtr fwd(TermPtr left, TermPtr right) {
+  auto node = TermFactory::make(Term::Kind::Fwd);
+  TermFactory::set_left(*node, std::move(left));
+  TermFactory::set_right(*node, std::move(right));
+  return node;
+}
+
+TermPtr bwd(TermPtr left, TermPtr right) {
+  auto node = TermFactory::make(Term::Kind::Bwd);
+  TermFactory::set_left(*node, std::move(left));
+  TermFactory::set_right(*node, std::move(right));
+  return node;
+}
+
+TermPtr star(TermPtr inner) {
+  IL_REQUIRE(inner != nullptr);
+  auto node = TermFactory::make(Term::Kind::Star);
+  TermFactory::set_arg(*node, std::move(inner));
+  return node;
+}
+
+}  // namespace t
+
+}  // namespace il

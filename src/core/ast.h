@@ -1,0 +1,148 @@
+// Abstract syntax of the interval logic (Chapter 2/3 of the paper).
+//
+//   <interval formula> a ::= P | !b | b /\ c | b \/ c | b -> c | b <-> c |
+//                            <> b | [] b | *I | [ I ] b |
+//                            forall v in D . b | exists v in D . b
+//   <interval term>    I ::= A | begin J | end J |
+//                            J => K  (either or both arguments omissible) |
+//                            J <= K  (either or both arguments omissible) |
+//                            * J     (the eventuality modifier, Appendix A)
+//   <event term>       A ::= a      (an interval formula used as an event)
+//
+// The quantifiers are a finite-domain rendering of the paper's free logical
+// variables (e.g. "for all a, b" in the queue axioms): they bind meta
+// variables that state predicates reference as $name.
+//
+// Formulas and terms are immutable DAGs shared by shared_ptr.  Factories
+// live in the `f` (formula) and `t` (term) namespaces for fluent building:
+//
+//   auto spec = f::interval(t::fwd(t::event(f::atom("x = y")),
+//                                  t::event(f::atom("y = 16"))),
+//                           f::always(f::atom("x > z")));
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/predicate.h"
+
+namespace il {
+
+class Formula;
+class Term;
+using FormulaPtr = std::shared_ptr<const Formula>;
+using TermPtr = std::shared_ptr<const Term>;
+
+class Formula {
+ public:
+  enum class Kind {
+    Atom,      ///< state predicate, evaluated at the first state of the interval
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+    Always,    ///< [] a
+    Eventually,///< <> a
+    Interval,  ///< [ I ] a
+    Occurs,    ///< *I  (the interval-eventuality formula, == ![I]false)
+    Forall,    ///< finite-domain quantifier over a meta variable
+    Exists,
+  };
+
+  Kind kind() const { return kind_; }
+  const PredPtr& pred() const { return pred_; }
+  const FormulaPtr& lhs() const { return lhs_; }
+  const FormulaPtr& rhs() const { return rhs_; }
+  const TermPtr& term() const { return term_; }
+  const std::string& quant_var() const { return quant_var_; }
+  const std::vector<std::int64_t>& quant_domain() const { return quant_domain_; }
+
+  std::string to_string() const;
+
+  /// Collects all state-variable names referenced anywhere in the formula.
+  void collect_vars(std::vector<std::string>& out) const;
+
+  /// True if any interval term within carries the * modifier.
+  bool has_star_modifier() const;
+
+ private:
+  friend struct FormulaFactory;
+  Kind kind_ = Kind::Atom;
+  PredPtr pred_;
+  FormulaPtr lhs_, rhs_;
+  TermPtr term_;
+  std::string quant_var_;
+  std::vector<std::int64_t> quant_domain_;
+};
+
+class Term {
+ public:
+  enum class Kind {
+    Event,   ///< event defined by an interval formula (change false -> true)
+    Begin,   ///< unit interval at the first state of the argument
+    End,     ///< unit interval at the last state of the argument
+    Fwd,     ///< I => J ; either argument may be absent (nullptr)
+    Bwd,     ///< I <= J ; either argument may be absent (nullptr)
+    Star,    ///< * I  (requiredness modifier; syntactic sugar, Appendix A)
+  };
+
+  Kind kind() const { return kind_; }
+  const FormulaPtr& event() const { return event_; }
+  const TermPtr& arg() const { return arg_; }    ///< Begin/End/Star argument
+  const TermPtr& left() const { return left_; }  ///< arrow left argument (may be null)
+  const TermPtr& right() const { return right_; }///< arrow right argument (may be null)
+
+  std::string to_string() const;
+  void collect_vars(std::vector<std::string>& out) const;
+  bool has_star_modifier() const;
+
+ private:
+  friend struct TermFactory;
+  Kind kind_ = Kind::Event;
+  FormulaPtr event_;
+  TermPtr arg_, left_, right_;
+};
+
+namespace f {
+
+FormulaPtr atom(PredPtr p);
+FormulaPtr atom(const std::string& pred_text);  ///< parses the predicate
+FormulaPtr truth();
+FormulaPtr falsity();
+FormulaPtr negate(FormulaPtr a);
+FormulaPtr conj(FormulaPtr a, FormulaPtr b);
+FormulaPtr disj(FormulaPtr a, FormulaPtr b);
+FormulaPtr implies(FormulaPtr a, FormulaPtr b);
+FormulaPtr iff(FormulaPtr a, FormulaPtr b);
+FormulaPtr always(FormulaPtr a);
+FormulaPtr eventually(FormulaPtr a);
+FormulaPtr interval(TermPtr term, FormulaPtr body);  ///< [ I ] a
+FormulaPtr occurs(TermPtr term);                     ///< * I
+FormulaPtr forall(std::string var, std::vector<std::int64_t> domain, FormulaPtr body);
+FormulaPtr exists(std::string var, std::vector<std::int64_t> domain, FormulaPtr body);
+
+/// Conjunction of a list (true when empty).
+FormulaPtr conj_all(const std::vector<FormulaPtr>& fs);
+
+}  // namespace f
+
+namespace t {
+
+TermPtr event(FormulaPtr defining_formula);
+TermPtr event(const std::string& pred_text);  ///< event on a state predicate
+TermPtr begin(TermPtr inner);
+TermPtr end(TermPtr inner);
+/// I => J.  Pass nullptr to omit an argument ("=>" alone selects the whole
+/// outer context; "I =>" extends from end of I onward; "=> J" runs from the
+/// context start to the end of the first J).
+TermPtr fwd(TermPtr left, TermPtr right);
+/// I <= J, same omission conventions.
+TermPtr bwd(TermPtr left, TermPtr right);
+TermPtr star(TermPtr inner);
+
+}  // namespace t
+
+}  // namespace il

@@ -1,0 +1,79 @@
+#include "core/bounded.h"
+
+#include "core/semantics.h"
+#include "util/assert.h"
+
+namespace il {
+namespace {
+
+State state_from_bits(const std::vector<std::string>& vars, std::uint64_t bits) {
+  State s;
+  for (std::size_t i = 0; i < vars.size(); ++i) s.set_bool(vars[i], (bits >> i) & 1);
+  return s;
+}
+
+}  // namespace
+
+bool for_each_trace(const std::vector<std::string>& bool_vars, std::size_t len,
+                    const std::function<bool(const Trace&)>& fn) {
+  IL_REQUIRE(bool_vars.size() <= 16, "too many variables for exhaustive enumeration");
+  IL_REQUIRE(len >= 1);
+  const std::uint64_t states = std::uint64_t{1} << bool_vars.size();
+  // Pre-build all possible states once.
+  std::vector<State> palette;
+  palette.reserve(states);
+  for (std::uint64_t b = 0; b < states; ++b) palette.push_back(state_from_bits(bool_vars, b));
+
+  std::vector<std::uint64_t> idx(len, 0);
+  for (;;) {
+    Trace tr;
+    for (std::size_t i = 0; i < len; ++i) tr.push(palette[idx[i]]);
+    if (!fn(tr)) return false;
+    // Odometer increment.
+    std::size_t pos = 0;
+    while (pos < len) {
+      if (++idx[pos] < states) break;
+      idx[pos] = 0;
+      ++pos;
+    }
+    if (pos == len) return true;
+  }
+}
+
+BoundedResult check_valid_bounded(const FormulaPtr& formula,
+                                  const std::vector<std::string>& bool_vars,
+                                  std::size_t max_len, const Env& env) {
+  BoundedResult result;
+  for (std::size_t len = 1; len <= max_len && result.valid; ++len) {
+    for_each_trace(bool_vars, len, [&](const Trace& tr) {
+      ++result.traces_checked;
+      if (!holds(*formula, tr, env)) {
+        result.valid = false;
+        result.counterexample = tr;
+        return false;
+      }
+      return true;
+    });
+  }
+  return result;
+}
+
+BoundedResult check_equivalent_bounded(const FormulaPtr& a, const FormulaPtr& b,
+                                       const std::vector<std::string>& bool_vars,
+                                       std::size_t max_len, const Env& env) {
+  BoundedResult result;
+  for (std::size_t len = 1; len <= max_len && result.valid; ++len) {
+    for_each_trace(bool_vars, len, [&](const Trace& tr) {
+      ++result.traces_checked;
+      if (holds(*a, tr, env) != holds(*b, tr, env)) {
+        result.valid = false;
+        result.counterexample = tr;
+        return false;
+      }
+      return true;
+    });
+  }
+  return result;
+}
+
+}  // namespace il

@@ -1,0 +1,52 @@
+// Exhaustive bounded validity checking.
+//
+// The interval logic has a complete decision procedure via reduction to
+// linear temporal logic (Appendices B/C); for directly validating the
+// Chapter 4 catalogue of valid formulas and for property-testing reductions
+// we additionally provide a brute-force checker that enumerates *every*
+// trace over a set of boolean state variables up to a length bound (each
+// trace interpreted with the usual stuttering extension) and evaluates the
+// formula on each.
+//
+// A formula valid over all stuttering-extended traces of length <= L is not
+// automatically valid over all infinite computations, but every formula in
+// the Chapter 4 catalogue quantifies only over finitely many state changes,
+// so failures show up at small bounds; conversely any reported
+// counterexample is a genuine one.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ast.h"
+#include "trace/trace.h"
+
+namespace il {
+
+struct BoundedResult {
+  bool valid = true;
+  std::optional<Trace> counterexample;
+  std::size_t traces_checked = 0;
+};
+
+/// Checks `formula` on every trace over the given boolean variables with
+/// 1 <= length <= max_len.  Cost is (2^vars)^length per length.
+BoundedResult check_valid_bounded(const FormulaPtr& formula,
+                                  const std::vector<std::string>& bool_vars,
+                                  std::size_t max_len, const Env& env = {});
+
+/// Checks that two formulas evaluate identically on every bounded trace.
+BoundedResult check_equivalent_bounded(const FormulaPtr& a, const FormulaPtr& b,
+                                       const std::vector<std::string>& bool_vars,
+                                       std::size_t max_len, const Env& env = {});
+
+/// Enumerates all traces over the boolean variables of exactly `len` states
+/// and calls `fn` on each; stops early if fn returns false.  Exposed for
+/// custom property sweeps.
+bool for_each_trace(const std::vector<std::string>& bool_vars, std::size_t len,
+                    const std::function<bool(const Trace&)>& fn);
+
+}  // namespace il

@@ -1,0 +1,85 @@
+#include "core/diagram.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace il {
+namespace {
+
+std::size_t label_width(const std::vector<std::string>& signals, std::size_t extra) {
+  std::size_t w = extra;
+  for (const auto& s : signals) w = std::max(w, s.size());
+  return w + 1;
+}
+
+std::string waveform_row(const Trace& trace, const std::string& signal) {
+  std::string row;
+  row.reserve(trace.size());
+  bool prev = false;
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    const bool cur = trace.at(k).truthy(signal);
+    if (k == 0) {
+      row += cur ? '~' : '_';
+    } else if (cur == prev) {
+      row += cur ? '~' : '_';
+    } else {
+      row += cur ? '/' : '\\';
+    }
+    prev = cur;
+  }
+  return row;
+}
+
+}  // namespace
+
+std::string draw_signals(const Trace& trace, const std::vector<std::string>& signals) {
+  IL_REQUIRE(!trace.empty());
+  const std::size_t lw = label_width(signals, 0);
+  std::string out;
+  for (const auto& sig : signals) {
+    out += sig;
+    out.append(lw - sig.size(), ' ');
+    out += waveform_row(trace, sig);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string draw_term(const Trace& trace, const std::vector<std::string>& signals,
+                      const TermPtr& term, const Env& env) {
+  IL_REQUIRE(term != nullptr);
+  const std::string label = term->to_string();
+  const std::size_t lw = label_width(signals, label.size());
+
+  std::string out;
+  for (const auto& sig : signals) {
+    out += sig;
+    out.append(lw - sig.size(), ' ');
+    out += waveform_row(trace, sig);
+    out += '\n';
+  }
+
+  out += label;
+  out.append(lw - label.size(), ' ');
+  const Interval iv = locate(*term, trace, env);
+  if (iv.null) {
+    out += "(not found)\n";
+    return out;
+  }
+  const std::size_t hi = iv.infinite() ? trace.last_index() : std::min(iv.hi, trace.last_index());
+  std::string marks(trace.size(), ' ');
+  for (std::size_t k = iv.lo; k <= hi && k < marks.size(); ++k) marks[k] = '-';
+  if (iv.lo < marks.size()) marks[iv.lo] = '[';
+  if (!iv.infinite() && iv.hi < marks.size()) {
+    marks[iv.hi] = ']';
+  } else if (iv.infinite()) {
+    // Right-open interval: extend the dash to the edge.
+    if (!marks.empty()) marks.back() = '>';
+  }
+  out += marks;
+  out += '\n';
+  return out;
+}
+
+}  // namespace il

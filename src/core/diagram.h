@@ -1,0 +1,36 @@
+// ASCII timing diagrams: the paper's pictorial notation, mechanized.
+//
+// Section 9 lists graphical representation of interval-logic specifications
+// as a key direction ("Interval Logic lends itself to graphical
+// representation ... can greatly assist in human comprehension").  This
+// module renders traces as signal waveforms and draws where the F function
+// places an interval term — the textual analogue of the paper's figures:
+//
+//   A        __/~~~~~~~~
+//   B        _____/~~~~~
+//   [A => B]    [-----]
+//
+// Intended for diagnostics: counterexample display in tests, example
+// output, and spec-debugging sessions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ast.h"
+#include "core/semantics.h"
+#include "trace/trace.h"
+
+namespace il {
+
+/// Renders the named boolean signals of `trace` as waveforms
+/// (one row per signal: `_` low, `~` high, `/` and `\` at edges).
+std::string draw_signals(const Trace& trace, const std::vector<std::string>& signals);
+
+/// Renders the interval the F function selects for `term` on `trace`
+/// (whole-computation context), underneath the signal rows.
+/// Unconstructible intervals render as "(not found)".
+std::string draw_term(const Trace& trace, const std::vector<std::string>& signals,
+                      const TermPtr& term, const Env& env = {});
+
+}  // namespace il

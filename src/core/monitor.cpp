@@ -1,0 +1,16 @@
+#include "core/monitor.h"
+
+#include "util/assert.h"
+
+namespace il {
+
+Monitor::Monitor(Spec spec, Env env) : spec_(std::move(spec)), env_(std::move(env)) {}
+
+void Monitor::observe(const State& s) { trace_.push(s); }
+
+CheckResult Monitor::current() const {
+  IL_REQUIRE(!trace_.empty(), "no states observed yet");
+  return check_spec(spec_, trace_, env_);
+}
+
+}  // namespace il

@@ -1,0 +1,47 @@
+// Online runtime monitor for interval-logic specifications.
+//
+// A Monitor accumulates states as a system runs and re-evaluates its
+// formulas over the stuttering-extended trace seen so far.  This implements
+// the "mechanical verification support" role the paper assigns the logic
+// (Section 9) in its runtime-checking form: after every observed state the
+// monitor reports, per axiom, whether the trace-so-far (extended by
+// stuttering, i.e. assuming the system now quiesces) satisfies it.
+//
+// Verdicts are therefore *provisional*: an axiom that fails now may recover
+// once an awaited event occurs (e.g. a pending ◇).  The monitor also tracks
+// `violations`, counting axioms false at the final state, which is the
+// quantity the benchmarks and tests assert on for complete runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+#include "trace/trace.h"
+
+namespace il {
+
+class Monitor {
+ public:
+  explicit Monitor(Spec spec, Env env = {});
+
+  /// Observes one state.
+  void observe(const State& s);
+
+  /// Verdicts for the trace so far (provisional; see header comment).
+  CheckResult current() const;
+
+  /// Number of observed states.
+  std::size_t states_seen() const { return trace_.size(); }
+
+  const Trace& trace() const { return trace_; }
+  const Spec& spec() const { return spec_; }
+
+ private:
+  Spec spec_;
+  Env env_;
+  Trace trace_;
+};
+
+}  // namespace il

@@ -1,0 +1,94 @@
+#include "core/operations.h"
+
+#include "util/assert.h"
+
+namespace il {
+
+Operation::Operation(std::string name) : name_(std::move(name)) {
+  IL_REQUIRE(!name_.empty(), "operation name must be non-empty");
+}
+
+FormulaPtr Operation::at() const { return f::atom(Pred::truthy(at_var())); }
+FormulaPtr Operation::in() const { return f::atom(Pred::truthy(in_var())); }
+FormulaPtr Operation::after() const { return f::atom(Pred::truthy(after_var())); }
+
+FormulaPtr Operation::at_with_arg_meta(const std::string& meta) const {
+  return f::conj(at(), f::atom(Pred::var_eq_meta(arg_var(), meta)));
+}
+
+FormulaPtr Operation::after_with_res_meta(const std::string& meta) const {
+  return f::conj(after(), f::atom(Pred::var_eq_meta(res_var(), meta)));
+}
+
+FormulaPtr Operation::at_with_arg(std::int64_t value) const {
+  return f::conj(at(), f::atom(Pred::var_eq(arg_var(), value)));
+}
+
+FormulaPtr Operation::after_with_res(std::int64_t value) const {
+  return f::conj(after(), f::atom(Pred::var_eq(res_var(), value)));
+}
+
+std::vector<FormulaPtr> Operation::axioms() const {
+  std::vector<FormulaPtr> out;
+  // 1. [ atO => begin(afterO) ] [] inO
+  out.push_back(f::interval(t::fwd(t::event(at()), t::begin(t::event(after()))),
+                            f::always(in())));
+  // 2. [ afterO => begin(atO) ] [] !inO
+  out.push_back(f::interval(t::fwd(t::event(after()), t::begin(t::event(at()))),
+                            f::always(f::negate(in()))));
+  // 3. [] (atO -> inO): at holds only at (the beginning of) an execution.
+  out.push_back(f::always(f::implies(at(), in())));
+  // 4. [] (afterO -> !inO): after holds only outside the execution.
+  out.push_back(f::always(f::implies(after(), f::negate(in()))));
+  return out;
+}
+
+FormulaPtr Operation::termination_axiom() const {
+  // [ atO => *afterO ] true: the completion event must be found after entry.
+  return f::interval(t::fwd(t::event(at()), t::star(t::event(after()))), f::truth());
+}
+
+OpRecorder::OpRecorder(Operation op, TraceBuilder& builder)
+    : op_(std::move(op)), builder_(builder) {
+  builder_.set_bool(op_.at_var(), false);
+  builder_.set_bool(op_.in_var(), false);
+  builder_.set_bool(op_.after_var(), false);
+}
+
+void OpRecorder::clear_pulses() {
+  builder_.set_bool(op_.at_var(), false);
+  builder_.set_bool(op_.after_var(), false);
+}
+
+void OpRecorder::enter(std::optional<std::int64_t> arg) {
+  IL_REQUIRE(!active_, "operation already active: " + op_.name());
+  clear_pulses();
+  builder_.set_bool(op_.at_var(), true);
+  builder_.set_bool(op_.in_var(), true);
+  if (arg) builder_.set(op_.arg_var(), *arg);
+  builder_.commit();
+  active_ = true;
+}
+
+void OpRecorder::busy() {
+  IL_REQUIRE(active_, "operation not active: " + op_.name());
+  clear_pulses();
+  builder_.commit();
+}
+
+void OpRecorder::leave(std::optional<std::int64_t> res) {
+  IL_REQUIRE(active_, "operation not active: " + op_.name());
+  clear_pulses();
+  builder_.set_bool(op_.in_var(), false);
+  builder_.set_bool(op_.after_var(), true);
+  if (res) builder_.set(op_.res_var(), *res);
+  builder_.commit();
+  active_ = false;
+}
+
+void OpRecorder::idle() {
+  clear_pulses();
+  builder_.commit();
+}
+
+}  // namespace il

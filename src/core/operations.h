@@ -1,0 +1,102 @@
+// Parameterized abstract operations (Section 2.2).
+//
+// For an abstract operation O the paper defines state predicates atO, inO,
+// afterO ("at the beginning", "within", "immediately after") with the
+// temporal axiomatization:
+//
+//   1.  [ atO => begin(afterO) ] [] inO
+//   2.  [ afterO => begin(atO) ] [] !inO
+//   3.  atO true only at the beginning of the operation
+//   4.  afterO true only immediately following an operation
+//
+// (Axioms 3 and 4 are partially garbled in the surviving report scan; we
+// state them in the equivalent state-local form [](atO -> inO) and
+// [](afterO -> !inO), which together with 1 and 2 pin the intended shape.)
+//
+// Operations may carry an entry parameter and a result parameter; following
+// the paper's own convention in Chapter 7, parameter values are exposed as
+// state components ("<name>_arg", "<name>_res") that are meaningful while
+// the corresponding at/after predicate holds.
+//
+// OpRecorder drives a TraceBuilder through the at/in/after pulse protocol so
+// simulators produce traces that satisfy the axioms by construction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ast.h"
+#include "trace/trace.h"
+
+namespace il {
+
+/// Naming conventions and axiom builders for one abstract operation.
+class Operation {
+ public:
+  explicit Operation(std::string name);
+
+  const std::string& name() const { return name_; }
+  std::string at_var() const { return "at_" + name_; }
+  std::string in_var() const { return "in_" + name_; }
+  std::string after_var() const { return "after_" + name_; }
+  std::string arg_var() const { return name_ + "_arg"; }
+  std::string res_var() const { return name_ + "_res"; }
+
+  /// atO as a state predicate / event formula.
+  FormulaPtr at() const;
+  FormulaPtr in() const;
+  FormulaPtr after() const;
+
+  /// atO(v): atO with the entry parameter equal to the meta variable $v.
+  FormulaPtr at_with_arg_meta(const std::string& meta) const;
+  /// afterO(v): afterO with the result parameter equal to $v.
+  FormulaPtr after_with_res_meta(const std::string& meta) const;
+  /// atO(c) with a constant argument.
+  FormulaPtr at_with_arg(std::int64_t value) const;
+  FormulaPtr after_with_res(std::int64_t value) const;
+
+  /// The four axioms of Section 2.2 for this operation.
+  std::vector<FormulaPtr> axioms() const;
+
+  /// Termination requirement: [ atO => *afterO ] true — every entered
+  /// operation eventually produces its after state.
+  FormulaPtr termination_axiom() const;
+
+ private:
+  std::string name_;
+};
+
+/// Records well-formed operation executions into a TraceBuilder.
+///
+/// Protocol per call: enter() commits the entry state (at=1, in=1, arg set);
+/// busy() commits interior states (in=1); leave() commits the completion
+/// state (after=1, in=0, res set).  The recorder clears one-state pulses
+/// (at, after) on the next commit it performs.  Multiple recorders over the
+/// same builder model overlapping operations.
+class OpRecorder {
+ public:
+  OpRecorder(Operation op, TraceBuilder& builder);
+
+  /// Begins a call; `arg` sets the entry parameter if present.
+  void enter(std::optional<std::int64_t> arg = std::nullopt);
+  /// One interior state of the running call.
+  void busy();
+  /// Completes the call; `res` sets the result parameter if present.
+  void leave(std::optional<std::int64_t> res = std::nullopt);
+  /// One state in which this operation is entirely inactive.
+  void idle();
+
+  bool active() const { return active_; }
+  const Operation& op() const { return op_; }
+
+ private:
+  void clear_pulses();
+
+  Operation op_;
+  TraceBuilder& builder_;
+  bool active_ = false;
+};
+
+}  // namespace il

@@ -1,0 +1,396 @@
+#include "core/parser.h"
+
+#include <cctype>
+
+#include "util/assert.h"
+
+namespace il {
+namespace {
+
+class ILParser {
+ public:
+  explicit ILParser(const std::string& text) : text_(text) {}
+
+  FormulaPtr parse_formula_all() {
+    auto p = parse_iff();
+    skip_ws();
+    IL_REQUIRE(pos_ == text_.size(), "trailing input in formula: '" + rest() + "'");
+    return p;
+  }
+
+  TermPtr parse_term_all() {
+    auto t = parse_arrow_term();
+    skip_ws();
+    IL_REQUIRE(pos_ == text_.size(), "trailing input in term: '" + rest() + "'");
+    return t;
+  }
+
+ private:
+  // ---------------------------- formulas -----------------------------------
+
+  FormulaPtr parse_iff() {
+    auto lhs = parse_imp();
+    while (eat("<=>")) lhs = f::iff(lhs, parse_imp());
+    return lhs;
+  }
+
+  FormulaPtr parse_imp() {
+    auto lhs = parse_or();
+    if (eat_implies()) return f::implies(lhs, parse_imp());
+    return lhs;
+  }
+
+  bool eat_implies() {
+    skip_ws();
+    if (ahead("=>")) {
+      pos_ += 2;
+      return true;
+    }
+    if (ahead("->")) {
+      pos_ += 2;
+      return true;
+    }
+    return false;
+  }
+
+  FormulaPtr parse_or() {
+    auto lhs = parse_and();
+    for (;;) {
+      if (eat("\\/") || eat("||")) {
+        lhs = f::disj(lhs, parse_and());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  FormulaPtr parse_and() {
+    auto lhs = parse_unary();
+    for (;;) {
+      if (eat("/\\") || eat("&&")) {
+        lhs = f::conj(lhs, parse_unary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  FormulaPtr parse_unary() {
+    skip_ws();
+    if (eat("!") || eat("~")) return f::negate(parse_unary());
+    if (eat("[]")) return f::always(parse_unary());
+    if (eat("<>")) return f::eventually(parse_unary());
+    if (peek() == '[') {
+      ++pos_;
+      auto term = parse_arrow_term();
+      skip_ws();
+      IL_REQUIRE(peek() == ']', "expected ']' after interval term");
+      ++pos_;
+      return f::interval(term, parse_unary());
+    }
+    if (peek() == '*') {
+      ++pos_;
+      return f::occurs(parse_pterm());
+    }
+    if (peek_word("forall") || peek_word("exists")) {
+      const bool is_forall = peek_word("forall");
+      eat_word(is_forall ? "forall" : "exists");
+      std::string var = parse_ident();
+      IL_REQUIRE(eat_word_if("in"), "expected 'in' after quantified variable");
+      skip_ws();
+      IL_REQUIRE(peek() == '{', "expected '{' starting quantifier domain");
+      ++pos_;
+      std::vector<std::int64_t> domain;
+      for (;;) {
+        domain.push_back(parse_int());
+        if (!eat(",")) break;
+      }
+      skip_ws();
+      IL_REQUIRE(peek() == '}', "expected '}' ending quantifier domain");
+      ++pos_;
+      IL_REQUIRE(eat("."), "expected '.' after quantifier domain");
+      auto body = parse_iff();
+      return is_forall ? f::forall(var, domain, body) : f::exists(var, domain, body);
+    }
+    if (peek_word("true")) {
+      eat_word("true");
+      return f::truth();
+    }
+    if (peek_word("false")) {
+      eat_word("false");
+      return f::falsity();
+    }
+    if (peek() == '(') {
+      ++pos_;
+      auto p = parse_iff();
+      skip_ws();
+      IL_REQUIRE(peek() == ')', "expected ')'");
+      ++pos_;
+      return p;
+    }
+    return f::atom(parse_relation(/*in_term=*/false));
+  }
+
+  // ----------------------------- terms -------------------------------------
+
+  TermPtr parse_arrow_term() {
+    skip_ws();
+    // Leading arrow: omitted left argument.
+    if (ahead("=>")) {
+      pos_ += 2;
+      return t::fwd(nullptr, maybe_pterm());
+    }
+    if (ahead("<=") && !ahead("<=>")) {
+      pos_ += 2;
+      return t::bwd(nullptr, maybe_pterm());
+    }
+    auto left = parse_pterm();
+    skip_ws();
+    if (ahead("=>")) {
+      pos_ += 2;
+      return t::fwd(left, maybe_pterm());
+    }
+    if (ahead("<=") && !ahead("<=>")) {
+      pos_ += 2;
+      return t::bwd(left, maybe_pterm());
+    }
+    return left;
+  }
+
+  /// A pterm if one follows; nullptr when the arrow's right argument is
+  /// omitted (next token closes the term).
+  TermPtr maybe_pterm() {
+    skip_ws();
+    const char c = peek();
+    if (c == ']' || c == ')' || c == '\0') return nullptr;
+    return parse_pterm();
+  }
+
+  TermPtr parse_pterm() {
+    skip_ws();
+    if (peek_word("begin")) {
+      eat_word("begin");
+      return t::begin(parse_parenthesized_term());
+    }
+    if (peek_word("end")) {
+      eat_word("end");
+      return t::end(parse_parenthesized_term());
+    }
+    if (peek() == '*') {
+      ++pos_;
+      return t::star(parse_pterm());
+    }
+    if (peek() == '(') {
+      ++pos_;
+      auto inner = parse_arrow_term();
+      skip_ws();
+      IL_REQUIRE(peek() == ')', "expected ')' in term");
+      ++pos_;
+      return inner;
+    }
+    if (peek() == '{') {
+      ++pos_;
+      auto formula = parse_iff();
+      skip_ws();
+      IL_REQUIRE(peek() == '}', "expected '}' closing event formula");
+      ++pos_;
+      return t::event(formula);
+    }
+    return t::event(f::atom(parse_relation(/*in_term=*/true)));
+  }
+
+  TermPtr parse_parenthesized_term() {
+    skip_ws();
+    IL_REQUIRE(peek() == '(', "expected '(' after begin/end");
+    ++pos_;
+    auto inner = parse_arrow_term();
+    skip_ws();
+    IL_REQUIRE(peek() == ')', "expected ')' after begin/end argument");
+    ++pos_;
+    return inner;
+  }
+
+  // --------------------------- predicates ----------------------------------
+
+  PredPtr parse_relation(bool in_term) {
+    skip_ws();
+    if (eat("!") || eat("~")) return Pred::negate(parse_relation(in_term));
+    auto lhs = parse_sum();
+    skip_ws();
+    CmpOp op;
+    if (ahead("==")) {
+      pos_ += 2;
+      op = CmpOp::Eq;
+    } else if (ahead("!=")) {
+      pos_ += 2;
+      op = CmpOp::Ne;
+    } else if (!in_term && ahead("<=") && !ahead("<=>")) {
+      pos_ += 2;
+      op = CmpOp::Le;
+    } else if (ahead(">=")) {
+      pos_ += 2;
+      op = CmpOp::Ge;
+    } else if (peek() == '<' && !ahead("<=") && !ahead("<>")) {
+      ++pos_;
+      op = CmpOp::Lt;
+    } else if (peek() == '>') {
+      ++pos_;
+      op = CmpOp::Gt;
+    } else if (single_eq_ahead()) {
+      ++pos_;
+      op = CmpOp::Eq;
+    } else {
+      IL_REQUIRE(lhs->kind() == Expr::Kind::Var || lhs->kind() == Expr::Kind::Meta,
+                 "expected comparison or boolean variable");
+      return Pred::cmp(CmpOp::Ne, lhs, Expr::constant(0));
+    }
+    return Pred::cmp(op, lhs, parse_sum());
+  }
+
+  bool single_eq_ahead() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '=') return false;
+    if (pos_ + 1 < text_.size() && (text_[pos_ + 1] == '=' || text_[pos_ + 1] == '>')) return false;
+    return true;
+  }
+
+  ExprPtr parse_sum() {
+    auto lhs = parse_prod();
+    for (;;) {
+      skip_ws();
+      if (peek() == '+') {
+        ++pos_;
+        lhs = Expr::add(lhs, parse_prod());
+      } else if (peek() == '-' && !ahead("->")) {
+        ++pos_;
+        lhs = Expr::sub(lhs, parse_prod());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_prod() {
+    auto lhs = parse_expr_atom();
+    for (;;) {
+      skip_ws();
+      if (peek() == '*') {
+        ++pos_;
+        lhs = Expr::mul(lhs, parse_expr_atom());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_expr_atom() {
+    skip_ws();
+    const char c = peek();
+    if (c == '(') {
+      ++pos_;
+      auto e = parse_sum();
+      skip_ws();
+      IL_REQUIRE(peek() == ')', "expected ')' in arithmetic");
+      ++pos_;
+      return e;
+    }
+    if (c == '-') {
+      ++pos_;
+      return Expr::neg(parse_expr_atom());
+    }
+    if (c == '$') {
+      ++pos_;
+      return Expr::meta(parse_ident());
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return Expr::constant(parse_int());
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return Expr::var(parse_ident());
+    }
+    IL_REQUIRE(false, "unexpected character: '" + std::string(1, c) + "'");
+    return nullptr;
+  }
+
+  // ----------------------------- lexing ------------------------------------
+
+  std::int64_t parse_int() {
+    skip_ws();
+    bool negative = false;
+    if (peek() == '-') {
+      negative = true;
+      ++pos_;
+    }
+    IL_REQUIRE(std::isdigit(static_cast<unsigned char>(peek())), "expected integer");
+    std::int64_t v = 0;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v = v * 10 + (text_[pos_] - '0');
+      ++pos_;
+    }
+    return negative ? -v : v;
+  }
+
+  std::string parse_ident() {
+    skip_ws();
+    IL_REQUIRE(std::isalpha(static_cast<unsigned char>(peek())) || peek() == '_',
+               "expected identifier");
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool ahead(const std::string& tok) {
+    skip_ws();
+    return text_.compare(pos_, tok.size(), tok) == 0;
+  }
+
+  bool eat(const std::string& tok) {
+    if (!ahead(tok)) return false;
+    pos_ += tok.size();
+    return true;
+  }
+
+  bool peek_word(const std::string& w) {
+    skip_ws();
+    if (text_.compare(pos_, w.size(), w) != 0) return false;
+    const std::size_t after = pos_ + w.size();
+    return after >= text_.size() ||
+           (!std::isalnum(static_cast<unsigned char>(text_[after])) && text_[after] != '_');
+  }
+
+  void eat_word(const std::string& w) {
+    IL_CHECK(peek_word(w));
+    pos_ += w.size();
+  }
+
+  bool eat_word_if(const std::string& w) {
+    if (!peek_word(w)) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  std::string rest() { return text_.substr(pos_); }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+FormulaPtr parse_formula(const std::string& text) { return ILParser(text).parse_formula_all(); }
+
+TermPtr parse_term(const std::string& text) { return ILParser(text).parse_term_all(); }
+
+}  // namespace il

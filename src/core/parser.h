@@ -1,0 +1,42 @@
+// Parser for a concrete ASCII syntax of the interval logic.
+//
+// Formula syntax (precedence low to high):
+//   formula := iff
+//   iff     := imp ( "<=>" imp )*
+//   imp     := or ( ("=>" | "->") imp )?          (right associative)
+//   or      := and ( ("\/" | "||") and )*
+//   and     := unary ( ("/\" | "&&") unary )*
+//   unary   := ("!" | "~") unary
+//            | "[]" unary                          (always)
+//            | "<>" unary                          (eventually)
+//            | "[" term "]" unary                  (interval formula)
+//            | "*" term                            (interval eventuality)
+//            | ("forall"|"exists") ident "in" "{" int ("," int)* "}" "." formula
+//            | "(" formula ")"
+//            | "true" | "false"
+//            | relation                            (state-predicate atom)
+//
+// Term syntax (inside "[ ... ]" and after "*"):
+//   term    := pterm? ("=>" | "<=") pterm?  |  pterm
+//   pterm   := "begin" "(" term ")" | "end" "(" term ")"
+//            | "*" pterm | "(" term ")" | "{" formula "}" | relation
+//
+// Events are written as bare relations ("x = y", "at_Dq") or as braced
+// formulas for compound events ("{ !x && y }" is written "{ (!(x)) /\ y }"
+// at the formula level).  Inside term position "<=" is the backward arrow;
+// a less-or-equal comparison there must be braced: "{x <= 5}".
+#pragma once
+
+#include <string>
+
+#include "core/ast.h"
+
+namespace il {
+
+/// Parses a formula; throws std::invalid_argument on syntax errors.
+FormulaPtr parse_formula(const std::string& text);
+
+/// Parses an interval term.
+TermPtr parse_term(const std::string& text);
+
+}  // namespace il

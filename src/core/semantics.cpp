@@ -1,0 +1,244 @@
+#include "core/semantics.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace il {
+
+std::string Interval::to_string() const {
+  if (null) return "<null>";
+  std::string hi_s = (hi == INF) ? "inf" : std::to_string(hi);
+  return "<" + std::to_string(lo) + "," + hi_s + ">";
+}
+
+Evaluator::Evaluator(const Trace& trace) : trace_(trace) {
+  IL_REQUIRE(!trace.empty(), "evaluation requires a non-empty trace");
+}
+
+std::size_t Evaluator::horizon(Interval iv) const {
+  IL_CHECK(!iv.null);
+  if (iv.hi != Interval::INF) return iv.hi;
+  // On a stuttering-extended trace, every suffix starting at or beyond the
+  // last explicit state is the same constant sequence, so no formula's truth
+  // can change past that point.
+  return std::max(iv.lo, trace_.last_index());
+}
+
+bool Evaluator::sat(const Formula& formula, Interval iv, const Env& env) const {
+  IL_REQUIRE(!iv.null, "sat() requires a non-null interval (null is vacuous at the caller)");
+  switch (formula.kind()) {
+    case Formula::Kind::Atom:
+      // "P is true of the first state of the interval."
+      return formula.pred()->eval(trace_.at(iv.lo), env);
+
+    case Formula::Kind::Not:
+      return !sat(*formula.lhs(), iv, env);
+    case Formula::Kind::And:
+      return sat(*formula.lhs(), iv, env) && sat(*formula.rhs(), iv, env);
+    case Formula::Kind::Or:
+      return sat(*formula.lhs(), iv, env) || sat(*formula.rhs(), iv, env);
+    case Formula::Kind::Implies:
+      return !sat(*formula.lhs(), iv, env) || sat(*formula.rhs(), iv, env);
+    case Formula::Kind::Iff:
+      return sat(*formula.lhs(), iv, env) == sat(*formula.rhs(), iv, env);
+
+    case Formula::Kind::Always: {
+      // <i,j> |= []a  iff  forall k in <i,j> : <k,j> |= a
+      const std::size_t kmax = horizon(iv);
+      for (std::size_t k = iv.lo; k <= kmax; ++k) {
+        if (!sat(*formula.lhs(), Interval::make(k, iv.hi), env)) return false;
+      }
+      return true;
+    }
+
+    case Formula::Kind::Eventually: {
+      const std::size_t kmax = horizon(iv);
+      for (std::size_t k = iv.lo; k <= kmax; ++k) {
+        if (sat(*formula.lhs(), Interval::make(k, iv.hi), env)) return true;
+      }
+      return false;
+    }
+
+    case Formula::Kind::Interval: {
+      // [I]a: vacuously true when I cannot be constructed.  Starred
+      // subterms additionally require their own constructibility.
+      if (!star_requirements(*formula.term(), iv, Dir::Forward, env)) return false;
+      const Interval found = find(*formula.term(), iv, Dir::Forward, env);
+      if (found.null) return true;
+      return sat(*formula.lhs(), found, env);
+    }
+
+    case Formula::Kind::Occurs: {
+      // *I == ![I]false : true exactly when the interval can be found
+      // (and any starred subterms can as well).
+      if (!star_requirements(*formula.term(), iv, Dir::Forward, env)) return false;
+      return !find(*formula.term(), iv, Dir::Forward, env).null;
+    }
+
+    case Formula::Kind::Forall: {
+      Env e = env;
+      for (std::int64_t v : formula.quant_domain()) {
+        e[formula.quant_var()] = v;
+        if (!sat(*formula.lhs(), iv, e)) return false;
+      }
+      return true;
+    }
+    case Formula::Kind::Exists: {
+      Env e = env;
+      for (std::int64_t v : formula.quant_domain()) {
+        e[formula.quant_var()] = v;
+        if (sat(*formula.lhs(), iv, e)) return true;
+      }
+      return false;
+    }
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+bool Evaluator::sat_event_at(const Formula& defining, std::size_t k, std::size_t j,
+                             const Env& env) const {
+  return sat(defining, Interval::make(k, j), env);
+}
+
+Interval Evaluator::find(const Term& term, Interval ctx, Dir dir, const Env& env) const {
+  if (ctx.null) return Interval::none();  // strictness on ⊥
+  switch (term.kind()) {
+    case Term::Kind::Event: {
+      // changeset(a, <i,j>): the intervals of change <k-1,k> within <i,j>.
+      // A change requires the suffixes from k-1 and k to differ in truth,
+      // which is impossible beyond the last explicit state of a stuttering-
+      // extended trace, so the scan is bounded by the trace horizon.
+      const std::size_t first_k = ctx.lo + 1;
+      const std::size_t last_k = std::min(ctx.hi, trace_.last_index());
+      if (first_k > last_k) return Interval::none();
+      if (dir == Dir::Forward) {
+        for (std::size_t k = first_k; k <= last_k; ++k) {
+          if (!sat_event_at(*term.event(), k - 1, ctx.hi, env) &&
+              sat_event_at(*term.event(), k, ctx.hi, env)) {
+            return Interval::make(k - 1, k);
+          }
+        }
+      } else {
+        // max of the changeset; the set is finite because the stuttering
+        // extension admits no changes past the horizon.
+        for (std::size_t k = last_k; k >= first_k; --k) {
+          if (!sat_event_at(*term.event(), k - 1, ctx.hi, env) &&
+              sat_event_at(*term.event(), k, ctx.hi, env)) {
+            return Interval::make(k - 1, k);
+          }
+          if (k == first_k) break;  // guard size_t underflow
+        }
+      }
+      return Interval::none();
+    }
+
+    case Term::Kind::Begin: {
+      const Interval inner = find(*term.arg(), ctx, dir, env);
+      if (inner.null) return Interval::none();
+      return Interval::make(inner.lo, inner.lo);
+    }
+
+    case Term::Kind::End: {
+      const Interval inner = find(*term.arg(), ctx, dir, env);
+      if (inner.null || inner.hi == Interval::INF) return Interval::none();
+      return Interval::make(inner.hi, inner.hi);
+    }
+
+    case Term::Kind::Star:
+      // The modifier does not affect location, only requiredness.
+      return find(*term.arg(), ctx, dir, env);
+
+    case Term::Kind::Fwd: {
+      // Evaluate F(I=>, ctx, d) first (identity when I is absent).
+      Interval mid = ctx;
+      if (term.left()) {
+        const Interval l = find(*term.left(), ctx, dir, env);
+        if (l.null || l.hi == Interval::INF) return Interval::none();
+        mid = Interval::make(l.hi, ctx.hi);
+      }
+      if (!term.right()) return mid;
+      // F(=>J, mid, F) = < mid.lo, last(F(J, mid, F)) >
+      const Interval r = find(*term.right(), mid, Dir::Forward, env);
+      if (r.null || r.hi == Interval::INF) return Interval::none();
+      return Interval::make(mid.lo, r.hi);
+    }
+
+    case Term::Kind::Bwd: {
+      // F(I<=J, ctx, d) = F(I<=, F(<=J, ctx, d), F)
+      // First bound the context by the end of J (searched with direction d).
+      Interval mid = ctx;
+      if (term.right()) {
+        const Interval r = find(*term.right(), ctx, dir, env);
+        if (r.null || r.hi == Interval::INF) return Interval::none();
+        mid = Interval::make(ctx.lo, r.hi);
+      }
+      if (!term.left()) return mid;
+      // F(I<=, mid, F) = < last(F(I, mid, B)), mid.hi >  (backward search)
+      const Interval l = find(*term.left(), mid, Dir::Backward, env);
+      if (l.null || l.hi == Interval::INF) return Interval::none();
+      return Interval::make(l.hi, mid.hi);
+    }
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+bool Evaluator::star_requirements(const Term& term, Interval ctx, Dir dir,
+                                  const Env& env) const {
+  if (ctx.null) return true;  // sub-context not establishable: vacuous
+  switch (term.kind()) {
+    case Term::Kind::Event:
+      // Events defined by formulas containing their own interval operators
+      // carry requirements through formula evaluation (sat() interprets
+      // stars natively); the event term itself contributes none.
+      return true;
+
+    case Term::Kind::Begin:
+    case Term::Kind::End:
+      return star_requirements(*term.arg(), ctx, dir, env);
+
+    case Term::Kind::Star:
+      // *I: I itself must be constructible in this context...
+      if (find(*term.arg(), ctx, dir, env).null) return false;
+      // ...and any nested stars must also be satisfied.
+      return star_requirements(*term.arg(), ctx, dir, env);
+
+    case Term::Kind::Fwd: {
+      if (term.left() && !star_requirements(*term.left(), ctx, dir, env)) return false;
+      if (!term.right()) return true;
+      Interval mid = ctx;
+      if (term.left()) {
+        const Interval l = find(*term.left(), ctx, dir, env);
+        if (l.null || l.hi == Interval::INF) return true;  // context fails: vacuous
+        mid = Interval::make(l.hi, ctx.hi);
+      }
+      return star_requirements(*term.right(), mid, Dir::Forward, env);
+    }
+
+    case Term::Kind::Bwd: {
+      if (term.right() && !star_requirements(*term.right(), ctx, dir, env)) return false;
+      if (!term.left()) return true;
+      Interval mid = ctx;
+      if (term.right()) {
+        const Interval r = find(*term.right(), ctx, dir, env);
+        if (r.null || r.hi == Interval::INF) return true;  // context fails: vacuous
+        mid = Interval::make(ctx.lo, r.hi);
+      }
+      return star_requirements(*term.left(), mid, Dir::Backward, env);
+    }
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+bool holds(const Formula& formula, const Trace& trace, const Env& env) {
+  Evaluator ev(trace);
+  return ev.sat(formula, Interval::make(0, Interval::INF), env);
+}
+
+Interval locate(const Term& term, const Trace& trace, const Env& env) {
+  Evaluator ev(trace);
+  return ev.find(term, Interval::make(0, Interval::INF), Dir::Forward, env);
+}
+
+}  // namespace il

@@ -1,0 +1,126 @@
+#include "core/star_reduction.h"
+
+#include "util/assert.h"
+
+namespace il {
+namespace {
+
+/// The requirement formula contributed by starred subterms of `term`,
+/// phrased relative to the context in which `term` is being located.
+FormulaPtr requirement(const TermPtr& term);
+
+TermPtr strip(const TermPtr& term) {
+  if (!term) return nullptr;
+  switch (term->kind()) {
+    case Term::Kind::Event:
+      return t::event(eliminate_stars(term->event()));
+    case Term::Kind::Begin:
+      return t::begin(strip(term->arg()));
+    case Term::Kind::End:
+      return t::end(strip(term->arg()));
+    case Term::Kind::Star:
+      return strip(term->arg());
+    case Term::Kind::Fwd:
+      return t::fwd(strip(term->left()), strip(term->right()));
+    case Term::Kind::Bwd:
+      return t::bwd(strip(term->left()), strip(term->right()));
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+FormulaPtr requirement(const TermPtr& term) {
+  if (!term || !term->has_star_modifier()) return f::truth();
+  switch (term->kind()) {
+    case Term::Kind::Event:
+      return f::truth();  // handled inside the (already reduced) event formula
+
+    case Term::Kind::Begin:
+    case Term::Kind::End:
+      return requirement(term->arg());
+
+    case Term::Kind::Star: {
+      // *J: J must be found in the current search context, and nested
+      // starred subterms of J must be found in theirs.
+      FormulaPtr inner = requirement(term->arg());
+      FormulaPtr found = f::occurs(strip(term->arg()));
+      return f::conj(inner, found);
+    }
+
+    case Term::Kind::Fwd: {
+      FormulaPtr req = f::truth();
+      if (term->left()) req = f::conj(req, requirement(term->left()));
+      if (term->right() && term->right()->has_star_modifier()) {
+        // J is searched within (strip(I) =>); when I is absent the search
+        // context is the current context itself.
+        FormulaPtr inner = requirement(term->right());
+        if (term->left()) {
+          inner = f::interval(t::fwd(strip(term->left()), nullptr), inner);
+        }
+        req = f::conj(req, inner);
+      }
+      return req;
+    }
+
+    case Term::Kind::Bwd: {
+      FormulaPtr req = f::truth();
+      if (term->right()) req = f::conj(req, requirement(term->right()));
+      if (term->left() && term->left()->has_star_modifier()) {
+        // I is searched (backwards) within the context bounded by the end
+        // of J; the requirement is expressed over that bounded context.
+        FormulaPtr inner = requirement(term->left());
+        if (term->right()) {
+          inner = f::interval(t::bwd(nullptr, strip(term->right())), inner);
+        }
+        req = f::conj(req, inner);
+      }
+      return req;
+    }
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+}  // namespace
+
+TermPtr strip_stars(const TermPtr& term) { return strip(term); }
+
+FormulaPtr eliminate_stars(const FormulaPtr& formula) {
+  IL_REQUIRE(formula != nullptr);
+  if (!formula->has_star_modifier()) return formula;
+  switch (formula->kind()) {
+    case Formula::Kind::Atom:
+      return formula;
+    case Formula::Kind::Not:
+      return f::negate(eliminate_stars(formula->lhs()));
+    case Formula::Kind::And:
+      return f::conj(eliminate_stars(formula->lhs()), eliminate_stars(formula->rhs()));
+    case Formula::Kind::Or:
+      return f::disj(eliminate_stars(formula->lhs()), eliminate_stars(formula->rhs()));
+    case Formula::Kind::Implies:
+      return f::implies(eliminate_stars(formula->lhs()), eliminate_stars(formula->rhs()));
+    case Formula::Kind::Iff:
+      return f::iff(eliminate_stars(formula->lhs()), eliminate_stars(formula->rhs()));
+    case Formula::Kind::Always:
+      return f::always(eliminate_stars(formula->lhs()));
+    case Formula::Kind::Eventually:
+      return f::eventually(eliminate_stars(formula->lhs()));
+    case Formula::Kind::Interval: {
+      FormulaPtr body = eliminate_stars(formula->lhs());
+      FormulaPtr main = f::interval(strip(formula->term()), body);
+      FormulaPtr req = requirement(formula->term());
+      return f::conj(req, main);
+    }
+    case Formula::Kind::Occurs: {
+      FormulaPtr req = requirement(formula->term());
+      return f::conj(req, f::occurs(strip(formula->term())));
+    }
+    case Formula::Kind::Forall:
+      return f::forall(formula->quant_var(), formula->quant_domain(),
+                       eliminate_stars(formula->lhs()));
+    case Formula::Kind::Exists:
+      return f::exists(formula->quant_var(), formula->quant_domain(),
+                       eliminate_stars(formula->lhs()));
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+}  // namespace il

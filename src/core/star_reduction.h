@@ -1,0 +1,37 @@
+// Appendix A: reduction of formulas containing the * interval-term modifier.
+//
+// The * modifier is a linguistic convenience: [I]a where I contains starred
+// subterms is equivalent to [I']a ∧ REQ, where I' omits the stars and REQ
+// asserts that each starred subterm can actually be found in the search
+// context the F function would use for it.  The reduction rules follow the
+// paper's scheme:
+//
+//   [I]a                == [strip(I)]a /\ req(I)
+//   req(event b)        == true
+//   req(*J)             == req(J) /\ *strip(J)         (in the same context)
+//   req(begin J)        == req(end J) == req(J)
+//   req(I => J)         == req(I) /\ [strip(I) =>] req(J)
+//   req(I <= J)         == req(J) /\ [<= strip(J)] req(L-part of I)
+//   *I (I starred)      == req(I) /\ *strip(I)
+//
+// Note on the backward case: the requirement for a starred left argument of
+// <= is expressed with a forward interval formula over the context bounded
+// by end(J); this matches the native evaluator except when the left argument
+// itself nests starred arrows whose own contexts depend on the backward
+// search direction — a corner the paper's examples never exercise.  The
+// equivalence with the native evaluator is property-tested for the supported
+// fragment.
+#pragma once
+
+#include "core/ast.h"
+
+namespace il {
+
+/// Returns an equivalent formula with no * term modifiers.
+FormulaPtr eliminate_stars(const FormulaPtr& formula);
+
+/// Strips * modifiers from a term without adding requirements (the I' of
+/// Appendix A).
+TermPtr strip_stars(const TermPtr& term);
+
+}  // namespace il

@@ -1,0 +1,106 @@
+#include "lll/ast.h"
+
+#include "util/assert.h"
+
+namespace il::lll {
+
+struct ExprFactory {
+  static std::shared_ptr<Expr> make(Expr::Kind k) {
+    auto e = std::make_shared<Expr>();
+    e->kind_ = k;
+    return e;
+  }
+  static void set_var(Expr& e, std::string v, bool neg) {
+    e.var_ = std::move(v);
+    e.negated_ = neg;
+  }
+  static void set_children(Expr& e, ExprPtr a, ExprPtr b) {
+    e.a_ = std::move(a);
+    e.b_ = std::move(b);
+  }
+};
+
+std::string Expr::to_string() const {
+  switch (kind_) {
+    case Kind::Lit:
+      return (negated_ ? "!" : "") + var_;
+    case Kind::T:
+      return "T";
+    case Kind::F:
+      return "F";
+    case Kind::TStar:
+      return "T*";
+    case Kind::Concat:
+      return "(" + a_->to_string() + " . " + b_->to_string() + ")";
+    case Kind::Semi:
+      return "(" + a_->to_string() + " ; " + b_->to_string() + ")";
+    case Kind::And:
+      return "(" + a_->to_string() + " /\\ " + b_->to_string() + ")";
+    case Kind::As:
+      return "(" + a_->to_string() + " as " + b_->to_string() + ")";
+    case Kind::Or:
+      return "(" + a_->to_string() + " \\/ " + b_->to_string() + ")";
+    case Kind::Exists:
+      return "(E" + var_ + ")(" + a_->to_string() + ")";
+    case Kind::ForceF:
+      return "(F" + var_ + ")(" + a_->to_string() + ")";
+    case Kind::ForceT:
+      return "(T" + var_ + ")(" + a_->to_string() + ")";
+    case Kind::Infloop:
+      return "infloop(" + a_->to_string() + ")";
+    case Kind::IterStar:
+      return "iter*(" + a_->to_string() + ", " + b_->to_string() + ")";
+    case Kind::IterParen:
+      return "iter(*)(" + a_->to_string() + ", " + b_->to_string() + ")";
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+ExprPtr lit(std::string var, bool negated) {
+  auto e = ExprFactory::make(Expr::Kind::Lit);
+  ExprFactory::set_var(*e, std::move(var), negated);
+  return e;
+}
+
+ExprPtr tt() { return ExprFactory::make(Expr::Kind::T); }
+ExprPtr ff() { return ExprFactory::make(Expr::Kind::F); }
+ExprPtr tstar() { return ExprFactory::make(Expr::Kind::TStar); }
+
+namespace {
+ExprPtr binary(Expr::Kind k, ExprPtr a, ExprPtr b) {
+  IL_REQUIRE(a && b);
+  auto e = ExprFactory::make(k);
+  ExprFactory::set_children(*e, std::move(a), std::move(b));
+  return e;
+}
+ExprPtr scoped(Expr::Kind k, std::string var, ExprPtr a) {
+  IL_REQUIRE(a != nullptr);
+  auto e = ExprFactory::make(k);
+  ExprFactory::set_var(*e, std::move(var), false);
+  ExprFactory::set_children(*e, std::move(a), nullptr);
+  return e;
+}
+}  // namespace
+
+ExprPtr concat(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::Concat, a, b); }
+ExprPtr semi(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::Semi, a, b); }
+ExprPtr conj(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::And, a, b); }
+ExprPtr same_len(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::As, a, b); }
+ExprPtr disj(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::Or, a, b); }
+ExprPtr hide(std::string var, ExprPtr a) { return scoped(Expr::Kind::Exists, std::move(var), a); }
+ExprPtr force_false(std::string var, ExprPtr a) {
+  return scoped(Expr::Kind::ForceF, std::move(var), a);
+}
+ExprPtr force_true(std::string var, ExprPtr a) {
+  return scoped(Expr::Kind::ForceT, std::move(var), a);
+}
+ExprPtr infloop(ExprPtr a) {
+  IL_REQUIRE(a != nullptr);
+  auto e = ExprFactory::make(Expr::Kind::Infloop);
+  ExprFactory::set_children(*e, std::move(a), nullptr);
+  return e;
+}
+ExprPtr iter_star(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::IterStar, a, b); }
+ExprPtr iter_paren(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::IterParen, a, b); }
+
+}  // namespace il::lll

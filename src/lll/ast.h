@@ -1,0 +1,85 @@
+// The low-level language L/L1 of Appendix C: a generalization of regular
+// expressions over computation-sequence constraints, into which interval
+// logic (and ordinary linear temporal logic) translates.
+//
+// Syntax (Appendix C Section 2):
+//   constants:  T (any one instant), F (no computation), T* (any finite or
+//               infinite computation)
+//   literals:   x, !x for propositional variable x
+//   unary:      infloop(a)          — a copy of `a` started at every instant
+//               (Ex)(a)             — hide event x
+//               (Fx)(a)             — x false except where specified
+//               (Tx)(a)             — x true except where specified
+//   binary:     a /\ b              — concurrent, longer extends past shorter
+//               a as b              — concurrent, same length
+//               a \/ b              — nondeterministic choice
+//               a b   (concat)      — serial with one-state overlap
+//               a ; b               — serial without overlap
+//               iter*(a,b)          — copies of `a` start at successive
+//                                     instants until b starts (b required)
+//               iter(*)(a,b)        — same, but b optional (== infloop(a) \/ iter*(a,b))
+//
+// Expressions are immutable shared trees built by the factory functions.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace il::lll {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  enum class Kind {
+    Lit,       ///< x or !x
+    T,
+    F,
+    TStar,
+    Concat,    ///< one-state overlap
+    Semi,      ///< no overlap
+    And,
+    As,
+    Or,
+    Exists,    ///< (Ex)(a)
+    ForceF,    ///< (Fx)(a)
+    ForceT,    ///< (Tx)(a)
+    Infloop,
+    IterStar,  ///< iter*(a,b)
+    IterParen, ///< iter(*)(a,b)
+  };
+
+  Kind kind() const { return kind_; }
+  const std::string& var() const { return var_; }
+  bool negated() const { return negated_; }
+  const ExprPtr& a() const { return a_; }
+  const ExprPtr& b() const { return b_; }
+
+  std::string to_string() const;
+
+ private:
+  friend struct ExprFactory;
+  Kind kind_ = Kind::T;
+  std::string var_;
+  bool negated_ = false;
+  ExprPtr a_, b_;
+};
+
+ExprPtr lit(std::string var, bool negated = false);
+ExprPtr tt();
+ExprPtr ff();
+ExprPtr tstar();
+ExprPtr concat(ExprPtr a, ExprPtr b);
+ExprPtr semi(ExprPtr a, ExprPtr b);
+ExprPtr conj(ExprPtr a, ExprPtr b);
+ExprPtr same_len(ExprPtr a, ExprPtr b);  ///< the "as" connective
+ExprPtr disj(ExprPtr a, ExprPtr b);
+ExprPtr hide(std::string var, ExprPtr a);
+ExprPtr force_false(std::string var, ExprPtr a);
+ExprPtr force_true(std::string var, ExprPtr a);
+ExprPtr infloop(ExprPtr a);
+ExprPtr iter_star(ExprPtr a, ExprPtr b);
+ExprPtr iter_paren(ExprPtr a, ExprPtr b);
+
+}  // namespace il::lll

@@ -1,0 +1,117 @@
+#include "lll/decide.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/assert.h"
+
+namespace il::lll {
+namespace {
+
+/// Can eventuality `ev` (as labeled on edge `start`) be satisfied?  Searches
+/// chains e_i, e_{i+1}, ... where the eventuality is transformed by each
+/// edge's node relation and discharged by membership in some se(e_j).
+bool eventuality_satisfiable(const Graph& g,
+                             const std::map<GNode, std::vector<std::size_t>>& out_edges,
+                             std::size_t start, const Eventuality& ev) {
+  std::set<std::pair<std::size_t, GNode>> visited;
+  std::vector<std::pair<std::size_t, Eventuality>> stack{{start, ev}};
+  while (!stack.empty()) {
+    auto [eidx, cur] = stack.back();
+    stack.pop_back();
+    const GEdge& e = g.edges[eidx];
+    if (!e.alive) continue;
+    if (!visited.insert({eidx, cur.second}).second) continue;
+    if (e.ses.count(cur)) return true;
+    // Transform through this edge's node relation and step to successors.
+    for (const auto& [x, y] : e.rel) {
+      if (x != cur.second) continue;
+      const Eventuality next{cur.first, y};
+      auto it = out_edges.find(e.to);
+      if (it == out_edges.end()) continue;
+      for (std::size_t succ : it->second) {
+        if (g.edges[succ].alive) stack.push_back({succ, next});
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+DecisionStats iterate_graph(Graph& g) {
+  DecisionStats stats;
+  stats.nodes = g.node_count();
+  stats.edges = g.edge_count();
+
+  // END is accepting: a finite constraint may be followed by anything.
+  if (g.has_end) {
+    GEdge loop;
+    loop.from = end_node();
+    loop.to = end_node();
+    g.edges.push_back(std::move(loop));
+  }
+
+  std::map<GNode, std::vector<std::size_t>> out_edges;
+  for (std::size_t i = 0; i < g.edges.size(); ++i) out_edges[g.edges[i].from].push_back(i);
+
+  // Immediately kill contradictory edges.
+  for (GEdge& e : g.edges) {
+    if (e.prop.contradictory) e.alive = false;
+  }
+
+  std::set<GNode> dead_nodes;
+  for (bool changed = true; changed;) {
+    changed = false;
+    ++stats.iterations;
+    for (std::size_t i = 0; i < g.edges.size(); ++i) {
+      GEdge& e = g.edges[i];
+      if (!e.alive) continue;
+      if (dead_nodes.count(e.from) || dead_nodes.count(e.to)) {
+        e.alive = false;
+        changed = true;
+        continue;
+      }
+      for (const Eventuality& ev : e.evs) {
+        if (!eventuality_satisfiable(g, out_edges, i, ev)) {
+          e.alive = false;
+          changed = true;
+          break;
+        }
+      }
+    }
+    // Nodes with no alive outgoing edges die (END has its self-loop).
+    auto check_node = [&](const GNode& n) {
+      if (dead_nodes.count(n)) return;
+      auto it = out_edges.find(n);
+      if (it != out_edges.end()) {
+        for (std::size_t eidx : it->second) {
+          if (g.edges[eidx].alive) return;
+        }
+      }
+      dead_nodes.insert(n);
+      changed = true;
+    };
+    for (const GNode& n : g.nodes) check_node(n);
+  }
+
+  for (const GNode& n : g.nodes) {
+    if (!dead_nodes.count(n)) ++stats.alive_nodes;
+  }
+  for (const GEdge& e : g.edges) {
+    if (e.alive) ++stats.alive_edges;
+  }
+  stats.satisfiable = !dead_nodes.count(g.init);
+  return stats;
+}
+
+DecisionStats decide(const Expr& expr) {
+  GraphBuilder builder;
+  Graph g = builder.build(expr);
+  return iterate_graph(g);
+}
+
+bool lll_satisfiable(const Expr& expr) { return decide(expr).satisfiable; }
+
+}  // namespace il::lll

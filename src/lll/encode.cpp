@@ -1,0 +1,63 @@
+#include "lll/encode.h"
+
+#include "util/assert.h"
+
+namespace il::lll {
+
+ExprPtr encode_ltl(const ltl::Arena& arena, ltl::Id formula) {
+  const ltl::Node& n = arena.node(formula);
+  switch (n.kind) {
+    case ltl::Kind::True:
+      return tstar();
+    case ltl::Kind::False:
+      return ff();
+    case ltl::Kind::Atom:
+      // p -> p T*  (p now, anything afterwards).
+      return concat(lit(arena.atom_name(n.atom)), tstar());
+    case ltl::Kind::NegAtom:
+      return concat(lit(arena.atom_name(n.atom), /*negated=*/true), tstar());
+    case ltl::Kind::And:
+      return conj(encode_ltl(arena, n.a), encode_ltl(arena, n.b));
+    case ltl::Kind::Or:
+      return disj(encode_ltl(arena, n.a), encode_ltl(arena, n.b));
+    case ltl::Kind::Next:
+      return semi(tt(), encode_ltl(arena, n.a));
+    case ltl::Kind::Always:
+      return infloop(encode_ltl(arena, n.a));
+    case ltl::Kind::Eventually:
+      return iter_star(tstar(), encode_ltl(arena, n.a));
+    case ltl::Kind::Until:
+      return iter_paren(encode_ltl(arena, n.a), encode_ltl(arena, n.b));
+    case ltl::Kind::StrongUntil:
+      return iter_star(encode_ltl(arena, n.a), encode_ltl(arena, n.b));
+    case ltl::Kind::Not:
+    case ltl::Kind::Implies:
+      IL_REQUIRE(false, "encode_ltl requires NNF input");
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+ExprPtr starts_no_later(ExprPtr a, ExprPtr b, bool hide_markers, const std::string& marker_a,
+                        const std::string& marker_b) {
+  // (Fx)(T* x a): after an arbitrary idle prefix, marker x fires exactly at
+  // the first instant of `a` (the concatenations overlap one state, so x
+  // and a's first conjunction coincide); Fx forces x false everywhere else
+  // within this conjunct's span.
+  ExprPtr mark_a =
+      force_false(marker_a, concat(tstar(), concat(lit(marker_a), std::move(a))));
+  ExprPtr mark_b =
+      force_false(marker_b, concat(tstar(), concat(lit(marker_b), std::move(b))));
+  // (Fx)(Fy)(T* x T* y): the first x comes no later than the first y (the
+  // middle T* has length >= 1 and overlaps one state on each side, so
+  // simultaneous firing is permitted).
+  ExprPtr order = force_false(
+      marker_a,
+      force_false(marker_b,
+                  concat(tstar(), concat(lit(marker_a),
+                                         concat(tstar(), concat(lit(marker_b), tstar()))))));
+  ExprPtr whole = conj(std::move(mark_a), conj(std::move(mark_b), std::move(order)));
+  if (!hide_markers) return whole;
+  return hide(marker_a, hide(marker_b, std::move(whole)));
+}
+
+}  // namespace il::lll

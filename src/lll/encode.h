@@ -1,0 +1,46 @@
+// Encodings into the low-level language.
+//
+// Section 7 of Appendix C gives the encoding of ordinary discrete
+// linear-time temporal logic:
+//
+//   U(x,y)   -> iter(*)(x, y)        (no eventuality implied: weak until)
+//   SU(x,y)  -> iter*(x, y)
+//   o x      -> T ; x
+//   []x      -> infloop(x)
+//   <>x      -> iter*(T*, x)
+//   p        -> p T*        !p -> !p T*
+//   /\, \/   -> themselves
+//
+// (negation must be pushed to the atoms first — callers pass NNF).
+//
+// Section 3 gives the synchronization-constraint example verbatim —
+// "a begins no later than b begins":
+//
+//   (Fx)(T* x a) /\ (Fy)(T* y b) /\ (Fx)(Fy)(T* x T* y)
+//
+// where x/y are begin-marker events (made false everywhere unspecified by
+// Fx/Fy) fired at the first instant of the respective computation, and the
+// third conjunct orders the two markers.  starts_no_later() builds this,
+// optionally hiding the markers with (Ex)(Ey) as the paper's second version
+// does.
+#pragma once
+
+#include "lll/ast.h"
+#include "ltl/formula.h"
+
+namespace il::lll {
+
+/// Encodes an NNF LTL formula (Appendix C Section 7).  Throws if the
+/// formula contains Not/Implies (call Arena::nnf first).
+ExprPtr encode_ltl(const ltl::Arena& arena, ltl::Id formula);
+
+/// Section 3's synchronization constraint: computations of `a` and `b`
+/// (each preceded by an arbitrary idle prefix) such that `a` begins no
+/// later than `b` begins.  `marker_a`/`marker_b` are the begin-marker event
+/// names (must not occur free in a or b); they are hidden with (Ex)(Ey)
+/// when `hide_markers` is set.
+ExprPtr starts_no_later(ExprPtr a, ExprPtr b, bool hide_markers = true,
+                        const std::string& marker_a = "__bx",
+                        const std::string& marker_b = "__by");
+
+}  // namespace il::lll

@@ -1,0 +1,97 @@
+// Graph construction for the low-level language (Appendix C Section 4.1).
+//
+// Each expression a is compiled to a graph G_a whose infinite paths (with
+// all eventualities satisfied) are exactly the computations psi_I(a):
+//
+//   * Nodes are subsets of a node basis (fresh integers); the END node is
+//     the empty set.  Using basis subsets lets concurrent composition take
+//     unions of nodes ("markers" on several component states at once).
+//   * Edges carry a propositional part (one conjunction of literals), a set
+//     of eventualities and satisfied eventualities — pairs <v, n> of an
+//     eventuality primitive and a node — and a node relation R used to
+//     transform eventualities along paths.
+//   * The iteration connectives (infloop, iter*, iter(*)) use the marker
+//     construction: a marker on the initial node reproduces itself while
+//     spawning one copy of `a` per instant (a-transitions) until, for the
+//     iter forms, a b-transition starts `b`; iter* adds an eventuality
+//     forcing the b-transition to happen.
+//
+// The subset construction for the iterators is performed over *reachable*
+// marker sets only (the paper's definition ranges over all subsets; the
+// reachable fragment decides the same language and keeps the benchmarkable
+// blowup honest).  Before iterating, `a` is node-disjoined per the paper.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lll/ast.h"
+#include "lll/interp.h"
+
+namespace il::lll {
+
+/// A node: a sorted set of node-basis elements.  Empty == END.
+using GNode = std::vector<int>;
+
+inline GNode end_node() { return {}; }
+inline bool is_end(const GNode& n) { return n.empty(); }
+
+/// Eventuality: an eventuality primitive paired with a node.
+using Eventuality = std::pair<int, GNode>;
+
+struct GEdge {
+  GNode from;
+  GNode to;  ///< empty == END
+  Conj prop;
+  std::set<Eventuality> evs;
+  std::set<Eventuality> ses;                 ///< satisfied eventualities
+  std::set<std::pair<GNode, GNode>> rel;     ///< node relation R_e
+  bool b_side = false;  ///< used during iterator construction
+  bool alive = true;
+};
+
+struct Graph {
+  std::set<GNode> nodes;  ///< excludes END
+  GNode init;
+  std::vector<GEdge> edges;
+  bool has_end = false;
+
+  std::size_t node_count() const { return nodes.size() + (has_end ? 1 : 0); }
+  std::size_t edge_count() const { return edges.size(); }
+  std::string to_string() const;
+};
+
+/// Compiles an expression to its graph.  `basis` and `ev_primitives` are
+/// fresh-id counters shared across one compilation.
+class GraphBuilder {
+ public:
+  Graph build(const Expr& expr);
+
+  std::size_t basis_used() const { return static_cast<std::size_t>(next_basis_); }
+
+ private:
+  int fresh_basis() { return next_basis_++; }
+  int fresh_ev() { return next_ev_++; }
+
+  Graph build_leaf(const Conj& prop);
+  Graph build_tstar();
+  Graph build_or(Graph a, Graph b);
+  Graph build_semi(Graph a, Graph b);
+  Graph build_concat(Graph a, Graph b);
+  Graph build_and(Graph a, Graph b, bool same_length);
+  Graph build_scoped(Expr::Kind kind, const std::string& var, Graph a);
+  /// infloop / iter* / iter(*) via the marker construction.
+  enum class IterKind { Infloop, Star, Paren };
+  Graph build_iter(IterKind kind, Graph a, const Graph* b);
+
+  /// Renames node-basis elements per node so distinct nodes are disjoint.
+  Graph disjoin(Graph g);
+
+  int next_basis_ = 0;
+  int next_ev_ = 0;
+};
+
+}  // namespace il::lll

@@ -1,0 +1,247 @@
+#include "lll/interp.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace il::lll {
+
+void Conj::merge(const Conj& other) {
+  if (other.contradictory) contradictory = true;
+  for (const auto& [v, val] : other.lits) {
+    auto [it, inserted] = lits.try_emplace(v, val);
+    if (!inserted && it->second != val) contradictory = true;
+  }
+}
+
+std::string Conj::to_string() const {
+  if (contradictory) return "F";
+  if (lits.empty()) return "T";
+  std::vector<std::string> parts;
+  for (const auto& [v, val] : lits) parts.push_back((val ? "" : "!") + v);
+  return join(parts, "&");
+}
+
+std::string to_string(const PartialInterp& interp) {
+  std::vector<std::string> parts;
+  parts.reserve(interp.size());
+  for (const Conj& c : interp) parts.push_back(c.to_string());
+  return join(parts, ", ");
+}
+
+namespace {
+
+using Set = std::set<PartialInterp>;
+
+void check_cap(const Set& s, std::size_t cap) {
+  IL_REQUIRE(s.size() <= cap, "psi enumeration exceeded cap");
+}
+
+/// I /\ J with the longer extending past the shorter (pointwise merge).
+PartialInterp interp_and(const PartialInterp& a, const PartialInterp& b) {
+  PartialInterp out;
+  const std::size_t n = std::max(a.size(), b.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Conj c;
+    if (i < a.size()) c.merge(a[i]);
+    if (i < b.size()) c.merge(b[i]);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+/// Concatenation with one-state overlap (the paper's IJ).
+PartialInterp interp_concat(const PartialInterp& a, const PartialInterp& b) {
+  IL_CHECK(!a.empty() && !b.empty());
+  PartialInterp out(a.begin(), a.end() - 1);
+  Conj joint = a.back();
+  joint.merge(b.front());
+  out.push_back(std::move(joint));
+  out.insert(out.end(), b.begin() + 1, b.end());
+  return out;
+}
+
+Set enumerate_rec(const Expr& e, std::size_t max_len, std::size_t cap);
+
+/// The T^k;a family used by the iterators: a shifted right by k instants.
+PartialInterp shift(const PartialInterp& a, std::size_t k) {
+  PartialInterp out(k);  // k unconstrained instants
+  out.insert(out.end(), a.begin(), a.end());
+  return out;
+}
+
+Set enumerate_iter_star(const Expr& e, std::size_t max_len, std::size_t cap) {
+  // iter*(a,b) = \/_{j>=0} [ a as (T;a) as ... as (T^j;a) as (T^{j+1};b) ],
+  // all components forced to the same total length.
+  const Set as = enumerate_rec(*e.a(), max_len, cap);
+  const Set bs = enumerate_rec(*e.b(), max_len, cap);
+  Set out;
+  // b may begin immediately (the graph's initial marker may take a
+  // b-transition as its first move): no copies of a at all.
+  for (const auto& ib : bs) {
+    if (ib.size() <= max_len) out.insert(ib);
+  }
+  for (std::size_t j = 0; j + 2 <= max_len + 1; ++j) {
+    // Total length must be >= j+2 (the b copy starts at instant j+1).
+    // Combine: choose lengths so that all copies end together.
+    // Copy i of a (i in 0..j) occupies [i, i+|a_i|-1]; b occupies
+    // [j+1, j+|b|].  Same-length ("as") means all right endpoints equal.
+    // Enumerate over the target total length L.
+    for (std::size_t total = j + 2; total <= max_len; ++total) {
+      // For each slot, collect interpretations of exactly the needed length.
+      std::vector<std::vector<PartialInterp>> slots;
+      bool feasible = true;
+      for (std::size_t i = 0; i <= j && feasible; ++i) {
+        const std::size_t need = total - i;
+        std::vector<PartialInterp> fits;
+        for (const auto& ia : as) {
+          if (ia.size() == need) fits.push_back(shift(ia, i));
+        }
+        if (fits.empty()) feasible = false;
+        slots.push_back(std::move(fits));
+      }
+      if (feasible) {
+        const std::size_t need_b = total - (j + 1);
+        std::vector<PartialInterp> fits;
+        for (const auto& ib : bs) {
+          if (ib.size() == need_b) fits.push_back(shift(ib, j + 1));
+        }
+        if (fits.empty()) feasible = false;
+        slots.push_back(std::move(fits));
+      }
+      if (!feasible) continue;
+      // Cross product of slot choices, merged pointwise.
+      std::vector<PartialInterp> acc = {PartialInterp(total)};
+      for (const auto& slot : slots) {
+        std::vector<PartialInterp> next;
+        for (const auto& partial : acc) {
+          for (const auto& choice : slot) {
+            next.push_back(interp_and(partial, choice));
+            IL_REQUIRE(next.size() <= cap, "psi enumeration exceeded cap");
+          }
+        }
+        acc = std::move(next);
+      }
+      for (auto& interp : acc) out.insert(std::move(interp));
+      check_cap(out, cap);
+    }
+  }
+  return out;
+}
+
+Set enumerate_rec(const Expr& e, std::size_t max_len, std::size_t cap) {
+  Set out;
+  switch (e.kind()) {
+    case Expr::Kind::Lit: {
+      Conj c;
+      c.lits[e.var()] = !e.negated();
+      out.insert({std::move(c)});
+      return out;
+    }
+    case Expr::Kind::T:
+      out.insert({Conj{}});
+      return out;
+    case Expr::Kind::F: {
+      Conj c;
+      c.contradictory = true;
+      out.insert({std::move(c)});
+      return out;
+    }
+    case Expr::Kind::TStar: {
+      for (std::size_t k = 1; k <= max_len; ++k) out.insert(PartialInterp(k));
+      return out;
+    }
+    case Expr::Kind::Or: {
+      out = enumerate_rec(*e.a(), max_len, cap);
+      for (auto& i : enumerate_rec(*e.b(), max_len, cap)) out.insert(i);
+      check_cap(out, cap);
+      return out;
+    }
+    case Expr::Kind::And:
+    case Expr::Kind::As: {
+      const Set as = enumerate_rec(*e.a(), max_len, cap);
+      const Set bs = enumerate_rec(*e.b(), max_len, cap);
+      for (const auto& ia : as) {
+        for (const auto& ib : bs) {
+          if (e.kind() == Expr::Kind::As && ia.size() != ib.size()) continue;
+          out.insert(interp_and(ia, ib));
+          check_cap(out, cap);
+        }
+      }
+      return out;
+    }
+    case Expr::Kind::Concat:
+    case Expr::Kind::Semi: {
+      const bool overlap = e.kind() == Expr::Kind::Concat;
+      const Set as = enumerate_rec(*e.a(), max_len, cap);
+      const Set bs = enumerate_rec(*e.b(), max_len, cap);
+      for (const auto& ia : as) {
+        for (const auto& ib : bs) {
+          const std::size_t len = ia.size() + ib.size() - (overlap ? 1 : 0);
+          if (len > max_len) continue;
+          if (overlap) {
+            out.insert(interp_concat(ia, ib));
+          } else {
+            PartialInterp joined = ia;
+            joined.insert(joined.end(), ib.begin(), ib.end());
+            out.insert(std::move(joined));
+          }
+          check_cap(out, cap);
+        }
+      }
+      return out;
+    }
+    case Expr::Kind::Exists: {
+      for (auto interp : enumerate_rec(*e.a(), max_len, cap)) {
+        for (Conj& c : interp) c.lits.erase(e.var());
+        out.insert(std::move(interp));
+      }
+      return out;
+    }
+    case Expr::Kind::ForceF:
+    case Expr::Kind::ForceT: {
+      const bool value = e.kind() == Expr::Kind::ForceT;
+      for (auto interp : enumerate_rec(*e.a(), max_len, cap)) {
+        for (Conj& c : interp) c.lits.try_emplace(e.var(), value);
+        out.insert(std::move(interp));
+      }
+      return out;
+    }
+    case Expr::Kind::Infloop:
+      // All elements of psi(infloop(a)) are infinite; none enumerated.
+      return out;
+    case Expr::Kind::IterStar:
+      return enumerate_iter_star(e, max_len, cap);
+    case Expr::Kind::IterParen: {
+      // infloop(a) \/ iter*(a,b): only the iter* part has finite elements.
+      return enumerate_iter_star(e, max_len, cap);
+    }
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+}  // namespace
+
+std::vector<PartialInterp> enumerate(const Expr& expr, std::size_t max_len, std::size_t cap) {
+  Set s = enumerate_rec(expr, max_len, cap);
+  return {s.begin(), s.end()};
+}
+
+bool satisfiable_bounded(const Expr& expr, std::size_t max_len) {
+  for (const auto& interp : enumerate(expr, max_len)) {
+    bool ok = true;
+    for (const Conj& c : interp) {
+      if (c.contradictory) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+}  // namespace il::lll

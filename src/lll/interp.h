@@ -1,0 +1,57 @@
+// Reference semantics for the low-level language: partial interpretations
+// (Appendix C Sections 1.1 and 3).
+//
+// A partial interpretation is a finite sequence of conjunctions of literals
+// — a "computation sequence constraint".  psi(a) is the set of constraints
+// an expression denotes; a is satisfiable iff some element of psi(a) has no
+// contradictory conjunction.
+//
+// psi(a) is infinite in general (T*, the iterators); enumerate() produces
+// exactly the finite elements of psi(a) of length <= max_len, which is a
+// complete ground truth for expressions whose satisfiability has a finite
+// witness.  infloop contributes no finite elements (all its constraints are
+// infinite), so satisfiability involving a top-level infloop must be decided
+// by the graph procedure instead; enumerate() is the cross-check for the
+// rest.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lll/ast.h"
+
+namespace il::lll {
+
+/// One conjunction of literals; `contradictory` marks x /\ !x (or F).
+struct Conj {
+  std::map<std::string, bool> lits;
+  bool contradictory = false;
+
+  /// Conjoins `other` into this, setting `contradictory` on clash.
+  void merge(const Conj& other);
+
+  bool operator<(const Conj& o) const {
+    return std::tie(contradictory, lits) < std::tie(o.contradictory, o.lits);
+  }
+  bool operator==(const Conj& o) const {
+    return contradictory == o.contradictory && lits == o.lits;
+  }
+
+  std::string to_string() const;
+};
+
+using PartialInterp = std::vector<Conj>;
+
+/// All finite elements of psi(expr) with length in [1, max_len].
+/// Throws if the element count exceeds `cap` (guards exponential cases).
+std::vector<PartialInterp> enumerate(const Expr& expr, std::size_t max_len,
+                                     std::size_t cap = 200000);
+
+/// True iff some enumerated element is contradiction-free.
+bool satisfiable_bounded(const Expr& expr, std::size_t max_len);
+
+std::string to_string(const PartialInterp& interp);
+
+}  // namespace il::lll

@@ -1,0 +1,358 @@
+#include "ltl/formula.h"
+
+#include <cctype>
+
+#include "util/assert.h"
+
+namespace il::ltl {
+
+Arena::Arena() {
+  nodes_.push_back({Kind::True, -1, -1, -1});
+  nodes_.push_back({Kind::False, -1, -1, -1});
+}
+
+Id Arena::intern(Node n) {
+  // Exact structural key: ids are canonical, so equality of ids must mean
+  // equality of formulas — no lossy hashing allowed here.
+  const UniqueKey key{static_cast<int>(n.kind), n.a, n.b, n.atom};
+  auto [it, inserted] = unique_.try_emplace(key, static_cast<Id>(nodes_.size()));
+  if (!inserted) return it->second;
+  nodes_.push_back(n);
+  return it->second;
+}
+
+Id Arena::atom(const std::string& name) {
+  auto [it, inserted] = atom_index_.try_emplace(name, static_cast<std::int32_t>(atom_names_.size()));
+  if (inserted) atom_names_.push_back(name);
+  return intern({Kind::Atom, -1, -1, it->second});
+}
+
+Id Arena::neg_atom(const std::string& name) {
+  const Id a = atom(name);  // ensures interning
+  return intern({Kind::NegAtom, -1, -1, node(a).atom});
+}
+
+Id Arena::mk_not(Id a) {
+  if (kind(a) == Kind::True) return falsity();
+  if (kind(a) == Kind::False) return truth();
+  if (kind(a) == Kind::Atom) return intern({Kind::NegAtom, -1, -1, node(a).atom});
+  if (kind(a) == Kind::NegAtom) return intern({Kind::Atom, -1, -1, node(a).atom});
+  if (kind(a) == Kind::Not) return node(a).a;
+  return intern({Kind::Not, a, -1, -1});
+}
+
+Id Arena::mk_and(Id a, Id b) {
+  if (a == falsity() || b == falsity()) return falsity();
+  if (a == truth()) return b;
+  if (b == truth()) return a;
+  if (a == b) return a;
+  if (a > b) std::swap(a, b);  // commutative normalization
+  return intern({Kind::And, a, b, -1});
+}
+
+Id Arena::mk_or(Id a, Id b) {
+  if (a == truth() || b == truth()) return truth();
+  if (a == falsity()) return b;
+  if (b == falsity()) return a;
+  if (a == b) return a;
+  if (a > b) std::swap(a, b);
+  return intern({Kind::Or, a, b, -1});
+}
+
+Id Arena::mk_implies(Id a, Id b) { return intern({Kind::Implies, a, b, -1}); }
+
+Id Arena::mk_iff(Id a, Id b) {
+  return mk_and(mk_implies(a, b), mk_implies(b, a));
+}
+
+Id Arena::mk_next(Id a) { return intern({Kind::Next, a, -1, -1}); }
+Id Arena::mk_always(Id a) {
+  if (a == truth() || a == falsity()) return a;
+  return intern({Kind::Always, a, -1, -1});
+}
+Id Arena::mk_eventually(Id a) {
+  if (a == truth() || a == falsity()) return a;
+  return intern({Kind::Eventually, a, -1, -1});
+}
+Id Arena::mk_until(Id a, Id b) { return intern({Kind::Until, a, b, -1}); }
+Id Arena::mk_strong_until(Id a, Id b) { return intern({Kind::StrongUntil, a, b, -1}); }
+
+Id Arena::mk_and_all(const std::vector<Id>& xs) {
+  Id out = truth();
+  for (Id x : xs) out = mk_and(out, x);
+  return out;
+}
+
+Id Arena::mk_or_all(const std::vector<Id>& xs) {
+  Id out = falsity();
+  for (Id x : xs) out = mk_or(out, x);
+  return out;
+}
+
+Id Arena::nnf(Id id) {
+  const Node n = node(id);
+  switch (n.kind) {
+    case Kind::True:
+    case Kind::False:
+    case Kind::Atom:
+    case Kind::NegAtom:
+      return id;
+    case Kind::Not:
+      return nnf_not(nnf(n.a));
+    case Kind::And:
+      return mk_and(nnf(n.a), nnf(n.b));
+    case Kind::Or:
+      return mk_or(nnf(n.a), nnf(n.b));
+    case Kind::Implies:
+      return mk_or(nnf_not(nnf(n.a)), nnf(n.b));
+    case Kind::Next:
+      return mk_next(nnf(n.a));
+    case Kind::Always:
+      return mk_always(nnf(n.a));
+    case Kind::Eventually:
+      return mk_eventually(nnf(n.a));
+    case Kind::Until:
+      return mk_until(nnf(n.a), nnf(n.b));
+    case Kind::StrongUntil:
+      return mk_strong_until(nnf(n.a), nnf(n.b));
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+Id Arena::nnf_not(Id id) {
+  const Node n = node(id);
+  switch (n.kind) {
+    case Kind::True:
+      return falsity();
+    case Kind::False:
+      return truth();
+    case Kind::Atom:
+      return intern({Kind::NegAtom, -1, -1, n.atom});
+    case Kind::NegAtom:
+      return intern({Kind::Atom, -1, -1, n.atom});
+    case Kind::Not:
+      return nnf(n.a);
+    case Kind::And:
+      return mk_or(nnf_not(n.a), nnf_not(n.b));
+    case Kind::Or:
+      return mk_and(nnf_not(n.a), nnf_not(n.b));
+    case Kind::Implies:
+      return mk_and(nnf(n.a), nnf_not(n.b));
+    case Kind::Next:
+      return mk_next(nnf_not(n.a));
+    case Kind::Always:
+      return mk_eventually(nnf_not(n.a));
+    case Kind::Eventually:
+      return mk_always(nnf_not(n.a));
+    case Kind::Until: {
+      // !(p U q) = SU(!q, !p /\ !q)
+      const Id np = nnf_not(n.a);
+      const Id nq = nnf_not(n.b);
+      return mk_strong_until(nq, mk_and(np, nq));
+    }
+    case Kind::StrongUntil: {
+      // !(p SU q) = U(!q, !p /\ !q)
+      const Id np = nnf_not(n.a);
+      const Id nq = nnf_not(n.b);
+      return mk_until(nq, mk_and(np, nq));
+    }
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+std::string Arena::to_string(Id id) const {
+  const Node& n = node(id);
+  switch (n.kind) {
+    case Kind::True:
+      return "true";
+    case Kind::False:
+      return "false";
+    case Kind::Atom:
+      return atom_names_[n.atom];
+    case Kind::NegAtom:
+      return "!" + atom_names_[n.atom];
+    case Kind::Not:
+      return "!(" + to_string(n.a) + ")";
+    case Kind::And:
+      return "(" + to_string(n.a) + " /\\ " + to_string(n.b) + ")";
+    case Kind::Or:
+      return "(" + to_string(n.a) + " \\/ " + to_string(n.b) + ")";
+    case Kind::Implies:
+      return "(" + to_string(n.a) + " -> " + to_string(n.b) + ")";
+    case Kind::Next:
+      return "o " + to_string(n.a);
+    case Kind::Always:
+      return "[]" + to_string(n.a);
+    case Kind::Eventually:
+      return "<>" + to_string(n.a);
+    case Kind::Until:
+      return "U(" + to_string(n.a) + ", " + to_string(n.b) + ")";
+    case Kind::StrongUntil:
+      return "SU(" + to_string(n.a) + ", " + to_string(n.b) + ")";
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+// ------------------------------- parser ------------------------------------
+
+namespace {
+
+class LtlParser {
+ public:
+  LtlParser(Arena& arena, const std::string& text) : arena_(arena), text_(text) {}
+
+  Id parse_all() {
+    Id f = parse_iff();
+    skip_ws();
+    IL_REQUIRE(pos_ == text_.size(), "trailing LTL input: " + text_.substr(pos_));
+    return f;
+  }
+
+ private:
+  Id parse_iff() {
+    Id lhs = parse_imp();
+    while (eat("<->")) lhs = arena_.mk_iff(lhs, parse_imp());
+    return lhs;
+  }
+
+  Id parse_imp() {
+    Id lhs = parse_or();
+    if (eat("->")) return arena_.mk_implies(lhs, parse_imp());
+    return lhs;
+  }
+
+  Id parse_or() {
+    Id lhs = parse_and();
+    while (eat("\\/") || eat("||")) lhs = arena_.mk_or(lhs, parse_and());
+    return lhs;
+  }
+
+  Id parse_and() {
+    Id lhs = parse_unary();
+    while (eat("/\\") || eat("&&")) lhs = arena_.mk_and(lhs, parse_unary());
+    return lhs;
+  }
+
+  Id parse_unary() {
+    skip_ws();
+    if (eat("!") || eat("~")) return arena_.mk_not(parse_unary());
+    if (eat("[]")) return arena_.mk_always(parse_unary());
+    if (eat("<>")) return arena_.mk_eventually(parse_unary());
+    if (peek_word("o")) {
+      eat_word("o");
+      return arena_.mk_next(parse_unary());
+    }
+    if (peek_word("SU")) {
+      eat_word("SU");
+      auto [a, b] = parse_pair();
+      return arena_.mk_strong_until(a, b);
+    }
+    if (peek_word("U")) {
+      eat_word("U");
+      auto [a, b] = parse_pair();
+      return arena_.mk_until(a, b);
+    }
+    if (peek_word("true")) {
+      eat_word("true");
+      return arena_.truth();
+    }
+    if (peek_word("false")) {
+      eat_word("false");
+      return arena_.falsity();
+    }
+    if (peek() == '(') {
+      ++pos_;
+      Id f = parse_iff();
+      skip_ws();
+      IL_REQUIRE(peek() == ')', "expected ')'");
+      ++pos_;
+      return f;
+    }
+    if (peek() == '{') {
+      // Braced theory atom: opaque to the tableau, parsed by the theory
+      // layer (e.g. "{a >= 1}").
+      ++pos_;
+      std::size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '}') ++pos_;
+      IL_REQUIRE(pos_ < text_.size(), "unterminated '{' atom");
+      std::string body = text_.substr(start, pos_ - start);
+      ++pos_;
+      // Trim surrounding whitespace for canonical atom naming.
+      const auto first = body.find_first_not_of(" \t");
+      const auto last = body.find_last_not_of(" \t");
+      IL_REQUIRE(first != std::string::npos, "empty '{}' atom");
+      return arena_.atom(body.substr(first, last - first + 1));
+    }
+    return arena_.atom(parse_ident());
+  }
+
+  std::pair<Id, Id> parse_pair() {
+    skip_ws();
+    IL_REQUIRE(peek() == '(', "expected '(' after U/SU");
+    ++pos_;
+    Id a = parse_iff();
+    skip_ws();
+    IL_REQUIRE(peek() == ',', "expected ',' in U/SU");
+    ++pos_;
+    Id b = parse_iff();
+    skip_ws();
+    IL_REQUIRE(peek() == ')', "expected ')' closing U/SU");
+    ++pos_;
+    return {a, b};
+  }
+
+  std::string parse_ident() {
+    skip_ws();
+    IL_REQUIRE(std::isalpha(static_cast<unsigned char>(peek())) || peek() == '_',
+               "expected identifier in LTL formula");
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool ahead(const std::string& tok) {
+    skip_ws();
+    return text_.compare(pos_, tok.size(), tok) == 0;
+  }
+
+  bool eat(const std::string& tok) {
+    if (!ahead(tok)) return false;
+    pos_ += tok.size();
+    return true;
+  }
+
+  bool peek_word(const std::string& w) {
+    skip_ws();
+    if (text_.compare(pos_, w.size(), w) != 0) return false;
+    const std::size_t after = pos_ + w.size();
+    return after >= text_.size() ||
+           (!std::isalnum(static_cast<unsigned char>(text_[after])) && text_[after] != '_');
+  }
+
+  void eat_word(const std::string& w) {
+    IL_CHECK(peek_word(w));
+    pos_ += w.size();
+  }
+
+  Arena& arena_;
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Id Arena::parse(const std::string& text) { return LtlParser(*this, text).parse_all(); }
+
+}  // namespace il::ltl

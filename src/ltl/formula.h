@@ -1,0 +1,104 @@
+// Discrete linear-time propositional temporal logic (Appendix B).
+//
+// Connectives: the Booleans, [] (henceforth), <> (eventually), o (next),
+// U (until), and SU (strong until).  Following Appendix B's semantics,
+// U(p,q) does NOT imply an eventuality: it holds if p stays true forever and
+// q never arrives (a "weak until").  SU is the strong variant (q must
+// arrive), provided because both flavours are useful and the appendix notes
+// the procedure adapts to either.
+//
+// Formulas are hash-consed into an Arena; a formula is an integer id, so
+// structural equality is id equality and sets of formulas are sorted int
+// vectors.  Atoms are interned strings (for the theory combination they are
+// parsed further by the theory layer; the tableau treats them opaquely).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+namespace il::ltl {
+
+using Id = std::int32_t;
+
+enum class Kind : std::uint8_t {
+  True,
+  False,
+  Atom,
+  NegAtom,  ///< negation applied directly to an atom (NNF literal)
+  Not,      ///< general negation (eliminated by nnf())
+  And,
+  Or,
+  Implies,  ///< eliminated by nnf()
+  Next,
+  Always,
+  Eventually,
+  Until,        ///< weak: U(p,q) = q \/ (p /\ o U(p,q)), no eventuality
+  StrongUntil,  ///< strong: eventuality q
+};
+
+struct Node {
+  Kind kind;
+  Id a = -1;     ///< first operand
+  Id b = -1;     ///< second operand
+  std::int32_t atom = -1;  ///< atom index for Atom/NegAtom
+};
+
+class Arena {
+ public:
+  Arena();
+
+  Id truth() const { return 0; }
+  Id falsity() const { return 1; }
+  Id atom(const std::string& name);
+  Id neg_atom(const std::string& name);
+  Id mk_not(Id a);
+  Id mk_and(Id a, Id b);
+  Id mk_or(Id a, Id b);
+  Id mk_implies(Id a, Id b);
+  Id mk_iff(Id a, Id b);
+  Id mk_next(Id a);
+  Id mk_always(Id a);
+  Id mk_eventually(Id a);
+  Id mk_until(Id a, Id b);
+  Id mk_strong_until(Id a, Id b);
+
+  /// Conjunction / disjunction of a list.
+  Id mk_and_all(const std::vector<Id>& xs);
+  Id mk_or_all(const std::vector<Id>& xs);
+
+  const Node& node(Id id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  Kind kind(Id id) const { return node(id).kind; }
+  const std::string& atom_name(std::int32_t atom_index) const { return atom_names_[atom_index]; }
+  std::size_t atom_count() const { return atom_names_.size(); }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Negation-normal form: Not/Implies eliminated, negations pushed to
+  /// atoms using the duals  ![]a = <>!a,  !<>a = []!a,  !o a = o !a,
+  /// !U(p,q) = SU(!q, !p /\ !q),  !SU(p,q) = U(!q, !p /\ !q).
+  Id nnf(Id id);
+
+  /// Negation of an NNF formula, itself in NNF.
+  Id nnf_not(Id id);
+
+  std::string to_string(Id id) const;
+
+  /// Parses:  true false ident !a  a /\ b  a \/ b  a -> b  a <-> b
+  ///          []a  <>a  o a  U(a,b)  SU(a,b)  (a)
+  Id parse(const std::string& text);
+
+ private:
+  using UniqueKey = std::tuple<int, Id, Id, std::int32_t>;
+
+  Id intern(Node n);
+
+  std::vector<Node> nodes_;
+  std::map<UniqueKey, Id> unique_;
+  std::vector<std::string> atom_names_;
+  std::unordered_map<std::string, std::int32_t> atom_index_;
+};
+
+}  // namespace il::ltl

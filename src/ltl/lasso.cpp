@@ -1,0 +1,147 @@
+#include "ltl/lasso.h"
+
+#include <map>
+
+#include "util/assert.h"
+
+namespace il::ltl {
+namespace {
+
+/// Memoized evaluator over the finitely many positions of a lasso.
+class WordEval {
+ public:
+  WordEval(const Arena& arena, const Word& word) : arena_(arena), word_(word) {
+    IL_REQUIRE(!word.loop.empty(), "lasso loop must be non-empty");
+    n_ = word.total();
+  }
+
+  bool eval(Id f, std::size_t pos) {
+    const auto key = std::make_pair(f, pos);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    const bool v = compute(f, pos);
+    memo_.emplace(key, v);
+    return v;
+  }
+
+ private:
+  std::size_t succ(std::size_t pos) const {
+    return (pos + 1 < n_) ? pos + 1 : word_.prefix.size();
+  }
+
+  const Valuation& at(std::size_t pos) const {
+    return pos < word_.prefix.size() ? word_.prefix[pos]
+                                     : word_.loop[pos - word_.prefix.size()];
+  }
+
+  /// All positions in the (reflexive) future of pos: pos..n-1 plus the loop.
+  void future_positions(std::size_t pos, std::vector<std::size_t>& out) const {
+    out.clear();
+    for (std::size_t i = pos; i < n_; ++i) out.push_back(i);
+    for (std::size_t i = word_.prefix.size(); i < std::min(pos, n_); ++i) out.push_back(i);
+  }
+
+  bool compute(Id f, std::size_t pos) {
+    const Node& nd = arena_.node(f);
+    switch (nd.kind) {
+      case Kind::True:
+        return true;
+      case Kind::False:
+        return false;
+      case Kind::Atom:
+        return at(pos).count(nd.atom) > 0;
+      case Kind::NegAtom:
+        return at(pos).count(nd.atom) == 0;
+      case Kind::Not:
+        return !eval(nd.a, pos);
+      case Kind::And:
+        return eval(nd.a, pos) && eval(nd.b, pos);
+      case Kind::Or:
+        return eval(nd.a, pos) || eval(nd.b, pos);
+      case Kind::Implies:
+        return !eval(nd.a, pos) || eval(nd.b, pos);
+      case Kind::Next:
+        return eval(nd.a, succ(pos));
+      case Kind::Always: {
+        std::vector<std::size_t> fut;
+        future_positions(pos, fut);
+        for (std::size_t p : fut) {
+          if (!eval(nd.a, p)) return false;
+        }
+        return true;
+      }
+      case Kind::Eventually: {
+        std::vector<std::size_t> fut;
+        future_positions(pos, fut);
+        for (std::size_t p : fut) {
+          if (eval(nd.a, p)) return true;
+        }
+        return false;
+      }
+      case Kind::Until:
+      case Kind::StrongUntil: {
+        // Walk forward through successor positions; every reachable position
+        // is visited within 2n steps.
+        std::size_t p = pos;
+        std::set<std::size_t> visited;
+        while (visited.insert(p).second) {
+          if (eval(nd.b, p)) return true;
+          if (!eval(nd.a, p)) return false;
+          p = succ(p);
+        }
+        // q never arrived and p held throughout the cycle.
+        return nd.kind == Kind::Until;  // weak holds, strong fails
+      }
+    }
+    IL_CHECK(false, "unreachable");
+  }
+
+  const Arena& arena_;
+  const Word& word_;
+  std::size_t n_;
+  std::map<std::pair<Id, std::size_t>, bool> memo_;
+};
+
+}  // namespace
+
+bool eval_on_word(const Arena& arena, Id formula, const Word& word) {
+  WordEval ev(arena, word);
+  return ev.eval(formula, 0);
+}
+
+bool satisfiable_bounded(const Arena& arena, Id formula,
+                         const std::vector<std::int32_t>& atoms, std::size_t total_len) {
+  IL_REQUIRE(atoms.size() <= 8, "too many atoms for exhaustive word enumeration");
+  const std::size_t vals = std::size_t{1} << atoms.size();
+
+  std::vector<Valuation> palette(vals);
+  for (std::size_t b = 0; b < vals; ++b) {
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+      if ((b >> i) & 1) palette[b].insert(atoms[i]);
+    }
+  }
+
+  for (std::size_t total = 1; total <= total_len; ++total) {
+    for (std::size_t loop_len = 1; loop_len <= total; ++loop_len) {
+      const std::size_t prefix_len = total - loop_len;
+      // Odometer over `total` valuation choices.
+      std::vector<std::size_t> idx(total, 0);
+      for (;;) {
+        Word w;
+        for (std::size_t i = 0; i < prefix_len; ++i) w.prefix.push_back(palette[idx[i]]);
+        for (std::size_t i = prefix_len; i < total; ++i) w.loop.push_back(palette[idx[i]]);
+        if (eval_on_word(arena, formula, w)) return true;
+        std::size_t pos = 0;
+        while (pos < total) {
+          if (++idx[pos] < vals) break;
+          idx[pos] = 0;
+          ++pos;
+        }
+        if (pos == total) break;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace il::ltl

@@ -1,0 +1,40 @@
+// Semantic evaluation of LTL over ultimately periodic words ("lassos").
+//
+// An interpretation in Appendix B is an infinite sequence of states; every
+// satisfiable propositional temporal formula has an ultimately periodic
+// model, so lassos are a complete semantic ground truth against which the
+// tableau is property-tested: tableau-satisfiability must agree with
+// "some small lasso satisfies the formula", and every model the tableau
+// extracts must itself evaluate true here.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ltl/formula.h"
+
+namespace il::ltl {
+
+/// A state valuation: the set of atoms (by arena atom index) that hold.
+using Valuation = std::set<std::int32_t>;
+
+/// An ultimately periodic word: prefix . loop^omega.  The loop must be
+/// non-empty.
+struct Word {
+  std::vector<Valuation> prefix;
+  std::vector<Valuation> loop;
+
+  std::size_t total() const { return prefix.size() + loop.size(); }
+};
+
+/// Evaluates `formula` (any form, NNF not required) at position 0 of `word`.
+bool eval_on_word(const Arena& arena, Id formula, const Word& word);
+
+/// Enumerates all words with |prefix| + |loop| <= total_len over the given
+/// atom indices and reports whether any satisfies the formula.  Exponential;
+/// intended for cross-validation on few atoms / short words.
+bool satisfiable_bounded(const Arena& arena, Id formula,
+                         const std::vector<std::int32_t>& atoms, std::size_t total_len);
+
+}  // namespace il::ltl

@@ -1,0 +1,45 @@
+#include "sim/channel.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace il::sim {
+
+Channel::Channel(ChannelConfig config, std::uint64_t seed) : config_(config), rng_(seed) {
+  IL_REQUIRE(config.min_delay >= 1 && config.min_delay <= config.max_delay);
+}
+
+void Channel::enqueue(std::uint64_t now, std::uint64_t payload) {
+  const std::uint64_t delay = static_cast<std::uint64_t>(
+      rng_.range(static_cast<std::int64_t>(config_.min_delay),
+                 static_cast<std::int64_t>(config_.max_delay)));
+  // FIFO: delivery times are monotone non-decreasing.
+  const std::uint64_t at = std::max(now + delay, last_delivery_time_);
+  last_delivery_time_ = at;
+  queue_.emplace_back(at, payload);
+}
+
+void Channel::send(std::uint64_t now, std::uint64_t payload) {
+  ++sends_;
+  const bool forced =
+      config_.force_delivery_each != 0 && (sends_ % config_.force_delivery_each == 0);
+  if (!forced && rng_.chance(config_.loss_probability)) {
+    ++losses_;
+    return;
+  }
+  enqueue(now, payload);
+  if (rng_.chance(config_.duplication_probability)) {
+    ++duplicates_;
+    enqueue(now, payload);
+  }
+}
+
+std::optional<std::uint64_t> Channel::receive(std::uint64_t now) {
+  if (queue_.empty() || queue_.front().first > now) return std::nullopt;
+  const std::uint64_t payload = queue_.front().second;
+  queue_.pop_front();
+  return payload;
+}
+
+}  // namespace il::sim

@@ -1,0 +1,62 @@
+// An unreliable, order-preserving transmission medium.
+//
+// This is the "service used" of Chapter 7: packets may be lost, duplicated,
+// or delayed, but never reordered, and a packet retransmitted sufficiently
+// often is eventually delivered.  The simulators drive it with integer
+// ticks; delivery times are monotone, preserving FIFO order.
+//
+// Loss and duplication are drawn from a seeded deterministic RNG so every
+// experiment is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "util/rng.h"
+
+namespace il::sim {
+
+struct ChannelConfig {
+  double loss_probability = 0.0;
+  double duplication_probability = 0.0;
+  std::uint64_t min_delay = 1;  ///< ticks
+  std::uint64_t max_delay = 1;
+  /// Every `force_delivery_each`-th send of the channel is delivered even if
+  /// the loss draw says otherwise, realizing the paper's assumption that
+  /// repeated retransmission eventually succeeds.  0 disables the guarantee.
+  std::uint64_t force_delivery_each = 8;
+};
+
+/// FIFO channel carrying 64-bit payloads (the systems encode their packets
+/// into one word).
+class Channel {
+ public:
+  Channel(ChannelConfig config, std::uint64_t seed);
+
+  /// Submits a payload at time `now`.
+  void send(std::uint64_t now, std::uint64_t payload);
+
+  /// Removes and returns the next payload whose delivery time has arrived.
+  std::optional<std::uint64_t> receive(std::uint64_t now);
+
+  /// Number of payloads in flight.
+  std::size_t in_flight() const { return queue_.size(); }
+
+  std::uint64_t sends() const { return sends_; }
+  std::uint64_t losses() const { return losses_; }
+  std::uint64_t duplicates() const { return duplicates_; }
+
+ private:
+  void enqueue(std::uint64_t now, std::uint64_t payload);
+
+  ChannelConfig config_;
+  Rng rng_;
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> queue_;  ///< (deliver_at, payload)
+  std::uint64_t last_delivery_time_ = 0;
+  std::uint64_t sends_ = 0;
+  std::uint64_t losses_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+}  // namespace il::sim

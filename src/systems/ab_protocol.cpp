@@ -1,0 +1,291 @@
+#include "systems/ab_protocol.h"
+
+#include <deque>
+#include <optional>
+
+#include "core/operations.h"
+#include "core/parser.h"
+#include "sim/channel.h"
+#include "util/assert.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace il::sys {
+namespace {
+
+std::string domain_str(const std::vector<std::int64_t>& domain) {
+  IL_REQUIRE(!domain.empty());
+  std::vector<std::string> xs;
+  for (auto v : domain) xs.push_back(to_string_i64(v));
+  return "{" + join(xs, ",") + "}";
+}
+
+}  // namespace
+
+Spec ab_sender_spec(const std::vector<std::int64_t>& messages) {
+  const std::string m = domain_str(messages);
+  Spec spec;
+  spec.name = "ab_sender";
+  spec.init.push_back(
+      {"init_no_early_send", parse_formula("[ => {at_Dq} ] !(*{at_Ts})")});
+  spec.init.push_back({"init_exp", parse_formula("[ *{at_Dq} => ] exp_s = 0")});
+
+  // A1, per dequeued message m with sequence bit v.
+  spec.axioms.push_back(
+      {"A1_only_current_packet",
+       parse_formula("forall m in " + m +
+                     " . forall v in {0,1} . [ {after_Dq && Dq_res = $m} => ] ( exp_s = $v -> "
+                     "[ => {at_Dq} ] [] [ end({at_Ts}) ] (Ts_arg = $m && Ts_v = $v) )")});
+  spec.axioms.push_back(
+      {"A1_ack_before_next_dq",
+       parse_formula("forall m in " + m +
+                     " . forall v in {0,1} . [ {after_Dq && Dq_res = $m} => ] ( exp_s = $v -> "
+                     "[ => {at_Dq} ] *{after_Rs && Rs_arg = $m && Rs_v = $v} )")});
+  spec.axioms.push_back(
+      {"A1_exp_alternates",
+       parse_formula("forall v in {0,1} . [] [ end( {after_Dq && exp_s = $v} => {at_Dq} ) ] "
+                     "exp_s = 1 - $v")});
+
+  // A2 (liveness, finite-trace form): an acknowledged packet leads to a new
+  // dequeue call, and the packet is transmitted at least once meanwhile.
+  spec.axioms.push_back(
+      {"A2_ack_leads_to_dq",
+       parse_formula("forall m in " + m +
+                     " . forall v in {0,1} . [ {after_Dq && Dq_res = $m} => ] ( exp_s = $v -> "
+                     "( (*{after_Rs && Rs_arg = $m && Rs_v = $v}) -> *{at_Dq} ) )")});
+  spec.axioms.push_back(
+      {"A2_retransmits",
+       parse_formula("forall m in " + m +
+                     " . forall v in {0,1} . [ {after_Dq && Dq_res = $m} => ] ( exp_s = $v -> "
+                     "*{at_Ts && Ts_arg = $m && Ts_v = $v} )")});
+
+  spec.axioms.push_back({"A3_no_send_during_dq", parse_formula("[] (in_Dq -> !in_Ts)")});
+  return spec;
+}
+
+Spec ab_receiver_spec(const std::vector<std::int64_t>& messages) {
+  const std::string m = domain_str(messages);
+  Spec spec;
+  spec.name = "ab_receiver";
+  spec.init.push_back({"init_quiet_before_first_packet",
+                       parse_formula("[ => {at_Rr} ] ( !(*{at_Enq}) /\\ !(*{at_Tr}) )")});
+
+  // A1: between a receipt of <m,v> and the next receipt, acks are <m,v>.
+  spec.axioms.push_back(
+      {"A1_ack_last_packet",
+       parse_formula("forall m in " + m +
+                     " . forall v in {0,1} . [] [ {after_Rr && Rr_arg = $m && Rr_v = $v} => "
+                     "{after_Rr} ] [] [ end({at_Tr}) ] (Tr_arg = $m && Tr_v = $v)")});
+  // A2: received packets are acknowledged.
+  spec.axioms.push_back(
+      {"A2_acks_received",
+       parse_formula("forall m in " + m +
+                     " . forall v in {0,1} . (*{after_Rr && Rr_arg = $m && Rr_v = $v}) -> "
+                     "*{at_Tr && Tr_arg = $m && Tr_v = $v}")});
+
+  // A3 (1): successive deliveries alternate the sequence bit.
+  spec.axioms.push_back(
+      {"A3_alternation",
+       parse_formula("forall v in {0,1} . [] [ end( {at_Enq && exp_r = $v} => {at_Enq} ) ] "
+                     "exp_r = 1 - $v")});
+  // A3 (2): only received messages are delivered.
+  spec.axioms.push_back(
+      {"A3_delivery_from_receipt",
+       parse_formula("forall p in " + m +
+                     " . [ => {at_Enq && Enq_arg = $p} ] ( exists v in {0,1} . *{after_Rr && "
+                     "Rr_arg = $p && Rr_v = $v} )")});
+  // A3 (3): a received message is delivered before an ack with a different
+  // sequence bit.
+  spec.axioms.push_back(
+      {"A3_deliver_before_other_ack",
+       parse_formula("forall p in " + m +
+                     " . forall v in {0,1} . [ {after_Rr && Rr_arg = $p && Rr_v = 1 - $v} => "
+                     "{at_Tr && Tr_v = $v} ] *{at_Enq && Enq_arg = $p}")});
+  // A3 (4): acknowledged messages are delivered (before or after the ack).
+  spec.axioms.push_back(
+      {"A3_ack_implies_delivery",
+       parse_formula("forall n in " + m +
+                     " . (*{at_Tr && Tr_arg = $n}) -> *{at_Enq && Enq_arg = $n}")});
+  return spec;
+}
+
+namespace {
+
+std::uint64_t pack(std::int64_t m, int v) {
+  return static_cast<std::uint64_t>(m) * 2 + static_cast<std::uint64_t>(v);
+}
+std::int64_t unpack_m(std::uint64_t p) { return static_cast<std::int64_t>(p / 2); }
+int unpack_v(std::uint64_t p) { return static_cast<int>(p % 2); }
+
+class AbSim {
+ public:
+  AbSim(const AbRunConfig& config, bool stuck_bit)
+      : config_(config),
+        stuck_bit_(stuck_bit),
+        rng_(config.seed),
+        data_ch_({config.loss_probability, config.duplication_probability, 1,
+                  config.max_delay, 8},
+                 config.seed * 7919 + 1),
+        ack_ch_({config.loss_probability, config.duplication_probability, 1,
+                 config.max_delay, 8},
+                config.seed * 104729 + 2),
+        op_send_("Send"),
+        op_dq_("Dq"),
+        op_ts_("Ts"),
+        op_rs_("Rs"),
+        op_rr_("Rr"),
+        op_tr_("Tr"),
+        op_enq_("Enq"),
+        op_rec_("Rec"),
+        rec_send_(op_send_, tb_),
+        rec_dq_(op_dq_, tb_),
+        rec_ts_(op_ts_, tb_),
+        rec_rs_(op_rs_, tb_),
+        rec_rr_(op_rr_, tb_),
+        rec_tr_(op_tr_, tb_),
+        rec_enq_(op_enq_, tb_),
+        rec_rec_(op_rec_, tb_) {
+    tb_.set("exp_s", 0);
+    tb_.set("exp_r", 0);
+    tb_.commit();
+  }
+
+  AbRunResult run() {
+    AbRunResult result;
+    std::size_t next_send = 1;
+    std::size_t steps = 0;
+
+    // The sender starts inside its first Dq call (blocked until a message
+    // arrives), matching Init: no transmission before the first dequeue.
+    rec_dq_.enter();
+
+    while (result.delivered < config_.messages && steps++ < config_.max_steps) {
+      ++now_;
+
+      // Sending user: submit the next message at random moments.
+      if (next_send <= config_.messages && rng_.chance(0.4)) {
+        rec_send_.enter(static_cast<std::int64_t>(next_send));
+        rec_send_.leave();
+        send_queue_.push_back(static_cast<std::int64_t>(next_send));
+        ++next_send;
+      }
+
+      sender_step(result);
+      receiver_step();
+
+      // Receiving user drains the delivery queue.
+      if (!recv_queue_.empty() && rng_.chance(0.5)) {
+        const std::int64_t v = recv_queue_.front();
+        recv_queue_.pop_front();
+        rec_rec_.enter();
+        rec_rec_.leave(v);
+        ++result.delivered;
+      }
+
+      if (steps % 3 == 0) tb_.commit();  // idle tick
+    }
+
+    result.trace = tb_.take();
+    result.packet_losses = data_ch_.losses();
+    result.packet_duplicates = data_ch_.duplicates();
+    result.ack_losses = ack_ch_.losses();
+    result.transmissions = transmissions_;
+    return result;
+  }
+
+ private:
+  void sender_step(AbRunResult& result) {
+    (void)result;
+    if (rec_dq_.active()) {
+      // Blocked in Dq until the user provides a message.
+      if (!send_queue_.empty()) {
+        outstanding_ = send_queue_.front();
+        send_queue_.pop_front();
+        rec_dq_.leave(*outstanding_);
+        ticks_since_tx_ = config_.retransmit_every;  // transmit soon
+      }
+      return;
+    }
+    if (!outstanding_) return;
+
+    // Note acknowledgments.
+    if (auto ack = ack_ch_.receive(now_)) {
+      const std::int64_t am = unpack_m(*ack);
+      const int av = unpack_v(*ack);
+      tb_.set("Rs_v", av);
+      rec_rs_.enter(am);
+      rec_rs_.leave();
+      if (am == *outstanding_ && av == seq_) {
+        // Acknowledged: flip the expected bit and ask for the next message.
+        outstanding_.reset();
+        if (!stuck_bit_) seq_ = 1 - seq_;
+        tb_.set("exp_s", seq_);
+        rec_dq_.enter();
+        return;
+      }
+    }
+
+    // Retransmission timer.
+    if (++ticks_since_tx_ >= config_.retransmit_every) {
+      ticks_since_tx_ = 0;
+      tb_.set("Ts_v", seq_);
+      rec_ts_.enter(*outstanding_);
+      rec_ts_.leave();
+      data_ch_.send(now_, pack(*outstanding_, seq_));
+      ++transmissions_;
+    }
+  }
+
+  void receiver_step() {
+    auto packet = data_ch_.receive(now_);
+    if (!packet) return;
+    const std::int64_t m = unpack_m(*packet);
+    const int v = unpack_v(*packet);
+    tb_.set("Rr_v", v);
+    rec_rr_.enter(m);
+    rec_rr_.leave();
+    if (v == expect_r_) {
+      // Fresh message: deliver, then acknowledge.
+      tb_.set("exp_r", v);
+      rec_enq_.enter(m);
+      rec_enq_.leave();
+      recv_queue_.push_back(m);
+      expect_r_ = 1 - expect_r_;
+    }
+    // Acknowledge the last received packet (fresh or duplicate).
+    tb_.set("Tr_v", v);
+    rec_tr_.enter(m);
+    rec_tr_.leave();
+    ack_ch_.send(now_, pack(m, v));
+  }
+
+  AbRunConfig config_;
+  bool stuck_bit_;
+  Rng rng_;
+  sim::Channel data_ch_;
+  sim::Channel ack_ch_;
+  TraceBuilder tb_;
+  Operation op_send_, op_dq_, op_ts_, op_rs_, op_rr_, op_tr_, op_enq_, op_rec_;
+  OpRecorder rec_send_, rec_dq_, rec_ts_, rec_rs_, rec_rr_, rec_tr_, rec_enq_, rec_rec_;
+
+  std::uint64_t now_ = 0;
+  std::deque<std::int64_t> send_queue_;
+  std::deque<std::int64_t> recv_queue_;
+  std::optional<std::int64_t> outstanding_;
+  int seq_ = 0;       ///< sender's current sequence bit (exp_s)
+  int expect_r_ = 0;  ///< receiver's next expected bit
+  std::size_t ticks_since_tx_ = 0;
+  std::uint64_t transmissions_ = 0;
+};
+
+}  // namespace
+
+AbRunResult run_ab_protocol(const AbRunConfig& config) {
+  return AbSim(config, /*stuck_bit=*/false).run();
+}
+
+AbRunResult run_ab_protocol_stuck_bit(const AbRunConfig& config) {
+  return AbSim(config, /*stuck_bit=*/true).run();
+}
+
+}  // namespace il::sys

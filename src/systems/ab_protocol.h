@@ -1,0 +1,77 @@
+// Chapter 7: the Alternating Bit protocol over an unreliable medium.
+//
+// Structure (Figure 7-2): a sending user submits messages with Send(m) into
+// the Sender entity's queue; the Sender process dequeues them (Dq), and
+// transmits packets <m, v> (Ts) over a lossy/duplicating/delaying but
+// order-preserving channel; the Receiver process receives packets (Rr),
+// delivers fresh messages into the Receiver queue (Enq) for the receiving
+// user (Rec), and returns acknowledgments (Tr) over a second unreliable
+// channel which the Sender receives (Rs).  Sequence numbers alternate
+// (one bit); `exp_s` / `exp_r` are the Sender's and Receiver's sequence
+// state components, defined at dequeue/delivery times as in the paper.
+//
+// All operations are recorded through the Section 2.2 at/in/after protocol
+// with their parameters (X_arg for the message, X_v for the sequence bit),
+// so the Figure 7-3/7-4 axioms are directly checkable on the trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/check.h"
+#include "trace/trace.h"
+
+namespace il::sys {
+
+/// Sender specification (Figure 7-3), over message domain M:
+///   Init: [ => atDq ] !*atTs           /\  [ *atDq => ] exp_s = 0
+///   A1:   after dequeuing m with exp_s = v —
+///         (a) all transmissions until the next dequeue are <m, v>,
+///         (b) an acknowledgment <m, v> arrives before the next dequeue,
+///         (c) exp_s = !v at the next dequeue.
+///   A2:   an acknowledgment <m, v> leads to another dequeue call; at least
+///         one transmission of <m, v> happens before the next dequeue.
+///   A3:   [] (inDq -> !inTs)
+Spec ab_sender_spec(const std::vector<std::int64_t>& messages);
+
+/// Receiver specification (Figure 7-4):
+///   Init: [ => atRr ] ( !*atEnq /\ !*atTr )
+///   A1:   between receiving <m, v> and the next receipt, only <m, v> acks
+///   A2:   a received packet is eventually acknowledged
+///   A3:   (1) successive deliveries alternate the sequence bit,
+///         (2) delivery of m is preceded by a receipt of m,
+///         (3) a received message is delivered before an ack with a
+///             different sequence bit,
+///         (4) an acknowledged message is delivered.
+Spec ab_receiver_spec(const std::vector<std::int64_t>& messages);
+
+struct AbRunConfig {
+  std::uint64_t seed = 1;
+  std::size_t messages = 4;
+  double loss_probability = 0.25;
+  double duplication_probability = 0.15;
+  std::uint64_t max_delay = 3;
+  std::size_t max_steps = 5000;
+  std::size_t retransmit_every = 4;  ///< sender retransmission period (ticks)
+};
+
+struct AbRunResult {
+  Trace trace;
+  std::size_t delivered = 0;
+  std::uint64_t packet_losses = 0;
+  std::uint64_t packet_duplicates = 0;
+  std::uint64_t ack_losses = 0;
+  std::uint64_t transmissions = 0;
+};
+
+/// Runs the protocol end to end; messages are 1..config.messages.  The
+/// trace satisfies ab_sender_spec, ab_receiver_spec, and the Send/Rec
+/// FIFO service (fifo_service_spec("Send", "Rec", ...)).
+AbRunResult run_ab_protocol(const AbRunConfig& config);
+
+/// A broken sender that does not alternate sequence bits (reuses v); the
+/// receiver then drops fresh messages as duplicates, violating the service
+/// and receiver specs.
+AbRunResult run_ab_protocol_stuck_bit(const AbRunConfig& config);
+
+}  // namespace il::sys

@@ -1,0 +1,175 @@
+#include "systems/arbiter.h"
+
+#include "core/parser.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace il::sys {
+namespace {
+
+std::string a1a(int i) {
+  const std::string s = std::to_string(i);
+  return "[] [ UR" + s + " => {TA" + s + " && RMA} ] ( ([] !UA" + s + ") /\\ *TR" + s + " )";
+}
+
+std::string a1b(int i) {
+  const std::string s = std::to_string(i);
+  return "[] [ (UR" + s + " => TR" + s + ") => {TA" + s + " && RMA} ] ( ([] TR" + s +
+         ") /\\ !RMR /\\ *RMR )";
+}
+
+std::string a1c(int i) {
+  const std::string s = std::to_string(i);
+  return "[] [ ((UR" + s + " => TR" + s + ") => RMR) => {TA" + s + " && RMA} ] [] RMR";
+}
+
+}  // namespace
+
+Spec arbiter_spec() {
+  Spec spec;
+  spec.name = "arbiter";
+  spec.init.push_back({"init_low", parse_formula("!UR1 /\\ !UR2")});
+  for (int i = 1; i <= 2; ++i) {
+    const std::string s = std::to_string(i);
+    spec.axioms.push_back({"A1a_user" + s, parse_formula(a1a(i))});
+    spec.axioms.push_back({"A1b_user" + s, parse_formula(a1b(i))});
+    spec.axioms.push_back({"A1c_user" + s, parse_formula(a1c(i))});
+  }
+  spec.axioms.push_back({"A2_transfer_exclusion", parse_formula("[] !(TR1 /\\ TR2)")});
+  return spec;
+}
+
+FormulaPtr arbiter_mutual_exclusion() { return parse_formula("[] !(UA1 /\\ UA2)"); }
+
+namespace {
+
+class ArbiterSim {
+ public:
+  ArbiterSim(const ArbiterRunConfig& config, bool buggy)
+      : config_(config), buggy_(buggy), rng_(config.seed) {
+    for (const char* sig : {"UR1", "UA1", "TR1", "TA1", "UR2", "UA2", "TR2", "TA2", "RMR",
+                            "RMA"}) {
+      tb_.set_bool(sig, false);
+    }
+    tb_.commit();
+  }
+
+  Trace run() {
+    std::size_t granted = 0;
+    std::size_t steps = 0;
+    while (granted < config_.grants && steps++ < config_.max_steps) {
+      // Requests are committed as their own state before the arbiter reacts
+      // (a request and the arbiter's response are distinct events).
+      tick();
+      if (pending_ != 0) {
+        serve(pending_);
+        // A request raised by the other user while we were serving is
+        // queued next.
+        pending_ = tb_.get("UR1") ? 1 : (tb_.get("UR2") ? 2 : 0);
+        ++granted;
+        if (buggy_ && rng_.chance(0.6)) {
+          // Fault: grant the other side concurrently, briefly raising both
+          // transfer requests and both user acknowledgments.
+          const int other = (last_served_ == 1) ? 2 : 1;
+          overlap_grant(other);
+          ++granted;
+        }
+      }
+    }
+    return tb_.take();
+  }
+
+ private:
+  void sig(const std::string& name, bool v) { tb_.set_bool(name, v); }
+
+  void tick() {
+    maybe_request();
+    tb_.commit();
+  }
+
+  void delay() {
+    const std::uint64_t n = rng_.below(config_.max_delay + 1);
+    for (std::uint64_t k = 0; k < n; ++k) tick();
+  }
+
+  /// Users raise their request lines at random moments (when their previous
+  /// cycle has fully completed).
+  void maybe_request() {
+    for (int i = 1; i <= 2; ++i) {
+      const std::string s = std::to_string(i);
+      if (!tb_.get("UR" + s) && !tb_.get("UA" + s) && !tb_.get("TA" + s) &&
+          rng_.chance(0.35)) {
+        tb_.set_bool("UR" + s, true);
+        if (pending_ == 0) pending_ = i;
+      }
+    }
+  }
+
+  /// One complete service cycle for user i, following the Figure 6-4 order:
+  /// URi .. TRi .. RMR .. {TAi, RMA} .. UAi .. !URi .. releases.
+  void serve(int i) {
+    last_served_ = i;
+    const std::string s = std::to_string(i);
+    delay();
+    sig("TR" + s, true);  // request the transfer module
+    tick();
+    delay();
+    sig("TA" + s, true);  // transfer module acknowledges
+    tick();
+    delay();
+    sig("RMR", true);  // request the resource
+    tick();
+    delay();
+    sig("RMA", true);  // resource acknowledges: both acks now in
+    tick();
+    delay();
+    sig("UA" + s, true);  // grant the user
+    tick();
+    delay();
+    sig("UR" + s, false);  // user releases
+    if (pending_ == i) pending_ = 0;
+    tick();
+    sig("TR" + s, false);  // release transfer and resource
+    sig("RMR", false);
+    tick();
+    sig("TA" + s, false);
+    sig("RMA", false);
+    tick();
+    sig("UA" + s, false);  // complete the user handshake
+    tick();
+  }
+
+  /// Faulty concurrent grant used by the buggy variant.
+  void overlap_grant(int i) {
+    const std::string s = std::to_string(i);
+    sig("UR" + s, true);
+    sig("TR" + s, true);
+    sig("TA" + s, true);
+    sig("UA1", true);
+    sig("UA2", true);
+    tick();
+    sig("UR" + s, false);
+    sig("TR" + s, false);
+    sig("TA" + s, false);
+    sig("UA1", false);
+    sig("UA2", false);
+    tick();
+  }
+
+  ArbiterRunConfig config_;
+  bool buggy_;
+  Rng rng_;
+  TraceBuilder tb_;
+  int pending_ = 0;
+  int last_served_ = 1;
+};
+
+}  // namespace
+
+Trace run_arbiter(const ArbiterRunConfig& config) { return ArbiterSim(config, false).run(); }
+
+Trace run_arbiter_buggy(const ArbiterRunConfig& config) {
+  return ArbiterSim(config, true).run();
+}
+
+}  // namespace il::sys

@@ -1,0 +1,45 @@
+// Chapter 6.2: the arbiter module (after Seitz and Bochmann).
+//
+// The arbiter AR grants two user modules U1/U2 exclusive access to a shared
+// resource RM through transfer modules T1/T2, all connected by the
+// request-acknowledgment protocol of Section 6.1.  Signals (booleans):
+//   UR1 UA1 TR1 TA1  — user/transfer request/ack for side 1
+//   UR2 UA2 TR2 TA2  — side 2
+//   RMR RMA          — resource request/ack (shared)
+#pragma once
+
+#include <cstdint>
+
+#include "core/check.h"
+#include "trace/trace.h"
+
+namespace il::sys {
+
+/// The Figure 6-4 axioms.  For each user i (other side j):
+///   A1a: [] [ URi => {TAi /\ RMA} ] ( []!UAi /\ *TRi )
+///   A1b: [] [ (URi => TRi) => {TAi /\ RMA} ] ( []TRi /\ !RMR /\ *RMR )
+///   A1c: [] [ ((URi => TRi) => RMR) => {TAi /\ RMA} ] []RMR
+///   A2:  [] !(TR1 /\ TR2)
+///   Init: !UR1 /\ !UR2
+Spec arbiter_spec();
+
+/// The derived mutual-exclusion property: the two users never hold grants
+/// simultaneously.
+FormulaPtr arbiter_mutual_exclusion();
+
+struct ArbiterRunConfig {
+  std::uint64_t seed = 1;
+  std::size_t grants = 6;      ///< total service cycles across both users
+  std::size_t max_steps = 800;
+  std::uint64_t max_delay = 2;
+};
+
+/// Runs the arbiter with two randomly requesting users; the trace satisfies
+/// arbiter_spec and arbiter_mutual_exclusion.
+Trace run_arbiter(const ArbiterRunConfig& config);
+
+/// A buggy arbiter that can serve both users at once (violates A2 and the
+/// mutual-exclusion property).
+Trace run_arbiter_buggy(const ArbiterRunConfig& config);
+
+}  // namespace il::sys

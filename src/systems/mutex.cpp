@@ -1,0 +1,185 @@
+#include "systems/mutex.h"
+
+#include <string>
+#include <vector>
+
+#include "core/parser.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace il::sys {
+namespace {
+
+std::string x(std::size_t i) { return "x" + std::to_string(i); }
+std::string cs(std::size_t i) { return "cs" + std::to_string(i); }
+
+}  // namespace
+
+Spec mutex_spec(std::size_t n) {
+  IL_REQUIRE(n >= 2);
+  Spec spec;
+  spec.name = "mutex";
+  std::string init = "!" + x(1);
+  for (std::size_t m = 2; m <= n; ++m) init += " /\\ !" + x(m);
+  spec.init.push_back({"init_flags_low", parse_formula(init)});
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      if (i == j) continue;
+      // A1: for the interval from the most recent raising of x_i back from
+      // each entry to the critical section, x_j is false at some moment.
+      spec.axioms.push_back(
+          {"A1_scan_" + std::to_string(i) + "_" + std::to_string(j),
+           parse_formula("[] [ " + x(i) + " <= " + cs(i) + " ] <> !" + x(j))});
+    }
+    spec.axioms.push_back(
+        {"A2_flag_held_" + std::to_string(i),
+         parse_formula("[] (" + cs(i) + " -> " + x(i) + ")")});
+  }
+  return spec;
+}
+
+FormulaPtr mutex_theorem(std::size_t n) {
+  IL_REQUIRE(n >= 2);
+  FormulaPtr acc = f::truth();
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = i + 1; j <= n; ++j) {
+      acc = f::conj(acc, parse_formula("[] !(" + cs(i) + " /\\ " + cs(j) + ")"));
+    }
+  }
+  return acc;
+}
+
+namespace {
+
+/// One process of the flag algorithm, advanced one step at a time.
+struct Process {
+  enum class Phase { Idle, Claiming, Scanning, Critical, Releasing, BackedOff };
+  Phase phase = Phase::Idle;
+  std::size_t scan_next = 0;   ///< next other-process index to observe
+  std::size_t dwell = 0;       ///< remaining ticks inside the critical section
+  std::size_t backoff = 0;
+};
+
+class MutexSim {
+ public:
+  MutexSim(const MutexRunConfig& config, bool buggy)
+      : config_(config), buggy_(buggy), rng_(config.seed), procs_(config.processes) {
+    IL_REQUIRE(config.processes >= 2);
+    for (std::size_t i = 1; i <= config_.processes; ++i) {
+      tb_.set_bool(x(i), false);
+      tb_.set_bool(cs(i), false);
+    }
+    tb_.commit();
+  }
+
+  Trace run() {
+    std::size_t entries = 0;
+    std::size_t steps = 0;
+    while (entries < config_.entries && steps++ < config_.max_steps) {
+      const std::size_t i = 1 + rng_.below(config_.processes);
+      if (step(i)) ++entries;
+      tb_.commit();  // one interleaving step == one state
+    }
+    // Let every process leave the critical section and lower its flag so
+    // the trace ends quiescent.
+    for (std::size_t i = 1; i <= config_.processes; ++i) {
+      if (procs_[i - 1].phase == Process::Phase::Critical) {
+        tb_.set_bool(cs(i), false);
+        tb_.set_bool(x(i), false);
+        procs_[i - 1].phase = Process::Phase::Idle;
+        tb_.commit();
+      }
+    }
+    return tb_.take();
+  }
+
+ private:
+  /// Advances process i by one step; returns true on a critical-section
+  /// entry.
+  bool step(std::size_t i) {
+    Process& p = procs_[i - 1];
+    switch (p.phase) {
+      case Process::Phase::Idle:
+        if (rng_.chance(0.5)) {
+          tb_.set_bool(x(i), true);  // claim
+          p.phase = Process::Phase::Claiming;
+        }
+        return false;
+      case Process::Phase::Claiming:
+        p.scan_next = 1;
+        p.phase = Process::Phase::Scanning;
+        return false;
+      case Process::Phase::Scanning: {
+        if (buggy_) {
+          // Fault: enter without observing the other flags.
+          tb_.set_bool(cs(i), true);
+          p.dwell = 1 + rng_.below(3);
+          p.phase = Process::Phase::Critical;
+          return true;
+        }
+        while (p.scan_next == i) ++p.scan_next;
+        if (p.scan_next > config_.processes) {
+          // Observed every other flag false at some moment: enter.
+          tb_.set_bool(cs(i), true);
+          p.dwell = 1 + rng_.below(3);
+          p.phase = Process::Phase::Critical;
+          return true;
+        }
+        if (!tb_.get(x(p.scan_next))) {
+          ++p.scan_next;  // observed x_j == false at this very state
+        } else {
+          // Contention: abandon the claim and back off.
+          tb_.set_bool(x(i), false);
+          p.backoff = 1 + rng_.below(4);
+          p.phase = Process::Phase::BackedOff;
+        }
+        return false;
+      }
+      case Process::Phase::Critical:
+        if (p.dwell > 0) {
+          --p.dwell;
+          return false;
+        }
+        tb_.set_bool(cs(i), false);
+        p.phase = Process::Phase::Releasing;
+        return false;
+      case Process::Phase::Releasing:
+        tb_.set_bool(x(i), false);  // relinquish the claim
+        p.phase = Process::Phase::Idle;
+        return false;
+      case Process::Phase::BackedOff:
+        if (p.backoff > 0) {
+          --p.backoff;
+          return false;
+        }
+        p.phase = Process::Phase::Idle;
+        return false;
+    }
+    return false;
+  }
+
+  MutexRunConfig config_;
+  bool buggy_;
+  Rng rng_;
+  TraceBuilder tb_;
+  std::vector<Process> procs_;
+};
+
+}  // namespace
+
+Trace run_mutex(const MutexRunConfig& config) { return MutexSim(config, false).run(); }
+
+Trace run_mutex_buggy(const MutexRunConfig& config) { return MutexSim(config, true).run(); }
+
+BoundedResult check_mutex_entailment_bounded(std::size_t max_len) {
+  // Init /\ A1 /\ A2  ->  [] !(cs1 /\ cs2), for two processes, checked on
+  // every boolean trace over {x1, x2, cs1, cs2} up to max_len states.
+  Spec spec = mutex_spec(2);
+  FormulaPtr axioms = f::truth();
+  for (const Axiom* a : spec.all()) axioms = f::conj(axioms, a->formula);
+  FormulaPtr entailment = f::implies(axioms, mutex_theorem(2));
+  return check_valid_bounded(entailment, {"x1", "x2", "cs1", "cs2"}, max_len);
+}
+
+}  // namespace il::sys

@@ -1,0 +1,247 @@
+#include "systems/queue_system.h"
+
+#include <deque>
+
+#include "core/operations.h"
+#include "core/parser.h"
+#include "util/assert.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace il::sys {
+namespace {
+
+std::string domain_str(const std::vector<std::int64_t>& domain) {
+  IL_REQUIRE(!domain.empty(), "quantifier domain must be non-empty");
+  std::vector<std::string> xs;
+  xs.reserve(domain.size());
+  for (auto v : domain) xs.push_back(to_string_i64(v));
+  return "{" + join(xs, ",") + "}";
+}
+
+// Event shorthands over the Section 2.2 operation predicates.
+constexpr const char* kAtEnqA = "{at_Enq && Enq_arg = $a}";
+constexpr const char* kAtEnqB = "{at_Enq && Enq_arg = $b}";
+constexpr const char* kAfterDqA = "{after_Dq && Dq_res = $a}";
+constexpr const char* kAfterDqB = "{after_Dq && Dq_res = $b}";
+
+Axiom parse_axiom(std::string name, const std::string& text) {
+  return Axiom{std::move(name), parse_formula(text)};
+}
+
+}  // namespace
+
+Spec queue_spec(const std::vector<std::int64_t>& domain) {
+  return fifo_service_spec("Enq", "Dq", domain, "queue");
+}
+
+Spec fifo_service_spec(const std::string& producer_op, const std::string& consumer_op,
+                       const std::vector<std::int64_t>& domain, const std::string& name) {
+  const std::string d = domain_str(domain);
+  const auto at_prod = [&](const char* meta) {
+    return "{at_" + producer_op + " && " + producer_op + "_arg = $" + meta + "}";
+  };
+  const auto after_cons = [&](const char* meta) {
+    return "{after_" + consumer_op + " && " + consumer_op + "_res = $" + meta + "}";
+  };
+  Spec spec;
+  spec.name = name;
+  // [ <= afterC(b) ]( *afterC(a) <-> *(atP(a) <= atP(b)) ):
+  // a consumed before b iff a was produced before b.
+  spec.axioms.push_back(parse_axiom(
+      "fifo", "forall a in " + d + " . forall b in " + d + " . [ <= " + after_cons("b") +
+                  " ] ( (*" + after_cons("a") + ") <=> (*(" + at_prod("a") + " <= " +
+                  at_prod("b") + ")) )"));
+  return spec;
+}
+
+Spec stack_spec(const std::vector<std::int64_t>& domain) {
+  const std::string d = domain_str(domain);
+  Spec spec;
+  spec.name = "stack";
+  // The queue axiom with atEnq(a) and atEnq(b) exchanged: last-in first-out.
+  spec.axioms.push_back(parse_axiom(
+      "lifo", "forall a in " + d + " . forall b in " + d + " . [ <= " + kAfterDqB +
+                  " ] ( (*" + kAfterDqA + ") <=> (*(" + kAtEnqB + " <= " + kAtEnqA + ")) )"));
+  return spec;
+}
+
+Spec unreliable_queue_spec(const std::vector<std::int64_t>& domain) {
+  const std::string d = domain_str(domain);
+  Spec spec;
+  spec.name = "unreliable_queue";
+  // I1: dequeue order follows enqueue order for items actually dequeued.
+  // The starred left argument makes the enqueue interval required whenever
+  // the dequeue interval is found.
+  spec.init.push_back(parse_axiom(
+      "I1_order", "forall a in " + d + " . forall b in " + d + " . $a != $b -> [ *(" +
+                      kAtEnqA + " => " + kAtEnqB + ") <= (" + kAfterDqA + " => " + kAfterDqB +
+                      ") ] true"));
+  // I2: an item dequeued must previously have been enqueued.
+  spec.init.push_back(parse_axiom(
+      "I2_enq_before_dq",
+      "forall a in " + d + " . [ => " + kAfterDqA + " ] *" + kAtEnqA));
+  // I3: repeated enqueues of a value must be consecutive: between two
+  // successive atEnq(c) events no other value is enqueued.
+  spec.init.push_back(parse_axiom(
+      "I3_consecutive_repeats",
+      "forall c in " + d + " . forall e in " + d + " . $c = $e \\/ [] [ {at_Enq && Enq_arg = "
+      "$c} => {at_Enq && Enq_arg = $c} ] !(*{at_Enq && Enq_arg = $e})"));
+  // A1 (liveness, finite-trace checkable form): whenever both another
+  // enqueue and a dequeue call lie ahead, a dequeue return lies ahead too.
+  spec.axioms.push_back(parse_axiom(
+      "A1_dq_returns", "[] ( (*{at_Enq}) /\\ (*{at_Dq}) -> *{after_Dq} )"));
+  // A2: every enqueue terminates.
+  spec.axioms.push_back(parse_axiom("A2_enq_terminates", "[] [ {at_Enq} => ] *{after_Enq}"));
+  return spec;
+}
+
+namespace {
+
+/// Shared driver machinery: enqueue/dequeue values through recorded
+/// operations, with occasional overlap of the two operations.
+class QueueDriver {
+ public:
+  QueueDriver(std::uint64_t seed)
+      : enq_("Enq"), dq_("Dq"), enq_rec_(enq_, tb_), dq_rec_(dq_, tb_), rng_(seed) {
+    tb_.commit();  // initial quiescent state
+  }
+
+  void do_enq(std::int64_t v) {
+    enq_rec_.enter(v);
+    if (rng_.chance(0.3)) enq_rec_.busy();
+    enq_rec_.leave();
+  }
+
+  void do_dq(std::int64_t v) {
+    dq_rec_.enter();
+    if (rng_.chance(0.3)) dq_rec_.busy();
+    dq_rec_.leave(v);
+  }
+
+  /// Overlapped pair: Enq(v) runs concurrently with Dq returning w.
+  void do_overlapped(std::int64_t enq_v, std::int64_t dq_w) {
+    enq_rec_.enter(enq_v);
+    dq_rec_.enter();
+    enq_rec_.leave();
+    dq_rec_.leave(dq_w);
+  }
+
+  Rng& rng() { return rng_; }
+  Trace take() { return tb_.take(); }
+
+ private:
+  TraceBuilder tb_;
+  Operation enq_, dq_;
+  OpRecorder enq_rec_, dq_rec_;
+  Rng rng_;
+};
+
+enum class Discipline { Fifo, Lifo, SwapPairs };
+
+Trace run_queue_like(const QueueRunConfig& config, Discipline discipline) {
+  QueueDriver driver(config.seed);
+  std::deque<std::int64_t> store;
+  std::size_t next = 1;
+  std::size_t dequeued = 0;
+  std::size_t steps = 0;
+  std::size_t since_swap = 0;  // for SwapPairs: parity of dequeues
+
+  while (dequeued < config.values && steps++ < config.max_steps) {
+    const bool can_enq = next <= config.values;
+    const bool can_dq = !store.empty();
+    // The stack axiom characterizes LIFO order among elements that coexist
+    // in the stack; an element pushed and popped entirely before another is
+    // pushed would falsify it ("a dequeued before b iff b enqueued before
+    // a").  The LIFO driver therefore pushes everything before popping.
+    const bool do_enq =
+        can_enq && (discipline == Discipline::Lifo || !can_dq || driver.rng().chance(0.55));
+    if (do_enq) {
+      driver.do_enq(static_cast<std::int64_t>(next));
+      store.push_back(static_cast<std::int64_t>(next));
+      ++next;
+    } else if (can_dq) {
+      std::int64_t v;
+      switch (discipline) {
+        case Discipline::Fifo:
+          v = store.front();
+          store.pop_front();
+          break;
+        case Discipline::Lifo:
+          v = store.back();
+          store.pop_back();
+          break;
+        case Discipline::SwapPairs:
+          // Dequeue the second element first when possible.
+          if (store.size() >= 2 && since_swap % 2 == 0) {
+            v = store[1];
+            store.erase(store.begin() + 1);
+          } else {
+            v = store.front();
+            store.pop_front();
+          }
+          ++since_swap;
+          break;
+      }
+      // Occasionally overlap the dequeue with the next enqueue.  Only the
+      // FIFO discipline tolerates this at event granularity: an enqueue
+      // slipping in during a dequeue would have to be popped first by a
+      // strict LIFO order.
+      if (discipline == Discipline::Fifo && can_enq && next <= config.values &&
+          driver.rng().chance(0.25)) {
+        driver.do_overlapped(static_cast<std::int64_t>(next), v);
+        store.push_back(static_cast<std::int64_t>(next));
+        ++next;
+      } else {
+        driver.do_dq(v);
+      }
+      ++dequeued;
+    }
+  }
+  return driver.take();
+}
+
+}  // namespace
+
+Trace run_fifo_queue(const QueueRunConfig& config) {
+  return run_queue_like(config, Discipline::Fifo);
+}
+
+Trace run_lifo_stack(const QueueRunConfig& config) {
+  return run_queue_like(config, Discipline::Lifo);
+}
+
+Trace run_swapping_queue(const QueueRunConfig& config) {
+  return run_queue_like(config, Discipline::SwapPairs);
+}
+
+Trace run_unreliable_queue(const UnreliableQueueRunConfig& config) {
+  QueueDriver driver(config.seed);
+  std::deque<std::int64_t> store;  // items that survived the lossy medium
+  std::size_t current = 1;         // value being (re)enqueued until dequeued
+  std::size_t dequeued_up_to = 0;
+  std::size_t steps = 0;
+
+  while (dequeued_up_to < config.values && steps++ < config.max_steps) {
+    if (current <= config.values && driver.rng().chance(0.6)) {
+      // (Re)enqueue the current value; the medium may lose it.  Repeats of
+      // the same value are consecutive by construction (I3).
+      driver.do_enq(static_cast<std::int64_t>(current));
+      const bool lost = driver.rng().chance(config.loss_probability);
+      if (!lost && (store.empty() || store.back() != static_cast<std::int64_t>(current))) {
+        store.push_back(static_cast<std::int64_t>(current));
+      }
+    } else if (!store.empty()) {
+      const std::int64_t v = store.front();
+      store.pop_front();
+      driver.do_dq(v);
+      dequeued_up_to = static_cast<std::size_t>(v);
+      // Move on: the dequeued value needs no more retransmission.  Values
+      // between current and v were dequeued too (FIFO), so step past v.
+      if (static_cast<std::size_t>(v) >= current) current = static_cast<std::size_t>(v) + 1;
+    }
+  }
+  return driver.take();
+}
+
+}  // namespace il::sys

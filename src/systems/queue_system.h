@@ -1,0 +1,68 @@
+// Chapter 5: queue specifications and conforming/buggy simulators.
+//
+// Operations: Enq(v) (enqueue a value) and Dq() -> v (dequeue the front).
+// Enqueued values are distinct for the reliable queue/stack; the unreliable
+// queue permits repeated Enq of the same value (retransmission) and may
+// lose values, provided repetition eventually gets an item through.
+//
+// The specifications are built over the Section 2.2 operation predicates
+// (at_Enq, after_Dq, Enq_arg, Dq_res, ...) recorded by the simulators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/check.h"
+#include "trace/trace.h"
+
+namespace il::sys {
+
+/// The FIFO queue axiom of Chapter 5 over the given value domain:
+///   forall a, b:
+///     [ <= afterDq(b) ] ( *afterDq(a) <-> *(atEnq(a) <= atEnq(b)) )
+Spec queue_spec(const std::vector<std::int64_t>& domain);
+
+/// The same FIFO axiom over arbitrary producer/consumer operation names
+/// (the producer's entry parameter and the consumer's result are compared).
+/// Chapter 7 uses this to state the *service provided* by the AB protocol:
+/// Send/Rec behave as a reliable queue.
+Spec fifo_service_spec(const std::string& producer_op, const std::string& consumer_op,
+                       const std::vector<std::int64_t>& domain, const std::string& name);
+
+/// The stack (LIFO) variant: atEnq(a)/atEnq(b) exchanged.
+Spec stack_spec(const std::vector<std::int64_t>& domain);
+
+/// The unreliable-queue specification of Figure 5-1 (lossy, with the
+/// liveness clauses in their finite-trace checkable form; see the
+/// implementation notes).
+Spec unreliable_queue_spec(const std::vector<std::int64_t>& domain);
+
+struct QueueRunConfig {
+  std::uint64_t seed = 1;
+  std::size_t values = 6;      ///< how many distinct values flow through
+  std::size_t max_steps = 400; ///< safety cap on simulation steps
+};
+
+/// Runs a conforming FIFO queue, recording operations; the result satisfies
+/// queue_spec over {1..values}.
+Trace run_fifo_queue(const QueueRunConfig& config);
+
+/// Runs a conforming LIFO stack; satisfies stack_spec, violates queue_spec
+/// (for runs where order actually differs).
+Trace run_lifo_stack(const QueueRunConfig& config);
+
+/// A buggy "queue" that swaps pairs of elements; violates queue_spec.
+Trace run_swapping_queue(const QueueRunConfig& config);
+
+struct UnreliableQueueRunConfig {
+  std::uint64_t seed = 1;
+  std::size_t values = 5;
+  double loss_probability = 0.3;
+  std::size_t max_steps = 2000;
+};
+
+/// Runs the unreliable queue: each value is re-enqueued until dequeued;
+/// individual enqueues may be lost.  Satisfies unreliable_queue_spec.
+Trace run_unreliable_queue(const UnreliableQueueRunConfig& config);
+
+}  // namespace il::sys

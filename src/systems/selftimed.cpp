@@ -1,0 +1,85 @@
+#include "systems/selftimed.h"
+
+#include "core/parser.h"
+#include "util/rng.h"
+
+namespace il::sys {
+
+Spec request_ack_spec() {
+  Spec spec;
+  spec.name = "request_ack";
+  spec.init.push_back({"init_low", parse_formula("!R /\\ !A")});
+  // A1: a request, only initiatable when the acknowledgment is down, stays
+  // up at least until the acknowledgment rises (which must happen: *A).
+  spec.axioms.push_back({"A1_request_holds", parse_formula("[] [ R => *A ] (!A /\\ [] R)")});
+  // A2: the acknowledgment, once raised, stays up as long as the request
+  // does (interval from A's rise to just before R's fall).
+  spec.axioms.push_back(
+      {"A2_ack_holds", parse_formula("[] [ A => begin(*(!R)) ] (R /\\ [] A)")});
+  // A3: after the request falls the acknowledgment must eventually fall.
+  spec.axioms.push_back({"A3_ack_falls", parse_formula("[] [ begin(!R) => ] *(!A)")});
+  return spec;
+}
+
+namespace {
+
+Trace run_protocol(const SelfTimedRunConfig& config, bool buggy) {
+  TraceBuilder tb;
+  Rng rng(config.seed);
+  tb.set_bool("R", false);
+  tb.set_bool("A", false);
+  tb.commit();
+
+  // Phase machine for one requester/responder pair:
+  //   0: idle (R=0, A=0)  -> requester raises R
+  //   1: requested (R=1, A=0) -> responder raises A
+  //   2: acknowledged (R=1, A=1) -> requester drops R
+  //   3: released (R=0, A=1) -> responder drops A -> back to 0
+  int phase = 0;
+  std::size_t done = 0;
+  std::uint64_t wait = 0;
+  std::size_t steps = 0;
+
+  while (done < config.handshakes && steps++ < config.max_steps) {
+    if (wait > 0) {
+      --wait;
+      tb.commit();  // idle tick: component delay
+      continue;
+    }
+    wait = rng.below(config.max_delay + 1);
+    switch (phase) {
+      case 0:
+        tb.set_bool("R", true);
+        break;
+      case 1:
+        tb.set_bool("A", true);
+        break;
+      case 2:
+        if (buggy && rng.chance(0.5)) {
+          // Fault: the responder drops A while R is still up.
+          tb.set_bool("A", false);
+          tb.commit();
+          tb.set_bool("A", true);  // glitches back
+        }
+        tb.set_bool("R", false);
+        break;
+      case 3:
+        tb.set_bool("A", false);
+        ++done;
+        break;
+    }
+    phase = (phase + 1) % 4;
+    tb.commit();
+  }
+  return tb.take();
+}
+
+}  // namespace
+
+Trace run_request_ack(const SelfTimedRunConfig& config) { return run_protocol(config, false); }
+
+Trace run_request_ack_buggy(const SelfTimedRunConfig& config) {
+  return run_protocol(config, true);
+}
+
+}  // namespace il::sys

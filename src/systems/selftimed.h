@@ -1,0 +1,38 @@
+// Chapter 6.1: the self-timed request-acknowledgment protocol.
+//
+// Two modules interact through a request wire R and an acknowledge wire A:
+// R may rise only while A is low; R stays up until A rises; A stays up
+// while R is up; after R falls, A must eventually fall.  Correctness is
+// independent of component speeds — the simulator draws its delays from a
+// seeded RNG.
+#pragma once
+
+#include <cstdint>
+
+#include "core/check.h"
+#include "trace/trace.h"
+
+namespace il::sys {
+
+/// The Figure 6-2 axioms over boolean signals `R` and `A`:
+///   Init:  !R /\ !A
+///   A1: [ R => *A ] (!A /\ []R)       — request stays up, ack low at start
+///   A2: [ A => begin(*!R) ] (R /\ []A) — ack stays up while request up
+///   A3: [ begin(!R) => ] *!A          — ack eventually falls
+Spec request_ack_spec();
+
+struct SelfTimedRunConfig {
+  std::uint64_t seed = 1;
+  std::size_t handshakes = 6;   ///< complete R/A cycles to perform
+  std::size_t max_steps = 400;
+  std::uint64_t max_delay = 3;  ///< max ticks a module waits before reacting
+};
+
+/// Runs requester and responder modules through `handshakes` full cycles;
+/// the trace satisfies request_ack_spec.
+Trace run_request_ack(const SelfTimedRunConfig& config);
+
+/// A buggy responder that may drop A while R is still up (violates A2).
+Trace run_request_ack_buggy(const SelfTimedRunConfig& config);
+
+}  // namespace il::sys

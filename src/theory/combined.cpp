@@ -1,0 +1,215 @@
+#include "theory/combined.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "bdd/bdd.h"
+#include "util/assert.h"
+
+namespace il::theory {
+namespace {
+
+/// Converts tableau literal ids to theory literals.
+std::vector<TheoryLit> to_theory_lits(const ltl::Arena& arena, const std::vector<ltl::Id>& lits) {
+  std::vector<TheoryLit> out;
+  out.reserve(lits.size());
+  for (ltl::Id l : lits) {
+    const ltl::Node& n = arena.node(l);
+    IL_CHECK(n.kind == ltl::Kind::Atom || n.kind == ltl::Kind::NegAtom);
+    out.push_back({arena.atom_name(n.atom), n.kind == ltl::Kind::Atom});
+  }
+  return out;
+}
+
+}  // namespace
+
+AlgorithmAResult algorithm_a_valid(ltl::Arena& arena, ltl::Id formula, const Oracle& oracle) {
+  AlgorithmAResult result;
+  ltl::Tableau tableau(arena, arena.nnf(arena.mk_not(formula)));
+  result.graph_nodes = tableau.node_count();
+  result.graph_edges = tableau.edge_count();
+
+  const std::size_t before = tableau.alive_edge_count();
+  tableau.prune_edges([&](const std::vector<ltl::Id>& lits) {
+    return oracle.conj_sat(to_theory_lits(arena, lits));
+  });
+  result.pruned_edges = before - tableau.alive_edge_count();
+
+  result.valid = !tableau.iterate();
+  return result;
+}
+
+AlgorithmBResult algorithm_b_valid(ltl::Arena& arena, ltl::Id formula, const Oracle& oracle,
+                                   const std::set<std::string>& extralogical) {
+  AlgorithmBResult result;
+  ltl::Tableau tableau(arena, arena.nnf(arena.mk_not(formula)));
+  result.graph_nodes = tableau.node_count();
+  result.graph_edges = tableau.edge_count();
+
+  const auto& nodes = tableau.nodes();
+  const auto& edges = tableau.edges();
+
+  // Assign a BDD variable to each distinct edge-literal conjunction; BDD
+  // variable i stands for the condition atom "[]!prop_i".
+  bdd::Manager mgr;
+  std::map<std::vector<ltl::Id>, int> prop_index;
+  std::vector<std::vector<ltl::Id>> props;
+  std::vector<int> edge_prop(edges.size(), -1);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    auto [it, inserted] = prop_index.try_emplace(edges[e].lits, static_cast<int>(props.size()));
+    if (inserted) props.push_back(edges[e].lits);
+    edge_prop[e] = it->second;
+  }
+  result.distinct_props = props.size();
+
+  // Collect the eventualities appearing anywhere.
+  std::vector<ltl::Id> all_evs;
+  for (const auto& e : edges) {
+    for (ltl::Id ev : e.evs) all_evs.push_back(ev);
+  }
+  std::sort(all_evs.begin(), all_evs.end());
+  all_evs.erase(std::unique(all_evs.begin(), all_evs.end()), all_evs.end());
+
+  const std::size_t n = nodes.size();
+  std::vector<bdd::Node> del(n, bdd::kFalse);
+  // fail[ev][node]
+  std::map<ltl::Id, std::vector<bdd::Node>> fail;
+  for (ltl::Id ev : all_evs) fail[ev].assign(n, bdd::kTrue);
+
+  auto label_has = [&](int node, ltl::Id ev) {
+    const auto& l = nodes[node].label;
+    return std::binary_search(l.begin(), l.end(), ev);
+  };
+
+  auto compute_fail = [&](ltl::Id ev, int node) {
+    bdd::Node acc = bdd::kTrue;
+    for (int eidx : nodes[node].out) {
+      const auto& e = edges[eidx];
+      bdd::Node term = mgr.var(edge_prop[eidx]);        // []!prop(e)
+      term = mgr.apply_or(term, del[e.to]);             // \/ delete(fin e)
+      if (!label_has(e.to, ev)) {
+        term = mgr.apply_or(term, fail[ev][e.to]);      // \/ fail(ev, fin e)
+      }
+      acc = mgr.apply_and(acc, term);
+      if (acc == bdd::kFalse) break;
+    }
+    return acc;
+  };
+
+  auto compute_delete = [&](int node) {
+    bdd::Node acc = bdd::kTrue;
+    for (int eidx : nodes[node].out) {
+      const auto& e = edges[eidx];
+      bdd::Node term = mgr.var(edge_prop[eidx]);
+      term = mgr.apply_or(term, del[e.to]);
+      for (ltl::Id ev : e.evs) {
+        term = mgr.apply_or(term, fail[ev][e.to]);
+      }
+      acc = mgr.apply_and(acc, term);
+      if (acc == bdd::kFalse) break;
+    }
+    return acc;
+  };
+
+  // The 7-step double iteration: minimal fixpoint for Delete, maximal for
+  // Fail, with Fail reset to TRUE before each outer pass.
+  for (;;) {
+    ++result.outer_iterations;
+    // 4. Iterate Fail to a fixpoint.
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (ltl::Id ev : all_evs) {
+        for (std::size_t v = 0; v < n; ++v) {
+          const bdd::Node nv = compute_fail(ev, static_cast<int>(v));
+          if (nv != fail[ev][v]) {
+            fail[ev][v] = nv;
+            changed = true;
+          }
+        }
+      }
+    }
+    // 5. Iterate Delete to a fixpoint.
+    std::vector<bdd::Node> del_before = del;
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (std::size_t v = 0; v < n; ++v) {
+        const bdd::Node nv = compute_delete(static_cast<int>(v));
+        if (nv != del[v]) {
+          del[v] = nv;
+          changed = true;
+        }
+      }
+    }
+    if (del == del_before) break;
+    // 6. Reset Fail to TRUE for the next pass.
+    for (ltl::Id ev : all_evs) fail[ev].assign(n, bdd::kTrue);
+  }
+
+  // C = /\ over initial nodes of delete(n): the condition under which the
+  // whole Graph(!A) is deleted, i.e. under which A is valid.
+  bdd::Node condition = bdd::kTrue;
+  for (int init : tableau.initial_nodes()) {
+    condition = mgr.apply_and(condition, del[init]);
+  }
+
+  if (mgr.is_true(condition)) {
+    // Valid in pure temporal logic: the oracle is never consulted
+    // (Appendix B notes this as an advantage of Algorithm B).
+    result.condition_true = true;
+    result.valid = true;
+    return result;
+  }
+  if (mgr.is_false(condition)) {
+    result.valid = false;
+    return result;
+  }
+
+  // Extract the disjuncts C_i: the condition is monotone (positive) in the
+  // []!prop atoms, so each BDD path's positive literals form a cube; the
+  // corresponding C_i is the conjunction of !prop_p over the cube.
+  std::vector<std::vector<int>> cubes;
+  for (const auto& path : mgr.all_sat(condition)) {
+    std::vector<int> cube;
+    for (auto [v, val] : path) {
+      if (val) cube.push_back(v);
+    }
+    if (cube.empty()) {
+      // C_i == TRUE: trivially T-valid.
+      result.condition_true = true;
+      result.valid = true;
+      result.condition_cubes = cubes.size() + 1;
+      return result;
+    }
+    std::sort(cube.begin(), cube.end());
+    cubes.push_back(std::move(cube));
+  }
+  std::sort(cubes.begin(), cubes.end());
+  cubes.erase(std::unique(cubes.begin(), cubes.end()), cubes.end());
+  result.condition_cubes = cubes.size();
+
+  // T |= forall x . \/_i forall s_i . C_i
+  //   iff   /\_i (\/_{p in cube_i} prop_p)  is T-unsatisfiable,
+  // with state variables renamed apart per disjunct i and extralogical
+  // variables shared.  The conjunction of disjunctions is explored by DFS
+  // over one prop choice per disjunct, pruning unsatisfiable prefixes.
+  std::vector<std::pair<TheoryLit, int>> chosen;
+  std::function<bool(std::size_t)> some_combo_sat = [&](std::size_t i) -> bool {
+    if (i == cubes.size()) return true;  // all disjuncts satisfied jointly
+    for (int p : cubes[i]) {
+      const std::size_t mark = chosen.size();
+      for (const TheoryLit& l : to_theory_lits(arena, props[static_cast<std::size_t>(p)])) {
+        chosen.emplace_back(l, static_cast<int>(i));
+      }
+      ++result.oracle_calls;
+      if (oracle.conj_sat_instances(chosen, extralogical) && some_combo_sat(i + 1)) return true;
+      chosen.resize(mark);
+    }
+    return false;
+  };
+
+  result.valid = !some_combo_sat(0);
+  return result;
+}
+
+}  // namespace il::theory

@@ -1,0 +1,65 @@
+// The combined decision procedures of Appendix B: propositional temporal
+// logic + a specialized theory.
+//
+// Algorithm A — before iterating the tableau graph, delete every edge whose
+// literal conjunction is unsatisfiable in the theory; then run Iter as
+// usual.  PSPACE relative to a theory oracle.  All variables are treated as
+// state variables (their values may change between instants).
+//
+// Algorithm B — compute, by a double fixpoint over the graph, the *condition*
+// C = \/_i []C_i (a maximal boolean combination of the formula's literals)
+// such that TL |= (C -> A).  Then A is valid in TL(T) iff
+// T |= forall extralogical . \/_i forall state_i . C_i  (the paper's
+// statement (2)); state variables are renamed apart per disjunct, while
+// extralogical variables — whose values cannot change with time — are shared
+// across the whole disjunction.  The Delete/Fail conditions are represented
+// as ROBDDs over atoms "[]!prop(e)" (one per distinct edge-literal
+// conjunction), so fixpoint convergence is canonical-form equality:
+//
+//   delete(N) = /\_e ( []!prop(e) \/ delete(fin e) \/ \/_{A in ev(e)} fail(A, fin e) )
+//   fail(A,N) = /\_e ( []!prop(e) \/ delete(fin e)
+//                      \/ (A in label(fin e) ? FALSE : fail(A, fin e)) )
+//
+// with the minimal fixpoint taken for delete and the maximal for fail,
+// computed by the 7-step iteration of Appendix B Section 5.3.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ltl/formula.h"
+#include "ltl/tableau.h"
+#include "theory/oracle.h"
+
+namespace il::theory {
+
+struct AlgorithmAResult {
+  bool valid = false;
+  std::size_t graph_nodes = 0;
+  std::size_t graph_edges = 0;
+  std::size_t pruned_edges = 0;  ///< edges removed by the theory pre-pass
+};
+
+/// Algorithm A: validity of `formula` in TL(T).
+AlgorithmAResult algorithm_a_valid(ltl::Arena& arena, ltl::Id formula, const Oracle& oracle);
+
+struct AlgorithmBResult {
+  bool valid = false;
+  std::size_t graph_nodes = 0;
+  std::size_t graph_edges = 0;
+  std::size_t distinct_props = 0;   ///< distinct edge-literal conjunctions ([]-atoms)
+  std::size_t condition_cubes = 0;  ///< number of disjuncts C_i extracted
+  std::size_t outer_iterations = 0; ///< passes of the double fixpoint
+  bool condition_true = false;      ///< C == TRUE (valid in pure TL, oracle unused)
+  std::size_t oracle_calls = 0;
+};
+
+/// Algorithm B: validity of `formula` in TL(T).  Variables named in
+/// `extralogical` keep their values across time (and are shared across the
+/// disjuncts of C); all other variables are state variables.
+AlgorithmBResult algorithm_b_valid(ltl::Arena& arena, ltl::Id formula, const Oracle& oracle,
+                                   const std::set<std::string>& extralogical = {});
+
+}  // namespace il::theory

@@ -1,0 +1,288 @@
+#include "theory/linear.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "trace/predicate.h"
+#include "trace/predicate_parser.h"
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace il::theory {
+
+LinearConstraint LinearConstraint::negated() const {
+  LinearConstraint out = *this;
+  switch (rel) {
+    case Rel::Le:  // !(e <= k) == e > k == -e < -k
+      for (auto& [_, c] : out.coeffs) c = -c;
+      out.constant = -constant;
+      out.rel = Rel::Lt;
+      return out;
+    case Rel::Lt:  // !(e < k) == e >= k == -e <= -k
+      for (auto& [_, c] : out.coeffs) c = -c;
+      out.constant = -constant;
+      out.rel = Rel::Le;
+      return out;
+    case Rel::Eq:
+      out.rel = Rel::Ne;
+      return out;
+    case Rel::Ne:
+      out.rel = Rel::Eq;
+      return out;
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+LinearConstraint LinearConstraint::renamed(
+    const std::function<std::string(const std::string&)>& fn) const {
+  LinearConstraint out;
+  out.rel = rel;
+  out.constant = constant;
+  for (const auto& [v, c] : coeffs) out.coeffs[fn(v)] += c;
+  return out;
+}
+
+std::string LinearConstraint::to_string() const {
+  std::vector<std::string> terms;
+  for (const auto& [v, c] : coeffs) {
+    if (c == 0) continue;
+    terms.push_back((c == 1 ? "" : (c == -1 ? "-" : to_string_i64(c) + "*")) + v);
+  }
+  std::string lhs = terms.empty() ? "0" : join(terms, " + ");
+  const char* op = rel == Rel::Le ? "<=" : rel == Rel::Lt ? "<" : rel == Rel::Eq ? "=" : "!=";
+  return lhs + " " + op + " " + to_string_i64(constant);
+}
+
+namespace {
+
+/// Linearizes an Expr into coeffs/constant; returns false if non-linear.
+bool linearize(const Expr& e, std::int64_t sign, std::map<std::string, std::int64_t>& coeffs,
+               std::int64_t& constant) {
+  switch (e.kind()) {
+    case Expr::Kind::Const:
+      constant += sign * e.value();
+      return true;
+    case Expr::Kind::Var:
+    case Expr::Kind::Meta:
+      coeffs[e.name()] += sign;
+      return true;
+    case Expr::Kind::Add:
+      return linearize(*e.lhs(), sign, coeffs, constant) &&
+             linearize(*e.rhs(), sign, coeffs, constant);
+    case Expr::Kind::Sub:
+      return linearize(*e.lhs(), sign, coeffs, constant) &&
+             linearize(*e.rhs(), -sign, coeffs, constant);
+    case Expr::Kind::Neg:
+      return linearize(*e.lhs(), -sign, coeffs, constant);
+    case Expr::Kind::Mul: {
+      // Permit const * var / var * const / const * const.
+      const Expr& a = *e.lhs();
+      const Expr& b = *e.rhs();
+      if (a.kind() == Expr::Kind::Const && b.kind() == Expr::Kind::Const) {
+        constant += sign * a.value() * b.value();
+        return true;
+      }
+      if (a.kind() == Expr::Kind::Const &&
+          (b.kind() == Expr::Kind::Var || b.kind() == Expr::Kind::Meta)) {
+        coeffs[b.name()] += sign * a.value();
+        return true;
+      }
+      if (b.kind() == Expr::Kind::Const &&
+          (a.kind() == Expr::Kind::Var || a.kind() == Expr::Kind::Meta)) {
+        coeffs[a.name()] += sign * b.value();
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+void drop_zeros(std::map<std::string, std::int64_t>& coeffs) {
+  for (auto it = coeffs.begin(); it != coeffs.end();) {
+    it = (it->second == 0) ? coeffs.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace
+
+std::optional<LinearConstraint> parse_linear(const std::string& text) {
+  // A bare identifier (no relational symbol anywhere) is an opaque
+  // proposition, not an arithmetic constraint.
+  if (text.find_first_of("<>=!") == std::string::npos) return std::nullopt;
+  PredPtr p;
+  try {
+    p = parse_pred(text);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (p->kind() != Pred::Kind::Cmp) return std::nullopt;
+
+  LinearConstraint out;
+  std::int64_t lhs_const = 0;
+  if (!linearize(*p->cmp_lhs(), 1, out.coeffs, lhs_const)) return std::nullopt;
+  std::int64_t rhs_const = 0;
+  std::map<std::string, std::int64_t> rhs_coeffs;
+  if (!linearize(*p->cmp_rhs(), 1, rhs_coeffs, rhs_const)) return std::nullopt;
+  for (const auto& [v, c] : rhs_coeffs) out.coeffs[v] -= c;
+  out.constant = rhs_const - lhs_const;
+
+  // Normalize to lhs REL constant with REL in {Le, Lt, Eq, Ne}.
+  switch (p->cmp_op()) {
+    case CmpOp::Le:
+      out.rel = Rel::Le;
+      break;
+    case CmpOp::Lt:
+      out.rel = Rel::Lt;
+      break;
+    case CmpOp::Eq:
+      out.rel = Rel::Eq;
+      break;
+    case CmpOp::Ne:
+      out.rel = Rel::Ne;
+      break;
+    case CmpOp::Ge:  // e >= k  ==  -e <= -k
+      for (auto& [_, c] : out.coeffs) c = -c;
+      out.constant = -out.constant;
+      out.rel = Rel::Le;
+      break;
+    case CmpOp::Gt:
+      for (auto& [_, c] : out.coeffs) c = -c;
+      out.constant = -out.constant;
+      out.rel = Rel::Lt;
+      break;
+  }
+  drop_zeros(out.coeffs);
+  return out;
+}
+
+namespace {
+
+/// Internal inequality  sum coeffs <= / < constant  with 128-bit arithmetic
+/// head-room during elimination.
+struct Ineq {
+  std::map<std::string, __int128> coeffs;
+  __int128 constant = 0;
+  bool strict = false;
+};
+
+/// Divides an inequality by the gcd of its coefficients and bound when the
+/// division is exact; keeps 128-bit values small across eliminations.
+void reduce(Ineq& q) {
+  long long g = 0;
+  auto absval = [](__int128 v) { return v < 0 ? -v : v; };
+  for (const auto& [_, c] : q.coeffs) {
+    if (absval(c) > std::numeric_limits<long long>::max()) return;  // leave as-is
+    g = std::gcd(g, static_cast<long long>(absval(c)));
+  }
+  if (g <= 1) return;
+  if (absval(q.constant) > std::numeric_limits<long long>::max()) return;
+  if (static_cast<long long>(absval(q.constant)) % g != 0) return;  // exact only
+  for (auto& [_, c] : q.coeffs) c /= g;
+  q.constant /= g;
+}
+
+bool fm_satisfiable(std::vector<Ineq> system) {
+  // Collect variables.
+  std::vector<std::string> vars;
+  {
+    std::map<std::string, bool> seen;
+    for (const auto& c : system) {
+      for (const auto& [v, _] : c.coeffs) seen.emplace(v, true);
+    }
+    for (const auto& [v, _] : seen) vars.push_back(v);
+  }
+
+  for (const std::string& x : vars) {
+    std::vector<Ineq> uppers, lowers, rest;
+    for (auto& c : system) {
+      auto it = c.coeffs.find(x);
+      if (it == c.coeffs.end() || it->second == 0) {
+        rest.push_back(std::move(c));
+      } else if (it->second > 0) {
+        uppers.push_back(std::move(c));
+      } else {
+        lowers.push_back(std::move(c));
+      }
+    }
+    for (const Ineq& u : uppers) {
+      const __int128 a = u.coeffs.at(x);  // > 0
+      for (const Ineq& l : lowers) {
+        const __int128 b = -l.coeffs.at(x);  // > 0
+        Ineq combined;
+        combined.strict = u.strict || l.strict;
+        for (const auto& [v, c] : u.coeffs) combined.coeffs[v] += b * c;
+        for (const auto& [v, c] : l.coeffs) combined.coeffs[v] += a * c;
+        combined.constant = b * u.constant + a * l.constant;
+        combined.coeffs.erase(x);
+        for (auto it = combined.coeffs.begin(); it != combined.coeffs.end();) {
+          it = (it->second == 0) ? combined.coeffs.erase(it) : std::next(it);
+        }
+        reduce(combined);
+        rest.push_back(std::move(combined));
+      }
+    }
+    system = std::move(rest);
+  }
+
+  // Only constant constraints remain: 0 <= k (or 0 < k).
+  for (const Ineq& c : system) {
+    IL_CHECK(c.coeffs.empty());
+    if (c.strict ? !(0 < c.constant) : !(0 <= c.constant)) return false;
+  }
+  return true;
+}
+
+/// Expands Eq/Ne into inequality systems; Ne causes a case split.
+bool sat_rec(std::vector<Ineq>& acc, const std::vector<LinearConstraint>& cs, std::size_t i) {
+  if (i == cs.size()) return fm_satisfiable(acc);
+  const LinearConstraint& c = cs[i];
+  auto as_ineq = [&](bool flip, bool strict) {
+    Ineq q;
+    for (const auto& [v, k] : c.coeffs) q.coeffs[v] = flip ? -static_cast<__int128>(k)
+                                                           : static_cast<__int128>(k);
+    q.constant = flip ? -static_cast<__int128>(c.constant) : static_cast<__int128>(c.constant);
+    q.strict = strict;
+    return q;
+  };
+  switch (c.rel) {
+    case Rel::Le:
+      acc.push_back(as_ineq(false, false));
+      if (sat_rec(acc, cs, i + 1)) return true;
+      acc.pop_back();
+      return false;
+    case Rel::Lt:
+      acc.push_back(as_ineq(false, true));
+      if (sat_rec(acc, cs, i + 1)) return true;
+      acc.pop_back();
+      return false;
+    case Rel::Eq:
+      acc.push_back(as_ineq(false, false));
+      acc.push_back(as_ineq(true, false));
+      if (sat_rec(acc, cs, i + 1)) return true;
+      acc.pop_back();
+      acc.pop_back();
+      return false;
+    case Rel::Ne: {
+      // e != k: e < k or e > k.
+      acc.push_back(as_ineq(false, true));
+      if (sat_rec(acc, cs, i + 1)) return true;
+      acc.pop_back();
+      acc.push_back(as_ineq(true, true));
+      if (sat_rec(acc, cs, i + 1)) return true;
+      acc.pop_back();
+      return false;
+    }
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+}  // namespace
+
+bool conjunction_satisfiable(const std::vector<LinearConstraint>& cs) {
+  std::vector<Ineq> acc;
+  return sat_rec(acc, cs, 0);
+}
+
+}  // namespace il::theory

@@ -1,0 +1,47 @@
+// Linear arithmetic constraints: the specialized theory used to exercise the
+// combination procedures of Appendix B.
+//
+// An atomic constraint is  sum_i c_i * x_i  REL  k  with integer
+// coefficients.  Conjunctions of such constraints (and their negations) are
+// decided by Fourier-Motzkin elimination over the rationals, with
+// disequalities handled by case split.  This is sound and complete for
+// rational satisfiability; the paper's examples (e.g. "henceforth a >= 1
+// implies eventually a > 0", "[](y = z + z) -> [](y = 2z)",
+// "[](x > 0) \/ [](x < 1)") all live in the rational-complete fragment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace il::theory {
+
+enum class Rel : std::uint8_t { Le, Lt, Eq, Ne };
+
+/// sum coeffs[x] * x  REL  constant.
+struct LinearConstraint {
+  std::map<std::string, std::int64_t> coeffs;
+  Rel rel = Rel::Le;
+  std::int64_t constant = 0;
+
+  /// The negated constraint (!(a <= k) == a > k == -a < -k, etc.).
+  LinearConstraint negated() const;
+
+  /// Applies a variable-renaming function to every variable.
+  LinearConstraint renamed(const std::function<std::string(const std::string&)>& fn) const;
+
+  std::string to_string() const;
+};
+
+/// Parses an atom such as "x > 0", "y = z + z", "a - 2*b <= 7".
+/// Returns nullopt if the text is not a linear constraint (e.g. a bare
+/// propositional variable, which the caller may model as "v >= 1").
+std::optional<LinearConstraint> parse_linear(const std::string& text);
+
+/// Satisfiability (over the rationals) of a conjunction of constraints.
+bool conjunction_satisfiable(const std::vector<LinearConstraint>& cs);
+
+}  // namespace il::theory

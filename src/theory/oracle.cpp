@@ -1,0 +1,69 @@
+#include "theory/oracle.h"
+
+#include <set>
+
+namespace il::theory {
+namespace {
+
+/// Key for an opaque propositional atom: extralogical atoms share one slot
+/// across instances; state atoms are distinct per instance.
+std::pair<std::string, int> opaque_key(const std::string& atom, int instance,
+                                       const std::set<std::string>& extralogical) {
+  return {atom, extralogical.count(atom) ? -1 : instance};
+}
+
+}  // namespace
+
+bool PropositionalOracle::conj_sat(const std::vector<TheoryLit>& lits) const {
+  std::set<std::string> pos, neg;
+  for (const TheoryLit& l : lits) (l.positive ? pos : neg).insert(l.atom);
+  for (const auto& a : pos) {
+    if (neg.count(a)) return false;
+  }
+  return true;
+}
+
+bool PropositionalOracle::conj_sat_instances(
+    const std::vector<std::pair<TheoryLit, int>>& lits,
+    const std::set<std::string>& extralogical) const {
+  std::set<std::pair<std::string, int>> pos, neg;
+  for (const auto& [l, inst] : lits) {
+    (l.positive ? pos : neg).insert(opaque_key(l.atom, inst, extralogical));
+  }
+  for (const auto& k : pos) {
+    if (neg.count(k)) return false;
+  }
+  return true;
+}
+
+bool LinearArithmeticOracle::conj_sat(const std::vector<TheoryLit>& lits) const {
+  std::vector<std::pair<TheoryLit, int>> tagged;
+  tagged.reserve(lits.size());
+  for (const TheoryLit& l : lits) tagged.emplace_back(l, 0);
+  return conj_sat_instances(tagged, {});
+}
+
+bool LinearArithmeticOracle::conj_sat_instances(
+    const std::vector<std::pair<TheoryLit, int>>& lits,
+    const std::set<std::string>& extralogical) const {
+  std::vector<LinearConstraint> cs;
+  std::set<std::pair<std::string, int>> opaque_pos, opaque_neg;
+  for (const auto& [l, inst] : lits) {
+    auto parsed = parse_linear(l.atom);
+    if (!parsed) {
+      (l.positive ? opaque_pos : opaque_neg).insert(opaque_key(l.atom, inst, extralogical));
+      continue;
+    }
+    LinearConstraint c = l.positive ? *parsed : parsed->negated();
+    const int instance = inst;
+    cs.push_back(c.renamed([&](const std::string& v) {
+      return extralogical.count(v) ? v : v + "#" + std::to_string(instance);
+    }));
+  }
+  for (const auto& k : opaque_pos) {
+    if (opaque_neg.count(k)) return false;
+  }
+  return conjunction_satisfiable(cs);
+}
+
+}  // namespace il::theory

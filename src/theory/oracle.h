@@ -1,0 +1,65 @@
+// The specialized-theory oracle interface of Appendix B.
+//
+// The combined decision procedures only need one question answered: is a
+// conjunction of theory literals satisfiable?  A literal is an atom (by its
+// source text, as interned in the LTL arena) or its negation.
+//
+// Two oracles are provided:
+//  * PropositionalOracle — atoms are opaque; a conjunction is satisfiable
+//    unless it contains an atom and its negation (the "uninterpreted" case,
+//    under which e.g. [](y = z + z) -> [](y = 2*z) is NOT valid).
+//  * LinearArithmeticOracle — atoms are parsed as linear constraints and the
+//    conjunction is decided by Fourier-Motzkin over the rationals.  Atoms
+//    that do not parse as constraints degrade gracefully to opaque
+//    propositions.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "theory/linear.h"
+
+namespace il::theory {
+
+struct TheoryLit {
+  std::string atom;  ///< atom source text, e.g. "x > 0"
+  bool positive = true;
+};
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  /// Is the conjunction of `lits` satisfiable in the theory (at one instant)?
+  virtual bool conj_sat(const std::vector<TheoryLit>& lits) const = 0;
+
+  /// Multi-instant satisfiability for Algorithm B: each literal is tagged
+  /// with an instance index; *state* variables are distinct across
+  /// instances while variables named in `extralogical` are shared (their
+  /// values cannot change with time).
+  virtual bool conj_sat_instances(const std::vector<std::pair<TheoryLit, int>>& lits,
+                                  const std::set<std::string>& extralogical) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+class PropositionalOracle final : public Oracle {
+ public:
+  bool conj_sat(const std::vector<TheoryLit>& lits) const override;
+  bool conj_sat_instances(const std::vector<std::pair<TheoryLit, int>>& lits,
+                          const std::set<std::string>& extralogical) const override;
+  std::string name() const override { return "propositional"; }
+};
+
+class LinearArithmeticOracle final : public Oracle {
+ public:
+  bool conj_sat(const std::vector<TheoryLit>& lits) const override;
+  bool conj_sat_instances(const std::vector<std::pair<TheoryLit, int>>& lits,
+                          const std::set<std::string>& extralogical) const override;
+  std::string name() const override { return "linear-arithmetic"; }
+};
+
+}  // namespace il::theory

@@ -1,0 +1,321 @@
+#include "trace/predicate.h"
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace il {
+
+// ----------------------------- Expr ---------------------------------------
+
+std::int64_t Expr::eval(const State& s, const Env& env) const {
+  switch (kind_) {
+    case Kind::Const:
+      return value_;
+    case Kind::Var:
+      return s.get(name_);
+    case Kind::Meta: {
+      auto it = env.find(name_);
+      IL_REQUIRE(it != env.end(), "unbound meta variable");
+      return it->second;
+    }
+    case Kind::Add:
+      return lhs_->eval(s, env) + rhs_->eval(s, env);
+    case Kind::Sub:
+      return lhs_->eval(s, env) - rhs_->eval(s, env);
+    case Kind::Mul:
+      return lhs_->eval(s, env) * rhs_->eval(s, env);
+    case Kind::Neg:
+      return -lhs_->eval(s, env);
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+std::string Expr::to_string() const {
+  switch (kind_) {
+    case Kind::Const:
+      return to_string_i64(value_);
+    case Kind::Var:
+      return name_;
+    case Kind::Meta:
+      return "$" + name_;
+    case Kind::Add:
+      return "(" + lhs_->to_string() + " + " + rhs_->to_string() + ")";
+    case Kind::Sub:
+      return "(" + lhs_->to_string() + " - " + rhs_->to_string() + ")";
+    case Kind::Mul:
+      return "(" + lhs_->to_string() + " * " + rhs_->to_string() + ")";
+    case Kind::Neg:
+      return "-" + lhs_->to_string();
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+void Expr::collect_vars(std::vector<std::string>& out) const {
+  switch (kind_) {
+    case Kind::Var:
+      out.push_back(name_);
+      return;
+    case Kind::Const:
+    case Kind::Meta:
+      return;
+    default:
+      lhs_->collect_vars(out);
+      if (rhs_) rhs_->collect_vars(out);
+  }
+}
+
+void Expr::collect_metas(std::vector<std::string>& out) const {
+  switch (kind_) {
+    case Kind::Meta:
+      out.push_back(name_);
+      return;
+    case Kind::Const:
+    case Kind::Var:
+      return;
+    default:
+      lhs_->collect_metas(out);
+      if (rhs_) rhs_->collect_metas(out);
+  }
+}
+
+ExprPtr Expr::constant(std::int64_t v) {
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::Const;
+  e->value_ = v;
+  return e;
+}
+
+ExprPtr Expr::var(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::Var;
+  e->name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::meta(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::Meta;
+  e->name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::add(ExprPtr a, ExprPtr b) {
+  IL_REQUIRE(a && b);
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::Add;
+  e->lhs_ = std::move(a);
+  e->rhs_ = std::move(b);
+  return e;
+}
+
+ExprPtr Expr::sub(ExprPtr a, ExprPtr b) {
+  IL_REQUIRE(a && b);
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::Sub;
+  e->lhs_ = std::move(a);
+  e->rhs_ = std::move(b);
+  return e;
+}
+
+ExprPtr Expr::mul(ExprPtr a, ExprPtr b) {
+  IL_REQUIRE(a && b);
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::Mul;
+  e->lhs_ = std::move(a);
+  e->rhs_ = std::move(b);
+  return e;
+}
+
+ExprPtr Expr::neg(ExprPtr a) {
+  IL_REQUIRE(a);
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::Neg;
+  e->lhs_ = std::move(a);
+  return e;
+}
+
+// ----------------------------- Pred ---------------------------------------
+
+std::string to_string(CmpOp op) {
+  switch (op) {
+    case CmpOp::Eq:
+      return "==";
+    case CmpOp::Ne:
+      return "!=";
+    case CmpOp::Lt:
+      return "<";
+    case CmpOp::Le:
+      return "<=";
+    case CmpOp::Gt:
+      return ">";
+    case CmpOp::Ge:
+      return ">=";
+  }
+  return "?";
+}
+
+bool Pred::eval(const State& s, const Env& env) const {
+  switch (kind_) {
+    case Kind::Const:
+      return const_value_;
+    case Kind::Cmp: {
+      const std::int64_t a = expr_lhs_->eval(s, env);
+      const std::int64_t b = expr_rhs_->eval(s, env);
+      switch (cmp_op_) {
+        case CmpOp::Eq:
+          return a == b;
+        case CmpOp::Ne:
+          return a != b;
+        case CmpOp::Lt:
+          return a < b;
+        case CmpOp::Le:
+          return a <= b;
+        case CmpOp::Gt:
+          return a > b;
+        case CmpOp::Ge:
+          return a >= b;
+      }
+      return false;  // unreachable; silences -Wimplicit-fallthrough
+    }
+    case Kind::Not:
+      return !lhs_->eval(s, env);
+    case Kind::And:
+      return lhs_->eval(s, env) && rhs_->eval(s, env);
+    case Kind::Or:
+      return lhs_->eval(s, env) || rhs_->eval(s, env);
+    case Kind::Implies:
+      return !lhs_->eval(s, env) || rhs_->eval(s, env);
+    case Kind::Iff:
+      return lhs_->eval(s, env) == rhs_->eval(s, env);
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+std::string Pred::to_string() const {
+  switch (kind_) {
+    case Kind::Const:
+      return const_value_ ? "true" : "false";
+    case Kind::Cmp:
+      return expr_lhs_->to_string() + " " + il::to_string(cmp_op_) + " " + expr_rhs_->to_string();
+    case Kind::Not:
+      return "!(" + lhs_->to_string() + ")";
+    case Kind::And:
+      return "(" + lhs_->to_string() + " && " + rhs_->to_string() + ")";
+    case Kind::Or:
+      return "(" + lhs_->to_string() + " || " + rhs_->to_string() + ")";
+    case Kind::Implies:
+      return "(" + lhs_->to_string() + " -> " + rhs_->to_string() + ")";
+    case Kind::Iff:
+      return "(" + lhs_->to_string() + " <-> " + rhs_->to_string() + ")";
+  }
+  IL_CHECK(false, "unreachable");
+}
+
+void Pred::collect_vars(std::vector<std::string>& out) const {
+  switch (kind_) {
+    case Kind::Const:
+      return;
+    case Kind::Cmp:
+      expr_lhs_->collect_vars(out);
+      expr_rhs_->collect_vars(out);
+      return;
+    case Kind::Not:
+      lhs_->collect_vars(out);
+      return;
+    default:
+      lhs_->collect_vars(out);
+      rhs_->collect_vars(out);
+  }
+}
+
+void Pred::collect_metas(std::vector<std::string>& out) const {
+  switch (kind_) {
+    case Kind::Const:
+      return;
+    case Kind::Cmp:
+      expr_lhs_->collect_metas(out);
+      expr_rhs_->collect_metas(out);
+      return;
+    case Kind::Not:
+      lhs_->collect_metas(out);
+      return;
+    default:
+      lhs_->collect_metas(out);
+      rhs_->collect_metas(out);
+  }
+}
+
+PredPtr Pred::constant(bool v) {
+  auto p = std::make_shared<Pred>();
+  p->kind_ = Kind::Const;
+  p->const_value_ = v;
+  return p;
+}
+
+PredPtr Pred::cmp(CmpOp op, ExprPtr a, ExprPtr b) {
+  IL_REQUIRE(a && b);
+  auto p = std::make_shared<Pred>();
+  p->kind_ = Kind::Cmp;
+  p->cmp_op_ = op;
+  p->expr_lhs_ = std::move(a);
+  p->expr_rhs_ = std::move(b);
+  return p;
+}
+
+PredPtr Pred::negate(PredPtr a) {
+  IL_REQUIRE(a);
+  auto p = std::make_shared<Pred>();
+  p->kind_ = Kind::Not;
+  p->lhs_ = std::move(a);
+  return p;
+}
+
+PredPtr Pred::conj(PredPtr a, PredPtr b) {
+  IL_REQUIRE(a && b);
+  auto p = std::make_shared<Pred>();
+  p->kind_ = Kind::And;
+  p->lhs_ = std::move(a);
+  p->rhs_ = std::move(b);
+  return p;
+}
+
+PredPtr Pred::disj(PredPtr a, PredPtr b) {
+  IL_REQUIRE(a && b);
+  auto p = std::make_shared<Pred>();
+  p->kind_ = Kind::Or;
+  p->lhs_ = std::move(a);
+  p->rhs_ = std::move(b);
+  return p;
+}
+
+PredPtr Pred::implies(PredPtr a, PredPtr b) {
+  IL_REQUIRE(a && b);
+  auto p = std::make_shared<Pred>();
+  p->kind_ = Kind::Implies;
+  p->lhs_ = std::move(a);
+  p->rhs_ = std::move(b);
+  return p;
+}
+
+PredPtr Pred::iff(PredPtr a, PredPtr b) {
+  IL_REQUIRE(a && b);
+  auto p = std::make_shared<Pred>();
+  p->kind_ = Kind::Iff;
+  p->lhs_ = std::move(a);
+  p->rhs_ = std::move(b);
+  return p;
+}
+
+PredPtr Pred::truthy(std::string var_name) {
+  return cmp(CmpOp::Ne, Expr::var(std::move(var_name)), Expr::constant(0));
+}
+
+PredPtr Pred::var_eq(std::string var_name, std::int64_t value) {
+  return cmp(CmpOp::Eq, Expr::var(std::move(var_name)), Expr::constant(value));
+}
+
+PredPtr Pred::var_eq_meta(std::string var_name, std::string meta_name) {
+  return cmp(CmpOp::Eq, Expr::var(std::move(var_name)), Expr::meta(std::move(meta_name)));
+}
+
+}  // namespace il

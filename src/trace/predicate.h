@@ -1,0 +1,123 @@
+// State predicates: the atomic layer of the interval logic.
+//
+// A predicate is a boolean-valued expression over the variables of a single
+// state (e.g. "x >= 5", "at_Dq", "y = x + z").  Predicates may also mention
+// *meta variables* (the paper's free logical variables, e.g. the a and b in
+// the queue axiom of Chapter 5); these are bound by an Env supplied at
+// evaluation time, typically by a surrounding Forall/Exists in the interval
+// formula.
+//
+// Predicates are immutable and shared via shared_ptr; helper factory
+// functions build them fluently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/state.h"
+
+namespace il {
+
+/// Binding environment for meta (rigid) variables.
+using Env = std::map<std::string, std::int64_t>;
+
+// ---------------------------------------------------------------------------
+// Arithmetic expressions over one state.
+// ---------------------------------------------------------------------------
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  enum class Kind { Const, Var, Meta, Add, Sub, Mul, Neg };
+
+  Kind kind() const { return kind_; }
+  std::int64_t value() const { return value_; }
+  const std::string& name() const { return name_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
+  /// Evaluates against a state and meta-variable environment.
+  /// Unbound meta variables are an error.
+  std::int64_t eval(const State& s, const Env& env) const;
+
+  std::string to_string() const;
+
+  /// Collects the state-variable names mentioned.
+  void collect_vars(std::vector<std::string>& out) const;
+  /// Collects the meta-variable names mentioned.
+  void collect_metas(std::vector<std::string>& out) const;
+
+  static ExprPtr constant(std::int64_t v);
+  static ExprPtr var(std::string name);
+  static ExprPtr meta(std::string name);
+  static ExprPtr add(ExprPtr a, ExprPtr b);
+  static ExprPtr sub(ExprPtr a, ExprPtr b);
+  static ExprPtr mul(ExprPtr a, ExprPtr b);
+  static ExprPtr neg(ExprPtr a);
+
+ private:
+  Kind kind_ = Kind::Const;
+  std::int64_t value_ = 0;
+  std::string name_;
+  ExprPtr lhs_, rhs_;
+};
+
+// ---------------------------------------------------------------------------
+// Boolean predicates over one state.
+// ---------------------------------------------------------------------------
+
+class Pred;
+using PredPtr = std::shared_ptr<const Pred>;
+
+enum class CmpOp { Eq, Ne, Lt, Le, Gt, Ge };
+
+std::string to_string(CmpOp op);
+
+class Pred {
+ public:
+  enum class Kind { Const, Cmp, Not, And, Or, Implies, Iff };
+
+  Kind kind() const { return kind_; }
+  bool const_value() const { return const_value_; }
+  CmpOp cmp_op() const { return cmp_op_; }
+  const ExprPtr& cmp_lhs() const { return expr_lhs_; }
+  const ExprPtr& cmp_rhs() const { return expr_rhs_; }
+  const PredPtr& lhs() const { return lhs_; }
+  const PredPtr& rhs() const { return rhs_; }
+
+  bool eval(const State& s, const Env& env) const;
+
+  std::string to_string() const;
+
+  void collect_vars(std::vector<std::string>& out) const;
+  void collect_metas(std::vector<std::string>& out) const;
+
+  static PredPtr constant(bool v);
+  static PredPtr cmp(CmpOp op, ExprPtr a, ExprPtr b);
+  static PredPtr negate(PredPtr a);
+  static PredPtr conj(PredPtr a, PredPtr b);
+  static PredPtr disj(PredPtr a, PredPtr b);
+  static PredPtr implies(PredPtr a, PredPtr b);
+  static PredPtr iff(PredPtr a, PredPtr b);
+
+  /// Boolean state variable used as a predicate ("v != 0").
+  static PredPtr truthy(std::string var_name);
+  /// "var == value" with a constant.
+  static PredPtr var_eq(std::string var_name, std::int64_t value);
+  /// "var == $meta".
+  static PredPtr var_eq_meta(std::string var_name, std::string meta_name);
+
+ private:
+  Kind kind_ = Kind::Const;
+  bool const_value_ = false;
+  CmpOp cmp_op_ = CmpOp::Eq;
+  ExprPtr expr_lhs_, expr_rhs_;
+  PredPtr lhs_, rhs_;
+};
+
+}  // namespace il

@@ -1,0 +1,260 @@
+#include "trace/predicate_parser.h"
+
+#include <cctype>
+
+#include "util/assert.h"
+
+namespace il {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  PredPtr parse_pred_all() {
+    auto p = parse_iff();
+    skip_ws();
+    IL_REQUIRE(pos_ == text_.size(), "trailing input in predicate: " + text_.substr(pos_));
+    return p;
+  }
+
+  ExprPtr parse_expr_all() {
+    auto e = parse_sum();
+    skip_ws();
+    IL_REQUIRE(pos_ == text_.size(), "trailing input in expression: " + text_.substr(pos_));
+    return e;
+  }
+
+ private:
+  PredPtr parse_iff() {
+    auto lhs = parse_imp();
+    while (eat("<->")) lhs = Pred::iff(lhs, parse_imp());
+    return lhs;
+  }
+
+  PredPtr parse_imp() {
+    auto lhs = parse_or();
+    if (eat("->")) return Pred::implies(lhs, parse_imp());  // right associative
+    return lhs;
+  }
+
+  PredPtr parse_or() {
+    auto lhs = parse_and();
+    while (eat("||")) lhs = Pred::disj(lhs, parse_and());
+    return lhs;
+  }
+
+  PredPtr parse_and() {
+    auto lhs = parse_unary();
+    while (eat("&&")) lhs = Pred::conj(lhs, parse_unary());
+    return lhs;
+  }
+
+  PredPtr parse_unary() {
+    skip_ws();
+    if (eat("!")) return Pred::negate(parse_unary());
+    if (peek_word("true")) {
+      eat_word("true");
+      return Pred::constant(true);
+    }
+    if (peek_word("false")) {
+      eat_word("false");
+      return Pred::constant(false);
+    }
+    // Parenthesized sub-predicate vs. parenthesized arithmetic: try predicate
+    // first; if the paren closes and a comparison operator follows, it was
+    // arithmetic — fall back by re-parsing as a relation.
+    if (peek() == '(') {
+      const std::size_t save = pos_;
+      ++pos_;
+      // Attempt predicate.
+      try {
+        auto p = parse_iff();
+        skip_ws();
+        if (peek() == ')') {
+          const std::size_t after_save = pos_;
+          ++pos_;
+          skip_ws();
+          if (!cmp_ahead()) return p;
+          pos_ = after_save;  // a comparison follows: it was arithmetic
+        }
+      } catch (const std::exception&) {
+        // fall through to relation parse
+      }
+      pos_ = save;
+      return parse_relation();
+    }
+    return parse_relation();
+  }
+
+  bool cmp_ahead() {
+    skip_ws();
+    static const char* ops[] = {"==", "!=", "<=", ">=", "<", ">", "="};
+    for (const char* op : ops) {
+      if (text_.compare(pos_, std::string(op).size(), op) == 0) {
+        // "=" alone but not "=="? both handled; also avoid matching "->".
+        return true;
+      }
+    }
+    return false;
+  }
+
+  PredPtr parse_relation() {
+    auto lhs = parse_sum();
+    skip_ws();
+    CmpOp op;
+    if (eat("==") || eat_eq_single()) {
+      op = CmpOp::Eq;
+    } else if (eat("!=")) {
+      op = CmpOp::Ne;
+    } else if (eat("<=")) {
+      op = CmpOp::Le;
+    } else if (eat(">=")) {
+      op = CmpOp::Ge;
+    } else if (peek() == '<' && !ahead("<->")) {
+      ++pos_;
+      op = CmpOp::Lt;
+    } else if (peek() == '>') {
+      ++pos_;
+      op = CmpOp::Gt;
+    } else {
+      // No relation: a bare variable is a boolean test.
+      IL_REQUIRE(lhs->kind() == Expr::Kind::Var || lhs->kind() == Expr::Kind::Meta,
+                 "expected comparison after arithmetic expression");
+      return Pred::cmp(CmpOp::Ne, lhs, Expr::constant(0));
+    }
+    return Pred::cmp(op, lhs, parse_sum());
+  }
+
+  ExprPtr parse_sum() {
+    auto lhs = parse_prod();
+    for (;;) {
+      skip_ws();
+      if (peek() == '+') {
+        ++pos_;
+        lhs = Expr::add(lhs, parse_prod());
+      } else if (peek() == '-' && !ahead("->")) {
+        ++pos_;
+        lhs = Expr::sub(lhs, parse_prod());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_prod() {
+    auto lhs = parse_atom();
+    for (;;) {
+      skip_ws();
+      if (peek() == '*') {
+        ++pos_;
+        lhs = Expr::mul(lhs, parse_atom());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_atom() {
+    skip_ws();
+    const char c = peek();
+    if (c == '(') {
+      ++pos_;
+      auto e = parse_sum();
+      skip_ws();
+      IL_REQUIRE(peek() == ')', "expected ')'");
+      ++pos_;
+      return e;
+    }
+    if (c == '-') {
+      ++pos_;
+      return Expr::neg(parse_atom());
+    }
+    if (c == '$') {
+      ++pos_;
+      return Expr::meta(parse_ident());
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t v = 0;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        v = v * 10 + (text_[pos_] - '0');
+        ++pos_;
+      }
+      return Expr::constant(v);
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return Expr::var(parse_ident());
+    }
+    IL_REQUIRE(false, "unexpected character in expression: " + std::string(1, c));
+    return nullptr;
+  }
+
+  std::string parse_ident() {
+    skip_ws();
+    IL_REQUIRE(std::isalpha(static_cast<unsigned char>(peek())) || peek() == '_',
+               "expected identifier");
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  // -- lexing helpers --------------------------------------------------------
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool ahead(const std::string& tok) {
+    skip_ws();
+    return text_.compare(pos_, tok.size(), tok) == 0;
+  }
+
+  bool eat(const std::string& tok) {
+    if (!ahead(tok)) return false;
+    pos_ += tok.size();
+    return true;
+  }
+
+  // A single "=" that is not the start of "==" (permits the paper's "x = y").
+  bool eat_eq_single() {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '=' &&
+        (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '=')) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool peek_word(const std::string& w) {
+    skip_ws();
+    if (text_.compare(pos_, w.size(), w) != 0) return false;
+    const std::size_t after = pos_ + w.size();
+    return after >= text_.size() ||
+           (!std::isalnum(static_cast<unsigned char>(text_[after])) && text_[after] != '_');
+  }
+
+  void eat_word(const std::string& w) {
+    IL_CHECK(peek_word(w));
+    pos_ += w.size();
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+PredPtr parse_pred(const std::string& text) { return Parser(text).parse_pred_all(); }
+
+ExprPtr parse_expr(const std::string& text) { return Parser(text).parse_expr_all(); }
+
+}  // namespace il

@@ -1,0 +1,32 @@
+// Parser for the state-predicate language.
+//
+// Grammar (precedence low to high):
+//   pred    := iff
+//   iff     := imp ( "<->" imp )*
+//   imp     := or ( "->" or )*            (right associative)
+//   or      := and ( "||" and )*
+//   and     := unary ( "&&" unary )*
+//   unary   := "!" unary | "(" pred ")" | "true" | "false" | relation
+//   relation:= sum ( ("=="|"="|"!="|"<="|">="|"<"|">") sum )?
+//              -- a lone identifier with no relation is a boolean test (v != 0)
+//   sum     := prod ( ("+"|"-") prod )*
+//   prod    := atom ( "*" atom )*
+//   atom    := integer | identifier | "$" identifier | "-" atom | "(" sum ")"
+//
+// "$name" denotes a meta (rigid logical) variable; a bare identifier is a
+// state variable.
+#pragma once
+
+#include <string>
+
+#include "trace/predicate.h"
+
+namespace il {
+
+/// Parses `text` into a predicate.  Throws std::invalid_argument on error.
+PredPtr parse_pred(const std::string& text);
+
+/// Parses an arithmetic expression.
+ExprPtr parse_expr(const std::string& text);
+
+}  // namespace il

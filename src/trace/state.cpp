@@ -1,0 +1,21 @@
+#include "trace/state.h"
+
+#include "util/strings.h"
+
+namespace il {
+
+std::int64_t State::get(const std::string& name) const {
+  auto it = vars_.find(name);
+  return it == vars_.end() ? 0 : it->second;
+}
+
+void State::set(const std::string& name, std::int64_t value) { vars_[name] = value; }
+
+std::string State::to_string() const {
+  std::vector<std::string> parts;
+  parts.reserve(vars_.size());
+  for (const auto& [k, v] : vars_) parts.push_back(k + "=" + to_string_i64(v));
+  return "{" + join(parts, ", ") + "}";
+}
+
+}  // namespace il

@@ -1,0 +1,47 @@
+// A computation state: a finite assignment of integer values to named
+// variables.  Boolean state predicates are represented as integer variables
+// with values 0/1; this matches the paper's model where a state assigns a
+// truth value to every atomic predicate (Chapter 3).
+//
+// Unassigned variables read as 0 (false), so specifications may mention
+// signals a particular trace never sets.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace il {
+
+class State {
+ public:
+  State() = default;
+
+  /// Reads a variable; absent variables read as 0.
+  std::int64_t get(const std::string& name) const;
+
+  /// True iff the variable reads non-zero.
+  bool truthy(const std::string& name) const { return get(name) != 0; }
+
+  /// Assigns a variable.
+  void set(const std::string& name, std::int64_t value);
+
+  /// Convenience for boolean signals.
+  void set_bool(const std::string& name, bool value) { set(name, value ? 1 : 0); }
+
+  bool operator==(const State& other) const { return vars_ == other.vars_; }
+  bool operator!=(const State& other) const { return !(*this == other); }
+
+  /// Deterministic ordering so states can key ordered containers.
+  bool operator<(const State& other) const { return vars_ < other.vars_; }
+
+  /// Renders as "{a=1, b=0}" for diagnostics.
+  std::string to_string() const;
+
+  const std::map<std::string, std::int64_t>& vars() const { return vars_; }
+
+ private:
+  std::map<std::string, std::int64_t> vars_;
+};
+
+}  // namespace il

@@ -1,0 +1,36 @@
+#include "trace/trace.h"
+
+#include "util/assert.h"
+
+namespace il {
+
+const State& Trace::at(std::size_t k) const {
+  IL_REQUIRE(!states_.empty(), "trace must contain at least one state");
+  if (k >= states_.size()) return states_.back();
+  return states_[k];
+}
+
+const State& Trace::back() const {
+  IL_REQUIRE(!states_.empty());
+  return states_.back();
+}
+
+State& Trace::back_mut() {
+  IL_REQUIRE(!states_.empty());
+  return states_.back();
+}
+
+std::size_t Trace::last_index() const {
+  IL_REQUIRE(!states_.empty());
+  return states_.size() - 1;
+}
+
+std::string Trace::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    out += std::to_string(i) + ": " + states_[i].to_string() + "\n";
+  }
+  return out;
+}
+
+}  // namespace il

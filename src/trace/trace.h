@@ -1,0 +1,80 @@
+// A computation: a finite sequence of states, interpreted as an infinite
+// sequence by repeating (stuttering) the last state forever.  This is
+// exactly the paper's convention (Chapter 3): "For a finite computation, we
+// extend the last state to form an infinite sequence."
+//
+// All interval-logic satisfaction is defined over these stuttering-extended
+// sequences.  Because the extension is constant, no event (a predicate
+// changing from false to true) can occur beyond index size()-1, which keeps
+// every changeset finite and the semantics computable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/state.h"
+
+namespace il {
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<State> states) : states_(std::move(states)) {}
+
+  /// Number of explicitly stored states.  Must be >= 1 before evaluation.
+  std::size_t size() const { return states_.size(); }
+  bool empty() const { return states_.empty(); }
+
+  /// State at index k of the *infinite* stuttering-extended sequence:
+  /// indices past the end read the final state.
+  const State& at(std::size_t k) const;
+
+  /// Appends a state.
+  void push(State s) { states_.push_back(std::move(s)); }
+
+  /// Last explicitly stored state (requires non-empty).
+  const State& back() const;
+  State& back_mut();
+
+  /// Index of the last explicitly stored state (requires non-empty).
+  std::size_t last_index() const;
+
+  std::string to_string() const;
+
+  const std::vector<State>& states() const { return states_; }
+
+ private:
+  std::vector<State> states_;
+};
+
+/// Builder that records a system's evolution: mutate the working state via
+/// set()/set_bool() and call commit() to append a snapshot.  Used by all the
+/// Chapter 5-8 system simulators.
+class TraceBuilder {
+ public:
+  TraceBuilder() = default;
+
+  void set(const std::string& name, std::int64_t value) { working_.set(name, value); }
+  void set_bool(const std::string& name, bool value) { working_.set_bool(name, value); }
+  std::int64_t get(const std::string& name) const { return working_.get(name); }
+
+  /// Appends a snapshot of the working state to the trace.
+  void commit() { trace_.push(working_); }
+
+  /// Convenience: apply `fn` to the working state, then commit.
+  template <typename Fn>
+  void step(Fn&& fn) {
+    fn(working_);
+    commit();
+  }
+
+  const Trace& trace() const { return trace_; }
+  Trace take() { return std::move(trace_); }
+
+ private:
+  State working_;
+  Trace trace_;
+};
+
+}  // namespace il

@@ -1,0 +1,37 @@
+// Lightweight contract-check macros used throughout the library.
+//
+// IL_REQUIRE checks a precondition and throws std::invalid_argument;
+// IL_CHECK checks an internal invariant and throws std::logic_error.
+// Both are always on: the library favours loud failure over silent
+// corruption, per the project's error-handling policy (exceptions for
+// errors, never error codes threaded through return values).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace il {
+
+[[noreturn]] inline void fail_require(const char* cond, const char* file, int line,
+                                      const std::string& msg) {
+  throw std::invalid_argument(std::string("precondition failed: ") + cond + " at " + file + ":" +
+                              std::to_string(line) + (msg.empty() ? "" : (": " + msg)));
+}
+
+[[noreturn]] inline void fail_check(const char* cond, const char* file, int line,
+                                    const std::string& msg) {
+  throw std::logic_error(std::string("invariant failed: ") + cond + " at " + file + ":" +
+                         std::to_string(line) + (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace il
+
+#define IL_REQUIRE(cond, ...) \
+  do {                        \
+    if (!(cond)) ::il::fail_require(#cond, __FILE__, __LINE__, ::std::string("" __VA_ARGS__)); \
+  } while (0)
+
+#define IL_CHECK(cond, ...) \
+  do {                      \
+    if (!(cond)) ::il::fail_check(#cond, __FILE__, __LINE__, ::std::string("" __VA_ARGS__)); \
+  } while (0)

@@ -1,0 +1,37 @@
+// Deterministic pseudo-random number generator.
+//
+// Every stochastic component of the simulation substrate (message loss,
+// duplication, delay, scheduling jitter) draws from this generator so that
+// each experiment is exactly reproducible from its seed.  The generator is
+// xoshiro256**, which is small, fast, and has no measurable bias for the
+// quantities we draw.
+#pragma once
+
+#include <cstdint>
+
+namespace il {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, n).  Requires n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Uniform double in [0,1).
+  double uniform();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace il

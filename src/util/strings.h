@@ -1,0 +1,19 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace il {
+
+/// Joins the elements of `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Formats an int64 (used by printers so formatting is centralized).
+std::string to_string_i64(std::int64_t v);
+
+}  // namespace il

@@ -1,0 +1,85 @@
+// E5: the Chapter 7 Alternating Bit protocol under loss/duplication/delay.
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "systems/ab_protocol.h"
+#include "systems/queue_system.h"
+
+namespace il::sys {
+namespace {
+
+std::vector<std::int64_t> domain(std::size_t n) {
+  std::vector<std::int64_t> d;
+  for (std::size_t i = 1; i <= n; ++i) d.push_back(static_cast<std::int64_t>(i));
+  return d;
+}
+
+class AbSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AbSeeds, SenderAndReceiverSatisfyFigures73And74) {
+  AbRunConfig config;
+  config.seed = GetParam();
+  config.messages = 3;
+  AbRunResult result = run_ab_protocol(config);
+  ASSERT_EQ(result.delivered, config.messages) << "protocol did not complete";
+
+  auto sender = check_spec(ab_sender_spec(domain(config.messages)), result.trace);
+  EXPECT_TRUE(sender.ok) << sender.to_string();
+  auto receiver = check_spec(ab_receiver_spec(domain(config.messages)), result.trace);
+  EXPECT_TRUE(receiver.ok) << receiver.to_string();
+}
+
+TEST_P(AbSeeds, ProvidesReliableFifoService) {
+  AbRunConfig config;
+  config.seed = GetParam();
+  config.messages = 3;
+  AbRunResult result = run_ab_protocol(config);
+  ASSERT_EQ(result.delivered, config.messages);
+  auto service =
+      check_spec(fifo_service_spec("Send", "Rec", domain(config.messages), "ab_service"),
+                 result.trace);
+  EXPECT_TRUE(service.ok) << service.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AbSeeds, ::testing::Values(1, 2, 5, 13));
+
+TEST(AbProtocol, SurvivesHeavyLoss) {
+  AbRunConfig config;
+  config.seed = 3;
+  config.messages = 3;
+  config.loss_probability = 0.6;
+  config.duplication_probability = 0.3;
+  AbRunResult result = run_ab_protocol(config);
+  EXPECT_EQ(result.delivered, config.messages);
+  EXPECT_GT(result.packet_losses + result.ack_losses, 0u);
+  EXPECT_GT(result.transmissions, config.messages);  // retransmissions happened
+}
+
+TEST(AbProtocol, LosslessRunStillConforms) {
+  AbRunConfig config;
+  config.seed = 1;
+  config.messages = 3;
+  config.loss_probability = 0.0;
+  config.duplication_probability = 0.0;
+  AbRunResult result = run_ab_protocol(config);
+  ASSERT_EQ(result.delivered, config.messages);
+  EXPECT_TRUE(check_spec(ab_sender_spec(domain(config.messages)), result.trace).ok);
+  EXPECT_TRUE(check_spec(ab_receiver_spec(domain(config.messages)), result.trace).ok);
+}
+
+TEST(AbNegative, StuckSequenceBitBreaksTheProtocol) {
+  AbRunConfig config;
+  config.seed = 2;
+  config.messages = 3;
+  config.max_steps = 400;  // bounded: the broken run cannot complete
+  AbRunResult result = run_ab_protocol_stuck_bit(config);
+  EXPECT_LT(result.delivered, config.messages);
+  const bool sender_ok =
+      check_spec(ab_sender_spec(domain(config.messages)), result.trace).ok;
+  const bool receiver_ok =
+      check_spec(ab_receiver_spec(domain(config.messages)), result.trace).ok;
+  EXPECT_FALSE(sender_ok && receiver_ok);
+}
+
+}  // namespace
+}  // namespace il::sys

@@ -1,0 +1,133 @@
+// Tests for the ROBDD package.
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.h"
+
+namespace il::bdd {
+namespace {
+
+TEST(Bdd, Terminals) {
+  Manager m;
+  EXPECT_TRUE(m.is_true(kTrue));
+  EXPECT_TRUE(m.is_false(kFalse));
+  EXPECT_EQ(m.apply_not(kTrue), kFalse);
+  EXPECT_EQ(m.apply_not(kFalse), kTrue);
+}
+
+TEST(Bdd, VarAndNegation) {
+  Manager m;
+  Node x = m.var(0);
+  EXPECT_EQ(m.apply_not(x), m.nvar(0));
+  EXPECT_EQ(m.apply_not(m.apply_not(x)), x);
+}
+
+TEST(Bdd, BooleanAlgebra) {
+  Manager m;
+  Node x = m.var(0), y = m.var(1);
+  EXPECT_EQ(m.apply_and(x, x), x);
+  EXPECT_EQ(m.apply_or(x, x), x);
+  EXPECT_EQ(m.apply_and(x, m.apply_not(x)), kFalse);
+  EXPECT_EQ(m.apply_or(x, m.apply_not(x)), kTrue);
+  // Commutativity / canonicity: same node for equivalent functions.
+  EXPECT_EQ(m.apply_and(x, y), m.apply_and(y, x));
+  EXPECT_EQ(m.apply_or(x, y), m.apply_not(m.apply_and(m.apply_not(x), m.apply_not(y))));
+  // Distribution.
+  Node z = m.var(2);
+  EXPECT_EQ(m.apply_and(x, m.apply_or(y, z)),
+            m.apply_or(m.apply_and(x, y), m.apply_and(x, z)));
+}
+
+TEST(Bdd, IteIsCanonical) {
+  Manager m;
+  Node x = m.var(0), y = m.var(1);
+  Node f = m.ite(x, y, m.apply_not(y));  // x <-> y
+  Node g = m.ite(y, x, m.apply_not(x));  // y <-> x
+  EXPECT_EQ(f, g);
+}
+
+TEST(Bdd, Quantification) {
+  Manager m;
+  Node x = m.var(0), y = m.var(1);
+  // exists x . x /\ y == y ; forall x . x /\ y == false
+  EXPECT_EQ(m.exists(0, m.apply_and(x, y)), y);
+  EXPECT_EQ(m.forall(0, m.apply_and(x, y)), kFalse);
+  // forall x . x \/ y == y
+  EXPECT_EQ(m.forall(0, m.apply_or(x, y)), y);
+  // exists over unused variable is identity.
+  EXPECT_EQ(m.exists(7, y), y);
+}
+
+TEST(Bdd, Restrict) {
+  Manager m;
+  Node x = m.var(0), y = m.var(1);
+  Node f = m.apply_and(x, y);
+  EXPECT_EQ(m.restrict_var(f, 0, true), y);
+  EXPECT_EQ(m.restrict_var(f, 0, false), kFalse);
+}
+
+TEST(Bdd, AnySat) {
+  Manager m;
+  Node f = m.apply_and(m.var(0), m.nvar(1));
+  auto sat = m.any_sat(f);
+  // Assignment must contain x0=true, x1=false.
+  bool saw0 = false, saw1 = false;
+  for (auto [v, val] : sat) {
+    if (v == 0) {
+      saw0 = true;
+      EXPECT_TRUE(val);
+    }
+    if (v == 1) {
+      saw1 = true;
+      EXPECT_FALSE(val);
+    }
+  }
+  EXPECT_TRUE(saw0);
+  EXPECT_TRUE(saw1);
+  EXPECT_THROW(m.any_sat(kFalse), std::invalid_argument);
+}
+
+TEST(Bdd, AllSat) {
+  Manager m;
+  Node f = m.apply_or(m.var(0), m.var(1));
+  auto cubes = m.all_sat(f);
+  // Three satisfying paths at most (BDD paths), covering x0 \/ x1.
+  EXPECT_GE(cubes.size(), 2u);
+  for (const auto& cube : cubes) {
+    bool ok = false;
+    for (auto [v, val] : cube) {
+      if ((v == 0 || v == 1) && val) ok = true;
+    }
+    EXPECT_TRUE(ok);
+  }
+  EXPECT_TRUE(m.all_sat(kFalse).empty());
+}
+
+// Property sweep: BDD operations agree with truth-table evaluation over
+// three variables.
+TEST(Bdd, AgreesWithTruthTables) {
+  Manager m;
+  auto eval = [&](Node f, unsigned bits) {
+    for (int v = 2; v >= 0; --v) f = m.restrict_var(f, v, (bits >> v) & 1);
+    return f == kTrue;
+  };
+  Node x = m.var(0), y = m.var(1), z = m.var(2);
+  struct Case {
+    Node f;
+    std::function<bool(bool, bool, bool)> ref;
+  };
+  const std::vector<Case> cases = {
+      {m.apply_and(x, m.apply_or(y, z)), [](bool a, bool b, bool c) { return a && (b || c); }},
+      {m.apply_xor(x, y), [](bool a, bool b, bool) { return a != b; }},
+      {m.apply_implies(m.apply_and(x, y), z),
+       [](bool a, bool b, bool c) { return !(a && b) || c; }},
+      {m.ite(x, y, z), [](bool a, bool b, bool c) { return a ? b : c; }},
+  };
+  for (const auto& c : cases) {
+    for (unsigned bits = 0; bits < 8; ++bits) {
+      EXPECT_EQ(eval(c.f, bits), c.ref(bits & 1, (bits >> 1) & 1, (bits >> 2) & 1)) << bits;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace il::bdd

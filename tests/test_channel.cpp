@@ -1,0 +1,79 @@
+// Tests for the unreliable channel: loss, duplication, delay, and the
+// FIFO (no-reorder) guarantee of the Chapter 7 service model.
+#include <gtest/gtest.h>
+
+#include "sim/channel.h"
+
+namespace il::sim {
+namespace {
+
+TEST(Channel, ReliableDeliversInOrder) {
+  Channel ch({0.0, 0.0, 1, 1, 0}, 42);
+  for (std::uint64_t i = 1; i <= 5; ++i) ch.send(i, i * 10);
+  std::vector<std::uint64_t> got;
+  for (std::uint64_t t = 1; t <= 10; ++t) {
+    while (auto p = ch.receive(t)) got.push_back(*p);
+  }
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{10, 20, 30, 40, 50}));
+}
+
+TEST(Channel, DelayWithholdsUntilDue) {
+  Channel ch({0.0, 0.0, 3, 3, 0}, 7);
+  ch.send(0, 99);
+  EXPECT_FALSE(ch.receive(1).has_value());
+  EXPECT_FALSE(ch.receive(2).has_value());
+  EXPECT_TRUE(ch.receive(3).has_value());
+}
+
+TEST(Channel, LossDropsButForcedDeliveryGuarantees) {
+  // 100% loss with forced delivery every 4th send: exactly every 4th gets
+  // through.
+  Channel ch({1.0, 0.0, 1, 1, 4}, 3);
+  for (std::uint64_t i = 1; i <= 8; ++i) ch.send(i, i);
+  std::vector<std::uint64_t> got;
+  for (std::uint64_t t = 1; t <= 20; ++t) {
+    while (auto p = ch.receive(t)) got.push_back(*p);
+  }
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{4, 8}));
+  EXPECT_EQ(ch.losses(), 6u);
+}
+
+TEST(Channel, NoReorderUnderRandomDelay) {
+  Channel ch({0.0, 0.0, 1, 5, 0}, 11);
+  for (std::uint64_t i = 1; i <= 20; ++i) ch.send(i, i);
+  std::vector<std::uint64_t> got;
+  for (std::uint64_t t = 1; t <= 60; ++t) {
+    while (auto p = ch.receive(t)) got.push_back(*p);
+  }
+  ASSERT_EQ(got.size(), 20u);
+  for (std::size_t i = 1; i < got.size(); ++i) EXPECT_LT(got[i - 1], got[i]);
+}
+
+TEST(Channel, DuplicationKeepsOrder) {
+  Channel ch({0.0, 1.0, 1, 1, 0}, 5);  // duplicate every packet
+  ch.send(1, 7);
+  ch.send(2, 8);
+  std::vector<std::uint64_t> got;
+  for (std::uint64_t t = 1; t <= 10; ++t) {
+    while (auto p = ch.receive(t)) got.push_back(*p);
+  }
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{7, 7, 8, 8}));
+  EXPECT_EQ(ch.duplicates(), 2u);
+}
+
+TEST(Channel, DeterministicUnderSeed) {
+  for (int trial = 0; trial < 2; ++trial) {
+    Channel a({0.5, 0.2, 1, 3, 4}, 123);
+    Channel b({0.5, 0.2, 1, 3, 4}, 123);
+    for (std::uint64_t i = 1; i <= 30; ++i) {
+      a.send(i, i);
+      b.send(i, i);
+    }
+    EXPECT_EQ(a.losses(), b.losses());
+    EXPECT_EQ(a.duplicates(), b.duplicates());
+    EXPECT_EQ(a.in_flight(), b.in_flight());
+  }
+}
+
+}  // namespace
+}  // namespace il::sim

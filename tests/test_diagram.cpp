@@ -1,0 +1,70 @@
+// Tests for the ASCII timing-diagram renderer (the Section 9 "graphical
+// representation" direction).
+#include <gtest/gtest.h>
+
+#include "core/diagram.h"
+#include "core/parser.h"
+
+namespace il {
+namespace {
+
+Trace make_trace() {
+  // A: 0 1 1 1 1 ; B: 0 0 0 1 1
+  TraceBuilder tb;
+  tb.set_bool("A", false);
+  tb.set_bool("B", false);
+  tb.commit();
+  tb.set_bool("A", true);
+  tb.commit();
+  tb.commit();
+  tb.set_bool("B", true);
+  tb.commit();
+  tb.commit();
+  return tb.take();
+}
+
+TEST(Diagram, WaveformEdges) {
+  Trace tr = make_trace();
+  std::string out = draw_signals(tr, {"A", "B"});
+  EXPECT_NE(out.find("A _/~~~"), std::string::npos) << out;
+  EXPECT_NE(out.find("B ___/~"), std::string::npos) << out;
+}
+
+TEST(Diagram, FallingEdge) {
+  TraceBuilder tb;
+  tb.set_bool("R", true);
+  tb.commit();
+  tb.set_bool("R", false);
+  tb.commit();
+  tb.commit();
+  std::string out = draw_signals(tb.trace(), {"R"});
+  EXPECT_NE(out.find("~\\_"), std::string::npos) << out;
+}
+
+TEST(Diagram, LocatedIntervalIsMarked) {
+  Trace tr = make_trace();
+  std::string out = draw_term(tr, {"A", "B"}, parse_term("A => B"));
+  // A's event is <0,1>, B's <2,3>: the interval [A => B] is <1,3>.
+  // The marker row ends with "[--]" placed at columns 1..3.
+  EXPECT_NE(out.find("[-]"), std::string::npos) << out;
+}
+
+TEST(Diagram, UnfoundIntervalSaysSo) {
+  Trace tr = make_trace();
+  std::string out = draw_term(tr, {"A", "B"}, parse_term("B => A"));
+  EXPECT_NE(out.find("(not found)"), std::string::npos) << out;
+}
+
+TEST(Diagram, InfiniteIntervalIsRightOpen) {
+  Trace tr = make_trace();
+  std::string out = draw_term(tr, {"A"}, parse_term("A =>"));
+  EXPECT_NE(out.find('>'), std::string::npos) << out;
+}
+
+TEST(Diagram, RequiresNonEmptyTrace) {
+  Trace tr;
+  EXPECT_THROW(draw_signals(tr, {"A"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace il

@@ -1,0 +1,231 @@
+// Tests for the Appendix C low-level language: partial-interpretation
+// semantics, graph construction, the iteration decision method, and the
+// LTL encoding — cross-validated against each other.
+#include <gtest/gtest.h>
+
+#include "lll/decide.h"
+#include "lll/encode.h"
+#include "lll/graph.h"
+#include "lll/interp.h"
+#include "ltl/lasso.h"
+#include "ltl/tableau.h"
+
+namespace il::lll {
+namespace {
+
+bool interp_consistent(const PartialInterp& i) {
+  for (const Conj& c : i) {
+    if (c.contradictory) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Reference semantics.
+// ---------------------------------------------------------------------------
+
+TEST(Psi, Leaves) {
+  auto xs = enumerate(*lit("x"), 3);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_EQ(to_string(xs[0]), "x");
+
+  auto ts = enumerate(*tstar(), 3);
+  EXPECT_EQ(ts.size(), 3u);  // T, T T, T T T
+
+  auto fs = enumerate(*ff(), 3);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_FALSE(interp_consistent(fs[0]));
+}
+
+TEST(Psi, ConcatOverlapsOneState) {
+  // x . y : single instant with both x and y.
+  auto xs = enumerate(*concat(lit("x"), lit("y")), 3);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_EQ(xs[0].size(), 1u);
+  EXPECT_EQ(to_string(xs[0]), "x&y");
+
+  // x ; y : two instants.
+  auto ys = enumerate(*semi(lit("x"), lit("y")), 3);
+  ASSERT_EQ(ys.size(), 1u);
+  EXPECT_EQ(ys[0].size(), 2u);
+}
+
+TEST(Psi, ConjExtendsShorter) {
+  // (x;T;T) /\ y : y constrains instant 0, length stays 3.
+  auto xs = enumerate(*conj(semi(lit("x"), semi(tt(), tt())), lit("y")), 4);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_EQ(xs[0].size(), 3u);
+  EXPECT_EQ(xs[0][0].lits.size(), 2u);
+}
+
+TEST(Psi, AsRequiresSameLength) {
+  // x as (T;T) : x has length 1, T;T length 2 — empty.
+  EXPECT_TRUE(enumerate(*same_len(lit("x"), semi(tt(), tt())), 4).empty());
+  // (x T*) as (T;T): lengths match at 2.
+  auto xs = enumerate(*same_len(concat(lit("x"), tstar()), semi(tt(), tt())), 4);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_EQ(xs[0].size(), 2u);
+}
+
+TEST(Psi, ContradictionDetected) {
+  auto xs = enumerate(*conj(lit("x"), lit("x", true)), 2);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_FALSE(interp_consistent(xs[0]));
+  EXPECT_FALSE(satisfiable_bounded(*conj(lit("x"), lit("x", true)), 3));
+  EXPECT_TRUE(satisfiable_bounded(*conj(lit("x"), lit("y")), 3));
+}
+
+TEST(Psi, ForceAndHide) {
+  // (Fx)(T;x): x false at instant 0, true at 1.
+  auto xs = enumerate(*force_false("x", semi(tt(), lit("x"))), 3);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_EQ(to_string(xs[0]), "!x, x");
+  // Hiding erases the variable.
+  auto hs = enumerate(*hide("x", force_false("x", semi(tt(), lit("x")))), 3);
+  ASSERT_EQ(hs.size(), 1u);
+  EXPECT_EQ(to_string(hs[0]), "T, T");
+}
+
+TEST(Psi, IterStarIsIteratedPrefix) {
+  // iter*(P T*, Q) == \/_i P^i ; Q  (Appendix C Section 4.3).
+  auto xs = enumerate(*iter_star(concat(lit("P"), tstar()), lit("Q")), 4);
+  // Expected constraint sequences of length <= 4 include: Q; P,Q; P,P,Q; P,P,P,Q
+  // (plus variants where trailing T* of longer P-copies pad with T —
+  // all consistent).  Check the canonical ones appear.
+  auto contains = [&](const std::string& repr) {
+    for (const auto& i : xs) {
+      if (to_string(i) == repr) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains("Q"));
+  EXPECT_TRUE(contains("P, Q"));
+  EXPECT_TRUE(contains("P, P, Q"));
+  EXPECT_TRUE(contains("P, P, P, Q"));
+  for (const auto& i : xs) EXPECT_TRUE(interp_consistent(i));
+}
+
+// ---------------------------------------------------------------------------
+// Graphs and the decision method.
+// ---------------------------------------------------------------------------
+
+TEST(GraphCtor, Section43Example) {
+  // iter*(P T*, Q): the worked example of Section 4.3.  The reachable
+  // marker construction yields the initial marker node, one spreading node,
+  // and END — with P-labeled a-transitions and Q-labeled b-transitions.
+  GraphBuilder builder;
+  Graph g = builder.build(*iter_star(concat(lit("P"), tstar()), lit("Q")));
+  EXPECT_TRUE(g.has_end);
+  // The marker construction yields the initial marker node, the spreading
+  // node {m0 ∪ r}, and (under the relaxed marker semantics) a post-b node
+  // where a stale T* tail drains; plus END.
+  EXPECT_GE(g.nodes.size(), 2u);
+  EXPECT_LE(g.nodes.size(), 3u);
+  bool saw_p_self = false, saw_q_end = false;
+  for (const GEdge& e : g.edges) {
+    if (is_end(e.to) && e.prop.lits.count("Q")) saw_q_end = true;
+    if (!is_end(e.to) && e.prop.lits.count("P")) saw_p_self = true;
+  }
+  EXPECT_TRUE(saw_p_self);
+  EXPECT_TRUE(saw_q_end);
+  DecisionStats stats = iterate_graph(g);
+  EXPECT_TRUE(stats.satisfiable);
+}
+
+TEST(Decide, Basics) {
+  EXPECT_TRUE(lll_satisfiable(*lit("x")));
+  EXPECT_FALSE(lll_satisfiable(*ff()));
+  EXPECT_FALSE(lll_satisfiable(*conj(lit("x"), lit("x", true))));
+  EXPECT_TRUE(lll_satisfiable(*tstar()));
+  EXPECT_TRUE(lll_satisfiable(*infloop(lit("x"))));
+  // infloop(x) /\ (T;!x): x forever clashes with !x at instant 1.
+  EXPECT_FALSE(lll_satisfiable(*conj(infloop(lit("x")), semi(tt(), lit("x", true)))));
+}
+
+TEST(Decide, IterStarForcesB) {
+  // iter*(x T*, F): b must begin but is unsatisfiable -> whole unsat.
+  EXPECT_FALSE(lll_satisfiable(*iter_star(concat(lit("x"), tstar()), ff())));
+  // iter(*) (no eventuality) with unsatisfiable b: may loop on a forever.
+  EXPECT_TRUE(lll_satisfiable(*iter_paren(concat(lit("x"), tstar()), ff())));
+}
+
+// Graph decision agrees with the bounded reference semantics on
+// finite-witness expressions.
+TEST(Decide, AgreesWithPsiOnFiniteWitnessCorpus) {
+  const std::vector<std::pair<const char*, ExprPtr>> corpus = {
+      {"x", lit("x")},
+      {"x&!x", conj(lit("x"), lit("x", true))},
+      {"x;y", semi(lit("x"), lit("y"))},
+      {"x.!x", concat(lit("x"), lit("x", true))},
+      {"(x T*) as (T;T)", same_len(concat(lit("x"), tstar()), semi(tt(), tt()))},
+      {"x as (T;T)", same_len(lit("x"), semi(tt(), tt()))},
+      {"Fx(T;x) /\\ x", conj(force_false("x", semi(tt(), lit("x"))), lit("x"))},
+      {"Fx(T;x) /\\ (!x T*)",
+       conj(force_false("x", semi(tt(), lit("x"))), concat(lit("x", true), tstar()))},
+      {"iter*(P T*, Q)", iter_star(concat(lit("P"), tstar()), lit("Q"))},
+      {"iter*(P T*, !P) /\\ infloop(P)",
+       conj(iter_star(concat(lit("P"), tstar()), lit("P", true)), infloop(lit("P")))},
+      {"hide x of contradiction", hide("x", conj(lit("y"), lit("y", true)))},
+  };
+  for (const auto& [name, e] : corpus) {
+    const bool via_graph = lll_satisfiable(*e);
+    const bool via_psi = satisfiable_bounded(*e, 5);
+    // psi is bounded: it may miss long witnesses but never invents one.
+    if (via_psi) {
+      EXPECT_TRUE(via_graph) << name;
+    }
+    if (!via_graph) {
+      EXPECT_FALSE(via_psi) << name;
+    }
+    // For this corpus the bounds are big enough that they agree exactly.
+    EXPECT_EQ(via_graph, via_psi) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LTL encoding (Section 7).
+// ---------------------------------------------------------------------------
+
+TEST(Encode, SatisfiabilityAgreesWithTableau) {
+  const std::vector<std::string> corpus = {
+      "p",
+      "p /\\ !p",
+      "[]p",
+      "<>p",
+      "[]p /\\ <>!p",
+      "o p /\\ o !p",
+      "[]p \\/ []!p",
+      "SU(p, q)",
+      "SU(p, q) /\\ []!q",
+      "U(p, q) /\\ []!q",
+      "[](p /\\ q)",
+      "<>p /\\ []!p",
+  };
+  for (const auto& s : corpus) {
+    ltl::Arena arena;
+    ltl::Id f = arena.nnf(arena.parse(s));
+    const bool via_tableau = ltl::satisfiable(arena, f);
+    const bool via_lll = lll_satisfiable(*encode_ltl(arena, f));
+    EXPECT_EQ(via_tableau, via_lll) << s;
+  }
+}
+
+TEST(Encode, StartsNoLater) {
+  // "a begins no later than b begins" with a = (p T*), b = (q T*).
+  ExprPtr a = concat(lit("p"), tstar());
+  ExprPtr b = concat(lit("q"), tstar());
+  EXPECT_TRUE(lll_satisfiable(*starts_no_later(a, b)));
+
+  // With the markers left visible, pin b's start to instant 0 and force
+  // a's marker off instant 0: then a must begin strictly later — the
+  // ordering constraint makes the whole thing unsatisfiable.
+  ExprPtr visible = starts_no_later(a, b, /*hide_markers=*/false);
+  ExprPtr pin_b_first = concat(lit("__by"), tstar());          // y at instant 0
+  ExprPtr a_not_first = concat(lit("__bx", true), tstar());    // x false at instant 0
+  EXPECT_FALSE(lll_satisfiable(*conj(visible, conj(pin_b_first, a_not_first))));
+  // Sanity: pinning only b first stays satisfiable (simultaneous starts).
+  EXPECT_TRUE(lll_satisfiable(*conj(starts_no_later(a, b, false), pin_b_first)));
+}
+
+}  // namespace
+}  // namespace il::lll

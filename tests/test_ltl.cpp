@@ -1,0 +1,237 @@
+// Tests for the LTL layer: NNF, lasso semantics, and the tableau decision
+// procedure of Appendix B, cross-validated against exhaustive bounded
+// semantic search.
+#include <gtest/gtest.h>
+
+#include "ltl/formula.h"
+#include "ltl/lasso.h"
+#include "ltl/tableau.h"
+
+namespace il::ltl {
+namespace {
+
+TEST(Arena, HashConsing) {
+  Arena a;
+  EXPECT_EQ(a.parse("p /\\ q"), a.parse("p /\\ q"));
+  EXPECT_EQ(a.parse("p /\\ q"), a.parse("q /\\ p"));  // commutative normalization
+  EXPECT_EQ(a.parse("[] p"), a.parse("[]p"));
+  EXPECT_NE(a.parse("[] p"), a.parse("<> p"));
+}
+
+TEST(Arena, ParsePrint) {
+  Arena a;
+  for (const char* s : {"[](p -> <>q)", "U(p, q)", "SU(p, q /\\ r)", "o p",
+                        "(<>[]p) -> ([]<>p)"}) {
+    Id f = a.parse(s);
+    Id g = a.parse(a.to_string(f));
+    EXPECT_EQ(a.to_string(f), a.to_string(g)) << s;
+  }
+}
+
+TEST(Nnf, EliminatesNotAndImplies) {
+  Arena a;
+  Id f = a.nnf(a.parse("!([](p -> <>q))"));
+  // Walk: no Not/Implies nodes reachable.
+  std::vector<Id> stack{f};
+  while (!stack.empty()) {
+    Id id = stack.back();
+    stack.pop_back();
+    const Node& n = a.node(id);
+    EXPECT_NE(n.kind, Kind::Not);
+    EXPECT_NE(n.kind, Kind::Implies);
+    if (n.a >= 0) stack.push_back(n.a);
+    if (n.b >= 0) stack.push_back(n.b);
+  }
+}
+
+// NNF preserves semantics on every small word.
+TEST(Nnf, SemanticsPreservedOnWords) {
+  Arena a;
+  const std::vector<std::string> formulas = {
+      "!([]p)", "!(<>p)", "!(U(p,q))", "!(SU(p,q))", "!(o p)",
+      "!(p -> q)", "!(p /\\ (q \\/ !p))", "!([](p -> <>q))"};
+  std::vector<std::int32_t> atoms = {a.node(a.atom("p")).atom, a.node(a.atom("q")).atom};
+  for (const auto& s : formulas) {
+    Id f = a.parse(s);
+    Id g = a.nnf(f);
+    // Compare on all lassos with total length <= 3.
+    for (std::size_t total = 1; total <= 3; ++total) {
+      for (std::size_t loop_len = 1; loop_len <= total; ++loop_len) {
+        const std::size_t prefix_len = total - loop_len;
+        const std::size_t vals = 4;
+        std::vector<std::size_t> idx(total, 0);
+        for (;;) {
+          Word w;
+          auto val_of = [&](std::size_t b) {
+            Valuation v;
+            if (b & 1) v.insert(atoms[0]);
+            if (b & 2) v.insert(atoms[1]);
+            return v;
+          };
+          for (std::size_t i = 0; i < prefix_len; ++i) w.prefix.push_back(val_of(idx[i]));
+          for (std::size_t i = prefix_len; i < total; ++i) w.loop.push_back(val_of(idx[i]));
+          EXPECT_EQ(eval_on_word(a, f, w), eval_on_word(a, g, w)) << s;
+          std::size_t pos = 0;
+          while (pos < total) {
+            if (++idx[pos] < vals) break;
+            idx[pos] = 0;
+            ++pos;
+          }
+          if (pos == total) break;
+        }
+      }
+    }
+  }
+}
+
+TEST(Lasso, BasicSemantics) {
+  Arena a;
+  Id p = a.atom("p");
+  const std::int32_t pi = a.node(p).atom;
+  // Word: {} ({p})^omega  — p eventually always.
+  Word w;
+  w.prefix.push_back({});
+  w.loop.push_back({pi});
+  EXPECT_FALSE(eval_on_word(a, p, w));
+  EXPECT_TRUE(eval_on_word(a, a.parse("<>p"), w));
+  EXPECT_FALSE(eval_on_word(a, a.parse("[]p"), w));
+  EXPECT_TRUE(eval_on_word(a, a.parse("o []p"), w));
+  EXPECT_TRUE(eval_on_word(a, a.parse("<>[]p"), w));
+}
+
+TEST(Lasso, WeakVsStrongUntil) {
+  Arena a;
+  const std::int32_t pi = a.node(a.atom("p")).atom;
+  // p forever, q never.
+  Word w;
+  w.loop.push_back({pi});
+  EXPECT_TRUE(eval_on_word(a, a.parse("U(p, q)"), w));    // weak holds
+  EXPECT_FALSE(eval_on_word(a, a.parse("SU(p, q)"), w));  // strong fails
+}
+
+// ---------------------------------------------------------------------------
+// Tableau.
+// ---------------------------------------------------------------------------
+
+TEST(Tableau, ClassicValidities) {
+  Arena a;
+  // The paper's own example: <>[]P -> []<>P is valid.
+  EXPECT_TRUE(valid(a, a.parse("(<>[]p) -> ([]<>p)")));
+  // ...and <>P -> []P is satisfiable but not valid.
+  EXPECT_FALSE(valid(a, a.parse("(<>p) -> ([]p)")));
+  EXPECT_TRUE(satisfiable(a, a.parse("(<>p) -> ([]p)")));
+
+  EXPECT_TRUE(valid(a, a.parse("[]p -> p")));
+  EXPECT_TRUE(valid(a, a.parse("[]p -> o p")));
+  EXPECT_TRUE(valid(a, a.parse("[]p -> [][]p")));
+  EXPECT_TRUE(valid(a, a.parse("p -> <>p")));
+  EXPECT_TRUE(valid(a, a.parse("[](p -> q) -> ([]p -> []q)")));
+  EXPECT_TRUE(valid(a, a.parse("!(<>p) <-> []!p")));
+  EXPECT_TRUE(valid(a, a.parse("U(p,q) <-> (q \\/ (p /\\ o U(p,q)))")));
+  EXPECT_TRUE(valid(a, a.parse("SU(p,q) -> <>q")));
+  EXPECT_FALSE(valid(a, a.parse("U(p,q) -> <>q")));  // weak until: no eventuality
+}
+
+TEST(Tableau, Unsatisfiables) {
+  Arena a;
+  EXPECT_FALSE(satisfiable(a, a.parse("p /\\ !p")));
+  EXPECT_FALSE(satisfiable(a, a.parse("[]p /\\ <>!p")));
+  EXPECT_FALSE(satisfiable(a, a.parse("[](p -> o p) /\\ p /\\ <>!p ")));
+  EXPECT_FALSE(satisfiable(a, a.parse("SU(p, q) /\\ []!q")));
+  EXPECT_TRUE(satisfiable(a, a.parse("U(p, q) /\\ []!q")));
+}
+
+// Cross-validate tableau satisfiability against exhaustive lasso search on a
+// corpus of formulas over two atoms.
+TEST(Tableau, AgreesWithBoundedSemantics) {
+  const std::vector<std::string> corpus = {
+      "p", "!p", "p /\\ q", "p \\/ !p", "o p", "o !p",
+      "[]p", "<>p", "[]<>p", "<>[]p",
+      "[]p /\\ <>!p",
+      "U(p,q)", "SU(p,q)", "U(p,q) /\\ []!q", "SU(p,q) /\\ []!q",
+      "[](p -> o q)", "[](p -> o q) /\\ []p /\\ <>!q",
+      "<>p /\\ <>!p", "[](p \\/ q) /\\ []!p",
+      "SU(p, q) /\\ [](q -> false)",
+      "[]<>p /\\ []<>!p",
+      "(<>[]p) /\\ ([]<>!p)",
+      "o o o p /\\ []!p",
+      "U(p, q /\\ o !p)",
+  };
+  for (const auto& s : corpus) {
+    Arena a;
+    Id f = a.parse(s);
+    const bool tab = satisfiable(a, f);
+    std::vector<std::int32_t> atoms;
+    for (std::size_t i = 0; i < a.atom_count(); ++i) atoms.push_back(static_cast<std::int32_t>(i));
+    const bool sem = satisfiable_bounded(a, f, atoms, 5);
+    EXPECT_EQ(tab, sem) << s;
+  }
+}
+
+// Every extracted model must satisfy the formula semantically.
+TEST(Tableau, ExtractedModelsSatisfyFormula) {
+  const std::vector<std::string> corpus = {
+      "p", "o p", "[]p", "<>p", "[]<>p", "<>[]p", "U(p,q)", "SU(p,q)",
+      "[](p -> o q)", "<>p /\\ <>!p", "[]<>p /\\ []<>!p", "SU(p, q) /\\ <>!p",
+  };
+  for (const auto& s : corpus) {
+    Arena a;
+    Id f = a.parse(s);
+    Id g = a.nnf(f);
+    Tableau t(a, g);
+    ASSERT_TRUE(t.iterate()) << s;
+    auto lasso = t.extract_model();
+    ASSERT_TRUE(lasso.has_value()) << s;
+    ASSERT_FALSE(lasso->loop.empty()) << s;
+    // Convert literal conjunctions to valuations (unmentioned atoms false).
+    auto to_valuation = [&](const std::vector<Id>& lits) {
+      Valuation v;
+      for (Id l : lits) {
+        if (a.kind(l) == Kind::Atom) v.insert(a.node(l).atom);
+      }
+      return v;
+    };
+    Word w;
+    for (const auto& lits : lasso->prefix) w.prefix.push_back(to_valuation(lits));
+    for (const auto& lits : lasso->loop) w.loop.push_back(to_valuation(lits));
+    EXPECT_TRUE(eval_on_word(a, f, w)) << s;
+  }
+}
+
+TEST(Tableau, GraphIsNonTrivial) {
+  Arena a;
+  Id f = a.nnf(a.parse("[](p -> <>q)"));
+  Tableau t(a, f);
+  EXPECT_GT(t.node_count(), 1u);
+  EXPECT_GT(t.edge_count(), 1u);
+  EXPECT_TRUE(t.iterate());
+}
+
+// The Appendix B benchmark formulas R3, R4, R5 (Section 6) are all valid in
+// pure temporal logic.  LU(P,Q) is the "latches-until" of the paper's
+// earlier specification work: P may not rise before Q, reconstructed as
+// U(!P, U(P /\ !Q, Q)); LUA(P,Q) = LU(P, P /\ Q).
+std::string LU(const std::string& p, const std::string& q) {
+  return "U(!(" + p + "), U((" + p + ") /\\ !(" + q + "), " + q + "))";
+}
+std::string LUA(const std::string& p, const std::string& q) {
+  return LU(p, "(" + p + ") /\\ (" + q + ")");
+}
+
+TEST(Tableau, AppendixBFormulasAreValid) {
+  {
+    Arena a;  // R5: LUA(A,B) /\ LUA(B,C) -> LUA(A \/ B, C)
+    const std::string r5 =
+        "(" + LUA("A", "B") + ") /\\ (" + LUA("B", "C") + ") -> (" + LUA("A \\/ B", "C") + ")";
+    EXPECT_TRUE(valid(a, a.parse(r5))) << r5;
+  }
+  {
+    Arena a;  // R3: []LUA(A,X) /\ []LUA(A,Y) -> []LUA(A, X /\ Y)
+    const std::string r3 = "([](" + LUA("A", "X") + ")) /\\ ([](" + LUA("A", "Y") +
+                           ")) -> ([](" + LUA("A", "X /\\ Y") + "))";
+    EXPECT_TRUE(valid(a, a.parse(r3))) << r3;
+  }
+}
+
+}  // namespace
+}  // namespace il

@@ -1,0 +1,65 @@
+// Tests for the online runtime monitor.
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+#include "core/parser.h"
+
+namespace il {
+namespace {
+
+Spec simple_spec() {
+  Spec spec;
+  spec.name = "demo";
+  spec.axioms.push_back({"safety", parse_formula("[] (cs -> x)")});
+  spec.axioms.push_back({"response", parse_formula("[] [ req => ] *grant")});
+  return spec;
+}
+
+State st(bool req, bool grant, bool x, bool cs) {
+  State s;
+  s.set_bool("req", req);
+  s.set_bool("grant", grant);
+  s.set_bool("x", x);
+  s.set_bool("cs", cs);
+  return s;
+}
+
+TEST(Monitor, RequiresObservationBeforeVerdict) {
+  Monitor m(simple_spec());
+  EXPECT_THROW(m.current(), std::invalid_argument);
+}
+
+TEST(Monitor, TracksSafetyOnline) {
+  Monitor m(simple_spec());
+  m.observe(st(false, false, false, false));
+  EXPECT_TRUE(m.current().ok);
+  m.observe(st(false, false, true, true));  // cs with x: fine
+  EXPECT_TRUE(m.current().ok);
+  m.observe(st(false, false, false, true));  // cs without x: violation
+  auto r = m.current();
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.failed.size(), 1u);
+  EXPECT_EQ(r.failed[0], "demo.safety");
+}
+
+TEST(Monitor, ProvisionalVerdictsRecover) {
+  // A pending response obligation fails provisionally (stuttering
+  // extension has no grant) and recovers when the grant arrives.
+  Monitor m(simple_spec());
+  m.observe(st(false, false, false, false));
+  m.observe(st(true, false, false, false));  // req rises: grant required
+  EXPECT_FALSE(m.current().ok);              // provisional: no grant yet
+  m.observe(st(true, true, false, false));   // grant rises
+  EXPECT_TRUE(m.current().ok);
+}
+
+TEST(Monitor, StatesSeenAndTrace) {
+  Monitor m(simple_spec());
+  m.observe(st(false, false, false, false));
+  m.observe(st(false, false, false, false));
+  EXPECT_EQ(m.states_seen(), 2u);
+  EXPECT_EQ(m.trace().size(), 2u);
+}
+
+}  // namespace
+}  // namespace il

@@ -1,0 +1,124 @@
+// Tests for the Section 2.2 parameterized-operation layer: the at/in/after
+// axioms hold on traces produced by OpRecorder, and parameter predicates
+// bind correctly.
+#include <gtest/gtest.h>
+
+#include "core/operations.h"
+#include "core/semantics.h"
+
+namespace il {
+namespace {
+
+TEST(Operation, NamingConventions) {
+  Operation op("Dq");
+  EXPECT_EQ(op.at_var(), "at_Dq");
+  EXPECT_EQ(op.in_var(), "in_Dq");
+  EXPECT_EQ(op.after_var(), "after_Dq");
+  EXPECT_EQ(op.arg_var(), "Dq_arg");
+  EXPECT_EQ(op.res_var(), "Dq_res");
+}
+
+Trace record_calls(int calls, bool with_busy) {
+  TraceBuilder tb;
+  Operation op("O");
+  OpRecorder rec(op, tb);
+  tb.commit();  // initial quiescent state
+  for (int i = 0; i < calls; ++i) {
+    rec.idle();
+    rec.enter(i + 10);
+    if (with_busy) rec.busy();
+    rec.leave(i + 100);
+  }
+  rec.idle();
+  return tb.take();
+}
+
+TEST(Operation, AxiomsHoldOnRecordedTraces) {
+  Operation op("O");
+  for (bool busy : {false, true}) {
+    Trace tr = record_calls(3, busy);
+    for (const auto& axiom : op.axioms()) {
+      EXPECT_TRUE(holds(*axiom, tr)) << axiom->to_string();
+    }
+    EXPECT_TRUE(holds(*op.termination_axiom(), tr));
+  }
+}
+
+TEST(Operation, AxiomsDetectIllFormedTraces) {
+  // A trace where `in` drops while the operation is still running violates
+  // axiom 1 ([] inO between atO and begin(afterO)).
+  TraceBuilder tb;
+  tb.set_bool("at_O", false);
+  tb.set_bool("in_O", false);
+  tb.set_bool("after_O", false);
+  tb.commit();
+  tb.set_bool("at_O", true);
+  tb.set_bool("in_O", true);
+  tb.commit();
+  tb.set_bool("at_O", false);
+  tb.set_bool("in_O", false);  // glitch: drops mid-operation
+  tb.commit();
+  tb.set_bool("in_O", true);
+  tb.commit();
+  tb.set_bool("in_O", false);
+  tb.set_bool("after_O", true);
+  tb.commit();
+  Operation op("O");
+  bool all_hold = true;
+  for (const auto& axiom : op.axioms()) all_hold = all_hold && holds(*axiom, tb.trace());
+  EXPECT_FALSE(all_hold);
+}
+
+TEST(Operation, ParameterPredicatesBind) {
+  Trace tr = record_calls(2, false);
+  Operation op("O");
+  // First call had arg 10, result 100.
+  Env env;
+  EXPECT_TRUE(holds(*f::eventually(op.at_with_arg(10)), tr));
+  EXPECT_TRUE(holds(*f::eventually(op.at_with_arg(11)), tr));
+  EXPECT_FALSE(holds(*f::eventually(op.at_with_arg(12)), tr));
+  EXPECT_TRUE(holds(*f::eventually(op.after_with_res(101)), tr));
+  env["a"] = 10;
+  EXPECT_TRUE(holds(*f::eventually(op.at_with_arg_meta("a")), tr, env));
+  env["a"] = 12;
+  EXPECT_FALSE(holds(*f::eventually(op.at_with_arg_meta("a")), tr, env));
+}
+
+TEST(Operation, MonotoneCallHistoryExample) {
+  // The Section 2.2 example: the entry parameter increases monotonically
+  // over the call history:
+  //   forall a, b: [ !atO(a)... ] — rendered with the successive-call form:
+  //   [] [ atO(a) => atO'(b) ] b >= a, checked as: between any call with
+  //   arg $a and the next call, the next call's arg is >= $a.
+  Trace tr = record_calls(3, false);  // args 10, 11, 12: monotone
+  Operation op("O");
+  auto monotone = f::forall(
+      "a", {10, 11, 12},
+      f::always(f::interval(
+          t::end(t::fwd(t::event(op.at_with_arg_meta("a")), t::event(op.at()))),
+          f::atom(Pred::cmp(CmpOp::Ge, Expr::var(op.arg_var()), Expr::meta("a"))))));
+  EXPECT_TRUE(holds(*monotone, tr));
+
+  // A decreasing history violates it.
+  TraceBuilder tb;
+  OpRecorder rec(op, tb);
+  tb.commit();
+  rec.enter(12);
+  rec.leave();
+  rec.idle();
+  rec.enter(10);
+  rec.leave();
+  EXPECT_FALSE(holds(*monotone, tb.trace()));
+}
+
+TEST(OpRecorder, RejectsProtocolMisuse) {
+  TraceBuilder tb;
+  Operation op("O");
+  OpRecorder rec(op, tb);
+  EXPECT_THROW(rec.leave(), std::invalid_argument);  // not active
+  rec.enter();
+  EXPECT_THROW(rec.enter(), std::invalid_argument);  // already active
+}
+
+}  // namespace
+}  // namespace il

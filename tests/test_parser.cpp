@@ -1,0 +1,131 @@
+// Tests for the interval-logic concrete syntax.
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+
+namespace il {
+namespace {
+
+TEST(ILParser, AtomKinds) {
+  EXPECT_EQ(parse_formula("x > 0")->kind(), Formula::Kind::Atom);
+  EXPECT_EQ(parse_formula("p")->kind(), Formula::Kind::Atom);
+  EXPECT_EQ(parse_formula("x = y + 1")->kind(), Formula::Kind::Atom);
+  EXPECT_EQ(parse_formula("x <= 5")->kind(), Formula::Kind::Atom);
+}
+
+TEST(ILParser, Connectives) {
+  EXPECT_EQ(parse_formula("p /\\ q")->kind(), Formula::Kind::And);
+  EXPECT_EQ(parse_formula("p && q")->kind(), Formula::Kind::And);
+  EXPECT_EQ(parse_formula("p \\/ q")->kind(), Formula::Kind::Or);
+  EXPECT_EQ(parse_formula("p => q")->kind(), Formula::Kind::Implies);
+  EXPECT_EQ(parse_formula("p -> q")->kind(), Formula::Kind::Implies);
+  EXPECT_EQ(parse_formula("p <=> q")->kind(), Formula::Kind::Iff);
+  EXPECT_EQ(parse_formula("!p")->kind(), Formula::Kind::Not);
+  EXPECT_EQ(parse_formula("~p")->kind(), Formula::Kind::Not);
+}
+
+TEST(ILParser, TemporalOperators) {
+  EXPECT_EQ(parse_formula("[] p")->kind(), Formula::Kind::Always);
+  EXPECT_EQ(parse_formula("<> p")->kind(), Formula::Kind::Eventually);
+  EXPECT_EQ(parse_formula("[ A => B ] [] p")->kind(), Formula::Kind::Interval);
+  EXPECT_EQ(parse_formula("*A")->kind(), Formula::Kind::Occurs);
+}
+
+TEST(ILParser, Precedence) {
+  // => binds looser than \/ which binds looser than /\.
+  auto p = parse_formula("a /\\ b \\/ c => d");
+  ASSERT_EQ(p->kind(), Formula::Kind::Implies);
+  EXPECT_EQ(p->lhs()->kind(), Formula::Kind::Or);
+  EXPECT_EQ(p->lhs()->lhs()->kind(), Formula::Kind::And);
+}
+
+TEST(ILParser, ImplicationIsRightAssociative) {
+  auto p = parse_formula("a => b => c");
+  ASSERT_EQ(p->kind(), Formula::Kind::Implies);
+  EXPECT_EQ(p->rhs()->kind(), Formula::Kind::Implies);
+}
+
+TEST(ILParser, TermShapes) {
+  EXPECT_EQ(parse_term("A")->kind(), Term::Kind::Event);
+  EXPECT_EQ(parse_term("begin(A)")->kind(), Term::Kind::Begin);
+  EXPECT_EQ(parse_term("end(A => B)")->kind(), Term::Kind::End);
+  EXPECT_EQ(parse_term("A => B")->kind(), Term::Kind::Fwd);
+  EXPECT_EQ(parse_term("A <= B")->kind(), Term::Kind::Bwd);
+  EXPECT_EQ(parse_term("*A")->kind(), Term::Kind::Star);
+}
+
+TEST(ILParser, ArrowArgumentOmission) {
+  auto fwd_both = parse_term("=>");
+  EXPECT_EQ(fwd_both->kind(), Term::Kind::Fwd);
+  EXPECT_EQ(fwd_both->left(), nullptr);
+  EXPECT_EQ(fwd_both->right(), nullptr);
+
+  auto fwd_l = parse_term("A =>");
+  EXPECT_NE(fwd_l->left(), nullptr);
+  EXPECT_EQ(fwd_l->right(), nullptr);
+
+  auto fwd_r = parse_term("=> B");
+  EXPECT_EQ(fwd_r->left(), nullptr);
+  EXPECT_NE(fwd_r->right(), nullptr);
+
+  auto bwd_r = parse_term("<= B");
+  EXPECT_EQ(bwd_r->kind(), Term::Kind::Bwd);
+  EXPECT_EQ(bwd_r->left(), nullptr);
+  EXPECT_NE(bwd_r->right(), nullptr);
+}
+
+TEST(ILParser, NestedTerms) {
+  auto tm = parse_term("(A => B) <= C");
+  ASSERT_EQ(tm->kind(), Term::Kind::Bwd);
+  EXPECT_EQ(tm->left()->kind(), Term::Kind::Fwd);
+  EXPECT_EQ(tm->right()->kind(), Term::Kind::Event);
+}
+
+TEST(ILParser, BracedEventFormulas) {
+  auto tm = parse_term("{x = y} => {y = 16}");
+  ASSERT_EQ(tm->kind(), Term::Kind::Fwd);
+  EXPECT_EQ(tm->left()->kind(), Term::Kind::Event);
+  // Braced events may contain full formulas, including <= comparisons.
+  EXPECT_NO_THROW(parse_term("{x <= 5} => B"));
+}
+
+TEST(ILParser, Quantifiers) {
+  auto p = parse_formula("forall a in {1,2,3} . <> x = $a");
+  ASSERT_EQ(p->kind(), Formula::Kind::Forall);
+  EXPECT_EQ(p->quant_var(), "a");
+  EXPECT_EQ(p->quant_domain().size(), 3u);
+  EXPECT_EQ(parse_formula("exists b in {0} . x = $b")->kind(), Formula::Kind::Exists);
+}
+
+TEST(ILParser, IntervalFormulaBindsBody) {
+  auto p = parse_formula("[ A => B ] [] x > 0");
+  ASSERT_EQ(p->kind(), Formula::Kind::Interval);
+  EXPECT_EQ(p->lhs()->kind(), Formula::Kind::Always);
+  EXPECT_EQ(p->term()->kind(), Term::Kind::Fwd);
+}
+
+TEST(ILParser, RoundTripThroughToString) {
+  for (const char* text : {
+           "[ (A => B) => C ] <> D",
+           "[ {x = y} => begin({y = 16}) ] [] x > z",
+           "*(A => *B)",
+           "([ begin(a) => ] *b) \\/ ([ begin(b) => ] *a)",
+           "forall a in {1,2} . [ A => ] x = $a",
+           "[ end(P) ] P",
+       }) {
+    auto once = parse_formula(text);
+    auto twice = parse_formula(once->to_string());
+    EXPECT_EQ(once->to_string(), twice->to_string()) << text;
+  }
+}
+
+TEST(ILParser, Errors) {
+  EXPECT_THROW(parse_formula("[ A => B "), std::invalid_argument);
+  EXPECT_THROW(parse_formula("p /\\"), std::invalid_argument);
+  EXPECT_THROW(parse_formula("forall a in {} . p"), std::invalid_argument);
+  EXPECT_THROW(parse_formula("p extra"), std::invalid_argument);
+  EXPECT_THROW(parse_term("begin A"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace il

@@ -1,0 +1,122 @@
+// Unit tests for the state-predicate layer: expressions, predicates, parser.
+#include <gtest/gtest.h>
+
+#include "trace/predicate.h"
+#include "trace/predicate_parser.h"
+#include "trace/state.h"
+
+namespace il {
+namespace {
+
+State make_state(std::initializer_list<std::pair<const char*, std::int64_t>> kv) {
+  State s;
+  for (const auto& [k, v] : kv) s.set(k, v);
+  return s;
+}
+
+TEST(Expr, EvaluatesArithmetic) {
+  State s = make_state({{"x", 3}, {"y", 4}});
+  auto e = Expr::add(Expr::var("x"), Expr::mul(Expr::var("y"), Expr::constant(2)));
+  EXPECT_EQ(e->eval(s, {}), 11);
+}
+
+TEST(Expr, MetaVariablesReadEnv) {
+  State s;
+  auto e = Expr::sub(Expr::meta("a"), Expr::constant(1));
+  Env env{{"a", 10}};
+  EXPECT_EQ(e->eval(s, env), 9);
+}
+
+TEST(Expr, UnboundMetaThrows) {
+  State s;
+  auto e = Expr::meta("a");
+  EXPECT_THROW(e->eval(s, {}), std::invalid_argument);
+}
+
+TEST(Expr, AbsentVariableReadsZero) {
+  State s;
+  EXPECT_EQ(Expr::var("nope")->eval(s, {}), 0);
+}
+
+TEST(Pred, ComparisonOperators) {
+  State s = make_state({{"x", 5}});
+  Env env;
+  EXPECT_TRUE(Pred::cmp(CmpOp::Eq, Expr::var("x"), Expr::constant(5))->eval(s, env));
+  EXPECT_FALSE(Pred::cmp(CmpOp::Ne, Expr::var("x"), Expr::constant(5))->eval(s, env));
+  EXPECT_TRUE(Pred::cmp(CmpOp::Ge, Expr::var("x"), Expr::constant(5))->eval(s, env));
+  EXPECT_TRUE(Pred::cmp(CmpOp::Le, Expr::var("x"), Expr::constant(5))->eval(s, env));
+  EXPECT_FALSE(Pred::cmp(CmpOp::Lt, Expr::var("x"), Expr::constant(5))->eval(s, env));
+  EXPECT_FALSE(Pred::cmp(CmpOp::Gt, Expr::var("x"), Expr::constant(5))->eval(s, env));
+}
+
+TEST(Pred, BooleanConnectives) {
+  State s = make_state({{"p", 1}, {"q", 0}});
+  auto p = Pred::truthy("p");
+  auto q = Pred::truthy("q");
+  EXPECT_TRUE(Pred::disj(p, q)->eval(s, {}));
+  EXPECT_FALSE(Pred::conj(p, q)->eval(s, {}));
+  EXPECT_FALSE(Pred::implies(p, q)->eval(s, {}));
+  EXPECT_TRUE(Pred::implies(q, p)->eval(s, {}));
+  EXPECT_FALSE(Pred::iff(p, q)->eval(s, {}));
+  EXPECT_TRUE(Pred::negate(q)->eval(s, {}));
+}
+
+TEST(PredParser, ParsesRelations) {
+  State s = make_state({{"x", 7}, {"y", 3}});
+  EXPECT_TRUE(parse_pred("x > y")->eval(s, {}));
+  EXPECT_TRUE(parse_pred("x = y + 4")->eval(s, {}));
+  EXPECT_TRUE(parse_pred("x == 7")->eval(s, {}));
+  EXPECT_FALSE(parse_pred("x != 7")->eval(s, {}));
+  EXPECT_TRUE(parse_pred("x - y >= 4")->eval(s, {}));
+  EXPECT_TRUE(parse_pred("2 * y < x")->eval(s, {}));
+}
+
+TEST(PredParser, ParsesBooleanStructure) {
+  State s = make_state({{"p", 1}, {"q", 0}, {"x", 2}});
+  EXPECT_TRUE(parse_pred("p && !q")->eval(s, {}));
+  EXPECT_TRUE(parse_pred("q || x = 2")->eval(s, {}));
+  EXPECT_TRUE(parse_pred("q -> p")->eval(s, {}));
+  EXPECT_TRUE(parse_pred("p <-> x = 2")->eval(s, {}));
+  EXPECT_TRUE(parse_pred("(p && (x = 2)) || q")->eval(s, {}));
+}
+
+TEST(PredParser, BareIdentifierIsBooleanTest) {
+  State s = make_state({{"flag", 1}});
+  EXPECT_TRUE(parse_pred("flag")->eval(s, {}));
+  EXPECT_FALSE(parse_pred("other")->eval(s, {}));
+}
+
+TEST(PredParser, MetaVariables) {
+  State s = make_state({{"x", 9}});
+  Env env{{"a", 9}};
+  EXPECT_TRUE(parse_pred("x = $a")->eval(s, env));
+}
+
+TEST(PredParser, RejectsGarbage) {
+  EXPECT_THROW(parse_pred("x >"), std::invalid_argument);
+  EXPECT_THROW(parse_pred("&& x"), std::invalid_argument);
+  EXPECT_THROW(parse_pred("x = 1 extra"), std::invalid_argument);
+}
+
+TEST(PredParser, NegativeLiterals) {
+  State s = make_state({{"x", -2}});
+  EXPECT_TRUE(parse_pred("x = -2")->eval(s, {}));
+  EXPECT_TRUE(parse_pred("x < 0")->eval(s, {}));
+}
+
+TEST(Pred, CollectsVariableNames) {
+  auto p = parse_pred("x + y > z && flag");
+  std::vector<std::string> vars;
+  p->collect_vars(vars);
+  EXPECT_EQ(vars.size(), 4u);
+}
+
+TEST(Pred, RoundTripsThroughToString) {
+  auto p = parse_pred("x + 1 >= y && !(q)");
+  auto q = parse_pred(p->to_string());
+  State s = make_state({{"x", 1}, {"y", 2}, {"q", 0}});
+  EXPECT_EQ(p->eval(s, {}), q->eval(s, {}));
+}
+
+}  // namespace
+}  // namespace il

@@ -1,0 +1,87 @@
+// E3: the Chapter 5 queue specifications checked against conforming and
+// deliberately broken simulators, swept over seeds.
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "systems/queue_system.h"
+
+namespace il::sys {
+namespace {
+
+std::vector<std::int64_t> domain(std::size_t n) {
+  std::vector<std::int64_t> d;
+  for (std::size_t i = 1; i <= n; ++i) d.push_back(static_cast<std::int64_t>(i));
+  return d;
+}
+
+class QueueSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueueSeeds, FifoSatisfiesQueueSpec) {
+  QueueRunConfig config;
+  config.seed = GetParam();
+  Trace tr = run_fifo_queue(config);
+  auto r = check_spec(queue_spec(domain(config.values)), tr);
+  EXPECT_TRUE(r.ok) << r.to_string();
+}
+
+TEST_P(QueueSeeds, LifoSatisfiesStackSpec) {
+  QueueRunConfig config;
+  config.seed = GetParam();
+  Trace tr = run_lifo_stack(config);
+  auto r = check_spec(stack_spec(domain(config.values)), tr);
+  EXPECT_TRUE(r.ok) << r.to_string();
+}
+
+TEST_P(QueueSeeds, UnreliableQueueSatisfiesFigure51) {
+  UnreliableQueueRunConfig config;
+  config.seed = GetParam();
+  Trace tr = run_unreliable_queue(config);
+  auto r = check_spec(unreliable_queue_spec(domain(config.values)), tr);
+  EXPECT_TRUE(r.ok) << r.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueSeeds, ::testing::Values(1, 2, 3, 7, 11, 42));
+
+TEST(QueueNegative, SwappingQueueViolatesFifo) {
+  // The pair-swapping queue must violate the FIFO axiom on at least some
+  // seeds (whenever a swap actually occurs).
+  int violations = 0;
+  for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    QueueRunConfig config;
+    config.seed = seed;
+    Trace tr = run_swapping_queue(config);
+    if (!check_spec(queue_spec(domain(config.values)), tr).ok) ++violations;
+  }
+  EXPECT_GT(violations, 0);
+}
+
+TEST(QueueNegative, LifoViolatesQueueSpec) {
+  int violations = 0;
+  for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    QueueRunConfig config;
+    config.seed = seed;
+    Trace tr = run_lifo_stack(config);
+    if (!check_spec(queue_spec(domain(config.values)), tr).ok) ++violations;
+  }
+  EXPECT_GT(violations, 0);
+}
+
+TEST(QueueNegative, FifoViolatesStackSpec) {
+  int violations = 0;
+  for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    QueueRunConfig config;
+    config.seed = seed;
+    Trace tr = run_fifo_queue(config);
+    if (!check_spec(stack_spec(domain(config.values)), tr).ok) ++violations;
+  }
+  EXPECT_GT(violations, 0);
+}
+
+TEST(QueueBasics, TracesAreNonTrivial) {
+  QueueRunConfig config;
+  Trace tr = run_fifo_queue(config);
+  EXPECT_GT(tr.size(), 10u);
+}
+
+}  // namespace
+}  // namespace il::sys

@@ -1,0 +1,67 @@
+// E4: the Chapter 6 self-timed request/acknowledge protocol and arbiter.
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "systems/arbiter.h"
+#include "systems/selftimed.h"
+
+namespace il::sys {
+namespace {
+
+class SelfTimedSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SelfTimedSeeds, ProtocolSatisfiesFigure62) {
+  SelfTimedRunConfig config;
+  config.seed = GetParam();
+  Trace tr = run_request_ack(config);
+  auto r = check_spec(request_ack_spec(), tr);
+  EXPECT_TRUE(r.ok) << r.to_string() << "\n" << tr.to_string();
+}
+
+TEST_P(SelfTimedSeeds, ArbiterSatisfiesFigure64) {
+  ArbiterRunConfig config;
+  config.seed = GetParam();
+  Trace tr = run_arbiter(config);
+  auto r = check_spec(arbiter_spec(), tr);
+  EXPECT_TRUE(r.ok) << r.to_string();
+  EXPECT_TRUE(check(arbiter_mutual_exclusion(), tr));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelfTimedSeeds, ::testing::Values(1, 2, 3, 9, 17));
+
+TEST(SelfTimedNegative, BuggyResponderViolatesA2) {
+  int violations = 0;
+  for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    SelfTimedRunConfig config;
+    config.seed = seed;
+    Trace tr = run_request_ack_buggy(config);
+    auto r = check_spec(request_ack_spec(), tr);
+    if (!r.ok) ++violations;
+  }
+  EXPECT_GT(violations, 0);
+}
+
+TEST(ArbiterNegative, BuggyArbiterViolatesMutualExclusion) {
+  int violations = 0;
+  for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    ArbiterRunConfig config;
+    config.seed = seed;
+    Trace tr = run_arbiter_buggy(config);
+    if (!check(arbiter_mutual_exclusion(), tr)) ++violations;
+  }
+  EXPECT_GT(violations, 0);
+}
+
+TEST(SelfTimedBasics, HandshakesActuallyHappen) {
+  SelfTimedRunConfig config;
+  Trace tr = run_request_ack(config);
+  // Count rises of R.
+  int rises = 0;
+  for (std::size_t k = 1; k < tr.size(); ++k) {
+    if (!tr.at(k - 1).truthy("R") && tr.at(k).truthy("R")) ++rises;
+  }
+  EXPECT_EQ(rises, static_cast<int>(config.handshakes));
+}
+
+}  // namespace
+}  // namespace il::sys

@@ -1,0 +1,331 @@
+// Tests for the Chapter 3 formal model: the F interval-construction
+// function, event changesets, vacuous satisfaction, and the worked examples
+// of Chapter 2.
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "core/semantics.h"
+#include "trace/trace.h"
+
+namespace il {
+namespace {
+
+/// Builds a trace over named boolean/integer variables from explicit rows.
+Trace trace_of(const std::vector<std::string>& vars,
+               const std::vector<std::vector<std::int64_t>>& rows) {
+  Trace tr;
+  for (const auto& row : rows) {
+    State s;
+    for (std::size_t i = 0; i < vars.size(); ++i) s.set(vars[i], row[i]);
+    tr.push(s);
+  }
+  return tr;
+}
+
+bool holds_text(const std::string& text, const Trace& tr) {
+  return holds(*parse_formula(text), tr);
+}
+
+// ---------------------------------------------------------------------------
+// Event intervals and begin/end (Section 2, "For a P predicate event...").
+// ---------------------------------------------------------------------------
+
+TEST(Events, EventIsIntervalOfChange) {
+  // P: 0 0 1 -> event at <1,2>.
+  Trace tr = trace_of({"P"}, {{0}, {0}, {1}});
+  Interval iv = locate(*parse_term("P"), tr);
+  ASSERT_FALSE(iv.null);
+  EXPECT_EQ(iv.lo, 1u);
+  EXPECT_EQ(iv.hi, 2u);
+}
+
+TEST(Events, InitiallyTruePredicateMustFallFirst) {
+  // "if the predicate is true in the initial state, the event occurs ...
+  //  only after the predicate has become False."
+  Trace tr = trace_of({"P"}, {{1}, {1}, {0}, {1}});
+  Interval iv = locate(*parse_term("P"), tr);
+  ASSERT_FALSE(iv.null);
+  EXPECT_EQ(iv.lo, 2u);
+  EXPECT_EQ(iv.hi, 3u);
+}
+
+TEST(Events, NoChangeMeansNoEvent) {
+  Trace tr = trace_of({"P"}, {{1}, {1}, {1}});
+  EXPECT_TRUE(locate(*parse_term("P"), tr).null);
+}
+
+TEST(Events, ValidFormulasForPredicateEvents) {
+  // [endP]P, [beginP]!P, [P]!P hold on every trace; spot-check several.
+  for (const auto& rows : std::vector<std::vector<std::vector<std::int64_t>>>{
+           {{0}, {1}}, {{1}, {0}, {1}, {0}}, {{0}, {0}, {1}, {1}}, {{1}, {1}}}) {
+    Trace tr = trace_of({"P"}, rows);
+    EXPECT_TRUE(holds_text("[ end(P) ] P", tr));
+    EXPECT_TRUE(holds_text("[ begin(P) ] !P", tr));
+    EXPECT_TRUE(holds_text("[ P ] !P", tr));
+  }
+}
+
+TEST(Events, BeginAndEndSelectUnitIntervals) {
+  Trace tr = trace_of({"P"}, {{0}, {1}});
+  Interval b = locate(*parse_term("begin(P)"), tr);
+  Interval e = locate(*parse_term("end(P)"), tr);
+  ASSERT_FALSE(b.null);
+  ASSERT_FALSE(e.null);
+  EXPECT_EQ(b.lo, 0u);
+  EXPECT_EQ(b.hi, 0u);
+  EXPECT_EQ(e.lo, 1u);
+  EXPECT_EQ(e.hi, 1u);
+}
+
+TEST(Events, EndOfInfiniteIntervalIsUndefined) {
+  // end(P =>) would be the end of an infinite interval: null, so the
+  // interval formula is vacuously true and *end(P =>) is false.
+  Trace tr = trace_of({"P"}, {{0}, {1}});
+  EXPECT_TRUE(holds_text("[ end(P =>) ] false", tr));
+  EXPECT_FALSE(holds_text("* end(P =>)", tr));
+}
+
+// ---------------------------------------------------------------------------
+// The arrow operators (Section 2.1).
+// ---------------------------------------------------------------------------
+
+TEST(Arrows, BareArrowSelectsOuterContext) {
+  Trace tr = trace_of({"x"}, {{1}, {2}});
+  // V7: a == [ => ] a.
+  EXPECT_TRUE(holds_text("x = 1 <=> [ => ] x = 1", tr));
+}
+
+TEST(Arrows, FwdComposition) {
+  // I => J starts at end of I and ends at end of the next J.
+  // A: rises at <1,2>; B: rises at <3,4>.
+  Trace tr = trace_of({"A", "B"}, {{0, 0}, {0, 0}, {1, 0}, {1, 0}, {1, 1}});
+  Interval iv = locate(*parse_term("A => B"), tr);
+  ASSERT_FALSE(iv.null);
+  EXPECT_EQ(iv.lo, 2u);
+  EXPECT_EQ(iv.hi, 4u);
+}
+
+TEST(Arrows, FwdVacuousWhenRightMissing) {
+  Trace tr = trace_of({"A", "B"}, {{0, 0}, {1, 0}});
+  EXPECT_TRUE(locate(*parse_term("A => B"), tr).null);
+  // Vacuous satisfaction: any body holds.
+  EXPECT_TRUE(holds_text("[ A => B ] false", tr));
+}
+
+TEST(Arrows, PaperExampleXandY) {
+  // Example (1): [ x = y => y = 16 ] [] x > z.
+  // Build a trace where x==y becomes true at state 2, y==16 at state 4,
+  // and x > z throughout states 2..4.
+  Trace tr = trace_of({"x", "y", "z"},
+                      {{5, 3, 0},    // x!=y
+                       {5, 3, 0},    //
+                       {7, 7, 1},    // x==y becomes true (event <1,2>)
+                       {9, 9, 2},    //
+                       {9, 16, 2},   // y==16 becomes true (event <3,4>)
+                       {0, 16, 9}}); // x>z may fail after the interval
+  EXPECT_TRUE(holds_text("[ {x = y} => {y = 16} ] [] x > z", tr));
+  // Weakening the interval to end at begin(y=16) (example (2)) also holds.
+  EXPECT_TRUE(holds_text("[ {x = y} => begin({y = 16}) ] [] x > z", tr));
+}
+
+TEST(Arrows, PaperExampleXandYViolation) {
+  // Same shape, but x > z fails inside the interval.
+  Trace tr = trace_of({"x", "y", "z"},
+                      {{5, 3, 0}, {7, 7, 1}, {1, 1, 2}, {9, 16, 2}});
+  EXPECT_FALSE(holds_text("[ {x = y} => {y = 16} ] [] x > z", tr));
+}
+
+TEST(Arrows, NestedContextExample3) {
+  // Formula (3): [ (A => B) => C ] <> D.
+  // A@<0,1>, B@<2,3>, C@<4,5>; D true at state 4.
+  Trace tr = trace_of({"A", "B", "C", "D"},
+                      {{0, 0, 0, 0},
+                       {1, 0, 0, 0},
+                       {1, 0, 0, 0},
+                       {1, 1, 0, 0},
+                       {1, 1, 0, 1},
+                       {1, 1, 1, 0}});
+  EXPECT_TRUE(holds_text("[ (A => B) => C ] <> D", tr));
+  // With D never true in <3,5> it fails.
+  Trace tr2 = trace_of({"A", "B", "C", "D"},
+                       {{0, 0, 0, 0},
+                        {1, 0, 0, 0},
+                        {1, 1, 0, 0},
+                        {1, 1, 1, 0},
+                        {1, 1, 1, 1}});  // D only after C
+  EXPECT_FALSE(holds_text("[ (A => B) => C ] <> D", tr2));
+  // ...but the D after the interval end makes the <> inside a longer
+  // interval true:
+  EXPECT_TRUE(holds_text("[ (A => B) => ] <> D", tr2));
+}
+
+TEST(Arrows, EndContextExample5) {
+  // Formula (5): [ A => (B => C) ] <> D: begins at next A, ends at first C
+  // following the next B.
+  // A@<0,1>; B@<1,2>; C before B's C?  Arrange C events at <2,3> only after B.
+  Trace tr = trace_of({"A", "B", "C", "D"},
+                      {{0, 0, 0, 0},
+                       {1, 0, 0, 0},
+                       {1, 1, 0, 0},
+                       {1, 1, 1, 1}});
+  Interval iv = locate(*parse_term("A => (B => C)"), tr);
+  ASSERT_FALSE(iv.null);
+  EXPECT_EQ(iv.lo, 1u);
+  EXPECT_EQ(iv.hi, 3u);
+  EXPECT_TRUE(holds_text("[ A => (B => C) ] <> D", tr));
+}
+
+TEST(Arrows, BeginCompositeExample6) {
+  // Formula (6): [ begin(A => B) => C ] <> D allows B and C in either order.
+  // A@<0,1>, C@<1,2>, B@<2,3>, D at state 1.
+  Trace tr = trace_of({"A", "B", "C", "D"},
+                      {{0, 0, 0, 0},
+                       {1, 0, 0, 1},
+                       {1, 0, 1, 0},
+                       {1, 1, 1, 0}});
+  // (A => B) is <1,3>; begin of it is <1,1>; then => C ... C already rose
+  // at <1,2>?  The next C event after state 1 must be found: C rises at
+  // <1,2> which is within <1,inf>.
+  EXPECT_TRUE(holds_text("[ begin(A => B) => C ] <> D", tr));
+  // Formula (5) would be vacuous here (no C after B).
+  EXPECT_TRUE(holds_text("[ A => (B => C) ] false", tr));
+}
+
+TEST(Arrows, BackwardContextExample7) {
+  // Formula (7): [ (A => B) <= C ] <> D.
+  // Search: forward to first C, backward to most recent A, forward to next B.
+  Trace tr = trace_of({"A", "B", "C", "D"},
+                      {{0, 0, 0, 0},
+                       {1, 0, 0, 0},   // A @ <0,1>
+                       {0, 0, 0, 0},
+                       {1, 0, 0, 1},   // A @ <2,3>  (most recent before C); D here
+                       {1, 1, 0, 0},   // B @ <3,4>
+                       {1, 1, 1, 0}}); // C @ <4,5>
+  Interval iv = locate(*parse_term("(A => B) <= C"), tr);
+  ASSERT_FALSE(iv.null);
+  EXPECT_EQ(iv.lo, 4u);  // end of (A=>B) for the most recent A
+  EXPECT_EQ(iv.hi, 5u);  // end of C
+  EXPECT_FALSE(holds_text("[ (A => B) <= C ] <> D", tr));  // D not in <4,5>
+  Trace tr2 = tr;
+  tr2.back_mut().set("D", 1);
+  EXPECT_TRUE(holds_text("[ (A => B) <= C ] <> D", tr2));
+}
+
+TEST(Arrows, BackwardVacuousWhenNoBetweenEvent) {
+  // "the formula is vacuously true if no B is found between C and the most
+  // recent A."
+  Trace tr = trace_of({"A", "B", "C"},
+                      {{0, 0, 0},
+                       {1, 0, 0},    // A @ <0,1>
+                       {1, 0, 1},    // C @ <1,2>; no B in between
+                       {1, 1, 1}});  // B only after C
+  EXPECT_TRUE(holds_text("[ (A => B) <= C ] false", tr));
+}
+
+// ---------------------------------------------------------------------------
+// The * modifier and the Occurs formula.
+// ---------------------------------------------------------------------------
+
+TEST(Star, OccursIsNegatedVacuity) {
+  Trace has = trace_of({"A"}, {{0}, {1}});
+  Trace lacks = trace_of({"A"}, {{0}, {0}});
+  EXPECT_TRUE(holds_text("*A", has));
+  EXPECT_FALSE(holds_text("*A", lacks));
+  // *I == ![I]false.
+  EXPECT_TRUE(holds_text("*A <=> !([ A ] false)", has));
+  EXPECT_TRUE(holds_text("*A <=> !([ A ] false)", lacks));
+}
+
+TEST(Star, Formula4RequiresB) {
+  // Formula (4): [ (A => *B) => C ] <> D requires B after A (when A occurs).
+  const std::string f3 = "[ (A => B) => C ] <> D";
+  const std::string f4 = "[ (A => *B) => C ] <> D";
+  // A occurs, B never: (3) vacuous-true, (4) false.
+  Trace no_b = trace_of({"A", "B", "C", "D"}, {{0, 0, 0, 0}, {1, 0, 0, 0}, {1, 0, 1, 0}});
+  EXPECT_TRUE(holds_text(f3, no_b));
+  EXPECT_FALSE(holds_text(f4, no_b));
+  // No A at all: both vacuous.
+  Trace no_a = trace_of({"A", "B", "C", "D"}, {{0, 0, 0, 0}, {0, 1, 0, 0}});
+  EXPECT_TRUE(holds_text(f3, no_a));
+  EXPECT_TRUE(holds_text(f4, no_a));
+}
+
+TEST(Star, EquivalenceWithConjoinedRequirement) {
+  // (4) == (3) /\ [A =>] *B  (the paper's stated reduction).
+  const std::string f4 = "[ (A => *B) => C ] <> D";
+  const std::string red = "([ (A => B) => C ] <> D) /\\ ([ A => ] *B)";
+  auto bit = [](std::uint64_t m, int i) { return static_cast<std::int64_t>((m >> i) & 1); };
+  for (std::uint64_t mask = 0; mask < 64; ++mask) {
+    // A couple of semi-random small traces.
+    Trace tr = trace_of({"A", "B", "C", "D"},
+                        {{bit(mask, 0), bit(mask, 1), bit(mask, 2), 0},
+                         {bit(mask, 3), bit(mask, 4), bit(mask, 5), 1},
+                         {1, 1, 1, 0}});
+    EXPECT_EQ(holds_text(f4, tr), holds_text(red, tr)) << "mask=" << mask;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Temporal operators on intervals.
+// ---------------------------------------------------------------------------
+
+TEST(Temporal, AlwaysAndEventuallyOnBoundedInterval) {
+  Trace tr = trace_of({"A", "B", "p"},
+                      {{0, 0, 1}, {1, 0, 1}, {1, 0, 1}, {1, 1, 1}, {1, 1, 0}});
+  // Interval A=>B is <1,3>; p holds there, fails at 4 (outside).
+  EXPECT_TRUE(holds_text("[ A => B ] [] p", tr));
+  EXPECT_FALSE(holds_text("[] p", tr));
+  EXPECT_TRUE(holds_text("[ A => B ] <> p", tr));
+}
+
+TEST(Temporal, AtomEvaluatesAtFirstStateOfInterval) {
+  Trace tr = trace_of({"A", "p"}, {{0, 0}, {1, 1}, {1, 0}});
+  // [A =>] p: interval starts at state 1 where p holds.
+  EXPECT_TRUE(holds_text("[ A => ] p", tr));
+  EXPECT_FALSE(holds_text("[ begin(A) => ] p", tr));  // starts at state 0
+}
+
+TEST(Temporal, GlobalAlwaysOverIntervalFormulas) {
+  // [] [ I ] a requires all further I intervals to have the property.
+  Trace tr = trace_of({"A", "p"},
+                      {{0, 1}, {1, 1}, {0, 1}, {1, 1}, {0, 0}, {1, 0}});
+  // Each A event's tail must begin with p: the last A (state 5) has p false.
+  EXPECT_FALSE(holds_text("[] [ A => ] p", tr));
+  EXPECT_TRUE(holds_text("[ A => ] p", tr));  // only the first occurrence
+}
+
+TEST(Temporal, QuantifiersOverMetaVariables) {
+  Trace tr = trace_of({"x"}, {{1}, {2}, {3}});
+  EXPECT_TRUE(holds_text("forall a in {1,2,3} . <> x = $a", tr));
+  EXPECT_FALSE(holds_text("forall a in {1,2,4} . <> x = $a", tr));
+  EXPECT_TRUE(holds_text("exists a in {9,3} . <> x = $a", tr));
+}
+
+// ---------------------------------------------------------------------------
+// Valid-formula spot checks (full catalogue in test_valid_formulas).
+// ---------------------------------------------------------------------------
+
+TEST(ValidSpots, V9EventStaysTrueUntilFall) {
+  // V9: [ a => begin(!a) ] [] a.
+  for (const auto& rows : std::vector<std::vector<std::vector<std::int64_t>>>{
+           {{0}, {1}, {1}, {0}}, {{1}, {0}, {1}, {0}, {1}}, {{0}, {0}}}) {
+    Trace tr = trace_of({"a"}, rows);
+    EXPECT_TRUE(holds_text("[ a => begin(!(a)) ] [] a", tr));
+  }
+}
+
+TEST(ValidSpots, V10EventOrderingCaseSplit) {
+  // V10: [begin(a) =>] *b  \/  [begin(b) =>] *a.
+  auto bit = [](std::uint64_t m, int i) { return static_cast<std::int64_t>((m >> i) & 1); };
+  for (std::uint64_t m = 0; m < 256; ++m) {
+    Trace tr = trace_of({"a", "b"},
+                        {{bit(m, 0), bit(m, 1)},
+                         {bit(m, 2), bit(m, 3)},
+                         {bit(m, 4), bit(m, 5)},
+                         {bit(m, 6), bit(m, 7)}});
+    EXPECT_TRUE(holds_text("([ begin(a) => ] *b) \\/ ([ begin(b) => ] *a)", tr)) << m;
+  }
+}
+
+}  // namespace
+}  // namespace il

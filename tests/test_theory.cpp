@@ -1,0 +1,232 @@
+// Tests for the specialized-theory layer: linear constraints,
+// Fourier-Motzkin, and the combined decision procedures (Algorithms A and B
+// of Appendix B).
+#include <gtest/gtest.h>
+
+#include "ltl/tableau.h"
+#include "theory/combined.h"
+#include "theory/linear.h"
+#include "theory/oracle.h"
+
+namespace il::theory {
+namespace {
+
+LinearConstraint lc(const std::string& s) {
+  auto c = parse_linear(s);
+  EXPECT_TRUE(c.has_value()) << s;
+  return *c;
+}
+
+TEST(Linear, ParsesConstraints) {
+  auto c = lc("x - 2*y <= 7");
+  EXPECT_EQ(c.coeffs.at("x"), 1);
+  EXPECT_EQ(c.coeffs.at("y"), -2);
+  EXPECT_EQ(c.constant, 7);
+  EXPECT_EQ(c.rel, Rel::Le);
+
+  auto e = lc("y = z + z");
+  EXPECT_EQ(e.coeffs.at("y"), 1);
+  EXPECT_EQ(e.coeffs.at("z"), -2);
+  EXPECT_EQ(e.rel, Rel::Eq);
+  EXPECT_EQ(e.constant, 0);
+
+  // >= normalizes to <= with flipped signs.
+  auto g = lc("a >= 1");
+  EXPECT_EQ(g.rel, Rel::Le);
+  EXPECT_EQ(g.coeffs.at("a"), -1);
+  EXPECT_EQ(g.constant, -1);
+}
+
+TEST(Linear, RejectsNonLinear) {
+  EXPECT_FALSE(parse_linear("x * y > 0").has_value());
+  EXPECT_FALSE(parse_linear("just_a_prop").has_value());
+}
+
+TEST(Linear, Negation) {
+  auto c = lc("x <= 3").negated();  // x > 3
+  EXPECT_EQ(c.rel, Rel::Lt);
+  EXPECT_EQ(c.coeffs.at("x"), -1);
+  EXPECT_EQ(c.constant, -3);
+  EXPECT_EQ(lc("x = 1").negated().rel, Rel::Ne);
+  EXPECT_EQ(lc("x != 1").negated().rel, Rel::Eq);
+}
+
+TEST(FourierMotzkin, Basics) {
+  EXPECT_TRUE(conjunction_satisfiable({lc("x > 0"), lc("x < 10")}));
+  EXPECT_FALSE(conjunction_satisfiable({lc("x > 5"), lc("x < 5")}));
+  EXPECT_FALSE(conjunction_satisfiable({lc("x >= 5"), lc("x <= 4")}));
+  EXPECT_TRUE(conjunction_satisfiable({lc("x >= 5"), lc("x <= 5")}));
+  EXPECT_FALSE(conjunction_satisfiable({lc("x > 5"), lc("x <= 5")}));
+}
+
+TEST(FourierMotzkin, MultiVariable) {
+  // x < y, y < z, z < x: cyclic, unsat.
+  EXPECT_FALSE(conjunction_satisfiable({lc("x < y"), lc("y < z"), lc("z < x")}));
+  EXPECT_TRUE(conjunction_satisfiable({lc("x < y"), lc("y < z")}));
+  // y = z + z and y = 2*z are jointly satisfiable...
+  EXPECT_TRUE(conjunction_satisfiable({lc("y = z + z"), lc("y = 2*z")}));
+  // ...and y = z + z contradicts y != 2*z.
+  EXPECT_FALSE(conjunction_satisfiable({lc("y = z + z"), lc("y != 2*z")}));
+}
+
+TEST(FourierMotzkin, Disequalities) {
+  EXPECT_TRUE(conjunction_satisfiable({lc("x != 0")}));
+  EXPECT_FALSE(conjunction_satisfiable({lc("x != 0"), lc("x >= 0"), lc("x <= 0")}));
+  EXPECT_TRUE(conjunction_satisfiable({lc("x != 0"), lc("x >= 0")}));
+}
+
+TEST(Oracles, Propositional) {
+  PropositionalOracle oracle;
+  EXPECT_TRUE(oracle.conj_sat({{"p", true}, {"q", false}}));
+  EXPECT_FALSE(oracle.conj_sat({{"p", true}, {"p", false}}));
+  // Propositional oracle does NOT understand arithmetic: a >= 1 and !(a > 0)
+  // are compatible opaque atoms.
+  EXPECT_TRUE(oracle.conj_sat({{"a >= 1", true}, {"a > 0", false}}));
+}
+
+TEST(Oracles, LinearArithmetic) {
+  LinearArithmeticOracle oracle;
+  EXPECT_FALSE(oracle.conj_sat({{"a >= 1", true}, {"a > 0", false}}));
+  EXPECT_TRUE(oracle.conj_sat({{"a >= 1", true}, {"a > 5", false}}));
+  // Mixed opaque + arithmetic.
+  EXPECT_FALSE(oracle.conj_sat({{"p", true}, {"p", false}, {"a >= 1", true}}));
+}
+
+TEST(Oracles, InstancesRespectStateVsExtralogical) {
+  LinearArithmeticOracle oracle;
+  // x > 0 at instant 0, x < 0 at instant 1: fine for a state variable...
+  std::vector<std::pair<TheoryLit, int>> lits = {{{"x > 0", true}, 0}, {{"x < 0", true}, 1}};
+  EXPECT_TRUE(oracle.conj_sat_instances(lits, {}));
+  // ...contradictory for an extralogical one.
+  EXPECT_FALSE(oracle.conj_sat_instances(lits, {"x"}));
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm A.
+// ---------------------------------------------------------------------------
+
+TEST(AlgorithmA, ArithmeticValidityTheRunningExample) {
+  // "Henceforth a >= 1 implies eventually a > 0" (Appendix B Section 1).
+  const std::string f = "[]({a >= 1}) -> <>({a > 0})";
+  {
+    ltl::Arena a;
+    LinearArithmeticOracle arith;
+    EXPECT_TRUE(algorithm_a_valid(a, a.parse(f), arith).valid);
+  }
+  {
+    ltl::Arena a;
+    PropositionalOracle prop;
+    EXPECT_FALSE(algorithm_a_valid(a, a.parse(f), prop).valid);
+  }
+}
+
+TEST(AlgorithmA, DoublingExample) {
+  // [](y = z + z) -> [](y = 2z): valid in the theory, not uninterpreted.
+  const std::string f = "[]({y = z + z}) -> []({y = 2*z})";
+  {
+    ltl::Arena a;
+    LinearArithmeticOracle arith;
+    auto r = algorithm_a_valid(a, a.parse(f), arith);
+    EXPECT_TRUE(r.valid);
+    EXPECT_GT(r.pruned_edges, 0u);
+  }
+  {
+    ltl::Arena a;
+    PropositionalOracle prop;
+    EXPECT_FALSE(algorithm_a_valid(a, a.parse(f), prop).valid);
+  }
+}
+
+TEST(AlgorithmA, AgreesWithPlainTableauUnderPropositionalOracle) {
+  const std::vector<std::string> corpus = {
+      "[]p -> p", "p -> []p", "(<>[]p) -> ([]<>p)", "U(p,q) -> <>q",
+      "SU(p,q) -> <>q", "[](p -> q) -> ([]p -> []q)", "<>p \\/ []!p",
+  };
+  PropositionalOracle prop;
+  for (const auto& s : corpus) {
+    ltl::Arena a1, a2;
+    EXPECT_EQ(algorithm_a_valid(a1, a1.parse(s), prop).valid, ltl::valid(a2, a2.parse(s)))
+        << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm B.
+// ---------------------------------------------------------------------------
+
+TEST(AlgorithmB, PureTemporalValidityNeverCallsOracle) {
+  ltl::Arena a;
+  LinearArithmeticOracle arith;
+  auto r = algorithm_b_valid(a, a.parse("(<>[]p) -> ([]<>p)"), arith);
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(r.condition_true);
+  EXPECT_EQ(r.oracle_calls, 0u);
+}
+
+TEST(AlgorithmB, ArithmeticValidity) {
+  {
+    ltl::Arena a;
+    LinearArithmeticOracle arith;
+    EXPECT_TRUE(algorithm_b_valid(a, a.parse("[]({a >= 1}) -> <>({a > 0})"), arith).valid);
+  }
+  {
+    ltl::Arena a;
+    LinearArithmeticOracle arith;
+    EXPECT_TRUE(algorithm_b_valid(a, a.parse("[]({y = z + z}) -> []({y = 2*z})"), arith).valid);
+  }
+  {
+    ltl::Arena a;
+    PropositionalOracle prop;
+    EXPECT_FALSE(algorithm_b_valid(a, a.parse("[]({y = z + z}) -> []({y = 2*z})"), prop).valid);
+  }
+}
+
+TEST(AlgorithmB, StateVsExtralogicalSection51Example) {
+  // [](x > 0) \/ [](x < 1):
+  //   state variable x       -> requires forall y (y>0) or forall z (z<1): invalid;
+  //   extralogical variable x -> forall x (x>0 \/ x<1): valid over the rationals.
+  const std::string f = "[]({x > 0}) \\/ []({x < 1})";
+  {
+    ltl::Arena a;
+    LinearArithmeticOracle arith;
+    EXPECT_FALSE(algorithm_b_valid(a, a.parse(f), arith, /*extralogical=*/{}).valid);
+  }
+  {
+    ltl::Arena a;
+    LinearArithmeticOracle arith;
+    EXPECT_TRUE(algorithm_b_valid(a, a.parse(f), arith, /*extralogical=*/{"x"}).valid);
+  }
+}
+
+TEST(AlgorithmB, AgreesWithAlgorithmA) {
+  const std::vector<std::string> corpus = {
+      "[]({a >= 1}) -> <>({a > 0})",
+      "[]({y = z + z}) -> []({y = 2*z})",
+      "<>({x > 3}) -> <>({x > 2})",
+      "[]({x > 3}) -> []({x > 4})",   // invalid
+      "[]({x > 0} -> o {x > 0}) -> ({x > 0} -> []{x > 0})",
+      "[]p -> p",
+      "p -> []p",                      // invalid
+  };
+  LinearArithmeticOracle arith;
+  for (const auto& s : corpus) {
+    ltl::Arena a1, a2;
+    const bool va = algorithm_a_valid(a1, a1.parse(s), arith).valid;
+    const bool vb = algorithm_b_valid(a2, a2.parse(s), arith).valid;
+    EXPECT_EQ(va, vb) << s;
+  }
+}
+
+TEST(AlgorithmB, ReportsConditionStructure) {
+  ltl::Arena a;
+  LinearArithmeticOracle arith;
+  auto r = algorithm_b_valid(a, a.parse("[]({y = z + z}) -> []({y = 2*z})"), arith);
+  EXPECT_TRUE(r.valid);
+  EXPECT_FALSE(r.condition_true);     // needs the theory
+  EXPECT_GT(r.condition_cubes, 0u);   // at least one []C_i disjunct
+  EXPECT_GT(r.oracle_calls, 0u);
+  EXPECT_GT(r.distinct_props, 0u);
+}
+
+}  // namespace
+}  // namespace il::theory
