@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/check.h"
+#include "engine/engine.h"
 #include "systems/ab_protocol.h"
 #include "systems/queue_system.h"
 
@@ -72,6 +73,28 @@ void bench_ab_check_service(benchmark::State& state) {
   }
 }
 
+// All three AB specifications checked against one recorded run as a single
+// engine batch (the many-specs-one-trace batch shape); range(0) = threads.
+void bench_ab_check_all_batch(benchmark::State& state) {
+  AbRunConfig config;
+  config.messages = 3;
+  config.seed = 5;
+  auto run = run_ab_protocol(config);
+  Spec sender = ab_sender_spec(domain(config.messages));
+  Spec receiver = ab_receiver_spec(domain(config.messages));
+  Spec service = fifo_service_spec("Send", "Rec", domain(config.messages), "ab_service");
+  std::vector<engine::CheckJob> jobs = {
+      {&sender, &run.trace, {}}, {&receiver, &run.trace, {}}, {&service, &run.trace, {}}};
+  engine::EngineOptions opts;
+  opts.num_threads = static_cast<std::size_t>(state.range(0));
+  engine::BatchChecker checker(opts);
+  for (auto _ : state) {
+    auto r = checker.run(jobs);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * jobs.size()));
+}
+
 }  // namespace
 
 // Loss percentage sweep: retransmission overhead grows with loss.
@@ -79,5 +102,6 @@ BENCHMARK(bench_ab_run)->Arg(0)->Arg(25)->Arg(50);
 BENCHMARK(bench_ab_check_sender);
 BENCHMARK(bench_ab_check_receiver);
 BENCHMARK(bench_ab_check_service);
+BENCHMARK(bench_ab_check_all_batch)->Arg(1)->Arg(3);
 
 BENCHMARK_MAIN();

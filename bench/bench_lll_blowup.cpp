@@ -10,6 +10,8 @@
 // whose growth drives the nonelementary bound.
 #include <benchmark/benchmark.h>
 
+#include <stdexcept>
+
 #include "lll/decide.h"
 #include "lll/graph.h"
 

@@ -1,9 +1,13 @@
 // E12 — runtime-monitor overhead: cost of observing a state and
-// re-evaluating a specification online, versus trace length.
+// re-evaluating a specification online, versus trace length; plus offline
+// batch throughput of the same specification through the engine.
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "core/monitor.h"
 #include "core/parser.h"
+#include "engine/engine.h"
 #include "systems/mutex.h"
 
 namespace {
@@ -51,9 +55,47 @@ void bench_monitor_full_run(benchmark::State& state) {
   state.counters["states"] = static_cast<double>(tr.size());
 }
 
+// Offline throughput: the batch engine checking the monitored spec against
+// a fleet of recorded runs.  range(0) = fleet size, range(1) = threads.
+void bench_monitor_batch_engine(benchmark::State& state) {
+  const std::size_t fleet = static_cast<std::size_t>(state.range(0));
+  Spec spec = monitored_spec();
+  std::vector<Trace> traces;
+  traces.reserve(fleet);
+  for (std::size_t i = 0; i < fleet; ++i) {
+    sys::MutexRunConfig config;
+    config.seed = i + 1;
+    config.entries = 8;
+    traces.push_back(sys::run_mutex(config));
+  }
+  auto jobs = engine::jobs_for_traces(spec, traces);
+  engine::EngineOptions opts;
+  opts.num_threads = static_cast<std::size_t>(state.range(1));
+  engine::BatchChecker checker(opts);
+  std::size_t violations = 0;
+  for (auto _ : state) {
+    auto results = checker.run(jobs);
+    violations = checker.stats().axioms_failed;
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * fleet));
+  state.counters["traces"] = static_cast<double>(fleet);
+  state.counters["violations"] = static_cast<double>(violations);
+  const auto& s = checker.stats();
+  state.counters["memo_hit_rate"] =
+      s.memo_hits + s.memo_misses == 0
+          ? 0.0
+          : static_cast<double>(s.memo_hits) / static_cast<double>(s.memo_hits + s.memo_misses);
+}
+
 }  // namespace
 
 BENCHMARK(bench_monitor_per_state)->Arg(16)->Arg(64)->Arg(256);
 BENCHMARK(bench_monitor_full_run)->Arg(4)->Arg(8);
+BENCHMARK(bench_monitor_batch_engine)
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({16, 4})
+    ->Args({64, 4});
 
 BENCHMARK_MAIN();

@@ -3,7 +3,10 @@
 // renders the Figure 8-2 proof.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/check.h"
+#include "engine/engine.h"
 #include "systems/mutex.h"
 
 namespace {
@@ -50,10 +53,35 @@ void bench_mutex_entailment(benchmark::State& state) {
   state.counters["traces"] = static_cast<double>(traces);
 }
 
+// Fleet checking through the batch engine: many interleavings of the same
+// algorithm, all checked against Figure 8-1.  range(0) = processes,
+// range(1) = threads.
+void bench_mutex_batch_engine(benchmark::State& state) {
+  MutexRunConfig config;
+  config.processes = static_cast<std::size_t>(state.range(0));
+  Spec spec = mutex_spec(config.processes);
+  std::vector<Trace> traces;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    config.seed = seed;
+    traces.push_back(run_mutex(config));
+  }
+  auto jobs = engine::jobs_for_traces(spec, traces);
+  engine::EngineOptions opts;
+  opts.num_threads = static_cast<std::size_t>(state.range(1));
+  engine::BatchChecker checker(opts);
+  for (auto _ : state) {
+    auto r = checker.run(jobs);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * traces.size()));
+  state.counters["axioms"] = static_cast<double>(spec.all().size());
+}
+
 }  // namespace
 
 BENCHMARK(bench_mutex_simulate)->Arg(2)->Arg(3)->Arg(5);
 BENCHMARK(bench_mutex_check)->Arg(2)->Arg(3)->Arg(5);
 BENCHMARK(bench_mutex_entailment)->Arg(2)->Arg(3);
+BENCHMARK(bench_mutex_batch_engine)->Args({3, 1})->Args({3, 2})->Args({3, 4});
 
 BENCHMARK_MAIN();

@@ -90,6 +90,35 @@ void Formula::collect_vars(std::vector<std::string>& out) const {
   }
 }
 
+void Formula::collect_metas(std::vector<std::string>& out) const {
+  switch (kind_) {
+    case Kind::Atom:
+      pred_->collect_metas(out);
+      return;
+    case Kind::Interval:
+      term_->collect_metas(out);
+      lhs_->collect_metas(out);
+      return;
+    case Kind::Occurs:
+      term_->collect_metas(out);
+      return;
+    case Kind::Forall:
+    case Kind::Exists: {
+      // The quantifier binds its own variable: only the body's *other*
+      // meta references are free here.
+      std::vector<std::string> body;
+      lhs_->collect_metas(body);
+      for (auto& name : body) {
+        if (name != quant_var_) out.push_back(std::move(name));
+      }
+      return;
+    }
+    default:
+      if (lhs_) lhs_->collect_metas(out);
+      if (rhs_) rhs_->collect_metas(out);
+  }
+}
+
 bool Formula::has_star_modifier() const {
   switch (kind_) {
     case Kind::Atom:
@@ -144,6 +173,23 @@ void Term::collect_vars(std::vector<std::string>& out) const {
     case Kind::Bwd:
       if (left_) left_->collect_vars(out);
       if (right_) right_->collect_vars(out);
+  }
+}
+
+void Term::collect_metas(std::vector<std::string>& out) const {
+  switch (kind_) {
+    case Kind::Event:
+      event_->collect_metas(out);
+      return;
+    case Kind::Begin:
+    case Kind::End:
+    case Kind::Star:
+      arg_->collect_metas(out);
+      return;
+    case Kind::Fwd:
+    case Kind::Bwd:
+      if (left_) left_->collect_metas(out);
+      if (right_) right_->collect_metas(out);
   }
 }
 

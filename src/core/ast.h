@@ -65,6 +65,10 @@ class Formula {
   /// Collects all state-variable names referenced anywhere in the formula.
   void collect_vars(std::vector<std::string>& out) const;
 
+  /// Collects the *free* meta-variable names (references not bound by an
+  /// enclosing quantifier within this formula).
+  void collect_metas(std::vector<std::string>& out) const;
+
   /// True if any interval term within carries the * modifier.
   bool has_star_modifier() const;
 
@@ -97,6 +101,7 @@ class Term {
 
   std::string to_string() const;
   void collect_vars(std::vector<std::string>& out) const;
+  void collect_metas(std::vector<std::string>& out) const;
   bool has_star_modifier() const;
 
  private:

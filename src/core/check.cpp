@@ -22,15 +22,25 @@ bool check(const FormulaPtr& formula, const Trace& trace, const Env& env) {
   return holds(*formula, trace, env);
 }
 
-CheckResult check_spec(const Spec& spec, const Trace& trace, const Env& env) {
+CheckResult check_spec_cached(const Spec& spec, const Trace& trace, const Env& env,
+                              EvalCache* cache) {
+  Evaluator ev(trace, cache);
+  const Interval whole = Interval::make(0, Interval::INF);
   CheckResult result;
   for (const Axiom* axiom : spec.all()) {
-    if (!check(axiom->formula, trace, env)) {
+    if (!ev.sat(*axiom->formula, whole, env)) {
       result.ok = false;
       result.failed.push_back(spec.name + "." + axiom->name);
     }
   }
   return result;
+}
+
+CheckResult check_spec(const Spec& spec, const Trace& trace, const Env& env) {
+  // The single-trace path is the batch engine's unit of work run inline,
+  // with a check-local memoization cache.
+  EvalCache cache;
+  return check_spec_cached(spec, trace, env, &cache);
 }
 
 }  // namespace il

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/ast.h"
+#include "core/memo.h"
 #include "trace/trace.h"
 
 namespace il {
@@ -42,5 +43,12 @@ bool check(const FormulaPtr& formula, const Trace& trace, const Env& env = {});
 
 /// Checks a whole specification.
 CheckResult check_spec(const Spec& spec, const Trace& trace, const Env& env = {});
+
+/// Checks a whole specification, memoizing subformula evaluation in `cache`
+/// (may be null).  This is the single unit of work the batch engine
+/// (engine/engine.h) fans out: check_spec() and the engine's workers both
+/// run exactly this code, which is what keeps their results bit-identical.
+CheckResult check_spec_cached(const Spec& spec, const Trace& trace, const Env& env,
+                              EvalCache* cache);
 
 }  // namespace il

@@ -1,0 +1,62 @@
+#include "core/memo.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace il {
+
+namespace {
+
+inline void hash_combine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace
+
+std::size_t EvalCache::KeyHash::operator()(const Key& k) const {
+  std::size_t seed = std::hash<const void*>{}(k.node);
+  hash_combine(seed, std::hash<const void*>{}(k.trace));
+  hash_combine(seed, k.lo);
+  hash_combine(seed, k.hi);
+  hash_combine(seed, static_cast<std::size_t>(k.op));
+  for (const auto& [name, value] : k.env) {
+    hash_combine(seed, std::hash<std::string>{}(name));
+    hash_combine(seed, std::hash<std::int64_t>{}(value));
+  }
+  return seed;
+}
+
+const EvalCache::Entry* EvalCache::lookup(const Key& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void EvalCache::store(Key key, Entry entry) {
+  if (capacity_ != 0 && map_.size() >= capacity_) return;
+  map_.emplace(std::move(key), entry);
+}
+
+void EvalCache::clear() {
+  map_.clear();
+  metas_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+const std::vector<std::string>& EvalCache::free_metas(
+    const void* node, const std::function<void(std::vector<std::string>&)>& collect) {
+  auto it = metas_.find(node);
+  if (it != metas_.end()) return it->second;
+  std::vector<std::string> names;
+  collect(names);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return metas_.emplace(node, std::move(names)).first->second;
+}
+
+}  // namespace il

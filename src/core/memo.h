@@ -1,0 +1,97 @@
+// Subformula memoization for interval-logic evaluation.
+//
+// Evaluating [] / <> over an interval re-evaluates the body at every start
+// position, and nested interval formulas re-run the F interval-construction
+// search from each of those positions; the same (node, interval, bindings)
+// queries therefore recur many times within one check.  An EvalCache
+// remembers those results.  Keys identify
+//
+//   - the AST node by address (formulas and terms are immutable shared DAGs),
+//   - the trace by address (caches outlive a single Evaluator: the engine
+//     keeps one per worker thread across a whole batch),
+//   - the evaluation interval, search direction, and the meta-variable
+//     bindings in scope.
+//
+// Because keys capture every input of the memoized functions exactly, cached
+// evaluation is bit-identical to uncached evaluation; tests assert this
+// across all case-study specifications.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/predicate.h"
+
+namespace il {
+
+class EvalCache {
+ public:
+  /// What a key's node/interval meant when the entry was stored.
+  enum class Op : std::uint8_t { Sat, FindFwd, FindBwd };
+
+  struct Key {
+    const void* node = nullptr;   ///< Formula* or Term* identity
+    const void* trace = nullptr;  ///< Trace* identity
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    Op op = Op::Sat;
+    /// Meta-variable bindings the node can actually observe: the ambient
+    /// env restricted to the node's free metas.  Keying on the restriction
+    /// (rather than the whole env) lets bindings the node never reads share
+    /// one entry — crucial under nested quantifiers, where inner subformulas
+    /// typically read one of the several bound variables.
+    Env env;
+
+    bool operator==(const Key& o) const {
+      return node == o.node && trace == o.trace && lo == o.lo && hi == o.hi &&
+             op == o.op && env == o.env;
+    }
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  /// Cached result: a sat() boolean or a found interval, stored uniformly as
+  /// (lo, hi, null) with `value` carrying the boolean for Op::Sat.
+  struct Entry {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    bool null = true;
+    bool value = false;
+  };
+
+  /// Returns the entry for `key`, or nullptr on a miss.  Hit/miss counters
+  /// are updated either way.
+  const Entry* lookup(const Key& key);
+
+  /// Stores `entry`; no-op once the soft capacity is reached (the cache
+  /// never evicts — batch lifetimes are short and bounded).
+  void store(Key key, Entry entry);
+
+  void clear();
+
+  /// The node's free meta variables (sorted, deduplicated), computed once
+  /// via `collect` and cached by node address.
+  const std::vector<std::string>& free_metas(
+      const void* node, const std::function<void(std::vector<std::string>&)>& collect);
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+  std::size_t size() const { return map_.size(); }
+
+  /// Soft cap on stored entries; 0 means unlimited.
+  void set_capacity(std::size_t cap) { capacity_ = cap; }
+
+ private:
+  std::unordered_map<Key, Entry, KeyHash> map_;
+  std::unordered_map<const void*, std::vector<std::string>> metas_;
+  std::size_t capacity_ = 1u << 22;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace il

@@ -17,6 +17,87 @@ Evaluator::Evaluator(const Trace& trace) : trace_(trace) {
   IL_REQUIRE(!trace.empty(), "evaluation requires a non-empty trace");
 }
 
+Evaluator::Evaluator(const Trace& trace, EvalCache* cache) : trace_(trace), cache_(cache) {
+  IL_REQUIRE(!trace.empty(), "evaluation requires a non-empty trace");
+}
+
+namespace {
+
+/// Only the recursion points whose recomputation is super-constant are worth
+/// a cache entry: temporal operators re-evaluate their body per position,
+/// interval formulas re-run the F search, and quantifiers multiply both.
+bool memoizable(Formula::Kind kind) {
+  switch (kind) {
+    case Formula::Kind::Always:
+    case Formula::Kind::Eventually:
+    case Formula::Kind::Interval:
+    case Formula::Kind::Occurs:
+    case Formula::Kind::Forall:
+    case Formula::Kind::Exists:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// The ambient env restricted to the metas `node` can observe, so cache
+/// entries are shared across bindings the node never reads.
+template <typename Node>
+Env observable_env(EvalCache& cache, const Node& node, const Env& env) {
+  Env restricted;
+  if (env.empty()) return restricted;
+  const auto& metas = cache.free_metas(
+      &node, [&node](std::vector<std::string>& out) { node.collect_metas(out); });
+  for (const std::string& name : metas) {
+    auto it = env.find(name);
+    if (it != env.end()) restricted.insert(*it);
+  }
+  return restricted;
+}
+
+}  // namespace
+
+bool Evaluator::sat(const Formula& formula, Interval iv, const Env& env) const {
+  IL_REQUIRE(!iv.null, "sat() requires a non-null interval (null is vacuous at the caller)");
+  if (cache_ == nullptr || !memoizable(formula.kind())) return sat_uncached(formula, iv, env);
+  EvalCache::Key key{&formula, &trace_, iv.lo, iv.hi, EvalCache::Op::Sat,
+                     observable_env(*cache_, formula, env)};
+  if (const EvalCache::Entry* hit = cache_->lookup(key)) return hit->value;
+  const bool result = sat_uncached(formula, iv, env);
+  EvalCache::Entry entry;
+  entry.value = result;
+  cache_->store(std::move(key), entry);
+  return result;
+}
+
+Interval Evaluator::find(const Term& term, Interval ctx, Dir dir, const Env& env) const {
+  if (ctx.null) return Interval::none();  // strictness on ⊥
+  // Only Event terms do super-constant work (the changeset scan evaluates
+  // the defining formula at every position); the other kinds delegate to
+  // child find() calls — which hit this cache themselves — plus O(1) glue,
+  // so caching them would cost more than it saves.
+  if (cache_ == nullptr || term.kind() != Term::Kind::Event) {
+    return find_uncached(term, ctx, dir, env);
+  }
+  EvalCache::Key key{&term, &trace_, ctx.lo, ctx.hi,
+                     dir == Dir::Forward ? EvalCache::Op::FindFwd : EvalCache::Op::FindBwd,
+                     observable_env(*cache_, term, env)};
+  if (const EvalCache::Entry* hit = cache_->lookup(key)) {
+    return hit->null ? Interval::none() : Interval::make(hit->lo, hit->hi);
+  }
+  const Interval result = find_uncached(term, ctx, dir, env);
+  EvalCache::Entry entry;
+  entry.lo = result.lo;
+  entry.hi = result.hi;
+  entry.null = result.null;
+  cache_->store(std::move(key), entry);
+  return result;
+}
+
 std::size_t Evaluator::horizon(Interval iv) const {
   IL_CHECK(!iv.null);
   if (iv.hi != Interval::INF) return iv.hi;
@@ -26,8 +107,7 @@ std::size_t Evaluator::horizon(Interval iv) const {
   return std::max(iv.lo, trace_.last_index());
 }
 
-bool Evaluator::sat(const Formula& formula, Interval iv, const Env& env) const {
-  IL_REQUIRE(!iv.null, "sat() requires a non-null interval (null is vacuous at the caller)");
+bool Evaluator::sat_uncached(const Formula& formula, Interval iv, const Env& env) const {
   switch (formula.kind()) {
     case Formula::Kind::Atom:
       // "P is true of the first state of the interval."
@@ -102,8 +182,7 @@ bool Evaluator::sat_event_at(const Formula& defining, std::size_t k, std::size_t
   return sat(defining, Interval::make(k, j), env);
 }
 
-Interval Evaluator::find(const Term& term, Interval ctx, Dir dir, const Env& env) const {
-  if (ctx.null) return Interval::none();  // strictness on ⊥
+Interval Evaluator::find_uncached(const Term& term, Interval ctx, Dir dir, const Env& env) const {
   switch (term.kind()) {
     case Term::Kind::Event: {
       // changeset(a, <i,j>): the intervals of change <k-1,k> within <i,j>.

@@ -37,6 +37,7 @@
 #include <limits>
 
 #include "core/ast.h"
+#include "core/memo.h"
 #include "trace/trace.h"
 
 namespace il {
@@ -74,6 +75,12 @@ class Evaluator {
  public:
   explicit Evaluator(const Trace& trace);
 
+  /// As above, but memoizing interval-construction and temporal-operator
+  /// results in `cache` (not owned; may be shared across evaluators for the
+  /// same or different traces — keys carry the trace identity).  Results are
+  /// bit-identical to the uncached evaluator.
+  Evaluator(const Trace& trace, EvalCache* cache);
+
   /// s<i,j> |= a.  The interval must be non-null.
   bool sat(const Formula& formula, Interval iv, const Env& env) const;
 
@@ -96,7 +103,13 @@ class Evaluator {
   bool sat_event_at(const Formula& defining, std::size_t k, std::size_t j,
                     const Env& env) const;
 
+  /// Uncached bodies of sat()/find(); the public entry points consult the
+  /// cache (when present) and delegate here on a miss.
+  bool sat_uncached(const Formula& formula, Interval iv, const Env& env) const;
+  Interval find_uncached(const Term& term, Interval ctx, Dir dir, const Env& env) const;
+
   const Trace& trace_;
+  EvalCache* cache_ = nullptr;
 };
 
 /// Top-level satisfaction: the whole computation satisfies the formula

@@ -1,0 +1,119 @@
+#include "engine/engine.h"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace il {
+namespace engine {
+
+namespace {
+
+struct WorkerReport {
+  std::size_t memo_hits = 0;
+  std::size_t memo_misses = 0;
+  /// First (lowest job index) exception this worker hit, if any.
+  std::size_t error_index = 0;
+  std::exception_ptr error;
+};
+
+void note_error(WorkerReport& report, std::size_t index) {
+  if (!report.error || index < report.error_index) {
+    report.error = std::current_exception();
+    report.error_index = index;
+  }
+}
+
+}  // namespace
+
+CheckResult run_job(const CheckJob& job, EvalCache* cache) {
+  IL_REQUIRE(job.spec != nullptr && job.trace != nullptr, "CheckJob must bind a spec and a trace");
+  return check_spec_cached(*job.spec, *job.trace, job.env, cache);
+}
+
+BatchChecker::BatchChecker(EngineOptions options) : options_(options) {}
+
+std::vector<CheckResult> BatchChecker::run(const std::vector<CheckJob>& jobs) {
+  stats_ = EngineStats{};
+  stats_.jobs = jobs.size();
+
+  std::vector<CheckResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  std::size_t pool = options_.num_threads;
+  if (pool == 0) pool = std::thread::hardware_concurrency();
+  if (pool == 0) pool = 1;
+  if (pool > jobs.size()) pool = jobs.size();
+
+  const auto make_cache = [this]() {
+    EvalCache cache;
+    cache.set_capacity(options_.memo_capacity);
+    return cache;
+  };
+
+  if (pool <= 1 || jobs.size() == 1) {
+    // Inline fast path: no thread spawn for the sequential-equivalent case.
+    EvalCache cache = make_cache();
+    EvalCache* cache_ptr = options_.memoize ? &cache : nullptr;
+    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = run_job(jobs[i], cache_ptr);
+    stats_.memo_hits = cache.hits();
+    stats_.memo_misses = cache.misses();
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<WorkerReport> reports(pool);
+    std::vector<std::thread> workers;
+    workers.reserve(pool);
+    for (std::size_t w = 0; w < pool; ++w) {
+      workers.emplace_back([&, w]() {
+        EvalCache cache = make_cache();
+        EvalCache* cache_ptr = options_.memoize ? &cache : nullptr;
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= jobs.size()) break;
+          try {
+            results[i] = run_job(jobs[i], cache_ptr);
+          } catch (...) {
+            note_error(reports[w], i);
+          }
+        }
+        reports[w].memo_hits = cache.hits();
+        reports[w].memo_misses = cache.misses();
+      });
+    }
+    for (auto& t : workers) t.join();
+    stats_.threads = pool;
+
+    const WorkerReport* first_error = nullptr;
+    for (const WorkerReport& r : reports) {
+      stats_.memo_hits += r.memo_hits;
+      stats_.memo_misses += r.memo_misses;
+      if (r.error && (first_error == nullptr || r.error_index < first_error->error_index)) {
+        first_error = &r;
+      }
+    }
+    if (first_error != nullptr) std::rethrow_exception(first_error->error);
+  }
+
+  for (const CheckResult& r : results) stats_.axioms_failed += r.failed.size();
+  for (const CheckJob& j : jobs) stats_.axioms_checked += j.spec->all().size();
+  return results;
+}
+
+std::vector<CheckResult> check_batch(const std::vector<CheckJob>& jobs, EngineOptions options) {
+  BatchChecker checker(options);
+  return checker.run(jobs);
+}
+
+std::vector<CheckJob> jobs_for_traces(const Spec& spec, const std::vector<Trace>& traces,
+                                      const Env& env) {
+  std::vector<CheckJob> jobs;
+  jobs.reserve(traces.size());
+  for (const Trace& tr : traces) jobs.push_back(CheckJob{&spec, &tr, env});
+  return jobs;
+}
+
+}  // namespace engine
+}  // namespace il

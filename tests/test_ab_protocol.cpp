@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/check.h"
+#include "engine/engine.h"
 #include "systems/ab_protocol.h"
 #include "systems/queue_system.h"
 
@@ -79,6 +80,32 @@ TEST(AbNegative, StuckSequenceBitBreaksTheProtocol) {
   const bool receiver_ok =
       check_spec(ab_receiver_spec(domain(config.messages)), result.trace).ok;
   EXPECT_FALSE(sender_ok && receiver_ok);
+}
+
+TEST(AbBatch, AllThreeSpecsThroughEngineMatchSequential) {
+  // The many-specs-one-trace batch shape: sender, receiver, and service
+  // specifications checked against the same recorded run in parallel.
+  AbRunConfig config;
+  config.seed = 5;
+  config.messages = 3;
+  AbRunResult result = run_ab_protocol(config);
+  ASSERT_EQ(result.delivered, config.messages);
+
+  Spec sender = ab_sender_spec(domain(config.messages));
+  Spec receiver = ab_receiver_spec(domain(config.messages));
+  Spec service = fifo_service_spec("Send", "Rec", domain(config.messages), "ab_service");
+  std::vector<engine::CheckJob> jobs = {{&sender, &result.trace, {}},
+                                        {&receiver, &result.trace, {}},
+                                        {&service, &result.trace, {}}};
+  engine::EngineOptions opts;
+  opts.num_threads = 3;
+  auto results = engine::check_batch(jobs, opts);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    CheckResult sequential = check_spec(*jobs[i].spec, *jobs[i].trace);
+    EXPECT_EQ(results[i].ok, sequential.ok) << jobs[i].spec->name;
+    EXPECT_EQ(results[i].failed, sequential.failed) << jobs[i].spec->name;
+  }
 }
 
 }  // namespace

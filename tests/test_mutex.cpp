@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/check.h"
+#include "engine/engine.h"
 #include "systems/mutex.h"
 
 namespace il::sys {
@@ -61,6 +62,28 @@ TEST(MutexScaling, MoreProcessesStillConform) {
   Trace tr = run_mutex(config);
   EXPECT_TRUE(check_spec(mutex_spec(4), tr).ok);
   EXPECT_TRUE(check(mutex_theorem(4), tr));
+}
+
+TEST(MutexBatch, SeedSweepThroughEngineMatchesSequential) {
+  // The whole seed sweep (good and racy runs) as one engine batch.
+  Spec spec = mutex_spec(2);
+  std::vector<Trace> traces;
+  for (std::uint64_t seed : {1, 2, 3, 4, 5, 6}) {
+    MutexRunConfig config;
+    config.seed = seed;
+    config.processes = 2;
+    traces.push_back(run_mutex(config));
+    traces.push_back(run_mutex_buggy(config));
+  }
+  engine::EngineOptions opts;
+  opts.num_threads = 4;
+  auto results = engine::check_batch(engine::jobs_for_traces(spec, traces), opts);
+  ASSERT_EQ(results.size(), traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    CheckResult sequential = check_spec(spec, traces[i]);
+    EXPECT_EQ(results[i].ok, sequential.ok) << "trace " << i;
+    EXPECT_EQ(results[i].failed, sequential.failed) << "trace " << i;
+  }
 }
 
 }  // namespace

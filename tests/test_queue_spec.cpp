@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/check.h"
+#include "engine/engine.h"
 #include "systems/queue_system.h"
 
 namespace il::sys {
@@ -81,6 +82,31 @@ TEST(QueueBasics, TracesAreNonTrivial) {
   QueueRunConfig config;
   Trace tr = run_fifo_queue(config);
   EXPECT_GT(tr.size(), 10u);
+}
+
+TEST(QueueBatch, MixedRunsThroughEngineMatchSequential) {
+  // FIFO, LIFO, and swapping runs checked against the queue spec in one
+  // batch: the engine must reproduce the sequential verdicts (conforming /
+  // violating) per trace, in order.
+  QueueRunConfig config;
+  config.values = 5;
+  Spec spec = queue_spec(domain(config.values));
+  std::vector<Trace> traces;
+  for (std::uint64_t seed : {1, 2, 3}) {
+    config.seed = seed;
+    traces.push_back(run_fifo_queue(config));
+    traces.push_back(run_lifo_stack(config));
+    traces.push_back(run_swapping_queue(config));
+  }
+  engine::EngineOptions opts;
+  opts.num_threads = 3;
+  auto results = engine::check_batch(engine::jobs_for_traces(spec, traces), opts);
+  ASSERT_EQ(results.size(), traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    CheckResult sequential = check_spec(spec, traces[i]);
+    EXPECT_EQ(results[i].ok, sequential.ok) << "trace " << i;
+    EXPECT_EQ(results[i].failed, sequential.failed) << "trace " << i;
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/check.h"
+#include "engine/engine.h"
 #include "systems/arbiter.h"
 #include "systems/selftimed.h"
 
@@ -61,6 +62,26 @@ TEST(SelfTimedBasics, HandshakesActuallyHappen) {
     if (!tr.at(k - 1).truthy("R") && tr.at(k).truthy("R")) ++rises;
   }
   EXPECT_EQ(rises, static_cast<int>(config.handshakes));
+}
+
+TEST(SelfTimedBatch, SeedSweepThroughEngineMatchesSequential) {
+  Spec spec = request_ack_spec();
+  std::vector<Trace> traces;
+  for (std::uint64_t seed : {1, 2, 3, 9, 17}) {
+    SelfTimedRunConfig config;
+    config.seed = seed;
+    traces.push_back(run_request_ack(config));
+    traces.push_back(run_request_ack_buggy(config));
+  }
+  engine::EngineOptions opts;
+  opts.num_threads = 4;
+  auto results = engine::check_batch(engine::jobs_for_traces(spec, traces), opts);
+  ASSERT_EQ(results.size(), traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    CheckResult sequential = check_spec(spec, traces[i]);
+    EXPECT_EQ(results[i].ok, sequential.ok) << "trace " << i;
+    EXPECT_EQ(results[i].failed, sequential.failed) << "trace " << i;
+  }
 }
 
 }  // namespace
