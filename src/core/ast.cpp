@@ -1,6 +1,7 @@
 #include "core/ast.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "trace/predicate_parser.h"
 #include "util/assert.h"
@@ -8,6 +9,39 @@
 
 namespace il {
 
+namespace {
+
+/// Sorts and deduplicates a name list in place (the public collect_* calls
+/// promise sorted-unique output).
+void sort_unique(std::vector<std::string>& out) {
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+void append_meta_names(const std::vector<std::uint32_t>& ids, std::vector<std::string>& out) {
+  const SymbolTable& symbols = SymbolTable::global();
+  for (std::uint32_t id : ids) out.push_back(symbols.name(id));
+}
+
+NodeTable::Key formula_key(Formula::Kind kind) {
+  NodeTable::Key key;
+  key.tag = static_cast<std::uint16_t>(NodeTable::kFormula) | static_cast<std::uint16_t>(kind);
+  return key;
+}
+
+NodeTable::Key term_key(Term::Kind kind) {
+  NodeTable::Key key;
+  key.tag = static_cast<std::uint16_t>(NodeTable::kTerm) | static_cast<std::uint16_t>(kind);
+  return key;
+}
+
+std::uint32_t depth_of(const TermPtr& a) { return a ? a->depth() : 0; }
+
+}  // namespace
+
+/// Builds interned Formula nodes.  All construction funnels through here so
+/// the hash-cons invariants (id, free metas, star flag, depth) are set
+/// exactly once, before the node becomes shared.
 struct FormulaFactory {
   static std::shared_ptr<Formula> make(Formula::Kind k) {
     auto p = std::make_shared<Formula>();
@@ -18,9 +52,16 @@ struct FormulaFactory {
   static void set_lhs(Formula& f, FormulaPtr p) { f.lhs_ = std::move(p); }
   static void set_rhs(Formula& f, FormulaPtr p) { f.rhs_ = std::move(p); }
   static void set_term(Formula& f, TermPtr p) { f.term_ = std::move(p); }
-  static void set_quant(Formula& f, std::string var, std::vector<std::int64_t> dom) {
-    f.quant_var_ = std::move(var);
+  static void set_quant(Formula& f, std::uint32_t var_id, std::vector<std::int64_t> dom) {
+    f.quant_var_id_ = var_id;
     f.quant_domain_ = std::move(dom);
+  }
+  static void finish(Formula& f, std::uint32_t id, std::vector<std::uint32_t> metas,
+                     bool has_star, std::uint32_t depth) {
+    f.id_ = id;
+    f.free_meta_ids_ = std::move(metas);
+    f.has_star_ = has_star;
+    f.depth_ = depth;
   }
 };
 
@@ -34,9 +75,22 @@ struct TermFactory {
   static void set_arg(Term& t, TermPtr p) { t.arg_ = std::move(p); }
   static void set_left(Term& t, TermPtr p) { t.left_ = std::move(p); }
   static void set_right(Term& t, TermPtr p) { t.right_ = std::move(p); }
+  static void finish(Term& t, std::uint32_t id, std::vector<std::uint32_t> metas,
+                     bool has_star, std::uint32_t depth) {
+    t.id_ = id;
+    t.free_meta_ids_ = std::move(metas);
+    t.has_star_ = has_star;
+    t.depth_ = depth;
+  }
 };
 
 // ----------------------------- printing ------------------------------------
+
+const std::string& Formula::quant_var() const {
+  static const std::string empty;
+  if (quant_var_id_ == SymbolTable::kNoSymbol) return empty;
+  return SymbolTable::global().name(quant_var_id_);
+}
 
 std::string Formula::to_string() const {
   switch (kind_) {
@@ -62,74 +116,45 @@ std::string Formula::to_string() const {
       return "*" + term_->to_string();
     case Kind::Forall:
     case Kind::Exists: {
-      std::string head = (kind_ == Kind::Forall) ? "forall " : "exists ";
+      // Parenthesized because the parser gives the body maximal extent: an
+      // unparenthesized quantifier under a binary connective would re-parse
+      // with the connective's right operand swallowed into the body.
+      std::string head = (kind_ == Kind::Forall) ? "(forall " : "(exists ";
       std::vector<std::string> vals;
       vals.reserve(quant_domain_.size());
       for (std::int64_t v : quant_domain_) vals.push_back(to_string_i64(v));
-      return head + quant_var_ + " in {" + join(vals, ",") + "} . " + lhs_->to_string();
+      return head + quant_var() + " in {" + join(vals, ",") + "} . " + lhs_->to_string() + ")";
     }
   }
   IL_CHECK(false, "unreachable");
 }
 
-void Formula::collect_vars(std::vector<std::string>& out) const {
+void Formula::append_vars(std::vector<std::string>& out) const {
   switch (kind_) {
     case Kind::Atom:
-      pred_->collect_vars(out);
+      pred_->append_vars(out);
       return;
     case Kind::Interval:
-      term_->collect_vars(out);
-      lhs_->collect_vars(out);
+      term_->append_vars(out);
+      lhs_->append_vars(out);
       return;
     case Kind::Occurs:
-      term_->collect_vars(out);
+      term_->append_vars(out);
       return;
     default:
-      if (lhs_) lhs_->collect_vars(out);
-      if (rhs_) rhs_->collect_vars(out);
+      if (lhs_) lhs_->append_vars(out);
+      if (rhs_) rhs_->append_vars(out);
   }
+}
+
+void Formula::collect_vars(std::vector<std::string>& out) const {
+  append_vars(out);
+  sort_unique(out);
 }
 
 void Formula::collect_metas(std::vector<std::string>& out) const {
-  switch (kind_) {
-    case Kind::Atom:
-      pred_->collect_metas(out);
-      return;
-    case Kind::Interval:
-      term_->collect_metas(out);
-      lhs_->collect_metas(out);
-      return;
-    case Kind::Occurs:
-      term_->collect_metas(out);
-      return;
-    case Kind::Forall:
-    case Kind::Exists: {
-      // The quantifier binds its own variable: only the body's *other*
-      // meta references are free here.
-      std::vector<std::string> body;
-      lhs_->collect_metas(body);
-      for (auto& name : body) {
-        if (name != quant_var_) out.push_back(std::move(name));
-      }
-      return;
-    }
-    default:
-      if (lhs_) lhs_->collect_metas(out);
-      if (rhs_) rhs_->collect_metas(out);
-  }
-}
-
-bool Formula::has_star_modifier() const {
-  switch (kind_) {
-    case Kind::Atom:
-      return false;
-    case Kind::Interval:
-      return term_->has_star_modifier() || lhs_->has_star_modifier();
-    case Kind::Occurs:
-      return term_->has_star_modifier();
-    default:
-      return (lhs_ && lhs_->has_star_modifier()) || (rhs_ && rhs_->has_star_modifier());
-  }
+  append_meta_names(free_meta_ids_, out);
+  sort_unique(out);
 }
 
 std::string Term::to_string() const {
@@ -159,54 +184,31 @@ std::string Term::to_string() const {
   IL_CHECK(false, "unreachable");
 }
 
-void Term::collect_vars(std::vector<std::string>& out) const {
+void Term::append_vars(std::vector<std::string>& out) const {
   switch (kind_) {
     case Kind::Event:
-      event_->collect_vars(out);
+      event_->append_vars(out);
       return;
     case Kind::Begin:
     case Kind::End:
     case Kind::Star:
-      arg_->collect_vars(out);
+      arg_->append_vars(out);
       return;
     case Kind::Fwd:
     case Kind::Bwd:
-      if (left_) left_->collect_vars(out);
-      if (right_) right_->collect_vars(out);
+      if (left_) left_->append_vars(out);
+      if (right_) right_->append_vars(out);
   }
+}
+
+void Term::collect_vars(std::vector<std::string>& out) const {
+  append_vars(out);
+  sort_unique(out);
 }
 
 void Term::collect_metas(std::vector<std::string>& out) const {
-  switch (kind_) {
-    case Kind::Event:
-      event_->collect_metas(out);
-      return;
-    case Kind::Begin:
-    case Kind::End:
-    case Kind::Star:
-      arg_->collect_metas(out);
-      return;
-    case Kind::Fwd:
-    case Kind::Bwd:
-      if (left_) left_->collect_metas(out);
-      if (right_) right_->collect_metas(out);
-  }
-}
-
-bool Term::has_star_modifier() const {
-  switch (kind_) {
-    case Kind::Event:
-      return event_->has_star_modifier();
-    case Kind::Begin:
-    case Kind::End:
-      return arg_->has_star_modifier();
-    case Kind::Star:
-      return true;
-    case Kind::Fwd:
-    case Kind::Bwd:
-      return (left_ && left_->has_star_modifier()) || (right_ && right_->has_star_modifier());
-  }
-  IL_CHECK(false, "unreachable");
+  append_meta_names(free_meta_ids_, out);
+  sort_unique(out);
 }
 
 // ----------------------------- factories -----------------------------------
@@ -215,9 +217,14 @@ namespace f {
 
 FormulaPtr atom(PredPtr p) {
   IL_REQUIRE(p != nullptr);
-  auto node = FormulaFactory::make(Formula::Kind::Atom);
-  FormulaFactory::set_pred(*node, std::move(p));
-  return node;
+  NodeTable::Key key = formula_key(Formula::Kind::Atom);
+  key.child[0] = p->id();
+  return NodeTable::global().intern<Formula>(key, [&](std::uint32_t id) {
+    auto node = FormulaFactory::make(Formula::Kind::Atom);
+    FormulaFactory::finish(*node, id, p->meta_ids(), /*has_star=*/false, /*depth=*/1);
+    FormulaFactory::set_pred(*node, std::move(p));
+    return node;
+  });
 }
 
 FormulaPtr atom(const std::string& pred_text) { return atom(parse_pred(pred_text)); }
@@ -225,71 +232,111 @@ FormulaPtr atom(const std::string& pred_text) { return atom(parse_pred(pred_text
 FormulaPtr truth() { return atom(Pred::constant(true)); }
 FormulaPtr falsity() { return atom(Pred::constant(false)); }
 
-FormulaPtr negate(FormulaPtr a) {
+namespace {
+/// Unary connectives and temporal operators: one formula child.
+FormulaPtr unary(Formula::Kind k, FormulaPtr a) {
   IL_REQUIRE(a != nullptr);
-  auto node = FormulaFactory::make(Formula::Kind::Not);
-  FormulaFactory::set_lhs(*node, std::move(a));
-  return node;
+  NodeTable::Key key = formula_key(k);
+  key.child[0] = a->id();
+  return NodeTable::global().intern<Formula>(key, [&](std::uint32_t id) {
+    auto node = FormulaFactory::make(k);
+    FormulaFactory::finish(*node, id, a->free_meta_ids(), a->has_star_modifier(),
+                           1 + a->depth());
+    FormulaFactory::set_lhs(*node, std::move(a));
+    return node;
+  });
 }
 
-namespace {
 FormulaPtr binary(Formula::Kind k, FormulaPtr a, FormulaPtr b) {
   IL_REQUIRE(a && b);
-  auto node = FormulaFactory::make(k);
-  FormulaFactory::set_lhs(*node, std::move(a));
-  FormulaFactory::set_rhs(*node, std::move(b));
-  return node;
+  NodeTable::Key key = formula_key(k);
+  key.child[0] = a->id();
+  key.child[1] = b->id();
+  return NodeTable::global().intern<Formula>(key, [&](std::uint32_t id) {
+    auto node = FormulaFactory::make(k);
+    FormulaFactory::finish(*node, id, merge_ids(a->free_meta_ids(), b->free_meta_ids()),
+                           a->has_star_modifier() || b->has_star_modifier(),
+                           1 + std::max(a->depth(), b->depth()));
+    FormulaFactory::set_lhs(*node, std::move(a));
+    FormulaFactory::set_rhs(*node, std::move(b));
+    return node;
+  });
 }
 }  // namespace
 
-FormulaPtr conj(FormulaPtr a, FormulaPtr b) { return binary(Formula::Kind::And, a, b); }
-FormulaPtr disj(FormulaPtr a, FormulaPtr b) { return binary(Formula::Kind::Or, a, b); }
-FormulaPtr implies(FormulaPtr a, FormulaPtr b) { return binary(Formula::Kind::Implies, a, b); }
-FormulaPtr iff(FormulaPtr a, FormulaPtr b) { return binary(Formula::Kind::Iff, a, b); }
-
-FormulaPtr always(FormulaPtr a) {
-  IL_REQUIRE(a != nullptr);
-  auto node = FormulaFactory::make(Formula::Kind::Always);
-  FormulaFactory::set_lhs(*node, std::move(a));
-  return node;
+FormulaPtr negate(FormulaPtr a) { return unary(Formula::Kind::Not, std::move(a)); }
+FormulaPtr conj(FormulaPtr a, FormulaPtr b) {
+  return binary(Formula::Kind::And, std::move(a), std::move(b));
 }
-
-FormulaPtr eventually(FormulaPtr a) {
-  IL_REQUIRE(a != nullptr);
-  auto node = FormulaFactory::make(Formula::Kind::Eventually);
-  FormulaFactory::set_lhs(*node, std::move(a));
-  return node;
+FormulaPtr disj(FormulaPtr a, FormulaPtr b) {
+  return binary(Formula::Kind::Or, std::move(a), std::move(b));
 }
+FormulaPtr implies(FormulaPtr a, FormulaPtr b) {
+  return binary(Formula::Kind::Implies, std::move(a), std::move(b));
+}
+FormulaPtr iff(FormulaPtr a, FormulaPtr b) {
+  return binary(Formula::Kind::Iff, std::move(a), std::move(b));
+}
+FormulaPtr always(FormulaPtr a) { return unary(Formula::Kind::Always, std::move(a)); }
+FormulaPtr eventually(FormulaPtr a) { return unary(Formula::Kind::Eventually, std::move(a)); }
 
 FormulaPtr interval(TermPtr term, FormulaPtr body) {
   IL_REQUIRE(term && body);
-  auto node = FormulaFactory::make(Formula::Kind::Interval);
-  FormulaFactory::set_term(*node, std::move(term));
-  FormulaFactory::set_lhs(*node, std::move(body));
-  return node;
+  NodeTable::Key key = formula_key(Formula::Kind::Interval);
+  key.child[0] = term->id();
+  key.child[1] = body->id();
+  return NodeTable::global().intern<Formula>(key, [&](std::uint32_t id) {
+    auto node = FormulaFactory::make(Formula::Kind::Interval);
+    FormulaFactory::finish(*node, id, merge_ids(term->free_meta_ids(), body->free_meta_ids()),
+                           term->has_star_modifier() || body->has_star_modifier(),
+                           1 + std::max(term->depth(), body->depth()));
+    FormulaFactory::set_term(*node, std::move(term));
+    FormulaFactory::set_lhs(*node, std::move(body));
+    return node;
+  });
 }
 
 FormulaPtr occurs(TermPtr term) {
   IL_REQUIRE(term != nullptr);
-  auto node = FormulaFactory::make(Formula::Kind::Occurs);
-  FormulaFactory::set_term(*node, std::move(term));
-  return node;
+  NodeTable::Key key = formula_key(Formula::Kind::Occurs);
+  key.child[0] = term->id();
+  return NodeTable::global().intern<Formula>(key, [&](std::uint32_t id) {
+    auto node = FormulaFactory::make(Formula::Kind::Occurs);
+    FormulaFactory::finish(*node, id, term->free_meta_ids(), term->has_star_modifier(),
+                           1 + term->depth());
+    FormulaFactory::set_term(*node, std::move(term));
+    return node;
+  });
 }
 
-FormulaPtr forall(std::string var, std::vector<std::int64_t> domain, FormulaPtr body) {
+namespace {
+FormulaPtr quantifier(Formula::Kind k, std::string var, std::vector<std::int64_t> domain,
+                      FormulaPtr body) {
   IL_REQUIRE(body != nullptr);
-  auto node = FormulaFactory::make(Formula::Kind::Forall);
-  FormulaFactory::set_quant(*node, std::move(var), std::move(domain));
-  FormulaFactory::set_lhs(*node, std::move(body));
-  return node;
+  const std::uint32_t var_id = SymbolTable::global().intern(var);
+  NodeTable::Key key = formula_key(k);
+  key.sym = var_id;
+  key.child[0] = NodeTable::global().intern_domain(domain);
+  key.child[1] = body->id();
+  return NodeTable::global().intern<Formula>(key, [&](std::uint32_t id) {
+    auto node = FormulaFactory::make(k);
+    // The quantifier binds its own variable: only the body's *other* meta
+    // references are free here.
+    FormulaFactory::finish(*node, id, remove_id(body->free_meta_ids(), var_id),
+                           body->has_star_modifier(), 1 + body->depth());
+    FormulaFactory::set_quant(*node, var_id, std::move(domain));
+    FormulaFactory::set_lhs(*node, std::move(body));
+    return node;
+  });
+}
+}  // namespace
+
+FormulaPtr forall(std::string var, std::vector<std::int64_t> domain, FormulaPtr body) {
+  return quantifier(Formula::Kind::Forall, std::move(var), std::move(domain), std::move(body));
 }
 
 FormulaPtr exists(std::string var, std::vector<std::int64_t> domain, FormulaPtr body) {
-  IL_REQUIRE(body != nullptr);
-  auto node = FormulaFactory::make(Formula::Kind::Exists);
-  FormulaFactory::set_quant(*node, std::move(var), std::move(domain));
-  FormulaFactory::set_lhs(*node, std::move(body));
-  return node;
+  return quantifier(Formula::Kind::Exists, std::move(var), std::move(domain), std::move(body));
 }
 
 FormulaPtr conj_all(const std::vector<FormulaPtr>& fs) {
@@ -305,47 +352,65 @@ namespace t {
 
 TermPtr event(FormulaPtr defining_formula) {
   IL_REQUIRE(defining_formula != nullptr);
-  auto node = TermFactory::make(Term::Kind::Event);
-  TermFactory::set_event(*node, std::move(defining_formula));
-  return node;
+  NodeTable::Key key = term_key(Term::Kind::Event);
+  key.child[0] = defining_formula->id();
+  return NodeTable::global().intern<Term>(key, [&](std::uint32_t id) {
+    auto node = TermFactory::make(Term::Kind::Event);
+    TermFactory::finish(*node, id, defining_formula->free_meta_ids(),
+                        defining_formula->has_star_modifier(), 1 + defining_formula->depth());
+    TermFactory::set_event(*node, std::move(defining_formula));
+    return node;
+  });
 }
 
 TermPtr event(const std::string& pred_text) { return event(f::atom(pred_text)); }
 
-TermPtr begin(TermPtr inner) {
+namespace {
+/// Begin/End/Star: one term child.  Star is the only node that *introduces*
+/// the star flag; the others just propagate it.
+TermPtr wrap(Term::Kind k, TermPtr inner) {
   IL_REQUIRE(inner != nullptr);
-  auto node = TermFactory::make(Term::Kind::Begin);
-  TermFactory::set_arg(*node, std::move(inner));
-  return node;
+  NodeTable::Key key = term_key(k);
+  key.child[0] = inner->id();
+  return NodeTable::global().intern<Term>(key, [&](std::uint32_t id) {
+    auto node = TermFactory::make(k);
+    TermFactory::finish(*node, id, inner->free_meta_ids(),
+                        k == Term::Kind::Star || inner->has_star_modifier(),
+                        1 + inner->depth());
+    TermFactory::set_arg(*node, std::move(inner));
+    return node;
+  });
 }
 
-TermPtr end(TermPtr inner) {
-  IL_REQUIRE(inner != nullptr);
-  auto node = TermFactory::make(Term::Kind::End);
-  TermFactory::set_arg(*node, std::move(inner));
-  return node;
+TermPtr arrow(Term::Kind k, TermPtr left, TermPtr right) {
+  NodeTable::Key key = term_key(k);
+  key.child[0] = left ? left->id() : kNoNode;
+  key.child[1] = right ? right->id() : kNoNode;
+  return NodeTable::global().intern<Term>(key, [&](std::uint32_t id) {
+    auto node = TermFactory::make(k);
+    static const std::vector<std::uint32_t> kEmpty;
+    const auto& lm = left ? left->free_meta_ids() : kEmpty;
+    const auto& rm = right ? right->free_meta_ids() : kEmpty;
+    TermFactory::finish(*node, id, merge_ids(lm, rm),
+                        (left && left->has_star_modifier()) ||
+                            (right && right->has_star_modifier()),
+                        1 + std::max(depth_of(left), depth_of(right)));
+    TermFactory::set_left(*node, std::move(left));
+    TermFactory::set_right(*node, std::move(right));
+    return node;
+  });
 }
+}  // namespace
 
+TermPtr begin(TermPtr inner) { return wrap(Term::Kind::Begin, std::move(inner)); }
+TermPtr end(TermPtr inner) { return wrap(Term::Kind::End, std::move(inner)); }
 TermPtr fwd(TermPtr left, TermPtr right) {
-  auto node = TermFactory::make(Term::Kind::Fwd);
-  TermFactory::set_left(*node, std::move(left));
-  TermFactory::set_right(*node, std::move(right));
-  return node;
+  return arrow(Term::Kind::Fwd, std::move(left), std::move(right));
 }
-
 TermPtr bwd(TermPtr left, TermPtr right) {
-  auto node = TermFactory::make(Term::Kind::Bwd);
-  TermFactory::set_left(*node, std::move(left));
-  TermFactory::set_right(*node, std::move(right));
-  return node;
+  return arrow(Term::Kind::Bwd, std::move(left), std::move(right));
 }
-
-TermPtr star(TermPtr inner) {
-  IL_REQUIRE(inner != nullptr);
-  auto node = TermFactory::make(Term::Kind::Star);
-  TermFactory::set_arg(*node, std::move(inner));
-  return node;
-}
+TermPtr star(TermPtr inner) { return wrap(Term::Kind::Star, std::move(inner)); }
 
 }  // namespace t
 

@@ -13,8 +13,12 @@
 // variables (e.g. "for all a, b" in the queue axioms): they bind meta
 // variables that state predicates reference as $name.
 //
-// Formulas and terms are immutable DAGs shared by shared_ptr.  Factories
-// live in the `f` (formula) and `t` (term) namespaces for fluent building:
+// Formulas and terms are immutable DAGs shared by shared_ptr and hash-consed
+// through the global NodeTable (core/intern.h): the factories in the `f`
+// (formula) and `t` (term) namespaces return the *same* node for structurally
+// identical inputs, so structural equality is pointer equality and every node
+// carries a stable integer id plus construction-time metadata (free meta
+// ids, star flag, depth) that evaluation and memoization read in O(1):
 //
 //   auto spec = f::interval(t::fwd(t::event(f::atom("x = y")),
 //                                  t::event(f::atom("y = 16"))),
@@ -26,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "core/intern.h"
 #include "trace/predicate.h"
 
 namespace il {
@@ -57,29 +62,52 @@ class Formula {
   const FormulaPtr& lhs() const { return lhs_; }
   const FormulaPtr& rhs() const { return rhs_; }
   const TermPtr& term() const { return term_; }
-  const std::string& quant_var() const { return quant_var_; }
+  const std::string& quant_var() const;
+  std::uint32_t quant_var_id() const { return quant_var_id_; }
   const std::vector<std::int64_t>& quant_domain() const { return quant_domain_; }
+
+  /// Hash-cons node id (unique across all AST node classes); structurally
+  /// identical formulas share one node, so f->id() == g->id() iff f == g
+  /// as trees.
+  std::uint32_t id() const { return id_; }
+
+  /// Sorted, unique symbol ids of the *free* meta variables (references not
+  /// bound by an enclosing quantifier within this formula).  Computed once
+  /// at construction.
+  const std::vector<std::uint32_t>& free_meta_ids() const { return free_meta_ids_; }
+
+  /// Height of this node's tree (an Atom is 1).
+  std::uint32_t depth() const { return depth_; }
 
   std::string to_string() const;
 
-  /// Collects all state-variable names referenced anywhere in the formula.
+  /// Collects all state-variable names referenced anywhere in the formula
+  /// (sorted, unique).
   void collect_vars(std::vector<std::string>& out) const;
 
-  /// Collects the *free* meta-variable names (references not bound by an
-  /// enclosing quantifier within this formula).
+  /// Collects the *free* meta-variable names (sorted, unique).
   void collect_metas(std::vector<std::string>& out) const;
 
-  /// True if any interval term within carries the * modifier.
-  bool has_star_modifier() const;
+  /// True if any interval term within carries the * modifier.  O(1): cached
+  /// at construction.
+  bool has_star_modifier() const { return has_star_; }
 
  private:
   friend struct FormulaFactory;
+  void append_vars(std::vector<std::string>& out) const;
+  friend class Term;
+
   Kind kind_ = Kind::Atom;
   PredPtr pred_;
   FormulaPtr lhs_, rhs_;
   TermPtr term_;
-  std::string quant_var_;
+  std::uint32_t quant_var_id_ = SymbolTable::kNoSymbol;
   std::vector<std::int64_t> quant_domain_;
+
+  std::uint32_t id_ = kNoNode;
+  std::vector<std::uint32_t> free_meta_ids_;
+  bool has_star_ = false;
+  std::uint32_t depth_ = 1;
 };
 
 class Term {
@@ -99,16 +127,32 @@ class Term {
   const TermPtr& left() const { return left_; }  ///< arrow left argument (may be null)
   const TermPtr& right() const { return right_; }///< arrow right argument (may be null)
 
+  /// Hash-cons node id (unique across all AST node classes).
+  std::uint32_t id() const { return id_; }
+  /// Sorted, unique free meta-variable ids; computed once at construction.
+  const std::vector<std::uint32_t>& free_meta_ids() const { return free_meta_ids_; }
+  std::uint32_t depth() const { return depth_; }
+
   std::string to_string() const;
+  /// Sorted-unique collection, as for Formula.
   void collect_vars(std::vector<std::string>& out) const;
   void collect_metas(std::vector<std::string>& out) const;
-  bool has_star_modifier() const;
+  /// O(1): cached at construction.
+  bool has_star_modifier() const { return has_star_; }
 
  private:
   friend struct TermFactory;
+  friend class Formula;
+  void append_vars(std::vector<std::string>& out) const;
+
   Kind kind_ = Kind::Event;
   FormulaPtr event_;
   TermPtr arg_, left_, right_;
+
+  std::uint32_t id_ = kNoNode;
+  std::vector<std::uint32_t> free_meta_ids_;
+  bool has_star_ = false;
+  std::uint32_t depth_ = 1;
 };
 
 namespace f {

@@ -1,0 +1,142 @@
+#include "core/intern.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace il {
+
+// ----------------------------- SymbolTable ---------------------------------
+
+SymbolTable& SymbolTable::global() {
+  static SymbolTable table;
+  return table;
+}
+
+std::uint32_t SymbolTable::intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const std::uint32_t id = static_cast<std::uint32_t>(names_.size());
+  IL_CHECK(id != kNoSymbol, "symbol table exhausted");
+  names_.emplace_back(name);
+  // The key views the deque-owned string, whose address is stable.
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+std::uint32_t SymbolTable::lookup(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  return it == index_.end() ? kNoSymbol : it->second;
+}
+
+const std::string& SymbolTable::name(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  IL_REQUIRE(id < names_.size(), "unknown symbol id");
+  return names_[id];
+}
+
+std::size_t SymbolTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
+// --------------------------------- Env -------------------------------------
+
+Env::Env(std::initializer_list<std::pair<std::string, std::int64_t>> init) {
+  for (const auto& [name, value] : init) bind(name, value);
+}
+
+std::int64_t& Env::slot(std::uint32_t meta_id) {
+  auto it = std::lower_bound(
+      bindings_.begin(), bindings_.end(), meta_id,
+      [](const Binding& b, std::uint32_t id) { return b.first < id; });
+  if (it == bindings_.end() || it->first != meta_id) {
+    it = bindings_.insert(it, Binding{meta_id, 0});
+  }
+  return it->second;
+}
+
+void Env::bind(std::uint32_t meta_id, std::int64_t value) { slot(meta_id) = value; }
+
+void Env::bind(const std::string& name, std::int64_t value) {
+  bind(SymbolTable::global().intern(name), value);
+}
+
+std::int64_t& Env::operator[](const std::string& name) {
+  return slot(SymbolTable::global().intern(name));
+}
+
+const std::int64_t* Env::find(std::uint32_t meta_id) const {
+  auto it = std::lower_bound(
+      bindings_.begin(), bindings_.end(), meta_id,
+      [](const Binding& b, std::uint32_t id) { return b.first < id; });
+  if (it == bindings_.end() || it->first != meta_id) return nullptr;
+  return &it->second;
+}
+
+// ------------------------------ NodeTable ----------------------------------
+
+namespace {
+
+inline void hash_combine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace
+
+std::size_t NodeTable::KeyHash::operator()(const Key& k) const {
+  std::size_t seed = (static_cast<std::size_t>(k.tag) << 16) | k.aux;
+  hash_combine(seed, k.sym);
+  hash_combine(seed, static_cast<std::size_t>(k.num));
+  hash_combine(seed, (static_cast<std::size_t>(k.child[0]) << 32) | k.child[1]);
+  hash_combine(seed, (static_cast<std::size_t>(k.child[2]) << 32) | k.child[3]);
+  return seed;
+}
+
+NodeTable& NodeTable::global() {
+  static NodeTable table;
+  return table;
+}
+
+std::uint32_t NodeTable::intern_domain(const std::vector<std::int64_t>& domain) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = domains_.find(domain);
+  if (it != domains_.end()) return it->second;
+  const std::uint32_t id = static_cast<std::uint32_t>(domains_.size());
+  return domains_.emplace(domain, id).first->second;
+}
+
+NodeTable::Stats NodeTable::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.unique_nodes = table_.size();
+  s.hits = hits_;
+  s.domains = domains_.size();
+  s.symbols = SymbolTable::global().size();
+  return s;
+}
+
+// ------------------------------- helpers -----------------------------------
+
+std::vector<std::uint32_t> merge_ids(const std::vector<std::uint32_t>& a,
+                                     const std::vector<std::uint32_t>& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  std::vector<std::uint32_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::uint32_t> remove_id(const std::vector<std::uint32_t>& a, std::uint32_t id) {
+  std::vector<std::uint32_t> out;
+  out.reserve(a.size());
+  for (std::uint32_t x : a) {
+    if (x != id) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace il

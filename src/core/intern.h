@@ -1,0 +1,197 @@
+// Global interning: symbols, meta-variable environments, and the
+// hash-consing node table.
+//
+// Every name (state variable, meta variable, quantifier variable) is interned
+// once into the process-wide SymbolTable and referenced by a dense uint32_t
+// id thereafter; every AST node (Expr, Pred, Formula, Term) is hash-consed
+// through the NodeTable, so structurally identical nodes built anywhere in
+// the process are the *same* shared object carrying a stable uint32_t node
+// id.  This is the unique-table discipline of BDD packages applied to the
+// whole formula language:
+//
+//   - structural equality is pointer (or id) equality,
+//   - per-node metadata (free meta-variable ids, star flags, depth) is
+//     computed once at construction instead of by repeated tree walks,
+//   - memoization keys shrink to packed integers (core/memo.h),
+//   - the tables are append-only and, after specs are built, read-only —
+//     engine workers share them with no synchronization on the hot path.
+//
+// Interning happens only at construction time (parsers, spec builders,
+// star reduction); evaluation never takes the table locks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace il {
+
+// ---------------------------------------------------------------------------
+// SymbolTable: names -> dense ids.
+// ---------------------------------------------------------------------------
+
+class SymbolTable {
+ public:
+  /// Sentinel returned by lookup() for names never interned.
+  static constexpr std::uint32_t kNoSymbol = 0xffffffffu;
+
+  /// The process-wide table.  All factories and State/Env use this instance.
+  static SymbolTable& global();
+
+  /// Returns the id for `name`, interning it on first sight.
+  std::uint32_t intern(std::string_view name);
+
+  /// Returns the id for `name`, or kNoSymbol if it was never interned.
+  /// Never inserts (so probing for an unknown variable stays read-only).
+  std::uint32_t lookup(std::string_view name) const;
+
+  /// The name for an interned id.  The reference is stable for the process
+  /// lifetime.
+  const std::string& name(std::uint32_t id) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::string> names_;  ///< deque: element addresses are stable
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+};
+
+// ---------------------------------------------------------------------------
+// Env: meta-variable bindings as a small sorted (id, value) vector.
+// ---------------------------------------------------------------------------
+
+/// Binding environment for meta (rigid) variables.  Kept sorted by symbol id,
+/// so lookup is a short scan, restriction against a node's free-meta id set
+/// is a linear merge, and equality/hashing need no normalization.
+class Env {
+ public:
+  using Binding = std::pair<std::uint32_t, std::int64_t>;
+
+  Env() = default;
+  Env(std::initializer_list<std::pair<std::string, std::int64_t>> init);
+
+  /// Binds (or rebinds) a meta variable by id.
+  void bind(std::uint32_t meta_id, std::int64_t value);
+  /// Binds by name, interning it.
+  void bind(const std::string& name, std::int64_t value);
+
+  /// Map-style convenience used by spec-building code: env["a"] = 3.
+  std::int64_t& operator[](const std::string& name);
+
+  /// The bound value, or nullptr when the id is unbound.
+  const std::int64_t* find(std::uint32_t meta_id) const;
+
+  bool empty() const { return bindings_.empty(); }
+  std::size_t size() const { return bindings_.size(); }
+  const std::vector<Binding>& bindings() const { return bindings_; }
+
+  bool operator==(const Env& o) const { return bindings_ == o.bindings_; }
+  bool operator!=(const Env& o) const { return !(*this == o); }
+
+ private:
+  std::int64_t& slot(std::uint32_t meta_id);
+
+  std::vector<Binding> bindings_;  ///< sorted by id, unique ids
+};
+
+// ---------------------------------------------------------------------------
+// NodeTable: the hash-consing unique table.
+// ---------------------------------------------------------------------------
+
+/// Node ids are unique across all four node classes; 0 is reserved for
+/// "absent child" (e.g. an omitted arrow argument).
+constexpr std::uint32_t kNoNode = 0;
+
+class NodeTable {
+ public:
+  static NodeTable& global();
+
+  /// Node class discriminator folded into the key tag alongside the
+  /// class-local kind, so keys from different classes can never collide.
+  enum Class : std::uint16_t {
+    kExpr = 0x100,
+    kPred = 0x200,
+    kFormula = 0x300,
+    kTerm = 0x400,
+  };
+
+  /// Structural identity of one node given already-interned children.  The
+  /// fixed shape covers every node class: variable-length payloads
+  /// (quantifier domains) are themselves interned into ids first.
+  struct Key {
+    std::uint16_t tag = 0;   ///< Class | kind
+    std::uint16_t aux = 0;   ///< cmp op / bool constant / flags
+    std::uint32_t sym = SymbolTable::kNoSymbol;  ///< var/meta/quantifier name
+    std::uint64_t num = 0;   ///< integer literal payload
+    std::uint32_t child[4] = {kNoNode, kNoNode, kNoNode, kNoNode};
+
+    bool operator==(const Key& o) const {
+      return tag == o.tag && aux == o.aux && sym == o.sym && num == o.num &&
+             child[0] == o.child[0] && child[1] == o.child[1] &&
+             child[2] == o.child[2] && child[3] == o.child[3];
+    }
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  struct Stats {
+    std::size_t unique_nodes = 0;  ///< distinct nodes ever interned
+    std::size_t hits = 0;          ///< constructions answered by an existing node
+    std::size_t domains = 0;       ///< distinct quantifier domains
+    std::size_t symbols = 0;       ///< distinct interned names
+  };
+
+  /// Returns the node for `key`, building it at most once.  `build` receives
+  /// the id assigned to the new node; it must not re-enter the table (all
+  /// children are interned before their parent by construction).
+  template <typename T, typename Build>
+  std::shared_ptr<const T> intern(const Key& key, Build&& build) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = table_.find(key);
+    if (it != table_.end()) {
+      ++hits_;
+      return std::static_pointer_cast<const T>(it->second);
+    }
+    std::shared_ptr<const T> node = build(next_id_++);
+    table_.emplace(key, node);
+    return node;
+  }
+
+  /// Interns a quantifier domain (an arbitrary int64 list) into an id so it
+  /// can participate in fixed-size node keys.
+  std::uint32_t intern_domain(const std::vector<std::int64_t>& domain);
+
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const void>, KeyHash> table_;
+  std::map<std::vector<std::int64_t>, std::uint32_t> domains_;
+  std::uint32_t next_id_ = 1;  // 0 is kNoNode
+  std::size_t hits_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Small helpers shared by the interning factories.
+// ---------------------------------------------------------------------------
+
+/// Union of two sorted-unique id sets, sorted-unique.
+std::vector<std::uint32_t> merge_ids(const std::vector<std::uint32_t>& a,
+                                     const std::vector<std::uint32_t>& b);
+
+/// `a` with `id` removed (used for quantifier binding).
+std::vector<std::uint32_t> remove_id(const std::vector<std::uint32_t>& a, std::uint32_t id);
+
+}  // namespace il

@@ -1,62 +1,97 @@
 #include "core/memo.h"
 
-#include <algorithm>
-#include <functional>
-
 namespace il {
 
 namespace {
 
-inline void hash_combine(std::size_t& seed, std::size_t v) {
-  seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+constexpr std::size_t kInitialSlots = 1u << 10;
+/// Maximum load factor: the table doubles once count exceeds 70% of slots.
+constexpr std::size_t kLoadNum = 7;
+constexpr std::size_t kLoadDen = 10;
+
+inline std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer: cheap and well distributed for packed keys.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
 }
 
 }  // namespace
 
-std::size_t EvalCache::KeyHash::operator()(const Key& k) const {
-  std::size_t seed = std::hash<const void*>{}(k.node);
-  hash_combine(seed, std::hash<const void*>{}(k.trace));
-  hash_combine(seed, k.lo);
-  hash_combine(seed, k.hi);
-  hash_combine(seed, static_cast<std::size_t>(k.op));
-  for (const auto& [name, value] : k.env) {
-    hash_combine(seed, std::hash<std::string>{}(name));
-    hash_combine(seed, std::hash<std::int64_t>{}(value));
+// The slot array is allocated lazily on the first store: short-lived caches
+// (e.g. one Monitor::current() call) should not pay for zeroing a table.
+EvalCache::EvalCache() = default;
+
+std::size_t EvalCache::hash_key(const Key& k) {
+  std::uint64_t h = mix64((static_cast<std::uint64_t>(k.node) << 32) | k.trace);
+  h ^= mix64(k.lo + 0x100000001b3ull * k.hi);
+  h ^= mix64((static_cast<std::uint64_t>(k.op) << 8) | k.n_env);
+  for (std::uint8_t i = 0; i < k.n_env; ++i) {
+    h ^= mix64((static_cast<std::uint64_t>(k.metas[i]) << 32) ^
+               static_cast<std::uint64_t>(k.values[i]));
   }
-  return seed;
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t EvalCache::probe(const Key& key) const {
+  std::size_t i = hash_key(key) & mask_;
+  for (;;) {
+    const Slot& slot = slots_[i];
+    if (!slot.used || slot.key == key) return i;
+    i = (i + 1) & mask_;
+  }
 }
 
 const EvalCache::Entry* EvalCache::lookup(const Key& key) {
-  auto it = map_.find(key);
-  if (it == map_.end()) {
+  if (slots_.empty()) {
+    ++misses_;
+    return nullptr;
+  }
+  const std::size_t i = probe(key);
+  if (!slots_[i].used) {
     ++misses_;
     return nullptr;
   }
   ++hits_;
-  return &it->second;
+  return &slots_[i].entry;
 }
 
-void EvalCache::store(Key key, Entry entry) {
-  if (capacity_ != 0 && map_.size() >= capacity_) return;
-  map_.emplace(std::move(key), entry);
+void EvalCache::store(const Key& key, const Entry& entry) {
+  if (capacity_ != 0 && count_ >= capacity_) return;
+  if (slots_.empty()) {
+    slots_.assign(kInitialSlots, Slot{});
+    mask_ = kInitialSlots - 1;
+  }
+  if ((count_ + 1) * kLoadDen > slots_.size() * kLoadNum) grow();
+  Slot& slot = slots_[probe(key)];
+  if (slot.used) return;  // already present (racing store after a hit)
+  slot.key = key;
+  slot.entry = entry;
+  slot.used = true;
+  ++count_;
+  ++inserts_;
+}
+
+void EvalCache::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  for (Slot& slot : old) {
+    if (!slot.used) continue;
+    slots_[probe(slot.key)] = std::move(slot);
+  }
 }
 
 void EvalCache::clear() {
-  map_.clear();
-  metas_.clear();
+  slots_.clear();
+  slots_.shrink_to_fit();
+  mask_ = 0;
+  count_ = 0;
   hits_ = 0;
   misses_ = 0;
-}
-
-const std::vector<std::string>& EvalCache::free_metas(
-    const void* node, const std::function<void(std::vector<std::string>&)>& collect) {
-  auto it = metas_.find(node);
-  if (it != metas_.end()) return it->second;
-  std::vector<std::string> names;
-  collect(names);
-  std::sort(names.begin(), names.end());
-  names.erase(std::unique(names.begin(), names.end()), names.end());
-  return metas_.emplace(node, std::move(names)).first->second;
+  inserts_ = 0;
+  env_overflows_ = 0;
 }
 
 }  // namespace il

@@ -4,26 +4,26 @@
 // position, and nested interval formulas re-run the F interval-construction
 // search from each of those positions; the same (node, interval, bindings)
 // queries therefore recur many times within one check.  An EvalCache
-// remembers those results.  Keys identify
+// remembers those results.  Keys are fully packed integers:
 //
-//   - the AST node by address (formulas and terms are immutable shared DAGs),
-//   - the trace by address (caches outlive a single Evaluator: the engine
-//     keeps one per worker thread across a whole batch),
+//   - the AST node by hash-cons id (core/intern.h) — structurally identical
+//     subformulas built anywhere in the process share entries,
+//   - the trace by Trace::id() (caches outlive a single Evaluator: the
+//     engine keeps one per worker thread across a whole batch, and the id
+//     changes whenever a trace is mutated),
 //   - the evaluation interval, search direction, and the meta-variable
-//     bindings in scope.
+//     bindings the node can observe, as a short (meta id, value) span.
 //
-// Because keys capture every input of the memoized functions exactly, cached
-// evaluation is bit-identical to uncached evaluation; tests assert this
-// across all case-study specifications.
+// The table is insert-only open addressing (linear probing, power-of-two
+// capacity): no buckets, no per-entry allocation, and lookups touch one
+// cache line in the common case.  Because keys capture every input of the
+// memoized functions exactly, cached evaluation is bit-identical to uncached
+// evaluation; tests assert this across all case-study specifications.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
-
-#include "trace/predicate.h"
 
 namespace il {
 
@@ -32,66 +32,87 @@ class EvalCache {
   /// What a key's node/interval meant when the entry was stored.
   enum class Op : std::uint8_t { Sat, FindFwd, FindBwd };
 
+  /// Meta-variable bindings a key can carry inline.  Keys are restricted to
+  /// the node's *free* metas before caching (see core/semantics.cpp), which
+  /// in practice is a handful; nodes observing more bindings than this are
+  /// evaluated uncached (counted in env_overflows()).
+  static constexpr std::size_t kMaxEnv = 4;
+
   struct Key {
-    const void* node = nullptr;   ///< Formula* or Term* identity
-    const void* trace = nullptr;  ///< Trace* identity
-    std::size_t lo = 0;
-    std::size_t hi = 0;
+    std::uint32_t node = 0;   ///< hash-cons node id (Formula or Term)
+    std::uint32_t trace = 0;  ///< Trace::id()
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
     Op op = Op::Sat;
-    /// Meta-variable bindings the node can actually observe: the ambient
-    /// env restricted to the node's free metas.  Keying on the restriction
-    /// (rather than the whole env) lets bindings the node never reads share
-    /// one entry — crucial under nested quantifiers, where inner subformulas
-    /// typically read one of the several bound variables.
-    Env env;
+    std::uint8_t n_env = 0;   ///< bindings in use
+    std::uint32_t metas[kMaxEnv] = {0, 0, 0, 0};   ///< sorted meta ids
+    std::int64_t values[kMaxEnv] = {0, 0, 0, 0};
 
     bool operator==(const Key& o) const {
-      return node == o.node && trace == o.trace && lo == o.lo && hi == o.hi &&
-             op == o.op && env == o.env;
+      if (node != o.node || trace != o.trace || lo != o.lo || hi != o.hi || op != o.op ||
+          n_env != o.n_env) {
+        return false;
+      }
+      for (std::uint8_t i = 0; i < n_env; ++i) {
+        if (metas[i] != o.metas[i] || values[i] != o.values[i]) return false;
+      }
+      return true;
     }
-  };
-
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const;
   };
 
   /// Cached result: a sat() boolean or a found interval, stored uniformly as
   /// (lo, hi, null) with `value` carrying the boolean for Op::Sat.
   struct Entry {
-    std::size_t lo = 0;
-    std::size_t hi = 0;
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
     bool null = true;
     bool value = false;
   };
 
+  EvalCache();
+
   /// Returns the entry for `key`, or nullptr on a miss.  Hit/miss counters
-  /// are updated either way.
+  /// are updated either way.  The pointer is invalidated by the next store().
   const Entry* lookup(const Key& key);
 
   /// Stores `entry`; no-op once the soft capacity is reached (the cache
   /// never evicts — batch lifetimes are short and bounded).
-  void store(Key key, Entry entry);
+  void store(const Key& key, const Entry& entry);
 
   void clear();
 
-  /// The node's free meta variables (sorted, deduplicated), computed once
-  /// via `collect` and cached by node address.
-  const std::vector<std::string>& free_metas(
-      const void* node, const std::function<void(std::vector<std::string>&)>& collect);
-
   std::size_t hits() const { return hits_; }
   std::size_t misses() const { return misses_; }
-  std::size_t size() const { return map_.size(); }
+  std::size_t inserts() const { return inserts_; }
+  std::size_t env_overflows() const { return env_overflows_; }
+  std::size_t size() const { return count_; }
+
+  /// Called by the evaluator when a node's observable bindings exceed
+  /// kMaxEnv and the query bypasses the cache.
+  void note_env_overflow() { ++env_overflows_; }
 
   /// Soft cap on stored entries; 0 means unlimited.
   void set_capacity(std::size_t cap) { capacity_ = cap; }
 
  private:
-  std::unordered_map<Key, Entry, KeyHash> map_;
-  std::unordered_map<const void*, std::vector<std::string>> metas_;
+  struct Slot {
+    Key key;
+    Entry entry;
+    bool used = false;
+  };
+
+  static std::size_t hash_key(const Key& k);
+  std::size_t probe(const Key& key) const;  ///< slot index of key or first free
+  void grow();
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;       ///< slots_.size() - 1 (power of two)
+  std::size_t count_ = 0;
   std::size_t capacity_ = 1u << 22;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t inserts_ = 0;
+  std::size_t env_overflows_ = 0;
 };
 
 }  // namespace il

@@ -44,19 +44,27 @@ bool memoizable(Formula::Kind kind) {
 
 namespace {
 
-/// The ambient env restricted to the metas `node` can observe, so cache
-/// entries are shared across bindings the node never reads.
-template <typename Node>
-Env observable_env(EvalCache& cache, const Node& node, const Env& env) {
-  Env restricted;
-  if (env.empty()) return restricted;
-  const auto& metas = cache.free_metas(
-      &node, [&node](std::vector<std::string>& out) { node.collect_metas(out); });
-  for (const std::string& name : metas) {
-    auto it = env.find(name);
-    if (it != env.end()) restricted.insert(*it);
+/// Fills the key's env span with the ambient bindings restricted to the
+/// node's free metas (both sides sorted by id: a linear merge), so cache
+/// entries are shared across bindings the node never reads.  Returns false
+/// when the observable bindings overflow the key's inline capacity, in which
+/// case the caller evaluates uncached.
+bool restrict_env(const std::vector<std::uint32_t>& metas, const Env& env,
+                  EvalCache::Key& key) {
+  key.n_env = 0;
+  if (metas.empty() || env.empty()) return true;
+  const auto& bound = env.bindings();
+  std::size_t bi = 0;
+  for (std::uint32_t meta : metas) {
+    while (bi < bound.size() && bound[bi].first < meta) ++bi;
+    if (bi == bound.size()) break;
+    if (bound[bi].first != meta) continue;
+    if (key.n_env == EvalCache::kMaxEnv) return false;
+    key.metas[key.n_env] = meta;
+    key.values[key.n_env] = bound[bi].second;
+    ++key.n_env;
   }
-  return restricted;
+  return true;
 }
 
 }  // namespace
@@ -64,13 +72,21 @@ Env observable_env(EvalCache& cache, const Node& node, const Env& env) {
 bool Evaluator::sat(const Formula& formula, Interval iv, const Env& env) const {
   IL_REQUIRE(!iv.null, "sat() requires a non-null interval (null is vacuous at the caller)");
   if (cache_ == nullptr || !memoizable(formula.kind())) return sat_uncached(formula, iv, env);
-  EvalCache::Key key{&formula, &trace_, iv.lo, iv.hi, EvalCache::Op::Sat,
-                     observable_env(*cache_, formula, env)};
+  EvalCache::Key key;
+  key.node = formula.id();
+  key.trace = trace_.id();
+  key.lo = iv.lo;
+  key.hi = iv.hi;
+  key.op = EvalCache::Op::Sat;
+  if (!restrict_env(formula.free_meta_ids(), env, key)) {
+    cache_->note_env_overflow();
+    return sat_uncached(formula, iv, env);
+  }
   if (const EvalCache::Entry* hit = cache_->lookup(key)) return hit->value;
   const bool result = sat_uncached(formula, iv, env);
   EvalCache::Entry entry;
   entry.value = result;
-  cache_->store(std::move(key), entry);
+  cache_->store(key, entry);
   return result;
 }
 
@@ -83,9 +99,16 @@ Interval Evaluator::find(const Term& term, Interval ctx, Dir dir, const Env& env
   if (cache_ == nullptr || term.kind() != Term::Kind::Event) {
     return find_uncached(term, ctx, dir, env);
   }
-  EvalCache::Key key{&term, &trace_, ctx.lo, ctx.hi,
-                     dir == Dir::Forward ? EvalCache::Op::FindFwd : EvalCache::Op::FindBwd,
-                     observable_env(*cache_, term, env)};
+  EvalCache::Key key;
+  key.node = term.id();
+  key.trace = trace_.id();
+  key.lo = ctx.lo;
+  key.hi = ctx.hi;
+  key.op = dir == Dir::Forward ? EvalCache::Op::FindFwd : EvalCache::Op::FindBwd;
+  if (!restrict_env(term.free_meta_ids(), env, key)) {
+    cache_->note_env_overflow();
+    return find_uncached(term, ctx, dir, env);
+  }
   if (const EvalCache::Entry* hit = cache_->lookup(key)) {
     return hit->null ? Interval::none() : Interval::make(hit->lo, hit->hi);
   }
@@ -94,7 +117,7 @@ Interval Evaluator::find(const Term& term, Interval ctx, Dir dir, const Env& env
   entry.lo = result.lo;
   entry.hi = result.hi;
   entry.null = result.null;
-  cache_->store(std::move(key), entry);
+  cache_->store(key, entry);
   return result;
 }
 
@@ -160,7 +183,7 @@ bool Evaluator::sat_uncached(const Formula& formula, Interval iv, const Env& env
     case Formula::Kind::Forall: {
       Env e = env;
       for (std::int64_t v : formula.quant_domain()) {
-        e[formula.quant_var()] = v;
+        e.bind(formula.quant_var_id(), v);
         if (!sat(*formula.lhs(), iv, e)) return false;
       }
       return true;
@@ -168,7 +191,7 @@ bool Evaluator::sat_uncached(const Formula& formula, Interval iv, const Env& env
     case Formula::Kind::Exists: {
       Env e = env;
       for (std::int64_t v : formula.quant_domain()) {
-        e[formula.quant_var()] = v;
+        e.bind(formula.quant_var_id(), v);
         if (sat(*formula.lhs(), iv, e)) return true;
       }
       return false;
@@ -189,24 +212,26 @@ Interval Evaluator::find_uncached(const Term& term, Interval ctx, Dir dir, const
       // A change requires the suffixes from k-1 and k to differ in truth,
       // which is impossible beyond the last explicit state of a stuttering-
       // extended trace, so the scan is bounded by the trace horizon.
+      // Consecutive probes share a position, so each scan evaluates the
+      // defining formula once per position (rolling the previous value).
       const std::size_t first_k = ctx.lo + 1;
       const std::size_t last_k = std::min(ctx.hi, trace_.last_index());
       if (first_k > last_k) return Interval::none();
       if (dir == Dir::Forward) {
+        bool prev = sat_event_at(*term.event(), first_k - 1, ctx.hi, env);
         for (std::size_t k = first_k; k <= last_k; ++k) {
-          if (!sat_event_at(*term.event(), k - 1, ctx.hi, env) &&
-              sat_event_at(*term.event(), k, ctx.hi, env)) {
-            return Interval::make(k - 1, k);
-          }
+          const bool cur = sat_event_at(*term.event(), k, ctx.hi, env);
+          if (!prev && cur) return Interval::make(k - 1, k);
+          prev = cur;
         }
       } else {
         // max of the changeset; the set is finite because the stuttering
         // extension admits no changes past the horizon.
+        bool at_k = sat_event_at(*term.event(), last_k, ctx.hi, env);
         for (std::size_t k = last_k; k >= first_k; --k) {
-          if (!sat_event_at(*term.event(), k - 1, ctx.hi, env) &&
-              sat_event_at(*term.event(), k, ctx.hi, env)) {
-            return Interval::make(k - 1, k);
-          }
+          const bool at_km1 = sat_event_at(*term.event(), k - 1, ctx.hi, env);
+          if (!at_km1 && at_k) return Interval::make(k - 1, k);
+          at_k = at_km1;
           if (k == first_k) break;  // guard size_t underflow
         }
       }
@@ -265,6 +290,7 @@ Interval Evaluator::find_uncached(const Term& term, Interval ctx, Dir dir, const
 
 bool Evaluator::star_requirements(const Term& term, Interval ctx, Dir dir,
                                   const Env& env) const {
+  if (!term.has_star_modifier()) return true;  // O(1): cached at construction
   if (ctx.null) return true;  // sub-context not establishable: vacuous
   switch (term.kind()) {
     case Term::Kind::Event:

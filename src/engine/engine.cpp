@@ -15,6 +15,8 @@ namespace {
 struct WorkerReport {
   std::size_t memo_hits = 0;
   std::size_t memo_misses = 0;
+  std::size_t memo_inserts = 0;
+  std::size_t memo_entries = 0;
   /// First (lowest job index) exception this worker hit, if any.
   std::size_t error_index = 0;
   std::exception_ptr error;
@@ -61,6 +63,8 @@ std::vector<CheckResult> BatchChecker::run(const std::vector<CheckJob>& jobs) {
     for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = run_job(jobs[i], cache_ptr);
     stats_.memo_hits = cache.hits();
     stats_.memo_misses = cache.misses();
+    stats_.memo_inserts = cache.inserts();
+    stats_.memo_entries = cache.size();
   } else {
     std::atomic<std::size_t> next{0};
     std::vector<WorkerReport> reports(pool);
@@ -81,6 +85,8 @@ std::vector<CheckResult> BatchChecker::run(const std::vector<CheckJob>& jobs) {
         }
         reports[w].memo_hits = cache.hits();
         reports[w].memo_misses = cache.misses();
+        reports[w].memo_inserts = cache.inserts();
+        reports[w].memo_entries = cache.size();
       });
     }
     for (auto& t : workers) t.join();
@@ -90,6 +96,8 @@ std::vector<CheckResult> BatchChecker::run(const std::vector<CheckJob>& jobs) {
     for (const WorkerReport& r : reports) {
       stats_.memo_hits += r.memo_hits;
       stats_.memo_misses += r.memo_misses;
+      stats_.memo_inserts += r.memo_inserts;
+      stats_.memo_entries += r.memo_entries;
       if (r.error && (first_error == nullptr || r.error_index < first_error->error_index)) {
         first_error = &r;
       }

@@ -50,12 +50,17 @@ struct EngineOptions {
   std::size_t memo_capacity = 1u << 22;
 };
 
-/// Aggregate counters from the last run().
+/// Aggregate counters from the last run().  The memo_* fields sum the
+/// per-worker EvalCache counters (each worker owns a private cache over the
+/// shared read-only symbol/node tables), so a batch result reports exactly
+/// how much memoization paid across the whole fleet.
 struct EngineStats {
   std::size_t jobs = 0;
   std::size_t threads = 0;       ///< workers actually spawned (0 = inline)
   std::size_t memo_hits = 0;     ///< summed over worker caches
   std::size_t memo_misses = 0;
+  std::size_t memo_inserts = 0;  ///< entries stored across worker caches
+  std::size_t memo_entries = 0;  ///< entries resident at end of run
   std::size_t axioms_checked = 0;
   std::size_t axioms_failed = 0;
 };

@@ -1,22 +1,106 @@
 #include "trace/predicate.h"
 
+#include <algorithm>
+
 #include "util/assert.h"
 #include "util/strings.h"
 
 namespace il {
 
+namespace {
+
+/// Sorts and deduplicates a name list in place (the public collect_* calls
+/// promise sorted-unique output).
+void sort_unique(std::vector<std::string>& out) {
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+NodeTable::Key expr_key(Expr::Kind kind) {
+  NodeTable::Key key;
+  key.tag = static_cast<std::uint16_t>(NodeTable::kExpr) | static_cast<std::uint16_t>(kind);
+  return key;
+}
+
+NodeTable::Key pred_key(Pred::Kind kind) {
+  NodeTable::Key key;
+  key.tag = static_cast<std::uint16_t>(NodeTable::kPred) | static_cast<std::uint16_t>(kind);
+  return key;
+}
+
+}  // namespace
+
+/// Builds interned Expr nodes (friend of Expr: the shared helpers for the
+/// public static factories live here so they can set private fields).
+struct ExprFactory {
+  static ExprPtr named(Expr::Kind kind, std::string name) {
+    const std::uint32_t sym = SymbolTable::global().intern(name);
+    NodeTable::Key key = expr_key(kind);
+    key.sym = sym;
+    return NodeTable::global().intern<Expr>(key, [&](std::uint32_t id) {
+      auto e = std::make_shared<Expr>();
+      e->kind_ = kind;
+      e->name_id_ = sym;
+      e->id_ = id;
+      if (kind == Expr::Kind::Meta) e->meta_ids_ = {sym};
+      return e;
+    });
+  }
+
+  static ExprPtr binary(Expr::Kind kind, ExprPtr a, ExprPtr b) {
+    IL_REQUIRE(a && b);
+    NodeTable::Key key = expr_key(kind);
+    key.child[0] = a->id();
+    key.child[1] = b->id();
+    return NodeTable::global().intern<Expr>(key, [&](std::uint32_t id) {
+      auto e = std::make_shared<Expr>();
+      e->kind_ = kind;
+      e->id_ = id;
+      e->meta_ids_ = merge_ids(a->meta_ids(), b->meta_ids());
+      e->lhs_ = std::move(a);
+      e->rhs_ = std::move(b);
+      return e;
+    });
+  }
+};
+
+/// Builds interned Pred nodes with two predicate children.
+struct PredFactory {
+  static PredPtr binary(Pred::Kind kind, PredPtr a, PredPtr b) {
+    IL_REQUIRE(a && b);
+    NodeTable::Key key = pred_key(kind);
+    key.child[0] = a->id();
+    key.child[1] = b->id();
+    return NodeTable::global().intern<Pred>(key, [&](std::uint32_t id) {
+      auto p = std::make_shared<Pred>();
+      p->kind_ = kind;
+      p->id_ = id;
+      p->meta_ids_ = merge_ids(a->meta_ids(), b->meta_ids());
+      p->lhs_ = std::move(a);
+      p->rhs_ = std::move(b);
+      return p;
+    });
+  }
+};
+
 // ----------------------------- Expr ---------------------------------------
+
+const std::string& Expr::name() const {
+  static const std::string empty;
+  if (name_id_ == SymbolTable::kNoSymbol) return empty;
+  return SymbolTable::global().name(name_id_);
+}
 
 std::int64_t Expr::eval(const State& s, const Env& env) const {
   switch (kind_) {
     case Kind::Const:
       return value_;
     case Kind::Var:
-      return s.get(name_);
+      return s.get_id(name_id_);
     case Kind::Meta: {
-      auto it = env.find(name_);
-      IL_REQUIRE(it != env.end(), "unbound meta variable");
-      return it->second;
+      const std::int64_t* bound = env.find(name_id_);
+      IL_REQUIRE(bound != nullptr, "unbound meta variable");
+      return *bound;
     }
     case Kind::Add:
       return lhs_->eval(s, env) + rhs_->eval(s, env);
@@ -35,9 +119,9 @@ std::string Expr::to_string() const {
     case Kind::Const:
       return to_string_i64(value_);
     case Kind::Var:
-      return name_;
+      return name();
     case Kind::Meta:
-      return "$" + name_;
+      return "$" + name();
     case Kind::Add:
       return "(" + lhs_->to_string() + " + " + rhs_->to_string() + ")";
     case Kind::Sub:
@@ -50,88 +134,69 @@ std::string Expr::to_string() const {
   IL_CHECK(false, "unreachable");
 }
 
-void Expr::collect_vars(std::vector<std::string>& out) const {
+void Expr::append_vars(std::vector<std::string>& out) const {
   switch (kind_) {
     case Kind::Var:
-      out.push_back(name_);
+      out.push_back(name());
       return;
     case Kind::Const:
     case Kind::Meta:
       return;
     default:
-      lhs_->collect_vars(out);
-      if (rhs_) rhs_->collect_vars(out);
+      lhs_->append_vars(out);
+      if (rhs_) rhs_->append_vars(out);
   }
+}
+
+void Expr::collect_vars(std::vector<std::string>& out) const {
+  append_vars(out);
+  sort_unique(out);
 }
 
 void Expr::collect_metas(std::vector<std::string>& out) const {
-  switch (kind_) {
-    case Kind::Meta:
-      out.push_back(name_);
-      return;
-    case Kind::Const:
-    case Kind::Var:
-      return;
-    default:
-      lhs_->collect_metas(out);
-      if (rhs_) rhs_->collect_metas(out);
-  }
+  const SymbolTable& symbols = SymbolTable::global();
+  for (std::uint32_t id : meta_ids_) out.push_back(symbols.name(id));
+  sort_unique(out);
 }
 
 ExprPtr Expr::constant(std::int64_t v) {
-  auto e = std::make_shared<Expr>();
-  e->kind_ = Kind::Const;
-  e->value_ = v;
-  return e;
+  NodeTable::Key key = expr_key(Kind::Const);
+  key.num = static_cast<std::uint64_t>(v);
+  return NodeTable::global().intern<Expr>(key, [&](std::uint32_t id) {
+    auto e = std::make_shared<Expr>();
+    e->kind_ = Kind::Const;
+    e->value_ = v;
+    e->id_ = id;
+    return e;
+  });
 }
 
-ExprPtr Expr::var(std::string name) {
-  auto e = std::make_shared<Expr>();
-  e->kind_ = Kind::Var;
-  e->name_ = std::move(name);
-  return e;
-}
+ExprPtr Expr::var(std::string name) { return ExprFactory::named(Kind::Var, std::move(name)); }
 
-ExprPtr Expr::meta(std::string name) {
-  auto e = std::make_shared<Expr>();
-  e->kind_ = Kind::Meta;
-  e->name_ = std::move(name);
-  return e;
-}
+ExprPtr Expr::meta(std::string name) { return ExprFactory::named(Kind::Meta, std::move(name)); }
 
 ExprPtr Expr::add(ExprPtr a, ExprPtr b) {
-  IL_REQUIRE(a && b);
-  auto e = std::make_shared<Expr>();
-  e->kind_ = Kind::Add;
-  e->lhs_ = std::move(a);
-  e->rhs_ = std::move(b);
-  return e;
+  return ExprFactory::binary(Kind::Add, std::move(a), std::move(b));
 }
-
 ExprPtr Expr::sub(ExprPtr a, ExprPtr b) {
-  IL_REQUIRE(a && b);
-  auto e = std::make_shared<Expr>();
-  e->kind_ = Kind::Sub;
-  e->lhs_ = std::move(a);
-  e->rhs_ = std::move(b);
-  return e;
+  return ExprFactory::binary(Kind::Sub, std::move(a), std::move(b));
 }
-
 ExprPtr Expr::mul(ExprPtr a, ExprPtr b) {
-  IL_REQUIRE(a && b);
-  auto e = std::make_shared<Expr>();
-  e->kind_ = Kind::Mul;
-  e->lhs_ = std::move(a);
-  e->rhs_ = std::move(b);
-  return e;
+  return ExprFactory::binary(Kind::Mul, std::move(a), std::move(b));
 }
 
 ExprPtr Expr::neg(ExprPtr a) {
   IL_REQUIRE(a);
-  auto e = std::make_shared<Expr>();
-  e->kind_ = Kind::Neg;
-  e->lhs_ = std::move(a);
-  return e;
+  NodeTable::Key key = expr_key(Kind::Neg);
+  key.child[0] = a->id();
+  return NodeTable::global().intern<Expr>(key, [&](std::uint32_t id) {
+    auto e = std::make_shared<Expr>();
+    e->kind_ = Kind::Neg;
+    e->id_ = id;
+    e->meta_ids_ = a->meta_ids();
+    e->lhs_ = std::move(a);
+    return e;
+  });
 }
 
 // ----------------------------- Pred ---------------------------------------
@@ -211,99 +276,89 @@ std::string Pred::to_string() const {
   IL_CHECK(false, "unreachable");
 }
 
-void Pred::collect_vars(std::vector<std::string>& out) const {
+void Pred::append_vars(std::vector<std::string>& out) const {
   switch (kind_) {
     case Kind::Const:
       return;
     case Kind::Cmp:
-      expr_lhs_->collect_vars(out);
-      expr_rhs_->collect_vars(out);
+      expr_lhs_->append_vars(out);
+      expr_rhs_->append_vars(out);
       return;
     case Kind::Not:
-      lhs_->collect_vars(out);
+      lhs_->append_vars(out);
       return;
     default:
-      lhs_->collect_vars(out);
-      rhs_->collect_vars(out);
+      lhs_->append_vars(out);
+      rhs_->append_vars(out);
   }
+}
+
+void Pred::collect_vars(std::vector<std::string>& out) const {
+  append_vars(out);
+  sort_unique(out);
 }
 
 void Pred::collect_metas(std::vector<std::string>& out) const {
-  switch (kind_) {
-    case Kind::Const:
-      return;
-    case Kind::Cmp:
-      expr_lhs_->collect_metas(out);
-      expr_rhs_->collect_metas(out);
-      return;
-    case Kind::Not:
-      lhs_->collect_metas(out);
-      return;
-    default:
-      lhs_->collect_metas(out);
-      rhs_->collect_metas(out);
-  }
+  const SymbolTable& symbols = SymbolTable::global();
+  for (std::uint32_t id : meta_ids_) out.push_back(symbols.name(id));
+  sort_unique(out);
 }
 
 PredPtr Pred::constant(bool v) {
-  auto p = std::make_shared<Pred>();
-  p->kind_ = Kind::Const;
-  p->const_value_ = v;
-  return p;
+  NodeTable::Key key = pred_key(Kind::Const);
+  key.aux = v ? 1 : 0;
+  return NodeTable::global().intern<Pred>(key, [&](std::uint32_t id) {
+    auto p = std::make_shared<Pred>();
+    p->kind_ = Kind::Const;
+    p->const_value_ = v;
+    p->id_ = id;
+    return p;
+  });
 }
 
 PredPtr Pred::cmp(CmpOp op, ExprPtr a, ExprPtr b) {
   IL_REQUIRE(a && b);
-  auto p = std::make_shared<Pred>();
-  p->kind_ = Kind::Cmp;
-  p->cmp_op_ = op;
-  p->expr_lhs_ = std::move(a);
-  p->expr_rhs_ = std::move(b);
-  return p;
+  NodeTable::Key key = pred_key(Kind::Cmp);
+  key.aux = static_cast<std::uint16_t>(op);
+  key.child[0] = a->id();
+  key.child[1] = b->id();
+  return NodeTable::global().intern<Pred>(key, [&](std::uint32_t id) {
+    auto p = std::make_shared<Pred>();
+    p->kind_ = Kind::Cmp;
+    p->cmp_op_ = op;
+    p->id_ = id;
+    p->meta_ids_ = merge_ids(a->meta_ids(), b->meta_ids());
+    p->expr_lhs_ = std::move(a);
+    p->expr_rhs_ = std::move(b);
+    return p;
+  });
 }
 
 PredPtr Pred::negate(PredPtr a) {
   IL_REQUIRE(a);
-  auto p = std::make_shared<Pred>();
-  p->kind_ = Kind::Not;
-  p->lhs_ = std::move(a);
-  return p;
+  NodeTable::Key key = pred_key(Kind::Not);
+  key.child[0] = a->id();
+  return NodeTable::global().intern<Pred>(key, [&](std::uint32_t id) {
+    auto p = std::make_shared<Pred>();
+    p->kind_ = Kind::Not;
+    p->id_ = id;
+    p->meta_ids_ = a->meta_ids();
+    p->lhs_ = std::move(a);
+    return p;
+  });
 }
 
 PredPtr Pred::conj(PredPtr a, PredPtr b) {
-  IL_REQUIRE(a && b);
-  auto p = std::make_shared<Pred>();
-  p->kind_ = Kind::And;
-  p->lhs_ = std::move(a);
-  p->rhs_ = std::move(b);
-  return p;
+  return PredFactory::binary(Kind::And, std::move(a), std::move(b));
 }
-
 PredPtr Pred::disj(PredPtr a, PredPtr b) {
-  IL_REQUIRE(a && b);
-  auto p = std::make_shared<Pred>();
-  p->kind_ = Kind::Or;
-  p->lhs_ = std::move(a);
-  p->rhs_ = std::move(b);
-  return p;
+  return PredFactory::binary(Kind::Or, std::move(a), std::move(b));
 }
-
 PredPtr Pred::implies(PredPtr a, PredPtr b) {
-  IL_REQUIRE(a && b);
-  auto p = std::make_shared<Pred>();
-  p->kind_ = Kind::Implies;
-  p->lhs_ = std::move(a);
-  p->rhs_ = std::move(b);
-  return p;
+  return PredFactory::binary(Kind::Implies, std::move(a), std::move(b));
 }
-
 PredPtr Pred::iff(PredPtr a, PredPtr b) {
-  IL_REQUIRE(a && b);
-  auto p = std::make_shared<Pred>();
-  p->kind_ = Kind::Iff;
-  p->lhs_ = std::move(a);
-  p->rhs_ = std::move(b);
-  return p;
+  return PredFactory::binary(Kind::Iff, std::move(a), std::move(b));
 }
 
 PredPtr Pred::truthy(std::string var_name) {

@@ -7,22 +7,22 @@
 // evaluation time, typically by a surrounding Forall/Exists in the interval
 // formula.
 //
-// Predicates are immutable and shared via shared_ptr; helper factory
-// functions build them fluently.
+// Predicates are immutable and hash-consed through the global NodeTable
+// (core/intern.h): structurally identical expressions built anywhere are the
+// same shared node, variable/meta names are interned symbol ids, and every
+// node carries a stable uint32_t id plus its sorted free-meta id set computed
+// once at construction.  Helper factory functions build them fluently.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/intern.h"
 #include "trace/state.h"
 
 namespace il {
-
-/// Binding environment for meta (rigid) variables.
-using Env = std::map<std::string, std::int64_t>;
 
 // ---------------------------------------------------------------------------
 // Arithmetic expressions over one state.
@@ -37,9 +37,17 @@ class Expr {
 
   Kind kind() const { return kind_; }
   std::int64_t value() const { return value_; }
-  const std::string& name() const { return name_; }
+  /// Interned symbol id of a Var/Meta node (kNoSymbol otherwise).
+  std::uint32_t name_id() const { return name_id_; }
+  /// The Var/Meta name (empty for other kinds).
+  const std::string& name() const;
   const ExprPtr& lhs() const { return lhs_; }
   const ExprPtr& rhs() const { return rhs_; }
+
+  /// Hash-cons node id (unique across all AST node classes).
+  std::uint32_t id() const { return id_; }
+  /// Sorted, unique ids of the meta variables mentioned.
+  const std::vector<std::uint32_t>& meta_ids() const { return meta_ids_; }
 
   /// Evaluates against a state and meta-variable environment.
   /// Unbound meta variables are an error.
@@ -47,9 +55,9 @@ class Expr {
 
   std::string to_string() const;
 
-  /// Collects the state-variable names mentioned.
+  /// Collects the state-variable names mentioned (sorted, unique).
   void collect_vars(std::vector<std::string>& out) const;
-  /// Collects the meta-variable names mentioned.
+  /// Collects the meta-variable names mentioned (sorted, unique).
   void collect_metas(std::vector<std::string>& out) const;
 
   static ExprPtr constant(std::int64_t v);
@@ -61,10 +69,16 @@ class Expr {
   static ExprPtr neg(ExprPtr a);
 
  private:
+  friend struct ExprFactory;
+  friend class Pred;  // Pred::append_vars walks into its comparison operands
+  void append_vars(std::vector<std::string>& out) const;
+
   Kind kind_ = Kind::Const;
   std::int64_t value_ = 0;
-  std::string name_;
+  std::uint32_t name_id_ = SymbolTable::kNoSymbol;
   ExprPtr lhs_, rhs_;
+  std::uint32_t id_ = kNoNode;
+  std::vector<std::uint32_t> meta_ids_;
 };
 
 // ---------------------------------------------------------------------------
@@ -90,11 +104,18 @@ class Pred {
   const PredPtr& lhs() const { return lhs_; }
   const PredPtr& rhs() const { return rhs_; }
 
+  /// Hash-cons node id (unique across all AST node classes).
+  std::uint32_t id() const { return id_; }
+  /// Sorted, unique ids of the meta variables mentioned.
+  const std::vector<std::uint32_t>& meta_ids() const { return meta_ids_; }
+
   bool eval(const State& s, const Env& env) const;
 
   std::string to_string() const;
 
+  /// Collects the state-variable names mentioned (sorted, unique).
   void collect_vars(std::vector<std::string>& out) const;
+  /// Collects the meta-variable names mentioned (sorted, unique).
   void collect_metas(std::vector<std::string>& out) const;
 
   static PredPtr constant(bool v);
@@ -113,11 +134,17 @@ class Pred {
   static PredPtr var_eq_meta(std::string var_name, std::string meta_name);
 
  private:
+  friend struct PredFactory;
+  friend class Formula;  // Formula::append_vars walks into atom predicates
+  void append_vars(std::vector<std::string>& out) const;
+
   Kind kind_ = Kind::Const;
   bool const_value_ = false;
   CmpOp cmp_op_ = CmpOp::Eq;
   ExprPtr expr_lhs_, expr_rhs_;
   PredPtr lhs_, rhs_;
+  std::uint32_t id_ = kNoNode;
+  std::vector<std::uint32_t> meta_ids_;
 };
 
 }  // namespace il

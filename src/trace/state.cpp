@@ -1,20 +1,56 @@
 #include "trace/state.h"
 
+#include <algorithm>
+
 #include "util/strings.h"
 
 namespace il {
 
-std::int64_t State::get(const std::string& name) const {
-  auto it = vars_.find(name);
-  return it == vars_.end() ? 0 : it->second;
+namespace {
+
+using Var = std::pair<std::uint32_t, std::int64_t>;
+
+inline std::vector<Var>::const_iterator find_var(const std::vector<Var>& vars,
+                                                 std::uint32_t id) {
+  return std::lower_bound(vars.begin(), vars.end(), id,
+                          [](const Var& v, std::uint32_t key) { return v.first < key; });
 }
 
-void State::set(const std::string& name, std::int64_t value) { vars_[name] = value; }
+}  // namespace
+
+std::int64_t State::get(const std::string& name) const {
+  const std::uint32_t id = SymbolTable::global().lookup(name);
+  if (id == SymbolTable::kNoSymbol) return 0;
+  return get_id(id);
+}
+
+std::int64_t State::get_id(std::uint32_t var_id) const {
+  auto it = find_var(vars_, var_id);
+  return (it == vars_.end() || it->first != var_id) ? 0 : it->second;
+}
+
+void State::set(const std::string& name, std::int64_t value) {
+  set_id(SymbolTable::global().intern(name), value);
+}
+
+void State::set_id(std::uint32_t var_id, std::int64_t value) {
+  auto it = find_var(vars_, var_id);
+  if (it != vars_.end() && it->first == var_id) {
+    vars_[static_cast<std::size_t>(it - vars_.begin())].second = value;
+    return;
+  }
+  vars_.insert(it, Var{var_id, value});
+}
 
 std::string State::to_string() const {
+  const SymbolTable& symbols = SymbolTable::global();
+  std::vector<std::pair<std::string, std::int64_t>> named;
+  named.reserve(vars_.size());
+  for (const auto& [id, v] : vars_) named.emplace_back(symbols.name(id), v);
+  std::sort(named.begin(), named.end());
   std::vector<std::string> parts;
-  parts.reserve(vars_.size());
-  for (const auto& [k, v] : vars_) parts.push_back(k + "=" + to_string_i64(v));
+  parts.reserve(named.size());
+  for (const auto& [k, v] : named) parts.push_back(k + "=" + to_string_i64(v));
   return "{" + join(parts, ", ") + "}";
 }
 

@@ -3,13 +3,19 @@
 // with values 0/1; this matches the paper's model where a state assigns a
 // truth value to every atomic predicate (Chapter 3).
 //
-// Unassigned variables read as 0 (false), so specifications may mention
-// signals a particular trace never sets.
+// Variable names are interned through the global SymbolTable, so a state is
+// internally a map from dense uint32_t ids to values and the evaluation hot
+// path (Expr::eval on interned var ids) never touches a string.  Unassigned
+// variables read as 0 (false), so specifications may mention signals a
+// particular trace never sets.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "core/intern.h"
 
 namespace il {
 
@@ -17,14 +23,19 @@ class State {
  public:
   State() = default;
 
-  /// Reads a variable; absent variables read as 0.
+  /// Reads a variable by name; absent variables read as 0.
   std::int64_t get(const std::string& name) const;
+
+  /// Reads a variable by interned symbol id; absent variables read as 0.
+  /// This is the evaluation fast path — no string handling, no table lock.
+  std::int64_t get_id(std::uint32_t var_id) const;
 
   /// True iff the variable reads non-zero.
   bool truthy(const std::string& name) const { return get(name) != 0; }
 
-  /// Assigns a variable.
+  /// Assigns a variable (interning its name on first sight).
   void set(const std::string& name, std::int64_t value);
+  void set_id(std::uint32_t var_id, std::int64_t value);
 
   /// Convenience for boolean signals.
   void set_bool(const std::string& name, bool value) { set(name, value ? 1 : 0); }
@@ -35,13 +46,16 @@ class State {
   /// Deterministic ordering so states can key ordered containers.
   bool operator<(const State& other) const { return vars_ < other.vars_; }
 
-  /// Renders as "{a=1, b=0}" for diagnostics.
+  /// Renders as "{a=1, b=0}" (sorted by name) for diagnostics.
   std::string to_string() const;
 
-  const std::map<std::string, std::int64_t>& vars() const { return vars_; }
+  /// The raw assignment: (symbol id, value) pairs sorted by id.  The flat
+  /// layout keeps get_id() — the innermost call of every predicate
+  /// evaluation — a short binary search over contiguous memory.
+  const std::vector<std::pair<std::uint32_t, std::int64_t>>& vars() const { return vars_; }
 
  private:
-  std::map<std::string, std::int64_t> vars_;
+  std::vector<std::pair<std::uint32_t, std::int64_t>> vars_;
 };
 
 }  // namespace il

@@ -1,8 +1,15 @@
 #include "trace/trace.h"
 
+#include <atomic>
+
 #include "util/assert.h"
 
 namespace il {
+
+std::uint32_t Trace::next_id() {
+  static std::atomic<std::uint32_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 const State& Trace::at(std::size_t k) const {
   IL_REQUIRE(!states_.empty(), "trace must contain at least one state");
@@ -17,6 +24,7 @@ const State& Trace::back() const {
 
 State& Trace::back_mut() {
   IL_REQUIRE(!states_.empty());
+  id_ = next_id();  // the caller may mutate through the reference
   return states_.back();
 }
 

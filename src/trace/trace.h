@@ -7,9 +7,15 @@
 // sequences.  Because the extension is constant, no event (a predicate
 // changing from false to true) can occur beyond index size()-1, which keeps
 // every changeset finite and the semantics computable.
+//
+// Each trace carries a process-unique id() used by memoization keys
+// (core/memo.h) in place of pointer identity.  The id changes whenever the
+// state sequence is mutated, so a cache entry can never be satisfied by a
+// trace whose contents have changed since the entry was stored.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -19,8 +25,21 @@ namespace il {
 
 class Trace {
  public:
-  Trace() = default;
-  explicit Trace(std::vector<State> states) : states_(std::move(states)) {}
+  Trace() : id_(next_id()) {}
+  explicit Trace(std::vector<State> states) : states_(std::move(states)), id_(next_id()) {}
+
+  Trace(const Trace& other) : states_(other.states_), id_(next_id()) {}
+  Trace& operator=(const Trace& other) {
+    states_ = other.states_;
+    id_ = next_id();
+    return *this;
+  }
+  Trace(Trace&&) = default;  ///< moves keep the id: same logical trace
+  Trace& operator=(Trace&&) = default;
+
+  /// Identity for memoization keys.  Unique per distinct state sequence the
+  /// process has observed: fresh per construction/copy, refreshed on push().
+  std::uint32_t id() const { return id_; }
 
   /// Number of explicitly stored states.  Must be >= 1 before evaluation.
   std::size_t size() const { return states_.size(); }
@@ -30,11 +49,18 @@ class Trace {
   /// indices past the end read the final state.
   const State& at(std::size_t k) const;
 
-  /// Appends a state.
-  void push(State s) { states_.push_back(std::move(s)); }
+  /// Appends a state (invalidating previously cached results by id change).
+  void push(State s) {
+    states_.push_back(std::move(s));
+    id_ = next_id();
+  }
 
   /// Last explicitly stored state (requires non-empty).
   const State& back() const;
+  /// Mutable access to the last state.  The identity id is refreshed when
+  /// the reference is handed out, so finish mutating through it before the
+  /// next evaluation — a reference retained across a memoized check would
+  /// let later mutations alias the id the cache already stored under.
   State& back_mut();
 
   /// Index of the last explicitly stored state (requires non-empty).
@@ -45,7 +71,10 @@ class Trace {
   const std::vector<State>& states() const { return states_; }
 
  private:
+  static std::uint32_t next_id();
+
   std::vector<State> states_;
+  std::uint32_t id_ = 0;
 };
 
 /// Builder that records a system's evolution: mutate the working state via

@@ -1,0 +1,137 @@
+// Differential test for the interned evaluation stack: on every case-study
+// specification (mutex, queue, AB protocol, self-timed, arbiter) the
+// memoized, interned checker must be bit-identical to the plain uncached
+// evaluator — the same axioms fail, reported in the same order — across
+// good and buggy runs, sequentially and through the engine at several
+// thread counts.  The uncached evaluator walks exactly the pre-refactor
+// recursion (core/semantics.cpp sat_uncached/find_uncached), so agreement
+// here pins the interning layer to the original semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/check.h"
+#include "engine/engine.h"
+#include "systems/ab_protocol.h"
+#include "systems/arbiter.h"
+#include "systems/mutex.h"
+#include "systems/queue_system.h"
+#include "systems/selftimed.h"
+
+namespace il {
+namespace {
+
+std::vector<std::int64_t> domain(std::size_t n) {
+  std::vector<std::int64_t> d;
+  for (std::size_t i = 1; i <= n; ++i) d.push_back(static_cast<std::int64_t>(i));
+  return d;
+}
+
+/// Every case-study spec paired with good and misbehaving traces.
+struct CaseStudies {
+  std::vector<Spec> specs;
+  std::vector<engine::CheckJob> jobs;
+  std::vector<Trace> traces;
+
+  CaseStudies() {
+    specs.reserve(6);
+    traces.reserve(32);
+
+    specs.push_back(sys::mutex_spec(3));
+    const Spec* mutex = &specs.back();
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      sys::MutexRunConfig mc;
+      mc.seed = seed;
+      mc.entries = 4;
+      add(mutex, sys::run_mutex(mc));
+      add(mutex, sys::run_mutex_buggy(mc));
+    }
+
+    specs.push_back(sys::queue_spec(domain(3)));
+    const Spec* queue = &specs.back();
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      sys::QueueRunConfig qc;
+      qc.seed = seed;
+      qc.values = 3;
+      add(queue, sys::run_fifo_queue(qc));
+      add(queue, sys::run_swapping_queue(qc));
+      add(queue, sys::run_lifo_stack(qc));
+    }
+
+    sys::AbRunConfig ac;
+    ac.seed = 7;
+    specs.push_back(sys::ab_sender_spec(domain(3)));
+    const Spec* ab = &specs.back();
+    add(ab, sys::run_ab_protocol(ac).trace);
+    add(ab, sys::run_ab_protocol_stuck_bit(ac).trace);
+
+    specs.push_back(sys::request_ack_spec());
+    const Spec* selftimed = &specs.back();
+    sys::SelfTimedRunConfig sc;
+    add(selftimed, sys::run_request_ack(sc));
+    add(selftimed, sys::run_request_ack_buggy(sc));
+
+    specs.push_back(sys::arbiter_spec());
+    const Spec* arbiter = &specs.back();
+    sys::ArbiterRunConfig arc;
+    add(arbiter, sys::run_arbiter(arc));
+    add(arbiter, sys::run_arbiter_buggy(arc));
+  }
+
+  /// Jobs are materialized by make_jobs() once all traces are collected,
+  /// since `traces` may still reallocate here.
+  void add(const Spec* spec, Trace trace) {
+    traces.push_back(std::move(trace));
+    pending_.push_back(spec);
+  }
+
+  std::vector<engine::CheckJob> make_jobs() const {
+    std::vector<engine::CheckJob> out;
+    out.reserve(traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      out.push_back(engine::CheckJob{pending_[i], &traces[i], {}});
+    }
+    return out;
+  }
+
+ private:
+  std::vector<const Spec*> pending_;
+};
+
+TEST(Differential, MemoizedEqualsUncachedOnAllCaseStudies) {
+  CaseStudies cases;
+  auto jobs = cases.make_jobs();
+  ASSERT_GE(jobs.size(), 16u);
+
+  // Reference: the plain evaluator, no cache anywhere.
+  std::vector<CheckResult> reference;
+  for (const auto& job : jobs) {
+    reference.push_back(check_spec_cached(*job.spec, *job.trace, job.env, nullptr));
+  }
+  // At least one buggy run must actually fail, or the test proves nothing.
+  std::size_t failures = 0;
+  for (const auto& r : reference) failures += r.failed.size();
+  EXPECT_GT(failures, 0u);
+
+  // Sequential memoized path (fresh cache per job, as check_spec does).
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    CheckResult memoized = check_spec(*jobs[i].spec, *jobs[i].trace, jobs[i].env);
+    EXPECT_EQ(memoized.ok, reference[i].ok) << "job " << i;
+    EXPECT_EQ(memoized.failed, reference[i].failed) << "job " << i;
+  }
+
+  // Engine path: shared worker caches across jobs, several pool sizes.
+  for (std::size_t threads : {1u, 2u, 4u, 16u}) {
+    engine::EngineOptions opts;
+    opts.num_threads = threads;
+    auto results = engine::check_batch(jobs, opts);
+    ASSERT_EQ(results.size(), reference.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].ok, reference[i].ok) << "threads " << threads << " job " << i;
+      EXPECT_EQ(results[i].failed, reference[i].failed) << "threads " << threads << " job " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace il

@@ -198,6 +198,43 @@ TEST(Engine, InvalidJobThrowsOnCallingThread) {
   EXPECT_THROW(checker.run(jobs), std::invalid_argument);
 }
 
+TEST(Engine, BatchResultAggregatesCacheStats) {
+  Fleet fleet;
+
+  // Multi-threaded run: the batch result must sum hit/miss/insert counters
+  // over every worker's private cache.
+  EngineOptions opts;
+  opts.num_threads = 4;
+  BatchChecker checker(opts);
+  checker.run(fleet.jobs);
+  const engine::EngineStats& stats = checker.stats();
+  EXPECT_GT(stats.memo_hits, 0u);
+  EXPECT_GT(stats.memo_misses, 0u);
+  EXPECT_GT(stats.memo_inserts, 0u);
+  EXPECT_GT(stats.memo_entries, 0u);
+  // Entries cannot exceed inserts, and every insert follows a miss.
+  EXPECT_LE(stats.memo_entries, stats.memo_inserts);
+  EXPECT_LE(stats.memo_inserts, stats.memo_misses);
+
+  // The inline (single-job) path reports through the same fields.
+  BatchChecker inline_checker;
+  inline_checker.run({fleet.jobs.front()});
+  EXPECT_EQ(inline_checker.stats().threads, 0u);
+  EXPECT_GT(inline_checker.stats().memo_inserts, 0u);
+  EXPECT_EQ(inline_checker.stats().memo_entries, inline_checker.stats().memo_inserts);
+
+  // With memoization disabled every cache counter stays zero.
+  EngineOptions off;
+  off.num_threads = 4;
+  off.memoize = false;
+  BatchChecker plain(off);
+  plain.run(fleet.jobs);
+  EXPECT_EQ(plain.stats().memo_hits, 0u);
+  EXPECT_EQ(plain.stats().memo_misses, 0u);
+  EXPECT_EQ(plain.stats().memo_inserts, 0u);
+  EXPECT_EQ(plain.stats().memo_entries, 0u);
+}
+
 TEST(Engine, StatsCountAxioms) {
   Spec spec = sys::mutex_spec(2);
   sys::MutexRunConfig mc;

@@ -1,7 +1,10 @@
 // Tests for the interval-logic concrete syntax.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/parser.h"
+#include "util/rng.h"
 
 namespace il {
 namespace {
@@ -116,6 +119,149 @@ TEST(ILParser, RoundTripThroughToString) {
     auto once = parse_formula(text);
     auto twice = parse_formula(once->to_string());
     EXPECT_EQ(once->to_string(), twice->to_string()) << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property: parse(to_string(f)) == f, as pointer equality — the
+// hash-consing NodeTable makes structural equality an id comparison, so the
+// property is checked exactly, not via a second print.
+//
+// The generator emits only formulas whose printed form is unambiguous to the
+// parser: atom predicates are `v op expr` with a bare variable/meta on the
+// left (a parenthesized or negated left side would be taken for a formula
+// grouping or a term), `<=` comparisons appear only outside interval terms
+// (inside one, `<=` is the arrow), and constants are non-negative (-2 prints
+// like neg(2)).
+// ---------------------------------------------------------------------------
+
+class FormulaGen {
+ public:
+  explicit FormulaGen(std::uint64_t seed) : rng_(seed) {}
+
+  FormulaPtr formula(int depth) { return gen_formula(depth, /*in_term=*/false); }
+
+ private:
+  const char* var() {
+    static const char* kVars[] = {"x", "y", "z", "flag"};
+    return kVars[rng_.below(4)];
+  }
+  const char* meta() {
+    static const char* kMetas[] = {"a", "b", "c"};
+    return kMetas[rng_.below(3)];
+  }
+
+  ExprPtr expr(int depth) {
+    if (depth <= 0 || rng_.chance(0.4)) {
+      switch (rng_.below(3)) {
+        case 0:
+          return Expr::constant(static_cast<std::int64_t>(rng_.below(10)));
+        case 1:
+          return Expr::var(var());
+        default:
+          return Expr::meta(meta());
+      }
+    }
+    switch (rng_.below(4)) {
+      case 0:
+        return Expr::add(expr(depth - 1), expr(depth - 1));
+      case 1:
+        return Expr::sub(expr(depth - 1), expr(depth - 1));
+      case 2:
+        return Expr::mul(expr(depth - 1), expr(depth - 1));
+      default:
+        return Expr::neg(expr(depth - 1));
+    }
+  }
+
+  PredPtr relation(bool in_term) {
+    // Left side: bare identifier so the printed atom re-parses as an atom.
+    ExprPtr lhs = rng_.chance(0.8) ? Expr::var(var()) : Expr::meta(meta());
+    static const CmpOp kOps[] = {CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Gt, CmpOp::Ge};
+    CmpOp op = kOps[rng_.below(5)];
+    if (!in_term && rng_.chance(0.15)) op = CmpOp::Le;
+    return Pred::cmp(op, lhs, expr(2));
+  }
+
+  FormulaPtr gen_formula(int depth, bool in_term) {
+    if (depth <= 0) return f::atom(relation(in_term));
+    switch (rng_.below(12)) {
+      case 0:
+        return f::atom(relation(in_term));
+      case 1:
+        return rng_.chance(0.5) ? f::truth() : f::falsity();
+      case 2:
+        return f::negate(gen_formula(depth - 1, in_term));
+      case 3:
+        return f::conj(gen_formula(depth - 1, in_term), gen_formula(depth - 1, in_term));
+      case 4:
+        return f::disj(gen_formula(depth - 1, in_term), gen_formula(depth - 1, in_term));
+      case 5:
+        return f::implies(gen_formula(depth - 1, in_term), gen_formula(depth - 1, in_term));
+      case 6:
+        return f::iff(gen_formula(depth - 1, in_term), gen_formula(depth - 1, in_term));
+      case 7:
+        return f::always(gen_formula(depth - 1, in_term));
+      case 8:
+        return f::eventually(gen_formula(depth - 1, in_term));
+      case 9:
+        return f::interval(term(depth - 1), gen_formula(depth - 1, in_term));
+      case 10:
+        return f::occurs(term(depth - 1));
+      default: {
+        const char* v = meta();
+        std::vector<std::int64_t> dom;
+        const std::size_t n = 1 + rng_.below(3);
+        for (std::size_t i = 0; i < n; ++i) {
+          dom.push_back(static_cast<std::int64_t>(rng_.below(6)));
+        }
+        FormulaPtr body = gen_formula(depth - 1, in_term);
+        return rng_.chance(0.5) ? f::forall(v, dom, body) : f::exists(v, dom, body);
+      }
+    }
+  }
+
+  TermPtr term(int depth) {
+    if (depth <= 0 || rng_.chance(0.3)) {
+      // Event: bare relational atom, or a braced compound formula.
+      if (rng_.chance(0.7)) return t::event(f::atom(relation(/*in_term=*/true)));
+      return t::event(gen_compound_event(depth));
+    }
+    switch (rng_.below(4)) {
+      case 0:
+        return t::begin(term(depth - 1));
+      case 1:
+        return t::end(term(depth - 1));
+      case 2:
+        return t::star(term(depth - 1));
+      default: {
+        TermPtr l = rng_.chance(0.75) ? term(depth - 1) : nullptr;
+        TermPtr r = rng_.chance(0.75) ? term(depth - 1) : nullptr;
+        return rng_.chance(0.5) ? t::fwd(l, r) : t::bwd(l, r);
+      }
+    }
+  }
+
+  /// A braced {formula} event: guaranteed non-Atom so it prints braced
+  /// (a bare compound would be reparsed as formula structure).
+  FormulaPtr gen_compound_event(int depth) {
+    return f::conj(gen_formula(depth > 0 ? depth - 1 : 0, /*in_term=*/false),
+                   gen_formula(0, /*in_term=*/false));
+  }
+
+  Rng rng_;
+};
+
+TEST(ILParser, RandomFormulaRoundTripIsPointerIdentity) {
+  for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+    FormulaGen gen(seed);
+    FormulaPtr original = gen.formula(4);
+    const std::string text = original->to_string();
+    FormulaPtr reparsed;
+    ASSERT_NO_THROW(reparsed = parse_formula(text)) << "seed " << seed << ": " << text;
+    // Hash-consing: structural equality is pointer (and id) equality.
+    EXPECT_EQ(reparsed.get(), original.get()) << "seed " << seed << ": " << text;
+    EXPECT_EQ(reparsed->id(), original->id()) << "seed " << seed;
   }
 }
 
