@@ -7,39 +7,45 @@
 // bench sweeps the nesting depth of
 //     infloop( iter(*)(a_1, b_1) as ... as iter(*)(a_n, b_n) )
 // and reports reachable nodes/edges and the node-basis size — the quantity
-// whose growth drives the nonelementary bound.
+// whose growth drives the nonelementary bound.  Decisions go through the
+// engine's job path (engine/decision.h); the batch case fans a corpus of
+// satisfiability probes across the worker pool.
 #include <benchmark/benchmark.h>
 
 #include <stdexcept>
+#include <string>
+#include <vector>
 
+#include "engine/decision.h"
 #include "lll/decide.h"
+#include "lll/encode.h"
 #include "lll/graph.h"
 
 namespace {
 
 using namespace il::lll;
 
-ExprPtr nested(int n) {
-  ExprPtr acc;
+ExprId nested(int n) {
+  ExprId acc = kNoExpr;
   for (int i = 0; i < n; ++i) {
     const std::string p = "p" + std::to_string(i);
     const std::string q = "q" + std::to_string(i);
     // Two-instant bodies so concurrent copies genuinely overlap.
-    ExprPtr it = iter_paren(semi(lit(p), lit(p)), lit(q));
-    acc = acc ? same_len(std::move(acc), std::move(it)) : std::move(it);
+    ExprId it = iter_paren(semi(lit(p), lit(p)), lit(q));
+    acc = acc == kNoExpr ? it : same_len(acc, it);
   }
-  return infloop(std::move(acc));
+  return infloop(acc);
 }
 
 void bench_nested_iterators(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  ExprPtr e = nested(n);
+  ExprId e = nested(n);
   std::size_t nodes = 0, edges = 0, basis = 0;
   bool exploded = false;
   for (auto _ : state) {
     try {
       GraphBuilder builder;
-      Graph g = builder.build(*e);
+      Graph g = builder.build(e);
       nodes = g.node_count();
       edges = g.edge_count();
       basis = builder.basis_used();
@@ -59,10 +65,10 @@ void bench_nested_iterators(benchmark::State& state) {
 
 void bench_nested_decision(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  ExprPtr e = nested(n);
+  const il::engine::DecisionJob job = il::engine::lll_sat_job(nested(n));
   for (auto _ : state) {
-    auto stats = decide(*e);
-    benchmark::DoNotOptimize(stats);
+    auto r = il::engine::run_decision_job(job);
+    benchmark::DoNotOptimize(r);
   }
 }
 
@@ -73,16 +79,16 @@ void bench_nested_decision(benchmark::State& state) {
 // claim made measurable; the skipped entry reports exploded=1.
 void bench_deep_first_arg(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  ExprPtr a = concat(lit("p"), tstar());
+  ExprId a = concat(lit("p"), tstar());
   for (int i = 0; i < n; ++i) {
-    a = iter_paren(std::move(a), concat(lit("q" + std::to_string(i)), tstar()));
+    a = iter_paren(a, concat(lit("q" + std::to_string(i)), tstar()));
   }
   std::size_t nodes = 0, edges = 0;
   bool exploded = false;
   for (auto _ : state) {
     try {
       GraphBuilder builder;
-      Graph g = builder.build(*a);
+      Graph g = builder.build(a);
       nodes = g.node_count();
       edges = g.edge_count();
       benchmark::DoNotOptimize(g);
@@ -97,10 +103,32 @@ void bench_deep_first_arg(benchmark::State& state) {
   if (exploded) state.SkipWithError("subset construction exceeded 500k edges");
 }
 
+/// A fleet of LLL satisfiability probes through the batch engine: the
+/// nesting family plus the paper's synchronization constraint, decided as
+/// one input-ordered batch; args are worker threads.
+void bench_lll_batch_engine(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  std::vector<il::engine::DecisionJob> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(il::engine::lll_sat_job(nested(1 + (i % 2))));
+  jobs.push_back(il::engine::lll_sat_job(
+      starts_no_later(concat(lit("p"), tstar()), concat(lit("q"), tstar()))));
+  jobs.push_back(il::engine::lll_sat_job(iter_star(concat(lit("P"), tstar()), lit("Q"))));
+  jobs.push_back(
+      il::engine::lll_sat_job(conj(infloop(lit("x")), semi(tstar(), lit("x", true)))));
+  il::engine::EngineOptions options;
+  options.num_threads = threads;
+  for (auto _ : state) {
+    auto results = il::engine::decide_batch(jobs, options);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+}
+
 }  // namespace
 
 BENCHMARK(bench_nested_iterators)->DenseRange(1, 3);
 BENCHMARK(bench_nested_decision)->DenseRange(1, 2);
 BENCHMARK(bench_deep_first_arg)->DenseRange(1, 3);
+BENCHMARK(bench_lll_batch_engine)->Arg(1)->Arg(2)->Arg(4);
 
 BENCHMARK_MAIN();

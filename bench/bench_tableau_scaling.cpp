@@ -4,21 +4,26 @@
 // PSPACE-complete decision problem; the practical tableau grows
 // exponentially with formula size.  This bench sweeps chains of temporal
 // operators and reports node/edge counts alongside decision time, so the
-// growth curve is visible in one run.
+// growth curve is visible in one run.  Every case is decided through the
+// engine's decision-job path (engine/decision.h) — the same code a batch
+// worker runs — and the batch cases fan a corpus across the worker pool.
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <vector>
 
-#include "ltl/tableau.h"
+#include "engine/decision.h"
+#include "ltl/formula.h"
 
 namespace {
 
 /// /\_{i<n} [](p_i -> <>q_i): a classic response-property chain.
-std::string response_chain(int n) {
+std::string response_chain(int n, const std::string& prefix = "") {
   std::string out;
   for (int i = 0; i < n; ++i) {
     if (i) out += " /\\ ";
-    out += "[](p" + std::to_string(i) + " -> <>q" + std::to_string(i) + ")";
+    out += "[](" + prefix + "p" + std::to_string(i) + " -> <>" + prefix + "q" +
+           std::to_string(i) + ")";
   }
   return out;
 }
@@ -36,11 +41,11 @@ void bench_response_chain(benchmark::State& state) {
   std::size_t nodes = 0, edges = 0;
   for (auto _ : state) {
     il::ltl::Arena arena;
-    il::ltl::Tableau tableau(arena, arena.nnf(arena.parse(text)));
-    bool sat = tableau.iterate();
-    nodes = tableau.node_count();
-    edges = tableau.edge_count();
-    benchmark::DoNotOptimize(sat);
+    const auto r = il::engine::run_decision_job(
+        il::engine::tableau_sat_job(arena, arena.parse(text)));
+    nodes = r.graph_nodes;
+    edges = r.graph_edges;
+    benchmark::DoNotOptimize(r);
   }
   state.counters["nodes"] = static_cast<double>(nodes);
   state.counters["edges"] = static_cast<double>(edges);
@@ -52,11 +57,11 @@ void bench_until_nest(benchmark::State& state) {
   std::size_t nodes = 0, edges = 0;
   for (auto _ : state) {
     il::ltl::Arena arena;
-    il::ltl::Tableau tableau(arena, arena.nnf(arena.parse(text)));
-    bool sat = tableau.iterate();
-    nodes = tableau.node_count();
-    edges = tableau.edge_count();
-    benchmark::DoNotOptimize(sat);
+    const auto r = il::engine::run_decision_job(
+        il::engine::tableau_sat_job(arena, arena.parse(text)));
+    nodes = r.graph_nodes;
+    edges = r.graph_edges;
+    benchmark::DoNotOptimize(r);
   }
   state.counters["nodes"] = static_cast<double>(nodes);
   state.counters["edges"] = static_cast<double>(edges);
@@ -71,9 +76,31 @@ void bench_validity_check(benchmark::State& state) {
   }
   for (auto _ : state) {
     il::ltl::Arena arena;
-    bool v = il::ltl::valid(arena, arena.parse(text));
-    benchmark::DoNotOptimize(v);
+    const auto r = il::engine::run_decision_job(
+        il::engine::tableau_valid_job(arena, arena.parse(text)));
+    benchmark::DoNotOptimize(r);
   }
+}
+
+/// A fleet of tableau decisions through the batch engine: args are
+/// (batch size, worker threads).  Formulas get distinct atom namespaces so
+/// every job builds its own graph (no accidental sharing of the work).
+void bench_tableau_batch_engine(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const std::size_t threads = static_cast<std::size_t>(state.range(1));
+  il::ltl::Arena arena;
+  std::vector<il::engine::DecisionJob> jobs;
+  for (int i = 0; i < batch; ++i) {
+    const std::string text = response_chain(2, "j" + std::to_string(i) + "_");
+    jobs.push_back(il::engine::tableau_sat_job(arena, arena.parse(text)));
+  }
+  il::engine::EngineOptions options;
+  options.num_threads = threads;
+  for (auto _ : state) {
+    auto results = il::engine::decide_batch(jobs, options);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["jobs"] = static_cast<double>(batch);
 }
 
 }  // namespace
@@ -81,5 +108,10 @@ void bench_validity_check(benchmark::State& state) {
 BENCHMARK(bench_response_chain)->DenseRange(1, 4);
 BENCHMARK(bench_until_nest)->DenseRange(1, 5);
 BENCHMARK(bench_validity_check)->DenseRange(0, 3);
+BENCHMARK(bench_tableau_batch_engine)
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Args({16, 4});
 
 BENCHMARK_MAIN();

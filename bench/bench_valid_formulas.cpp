@@ -1,9 +1,16 @@
 // E2 — cost of exhaustively validating the Chapter 4 catalogue: bounded
-// trace enumeration throughput as the trace-length bound grows.
+// trace enumeration throughput as the trace-length bound grows, plus the
+// engine's batched decision path over a corpus of temporal validities
+// (the Appendix B regression shape: one batch, many validity lemmas).
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "core/bounded.h"
 #include "core/parser.h"
+#include "engine/decision.h"
+#include "ltl/formula.h"
 
 namespace {
 
@@ -39,10 +46,53 @@ void bench_v15_composition(benchmark::State& state) {
   }
 }
 
+/// The "latches-until" macro of Appendix B Section 6 (see test_ltl.cpp).
+std::string LU(const std::string& p, const std::string& q) {
+  return "U(!(" + p + "), U((" + p + ") /\\ !(" + q + "), " + q + "))";
+}
+std::string LUA(const std::string& p, const std::string& q) {
+  return LU(p, "(" + p + ") /\\ (" + q + ")");
+}
+
+/// A regression corpus of temporal validity lemmas decided as one batch
+/// through the engine (engine/decision.h); args are worker threads.  All
+/// formulas are valid, so the batch doubles as a self-check.
+void bench_valid_corpus_engine(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::string> corpus = {
+      "[]p -> p",
+      "[]p -> o p",
+      "[]p -> [][]p",
+      "p -> <>p",
+      "(<>[]p) -> ([]<>p)",
+      "[](p -> q) -> ([]p -> []q)",
+      "!(<>p) <-> []!p",
+      "U(p,q) <-> (q \\/ (p /\\ o U(p,q)))",
+      "SU(p,q) -> <>q",
+      "(" + LUA("A", "B") + ") /\\ (" + LUA("B", "C") + ") -> (" + LUA("A \\/ B", "C") + ")",
+  };
+  il::ltl::Arena arena;
+  std::vector<il::engine::DecisionJob> jobs;
+  for (const auto& s : corpus) {
+    jobs.push_back(il::engine::tableau_valid_job(arena, arena.parse(s)));
+  }
+  il::engine::EngineOptions options;
+  options.num_threads = threads;
+  std::size_t all_valid = 1;
+  for (auto _ : state) {
+    auto results = il::engine::decide_batch(jobs, options);
+    for (const auto& r : results) all_valid &= r.verdict ? 1 : 0;
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+  state.counters["all_valid"] = static_cast<double>(all_valid);
+}
+
 }  // namespace
 
 BENCHMARK(bench_v1_distribution)->DenseRange(2, 3);
 BENCHMARK(bench_v9_event_hold)->DenseRange(3, 6);
 BENCHMARK(bench_v15_composition)->DenseRange(2, 3);
+BENCHMARK(bench_valid_corpus_engine)->Arg(1)->Arg(2)->Arg(4);
 
 BENCHMARK_MAIN();

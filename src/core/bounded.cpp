@@ -24,10 +24,15 @@ bool for_each_trace(const std::vector<std::string>& bool_vars, std::size_t len,
   palette.reserve(states);
   for (std::uint64_t b = 0; b < states; ++b) palette.push_back(state_from_bits(bool_vars, b));
 
+  // One reused trace, advanced in place: an odometer step only touches
+  // states [0, pos], so consecutive traces share their unchanged suffix
+  // instead of being rebuilt from scratch.  state_mut refreshes the trace
+  // identity id, so memoizing callers can never alias two enumerated
+  // traces.
   std::vector<std::uint64_t> idx(len, 0);
+  Trace tr;
+  for (std::size_t i = 0; i < len; ++i) tr.push(palette[0]);
   for (;;) {
-    Trace tr;
-    for (std::size_t i = 0; i < len; ++i) tr.push(palette[idx[i]]);
     if (!fn(tr)) return false;
     // Odometer increment.
     std::size_t pos = 0;
@@ -37,6 +42,7 @@ bool for_each_trace(const std::vector<std::string>& bool_vars, std::size_t len,
       ++pos;
     }
     if (pos == len) return true;
+    for (std::size_t i = 0; i <= pos; ++i) tr.state_mut(i) = palette[idx[i]];
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assert.h"
+#include "util/hash.h"
 
 namespace il {
 
@@ -77,14 +78,6 @@ const std::int64_t* Env::find(std::uint32_t meta_id) const {
 }
 
 // ------------------------------ NodeTable ----------------------------------
-
-namespace {
-
-inline void hash_combine(std::size_t& seed, std::size_t v) {
-  seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
-}
-
-}  // namespace
 
 std::size_t NodeTable::KeyHash::operator()(const Key& k) const {
   std::size_t seed = (static_cast<std::size_t>(k.tag) << 16) | k.aux;

@@ -1,5 +1,7 @@
 #include "core/memo.h"
 
+#include <algorithm>
+
 namespace il {
 
 namespace {
@@ -81,6 +83,11 @@ void EvalCache::grow() {
     if (!slot.used) continue;
     slots_[probe(slot.key)] = std::move(slot);
   }
+}
+
+void EvalCache::evict_entries() {
+  std::fill(slots_.begin(), slots_.end(), Slot{});
+  count_ = 0;
 }
 
 void EvalCache::clear() {

@@ -81,6 +81,13 @@ class EvalCache {
 
   void clear();
 
+  /// Drops every stored entry but keeps the lifetime hit/miss/insert
+  /// counters and the allocated table.  For long-lived owners
+  /// (core/monitor.h): entries orphaned by a trace identity change are
+  /// unreachable forever, so they are evicted wholesale instead of
+  /// accumulating toward the capacity cap.
+  void evict_entries();
+
   std::size_t hits() const { return hits_; }
   std::size_t misses() const { return misses_; }
   std::size_t inserts() const { return inserts_; }

@@ -10,7 +10,18 @@ void Monitor::observe(const State& s) { trace_.push(s); }
 
 CheckResult Monitor::current() const {
   IL_REQUIRE(!trace_.empty(), "no states observed yet");
-  return check_spec(spec_, trace_, env_);
+  // One persistent cache across calls: entries keyed on the trace identity
+  // id stay valid exactly as long as the trace is unmodified, so a repeated
+  // verdict (or the shared subformulas of later verdicts) is served from
+  // memory instead of re-evaluated.  When observe() has refreshed the id,
+  // every resident entry is unreachable forever — evict them wholesale so a
+  // long-running monitor's memory stays bounded by one trace's working set
+  // (the lifetime hit/miss counters survive eviction).
+  if (trace_.id() != cache_trace_id_) {
+    cache_.evict_entries();
+    cache_trace_id_ = trace_.id();
+  }
+  return check_spec_cached(spec_, trace_, env_, &cache_);
 }
 
 }  // namespace il

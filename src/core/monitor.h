@@ -11,13 +11,30 @@
 // once an awaited event occurs (e.g. a pending ◇).  The monitor also tracks
 // `violations`, counting axioms false at the final state, which is the
 // quantity the benchmarks and tests assert on for complete runs.
+//
+// The monitor owns one EvalCache for its whole lifetime: repeated current()
+// calls (and the shared subformulas of different axioms) hit the same
+// memoized entries instead of rebuilding a cache per verdict.  Staleness is
+// impossible by construction — cache keys carry the trace identity id
+// (trace/trace.h), which observe() refreshes, so entries recorded against a
+// shorter trace can never satisfy a lookup against the extended one; when
+// the id changes, the orphaned entries are evicted wholesale so memory
+// stays bounded by one trace's working set.
+//
+// A Monitor is a stateful online object: current(), although const, writes
+// the internal cache, so a single Monitor must be driven from one thread at
+// a time (the same construction-then-read-only discipline does NOT apply
+// here — observe/current interleave for the monitor's whole life).  Use one
+// Monitor per stream; for parallel verdict fleets use engine::BatchChecker.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/check.h"
+#include "core/memo.h"
 #include "trace/trace.h"
 
 namespace il {
@@ -38,10 +55,16 @@ class Monitor {
   const Trace& trace() const { return trace_; }
   const Spec& spec() const { return spec_; }
 
+  /// The monitor-lifetime memoization cache (hit/miss/insert counters grow
+  /// across current() calls; entries are invalidated by trace identity).
+  const EvalCache& cache() const { return cache_; }
+
  private:
   Spec spec_;
   Env env_;
   Trace trace_;
+  mutable EvalCache cache_;  ///< persists across observe()/current() calls
+  mutable std::uint32_t cache_trace_id_ = 0;  ///< trace id the cache was filled under
 };
 
 }  // namespace il

@@ -1,0 +1,112 @@
+#include "engine/decision.h"
+
+#include <thread>
+
+#include "engine/pool.h"
+#include "lll/decide.h"
+#include "ltl/tableau.h"
+#include "util/assert.h"
+
+namespace il::engine {
+
+DecisionJob tableau_sat_job(ltl::Arena& arena, ltl::Id formula) {
+  DecisionJob job;
+  job.kind = DecisionJob::Kind::TableauSat;
+  job.arena = &arena;
+  job.formula = arena.nnf(formula);
+  return job;
+}
+
+DecisionJob tableau_valid_job(ltl::Arena& arena, ltl::Id formula) {
+  DecisionJob job;
+  job.kind = DecisionJob::Kind::TableauValid;
+  job.arena = &arena;
+  job.formula = arena.nnf(arena.mk_not(formula));
+  return job;
+}
+
+DecisionJob lll_sat_job(lll::ExprId expr) {
+  DecisionJob job;
+  job.kind = DecisionJob::Kind::LllSat;
+  job.expr = expr;
+  return job;
+}
+
+DecisionResult run_decision_job(const DecisionJob& job) {
+  DecisionResult r;
+  switch (job.kind) {
+    case DecisionJob::Kind::TableauSat:
+    case DecisionJob::Kind::TableauValid: {
+      IL_REQUIRE(job.arena != nullptr && job.formula >= 0,
+                 "tableau DecisionJob must bind an arena and a formula");
+      ltl::Tableau tableau(*job.arena, job.formula);
+      r.graph_nodes = tableau.node_count();
+      r.graph_edges = tableau.edge_count();
+      const bool sat = tableau.iterate();
+      r.alive_nodes = tableau.alive_node_count();
+      r.alive_edges = tableau.alive_edge_count();
+      // TableauValid jobs hold nnf(!A): A is valid iff no model survives.
+      r.verdict = job.kind == DecisionJob::Kind::TableauValid ? !sat : sat;
+      break;
+    }
+    case DecisionJob::Kind::LllSat: {
+      IL_REQUIRE(job.expr != lll::kNoExpr, "LllSat DecisionJob must bind an expression");
+      const lll::DecisionStats stats = lll::decide(job.expr);
+      r.verdict = stats.satisfiable;
+      r.graph_nodes = stats.nodes;
+      r.graph_edges = stats.edges;
+      r.alive_nodes = stats.alive_nodes;
+      r.alive_edges = stats.alive_edges;
+      r.iterations = stats.iterations;
+      break;
+    }
+  }
+  return r;
+}
+
+BatchDecider::BatchDecider(EngineOptions options) : options_(options) {}
+
+std::vector<DecisionResult> BatchDecider::run(const std::vector<DecisionJob>& jobs) {
+  stats_ = DecisionEngineStats{};
+  stats_.jobs = jobs.size();
+  for (const DecisionJob& j : jobs) {
+    if (j.kind == DecisionJob::Kind::LllSat) {
+      ++stats_.lll_jobs;
+    } else {
+      ++stats_.tableau_jobs;
+    }
+  }
+
+  std::vector<DecisionResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  std::size_t pool = options_.num_threads;
+  if (pool == 0) pool = std::thread::hardware_concurrency();
+  if (pool == 0) pool = 1;
+  if (pool > jobs.size()) pool = jobs.size();
+
+  if (pool <= 1 || jobs.size() == 1) {
+    // Inline fast path: no thread spawn for the sequential-equivalent case.
+    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = run_decision_job(jobs[i]);
+  } else {
+    detail::run_claimed(
+        jobs.size(), pool, [](std::size_t) { return 0; },
+        [&](int&, std::size_t i) { results[i] = run_decision_job(jobs[i]); },
+        [](int&, std::size_t) {});
+    stats_.threads = pool;
+  }
+
+  for (const DecisionResult& r : results) {
+    stats_.graph_nodes += r.graph_nodes;
+    stats_.graph_edges += r.graph_edges;
+  }
+  return results;
+}
+
+std::vector<DecisionResult> decide_batch(const std::vector<DecisionJob>& jobs,
+                                         EngineOptions options) {
+  BatchDecider decider(options);
+  return decider.run(jobs);
+}
+
+}  // namespace il::engine

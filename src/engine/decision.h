@@ -1,0 +1,97 @@
+// Batched decision procedures: the engine's second workload class.
+//
+// The paper's pipeline elaborates interval logic into propositional
+// temporal logic (Appendix B) and into the low-level language (Appendix C);
+// both ends terminate in a graph-based decision procedure.  A production
+// verifier decides *fleets* of such questions — regression corpora of
+// validity lemmas, per-scenario satisfiability probes, tableau-vs-LLL
+// differential sweeps — so the batch engine serves them exactly like trace
+// checks: workers claim jobs from one atomic counter and results land in
+// input order, deterministically, independent of thread count.
+//
+// The unified intern layer is what makes the fan-out safe and cheap: a
+// DecisionJob references formulas by id into an `ltl::Arena` and/or the
+// global `lll::ExprTable`, both of which are read-only during a run.  All
+// formula *construction* (parse, NNF, LLL encoding) happens on the caller's
+// thread — the job-builder helpers below do it for you — after which
+// workers only read the shared tables.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "engine/engine.h"
+#include "lll/ast.h"
+#include "ltl/formula.h"
+
+namespace il::engine {
+
+/// One decision question.  Referenced arenas are borrowed and must stay
+/// alive (and un-mutated) until run() returns.
+struct DecisionJob {
+  enum class Kind : std::uint8_t {
+    TableauSat,    ///< Appendix B tableau: is `formula` satisfiable?
+    TableauValid,  ///< Appendix B tableau on the negation: is `formula` valid?
+    LllSat,        ///< Appendix C graph iteration: is `expr` satisfiable?
+  };
+
+  Kind kind = Kind::TableauSat;
+  const ltl::Arena* arena = nullptr;  ///< tableau kinds; must be pre-NNF'd
+  ltl::Id formula = -1;  ///< NNF formula (already negated for TableauValid)
+  lll::ExprId expr = lll::kNoExpr;  ///< LllSat operand
+};
+
+/// Job builders: run the mutating construction steps (NNF, negation) now,
+/// on the calling thread, so the arena is read-only by the time the batch
+/// fans out.
+DecisionJob tableau_sat_job(ltl::Arena& arena, ltl::Id formula);
+DecisionJob tableau_valid_job(ltl::Arena& arena, ltl::Id formula);
+DecisionJob lll_sat_job(lll::ExprId expr);
+
+struct DecisionResult {
+  bool verdict = false;  ///< satisfiable (…Sat) or valid (TableauValid)
+  std::size_t graph_nodes = 0;  ///< decision graph size before iteration
+  std::size_t graph_edges = 0;
+  std::size_t alive_nodes = 0;  ///< survivors of the deletion fixpoint
+  std::size_t alive_edges = 0;
+  std::size_t iterations = 0;   ///< LLL deletion passes (0 for tableau jobs)
+};
+
+/// Aggregate counters from the last run().
+struct DecisionEngineStats {
+  std::size_t jobs = 0;
+  std::size_t threads = 0;  ///< workers actually spawned (0 = inline)
+  std::size_t tableau_jobs = 0;
+  std::size_t lll_jobs = 0;
+  std::size_t graph_nodes = 0;  ///< summed over jobs
+  std::size_t graph_edges = 0;
+};
+
+class BatchDecider {
+ public:
+  explicit BatchDecider(EngineOptions options = {});
+
+  /// Decides every job; results[i] corresponds to jobs[i].  Deterministic:
+  /// independent of thread count and scheduling.  Exceptions thrown by a
+  /// job (e.g. the LLL subset-construction explosion guard) are captured
+  /// and rethrown on the calling thread for the lowest-indexed failing job.
+  std::vector<DecisionResult> run(const std::vector<DecisionJob>& jobs);
+
+  const EngineOptions& options() const { return options_; }
+  const DecisionEngineStats& stats() const { return stats_; }
+
+ private:
+  EngineOptions options_;
+  DecisionEngineStats stats_;
+};
+
+/// Decides one job — the unit of work a BatchDecider worker executes,
+/// exposed so sequential call-sites run exactly the same code.
+DecisionResult run_decision_job(const DecisionJob& job);
+
+/// One-shot convenience over a temporary BatchDecider.
+std::vector<DecisionResult> decide_batch(const std::vector<DecisionJob>& jobs,
+                                         EngineOptions options = {});
+
+}  // namespace il::engine

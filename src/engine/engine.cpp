@@ -1,10 +1,10 @@
 #include "engine/engine.h"
 
-#include <atomic>
 #include <exception>
 #include <thread>
 #include <utility>
 
+#include "engine/pool.h"
 #include "util/assert.h"
 
 namespace il {
@@ -17,17 +17,7 @@ struct WorkerReport {
   std::size_t memo_misses = 0;
   std::size_t memo_inserts = 0;
   std::size_t memo_entries = 0;
-  /// First (lowest job index) exception this worker hit, if any.
-  std::size_t error_index = 0;
-  std::exception_ptr error;
 };
-
-void note_error(WorkerReport& report, std::size_t index) {
-  if (!report.error || index < report.error_index) {
-    report.error = std::current_exception();
-    report.error_index = index;
-  }
-}
 
 }  // namespace
 
@@ -66,43 +56,33 @@ std::vector<CheckResult> BatchChecker::run(const std::vector<CheckJob>& jobs) {
     stats_.memo_inserts = cache.inserts();
     stats_.memo_entries = cache.size();
   } else {
-    std::atomic<std::size_t> next{0};
     std::vector<WorkerReport> reports(pool);
-    std::vector<std::thread> workers;
-    workers.reserve(pool);
-    for (std::size_t w = 0; w < pool; ++w) {
-      workers.emplace_back([&, w]() {
-        EvalCache cache = make_cache();
-        EvalCache* cache_ptr = options_.memoize ? &cache : nullptr;
-        for (;;) {
-          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= jobs.size()) break;
-          try {
-            results[i] = run_job(jobs[i], cache_ptr);
-          } catch (...) {
-            note_error(reports[w], i);
-          }
-        }
-        reports[w].memo_hits = cache.hits();
-        reports[w].memo_misses = cache.misses();
-        reports[w].memo_inserts = cache.inserts();
-        reports[w].memo_entries = cache.size();
-      });
+    // The rethrow happens after the reports are aggregated, so the memo
+    // counters are complete even for a failed batch.
+    std::exception_ptr batch_error;
+    try {
+      detail::run_claimed(
+          jobs.size(), pool, [&](std::size_t) { return make_cache(); },
+          [&](EvalCache& cache, std::size_t i) {
+            results[i] = run_job(jobs[i], options_.memoize ? &cache : nullptr);
+          },
+          [&](EvalCache& cache, std::size_t w) {
+            reports[w].memo_hits = cache.hits();
+            reports[w].memo_misses = cache.misses();
+            reports[w].memo_inserts = cache.inserts();
+            reports[w].memo_entries = cache.size();
+          });
+    } catch (...) {
+      batch_error = std::current_exception();
     }
-    for (auto& t : workers) t.join();
     stats_.threads = pool;
-
-    const WorkerReport* first_error = nullptr;
     for (const WorkerReport& r : reports) {
       stats_.memo_hits += r.memo_hits;
       stats_.memo_misses += r.memo_misses;
       stats_.memo_inserts += r.memo_inserts;
       stats_.memo_entries += r.memo_entries;
-      if (r.error && (first_error == nullptr || r.error_index < first_error->error_index)) {
-        first_error = &r;
-      }
     }
-    if (first_error != nullptr) std::rethrow_exception(first_error->error);
+    if (batch_error) std::rethrow_exception(batch_error);
   }
 
   for (const CheckResult& r : results) stats_.axioms_failed += r.failed.size();

@@ -1,0 +1,65 @@
+// The engine's shared fan-out loop: workers claim job indices from a single
+// atomic counter, results land in pre-sized slots, and the lowest-indexed
+// exception is rethrown on the calling thread.  Both job families — trace
+// checking (engine.h) and decision procedures (decision.h) — run through
+// this one helper, so they share the same determinism and error-reporting
+// contract by construction.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace il::engine::detail {
+
+/// Runs `body(state, i)` for every i in [0, count) across `pool` worker
+/// threads.  `make_worker(w)` builds per-worker state on the worker thread;
+/// `finish(state, w)` runs there after the claim loop drains (use it to
+/// publish per-worker counters).  Exceptions thrown by `body` are captured
+/// per worker and the one with the lowest job index is rethrown here after
+/// all workers join.  Requires pool >= 1; the caller handles the inline
+/// (pool <= 1) fast path itself if it wants to avoid a thread spawn.
+template <typename MakeWorker, typename Body, typename Finish>
+void run_claimed(std::size_t count, std::size_t pool, MakeWorker&& make_worker, Body&& body,
+                 Finish&& finish) {
+  struct Capture {
+    std::size_t index = 0;
+    std::exception_ptr error;
+  };
+  std::atomic<std::size_t> next{0};
+  std::vector<Capture> errors(pool);
+  std::vector<std::thread> workers;
+  workers.reserve(pool);
+  for (std::size_t w = 0; w < pool; ++w) {
+    workers.emplace_back([&, w]() {
+      auto state = make_worker(w);
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) break;
+        try {
+          body(state, i);
+        } catch (...) {
+          // Indices claimed by one worker increase, so the first capture is
+          // this worker's lowest.
+          if (!errors[w].error) {
+            errors[w].error = std::current_exception();
+            errors[w].index = i;
+          }
+        }
+      }
+      finish(state, w);
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  const Capture* first = nullptr;
+  for (const Capture& c : errors) {
+    if (c.error && (first == nullptr || c.index < first->index)) first = &c;
+  }
+  if (first != nullptr) std::rethrow_exception(first->error);
+}
+
+}  // namespace il::engine::detail

@@ -1,29 +1,188 @@
 #include "lll/ast.h"
 
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
 #include "util/assert.h"
+#include "util/hash.h"
 
 namespace il::lll {
 
-struct ExprFactory {
-  static std::shared_ptr<Expr> make(Expr::Kind k) {
-    auto e = std::make_shared<Expr>();
-    e->kind_ = k;
-    return e;
-  }
-  static void set_var(Expr& e, std::string v, bool neg) {
-    e.var_ = std::move(v);
-    e.negated_ = neg;
-  }
-  static void set_children(Expr& e, ExprPtr a, ExprPtr b) {
-    e.a_ = std::move(a);
-    e.b_ = std::move(b);
-  }
-};
+std::size_t ExprTable::KeyHash::operator()(const Key& k) const {
+  std::size_t seed = (static_cast<std::size_t>(k.kind) << 1) | k.negated;
+  hash_combine(seed, k.var);
+  hash_combine(seed, (static_cast<std::size_t>(static_cast<std::uint32_t>(k.a)) << 32) |
+                         static_cast<std::uint32_t>(k.b));
+  return seed;
+}
 
-std::string Expr::to_string() const {
-  switch (kind_) {
+ExprTable& ExprTable::global() {
+  static ExprTable table;
+  return table;
+}
+
+ExprTable::ExprTable() = default;
+
+ExprId ExprTable::intern(Kind kind, std::uint32_t var, bool negated, ExprId a, ExprId b) {
+  const Key key{static_cast<std::uint8_t>(kind), static_cast<std::uint8_t>(negated), var, a, b};
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+
+  ExprNode n;
+  n.kind = kind;
+  n.negated = negated;
+  n.var = var;
+  n.a = a;
+  n.b = b;
+
+  const ExprNode* na = a == kNoExpr ? nullptr : &node(a);
+  const ExprNode* nb = b == kNoExpr ? nullptr : &node(b);
+  n.depth = 1 + std::max(na ? na->depth : 0u, nb ? nb->depth : 0u);
+
+  // psi-level finite/infinite flags (see header).  The constants first:
+  switch (kind) {
     case Kind::Lit:
-      return (negated_ ? "!" : "") + var_;
+    case Kind::T:
+    case Kind::F:
+      n.has_finite = true;
+      n.has_infinite = false;
+      break;
+    case Kind::TStar:
+      n.has_finite = true;
+      n.has_infinite = true;
+      break;
+    case Kind::Concat:
+    case Kind::Semi:
+      n.has_finite = na->has_finite && nb->has_finite;
+      n.has_infinite = na->has_infinite || (na->has_finite && nb->has_infinite);
+      break;
+    case Kind::And:
+      // Longer extends past shorter: any infinite side makes the whole
+      // computation infinite; a finite element needs both sides finite.
+      n.has_finite = na->has_finite && nb->has_finite;
+      n.has_infinite = na->has_infinite || nb->has_infinite;
+      break;
+    case Kind::As:
+      n.has_finite = na->has_finite && nb->has_finite;
+      n.has_infinite = na->has_infinite && nb->has_infinite;
+      break;
+    case Kind::Or:
+      n.has_finite = na->has_finite || nb->has_finite;
+      n.has_infinite = na->has_infinite || nb->has_infinite;
+      break;
+    case Kind::Exists:
+    case Kind::ForceF:
+    case Kind::ForceT:
+      n.has_finite = na->has_finite;
+      n.has_infinite = na->has_infinite;
+      break;
+    case Kind::Infloop:
+      n.has_finite = false;
+      n.has_infinite = true;
+      break;
+    case Kind::IterStar:
+      // The components of every disjunct end together ("as"), and b alone
+      // (zero copies of a) is always a disjunct, so b's flags carry over.
+      n.has_finite = nb->has_finite;
+      n.has_infinite = nb->has_infinite;
+      break;
+    case Kind::IterParen:
+      // infloop(a) \/ iter*(a,b).
+      n.has_finite = nb->has_finite;
+      n.has_infinite = true;
+      break;
+  }
+
+  switch (kind) {
+    case Kind::Lit:
+      n.free_vars = {var};
+      break;
+    case Kind::Exists:
+      n.free_vars = remove_id(na->free_vars, var);
+      break;
+    case Kind::ForceF:
+    case Kind::ForceT:
+      n.free_vars = merge_ids(na->free_vars, {var});
+      break;
+    default:
+      if (na != nullptr) {
+        n.free_vars = nb ? merge_ids(na->free_vars, nb->free_vars) : na->free_vars;
+      }
+      break;
+  }
+
+  const ExprId id = static_cast<ExprId>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  unique_.emplace(key, id);
+  return id;
+}
+
+namespace {
+
+ExprId binary(Kind k, ExprId a, ExprId b) {
+  IL_REQUIRE(a != kNoExpr && b != kNoExpr);
+  return ExprTable::global().intern(k, SymbolTable::kNoSymbol, false, a, b);
+}
+
+ExprId scoped(Kind k, std::uint32_t var, ExprId a) {
+  IL_REQUIRE(a != kNoExpr);
+  return ExprTable::global().intern(k, var, false, a, kNoExpr);
+}
+
+}  // namespace
+
+ExprId lit_sym(std::uint32_t var, bool negated) {
+  return ExprTable::global().intern(Kind::Lit, var, negated, kNoExpr, kNoExpr);
+}
+ExprId lit(std::string_view var, bool negated) {
+  return lit_sym(SymbolTable::global().intern(var), negated);
+}
+
+ExprId tt() {
+  return ExprTable::global().intern(Kind::T, SymbolTable::kNoSymbol, false, kNoExpr, kNoExpr);
+}
+ExprId ff() {
+  return ExprTable::global().intern(Kind::F, SymbolTable::kNoSymbol, false, kNoExpr, kNoExpr);
+}
+ExprId tstar() {
+  return ExprTable::global().intern(Kind::TStar, SymbolTable::kNoSymbol, false, kNoExpr, kNoExpr);
+}
+
+ExprId concat(ExprId a, ExprId b) { return binary(Kind::Concat, a, b); }
+ExprId semi(ExprId a, ExprId b) { return binary(Kind::Semi, a, b); }
+ExprId conj(ExprId a, ExprId b) { return binary(Kind::And, a, b); }
+ExprId same_len(ExprId a, ExprId b) { return binary(Kind::As, a, b); }
+ExprId disj(ExprId a, ExprId b) { return binary(Kind::Or, a, b); }
+
+ExprId hide_sym(std::uint32_t var, ExprId a) { return scoped(Kind::Exists, var, a); }
+ExprId hide(std::string_view var, ExprId a) {
+  return hide_sym(SymbolTable::global().intern(var), a);
+}
+ExprId force_false_sym(std::uint32_t var, ExprId a) { return scoped(Kind::ForceF, var, a); }
+ExprId force_false(std::string_view var, ExprId a) {
+  return force_false_sym(SymbolTable::global().intern(var), a);
+}
+ExprId force_true_sym(std::uint32_t var, ExprId a) { return scoped(Kind::ForceT, var, a); }
+ExprId force_true(std::string_view var, ExprId a) {
+  return force_true_sym(SymbolTable::global().intern(var), a);
+}
+
+ExprId infloop(ExprId a) {
+  IL_REQUIRE(a != kNoExpr);
+  return ExprTable::global().intern(Kind::Infloop, SymbolTable::kNoSymbol, false, a, kNoExpr);
+}
+ExprId iter_star(ExprId a, ExprId b) { return binary(Kind::IterStar, a, b); }
+ExprId iter_paren(ExprId a, ExprId b) { return binary(Kind::IterParen, a, b); }
+
+std::string to_string(ExprId id) {
+  const ExprNode& n = expr(id);
+  const auto& name = [](std::uint32_t sym) -> const std::string& {
+    return SymbolTable::global().name(sym);
+  };
+  switch (n.kind) {
+    case Kind::Lit:
+      return (n.negated ? "!" : "") + name(n.var);
     case Kind::T:
       return "T";
     case Kind::F:
@@ -31,76 +190,200 @@ std::string Expr::to_string() const {
     case Kind::TStar:
       return "T*";
     case Kind::Concat:
-      return "(" + a_->to_string() + " . " + b_->to_string() + ")";
+      return "(" + to_string(n.a) + " . " + to_string(n.b) + ")";
     case Kind::Semi:
-      return "(" + a_->to_string() + " ; " + b_->to_string() + ")";
+      return "(" + to_string(n.a) + " ; " + to_string(n.b) + ")";
     case Kind::And:
-      return "(" + a_->to_string() + " /\\ " + b_->to_string() + ")";
+      return "(" + to_string(n.a) + " /\\ " + to_string(n.b) + ")";
     case Kind::As:
-      return "(" + a_->to_string() + " as " + b_->to_string() + ")";
+      return "(" + to_string(n.a) + " as " + to_string(n.b) + ")";
     case Kind::Or:
-      return "(" + a_->to_string() + " \\/ " + b_->to_string() + ")";
+      return "(" + to_string(n.a) + " \\/ " + to_string(n.b) + ")";
     case Kind::Exists:
-      return "(E" + var_ + ")(" + a_->to_string() + ")";
+      return "(E" + name(n.var) + ")(" + to_string(n.a) + ")";
     case Kind::ForceF:
-      return "(F" + var_ + ")(" + a_->to_string() + ")";
+      return "(F" + name(n.var) + ")(" + to_string(n.a) + ")";
     case Kind::ForceT:
-      return "(T" + var_ + ")(" + a_->to_string() + ")";
+      return "(T" + name(n.var) + ")(" + to_string(n.a) + ")";
     case Kind::Infloop:
-      return "infloop(" + a_->to_string() + ")";
+      return "infloop(" + to_string(n.a) + ")";
     case Kind::IterStar:
-      return "iter*(" + a_->to_string() + ", " + b_->to_string() + ")";
+      return "iter*(" + to_string(n.a) + ", " + to_string(n.b) + ")";
     case Kind::IterParen:
-      return "iter(*)(" + a_->to_string() + ", " + b_->to_string() + ")";
+      return "iter(*)(" + to_string(n.a) + ", " + to_string(n.b) + ")";
   }
   IL_CHECK(false, "unreachable");
 }
 
-ExprPtr lit(std::string var, bool negated) {
-  auto e = ExprFactory::make(Expr::Kind::Lit);
-  ExprFactory::set_var(*e, std::move(var), negated);
-  return e;
-}
-
-ExprPtr tt() { return ExprFactory::make(Expr::Kind::T); }
-ExprPtr ff() { return ExprFactory::make(Expr::Kind::F); }
-ExprPtr tstar() { return ExprFactory::make(Expr::Kind::TStar); }
+// ------------------------------- parser ------------------------------------
 
 namespace {
-ExprPtr binary(Expr::Kind k, ExprPtr a, ExprPtr b) {
-  IL_REQUIRE(a && b);
-  auto e = ExprFactory::make(k);
-  ExprFactory::set_children(*e, std::move(a), std::move(b));
-  return e;
-}
-ExprPtr scoped(Expr::Kind k, std::string var, ExprPtr a) {
-  IL_REQUIRE(a != nullptr);
-  auto e = ExprFactory::make(k);
-  ExprFactory::set_var(*e, std::move(var), false);
-  ExprFactory::set_children(*e, std::move(a), nullptr);
-  return e;
-}
+
+/// Parses exactly the to_string() grammar: fully parenthesized binary
+/// connectives, (Ex)/(Fx)/(Tx) scoping, infloop / iter* / iter(*), plus
+/// redundant parentheses around any expression.  "T", "F", "T*", "infloop"
+/// and "iter" are reserved words, not variables.
+class LllParser {
+ public:
+  explicit LllParser(const std::string& text) : text_(text) {}
+
+  ExprId parse_all() {
+    ExprId e = parse_expr();
+    skip_ws();
+    IL_REQUIRE(pos_ == text_.size(), "trailing LLL input: " + text_.substr(pos_));
+    return e;
+  }
+
+ private:
+  ExprId parse_expr() {
+    skip_ws();
+    if (peek() == '(') return parse_paren();
+    if (eat("!")) return lit(parse_ident(), /*negated=*/true);
+    if (text_.compare(pos_, 2, "T*") == 0) {
+      pos_ += 2;
+      return tstar();
+    }
+    if (peek_word("T")) {
+      pos_ += 1;
+      return tt();
+    }
+    if (peek_word("F")) {
+      pos_ += 1;
+      return ff();
+    }
+    if (peek_word("infloop")) {
+      pos_ += 7;
+      expect('(');
+      ExprId a = parse_expr();
+      expect(')');
+      return infloop(a);
+    }
+    if (peek_word_prefix("iter")) {
+      pos_ += 4;
+      bool paren = false;
+      if (eat("*")) {
+        paren = false;
+      } else if (eat("(*)")) {
+        paren = true;
+      } else {
+        IL_REQUIRE(false, "expected '*' or '(*)' after 'iter'");
+      }
+      expect('(');
+      ExprId a = parse_expr();
+      expect(',');
+      ExprId b = parse_expr();
+      expect(')');
+      return paren ? iter_paren(a, b) : iter_star(a, b);
+    }
+    return lit(parse_ident());
+  }
+
+  /// After seeing '(' — a scoped operator, a binary connective, or a
+  /// redundant grouping.
+  ExprId parse_paren() {
+    // Try the scoped-operator shape first: '(' [EFT] ident ')' '(' expr ')'.
+    // to_string() never emits whitespace inside the binder, so the trial is
+    // purely lexical and backtracks on any mismatch.
+    const std::size_t save = pos_;
+    expect('(');
+    if (pos_ < text_.size() &&
+        (text_[pos_] == 'E' || text_[pos_] == 'F' || text_[pos_] == 'T')) {
+      const char op = text_[pos_];
+      const std::size_t var_start = pos_ + 1;
+      std::size_t p = var_start;
+      while (p < text_.size() && is_ident_char(text_[p])) ++p;
+      if (p > var_start && p + 1 < text_.size() && text_[p] == ')' && text_[p + 1] == '(') {
+        const std::string var = text_.substr(var_start, p - var_start);
+        pos_ = p + 2;
+        ExprId a = parse_expr();
+        expect(')');
+        if (op == 'E') return hide(var, a);
+        return op == 'F' ? force_false(var, a) : force_true(var, a);
+      }
+    }
+    // Not scoped: expression, then either ')' (grouping) or a connective.
+    ExprId a = parse_expr();
+    skip_ws();
+    if (eat(")")) return a;
+    ExprId (*mk)(ExprId, ExprId) = nullptr;
+    if (eat(".")) {
+      mk = concat;
+    } else if (eat(";")) {
+      mk = semi;
+    } else if (eat("/\\")) {
+      mk = conj;
+    } else if (eat("\\/")) {
+      mk = disj;
+    } else if (peek_word("as")) {
+      pos_ += 2;
+      mk = same_len;
+    } else {
+      IL_REQUIRE(false, "expected LLL connective at: " + text_.substr(save));
+    }
+    ExprId b = parse_expr();
+    expect(')');
+    return mk(a, b);
+  }
+
+  static bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  std::string parse_ident() {
+    skip_ws();
+    IL_REQUIRE(pos_ < text_.size() &&
+                   (std::isalpha(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_'),
+               "expected identifier in LLL expression");
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && is_ident_char(text_[pos_])) ++pos_;
+    return text_.substr(start, pos_ - start);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool eat(const std::string& tok) {
+    skip_ws();
+    if (text_.compare(pos_, tok.size(), tok) != 0) return false;
+    pos_ += tok.size();
+    return true;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      IL_REQUIRE(false, "unexpected token in LLL expression");
+    }
+    ++pos_;
+  }
+
+  bool peek_word(const std::string& w) {
+    skip_ws();
+    if (text_.compare(pos_, w.size(), w) != 0) return false;
+    const std::size_t after = pos_ + w.size();
+    return after >= text_.size() || !is_ident_char(text_[after]);
+  }
+
+  /// Like peek_word but allows '(' or '*' immediately after (for iter).
+  bool peek_word_prefix(const std::string& w) {
+    skip_ws();
+    if (text_.compare(pos_, w.size(), w) != 0) return false;
+    const std::size_t after = pos_ + w.size();
+    return after < text_.size() && (text_[after] == '*' || text_[after] == '(');
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
 }  // namespace
 
-ExprPtr concat(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::Concat, a, b); }
-ExprPtr semi(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::Semi, a, b); }
-ExprPtr conj(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::And, a, b); }
-ExprPtr same_len(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::As, a, b); }
-ExprPtr disj(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::Or, a, b); }
-ExprPtr hide(std::string var, ExprPtr a) { return scoped(Expr::Kind::Exists, std::move(var), a); }
-ExprPtr force_false(std::string var, ExprPtr a) {
-  return scoped(Expr::Kind::ForceF, std::move(var), a);
-}
-ExprPtr force_true(std::string var, ExprPtr a) {
-  return scoped(Expr::Kind::ForceT, std::move(var), a);
-}
-ExprPtr infloop(ExprPtr a) {
-  IL_REQUIRE(a != nullptr);
-  auto e = ExprFactory::make(Expr::Kind::Infloop);
-  ExprFactory::set_children(*e, std::move(a), nullptr);
-  return e;
-}
-ExprPtr iter_star(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::IterStar, a, b); }
-ExprPtr iter_paren(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::IterParen, a, b); }
+ExprId parse(const std::string& text) { return LllParser(text).parse_all(); }
 
 }  // namespace il::lll

@@ -19,67 +19,129 @@
 //                                     instants until b starts (b required)
 //               iter(*)(a,b)        — same, but b optional (== infloop(a) \/ iter*(a,b))
 //
-// Expressions are immutable shared trees built by the factory functions.
+// An expression is an integer id into the process-wide hash-consed
+// ExprTable: structurally identical expressions built anywhere in the
+// process are the same id, so structural equality is id equality and the
+// duplicated subtrees of the nonelementary constructions (Section 4.5) are
+// shared subgraphs.  Variables are global il::SymbolTable symbol ids — the
+// same integers the LTL arena and theory layer use — and every node carries
+// construction-time metadata: its sorted free-variable id set, its depth,
+// and whether psi(e) contains finite and/or infinite computation-sequence
+// constraints (`has_finite` drives the bounded enumerator's pruning; an
+// infloop, whose constraints are all infinite, has has_finite == false).
+//
+// The table is append-only and mutated single-threaded by contract: build
+// expressions before fanning decision jobs out (engine/decision.h), after
+// which workers share the table read-only.
 #pragma once
 
-#include <memory>
+#include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/intern.h"
 
 namespace il::lll {
 
-class Expr;
-using ExprPtr = std::shared_ptr<const Expr>;
+using ExprId = std::int32_t;
+constexpr ExprId kNoExpr = -1;
 
-class Expr {
- public:
-  enum class Kind {
-    Lit,       ///< x or !x
-    T,
-    F,
-    TStar,
-    Concat,    ///< one-state overlap
-    Semi,      ///< no overlap
-    And,
-    As,
-    Or,
-    Exists,    ///< (Ex)(a)
-    ForceF,    ///< (Fx)(a)
-    ForceT,    ///< (Tx)(a)
-    Infloop,
-    IterStar,  ///< iter*(a,b)
-    IterParen, ///< iter(*)(a,b)
-  };
-
-  Kind kind() const { return kind_; }
-  const std::string& var() const { return var_; }
-  bool negated() const { return negated_; }
-  const ExprPtr& a() const { return a_; }
-  const ExprPtr& b() const { return b_; }
-
-  std::string to_string() const;
-
- private:
-  friend struct ExprFactory;
-  Kind kind_ = Kind::T;
-  std::string var_;
-  bool negated_ = false;
-  ExprPtr a_, b_;
+enum class Kind : std::uint8_t {
+  Lit,       ///< x or !x
+  T,
+  F,
+  TStar,
+  Concat,    ///< one-state overlap
+  Semi,      ///< no overlap
+  And,
+  As,
+  Or,
+  Exists,    ///< (Ex)(a)
+  ForceF,    ///< (Fx)(a)
+  ForceT,    ///< (Tx)(a)
+  Infloop,
+  IterStar,  ///< iter*(a,b)
+  IterParen, ///< iter(*)(a,b)
 };
 
-ExprPtr lit(std::string var, bool negated = false);
-ExprPtr tt();
-ExprPtr ff();
-ExprPtr tstar();
-ExprPtr concat(ExprPtr a, ExprPtr b);
-ExprPtr semi(ExprPtr a, ExprPtr b);
-ExprPtr conj(ExprPtr a, ExprPtr b);
-ExprPtr same_len(ExprPtr a, ExprPtr b);  ///< the "as" connective
-ExprPtr disj(ExprPtr a, ExprPtr b);
-ExprPtr hide(std::string var, ExprPtr a);
-ExprPtr force_false(std::string var, ExprPtr a);
-ExprPtr force_true(std::string var, ExprPtr a);
-ExprPtr infloop(ExprPtr a);
-ExprPtr iter_star(ExprPtr a, ExprPtr b);
-ExprPtr iter_paren(ExprPtr a, ExprPtr b);
+struct ExprNode {
+  Kind kind = Kind::T;
+  bool negated = false;  ///< Lit polarity
+  std::uint32_t var = SymbolTable::kNoSymbol;  ///< Lit / Exists / ForceF / ForceT
+  ExprId a = kNoExpr;
+  ExprId b = kNoExpr;
+
+  // --- construction-time metadata ---
+  std::uint32_t depth = 1;
+  bool has_finite = true;    ///< psi(e) contains finite constraint sequences
+  bool has_infinite = false; ///< psi(e) contains infinite computations
+  std::vector<std::uint32_t> free_vars;  ///< sorted-unique symbol ids
+};
+
+class ExprTable {
+ public:
+  /// The process-wide table.  All factory functions intern into it.
+  static ExprTable& global();
+
+  const ExprNode& node(ExprId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Interns a node whose children (if any) are already interned, computing
+  /// metadata.  Used by the factory functions below.
+  ExprId intern(Kind kind, std::uint32_t var, bool negated, ExprId a, ExprId b);
+
+ private:
+  ExprTable();
+
+  struct Key {
+    std::uint8_t kind = 0;
+    std::uint8_t negated = 0;
+    std::uint32_t var = SymbolTable::kNoSymbol;
+    ExprId a = kNoExpr;
+    ExprId b = kNoExpr;
+
+    bool operator==(const Key& o) const {
+      return kind == o.kind && negated == o.negated && var == o.var && a == o.a && b == o.b;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  std::vector<ExprNode> nodes_;
+  std::unordered_map<Key, ExprId, KeyHash> unique_;
+};
+
+/// Convenience accessor: the node behind an id.
+inline const ExprNode& expr(ExprId id) { return ExprTable::global().node(id); }
+
+ExprId lit(std::string_view var, bool negated = false);
+ExprId lit_sym(std::uint32_t var, bool negated = false);
+ExprId tt();
+ExprId ff();
+ExprId tstar();
+ExprId concat(ExprId a, ExprId b);
+ExprId semi(ExprId a, ExprId b);
+ExprId conj(ExprId a, ExprId b);
+ExprId same_len(ExprId a, ExprId b);  ///< the "as" connective
+ExprId disj(ExprId a, ExprId b);
+ExprId hide(std::string_view var, ExprId a);
+ExprId hide_sym(std::uint32_t var, ExprId a);
+ExprId force_false(std::string_view var, ExprId a);
+ExprId force_false_sym(std::uint32_t var, ExprId a);
+ExprId force_true(std::string_view var, ExprId a);
+ExprId force_true_sym(std::uint32_t var, ExprId a);
+ExprId infloop(ExprId a);
+ExprId iter_star(ExprId a, ExprId b);
+ExprId iter_paren(ExprId a, ExprId b);
+
+/// Unambiguous rendering: binary connectives fully parenthesized, scoped
+/// operators as (Ex)(...), iterators as iter*(a, b) / iter(*)(a, b).
+std::string to_string(ExprId id);
+
+/// Parses exactly the to_string() syntax (plus redundant parentheses), so
+/// parse(to_string(e)) == e — id equality — for every expression.
+ExprId parse(const std::string& text);
 
 }  // namespace il::lll

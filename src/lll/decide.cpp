@@ -1,37 +1,91 @@
 #include "lll/decide.h"
 
 #include <algorithm>
+#include <climits>
+#include <cstdint>
 #include <map>
 #include <set>
+#include <unordered_set>
+#include <vector>
 
 #include "util/assert.h"
 
 namespace il::lll {
 namespace {
 
+/// Dense-integer view of a graph: every basis-subset node occurring
+/// anywhere (graph nodes, END, edge endpoints, eventuality components, node
+/// relations) is mapped to one index, and per-edge eventuality/relation
+/// sets become sorted int-pair vectors, so the deletion fixpoint and the
+/// eventuality chain search do no GNode (vector) comparisons at all.
+struct IndexedGraph {
+  std::map<GNode, int> node_idx;
+  std::vector<int> graph_nodes;  ///< indices of g.nodes (END excluded)
+  int init = -1;
+  int end = -1;
+
+  struct Edge {
+    int from = -1;
+    int to = -1;
+    std::vector<std::pair<int, int>> evs;  ///< (primitive, node idx), sorted
+    std::vector<std::pair<int, int>> ses;
+    std::vector<std::pair<int, int>> rel;  ///< (x idx, y idx), sorted by x
+  };
+  std::vector<Edge> edges;
+  std::vector<std::vector<std::size_t>> out_edges;  ///< per node idx
+
+  int idx_of(const GNode& n) {
+    auto [it, inserted] = node_idx.try_emplace(n, static_cast<int>(node_idx.size()));
+    return it->second;
+  }
+
+  explicit IndexedGraph(const Graph& g) {
+    end = idx_of(end_node());
+    init = idx_of(g.init);
+    for (const GNode& n : g.nodes) graph_nodes.push_back(idx_of(n));
+    edges.reserve(g.edges.size());
+    for (const GEdge& e : g.edges) {
+      Edge ie;
+      ie.from = idx_of(e.from);
+      ie.to = idx_of(e.to);
+      for (const auto& [v, n] : e.evs) ie.evs.emplace_back(v, idx_of(n));
+      for (const auto& [v, n] : e.ses) ie.ses.emplace_back(v, idx_of(n));
+      for (const auto& [x, y] : e.rel) ie.rel.emplace_back(idx_of(x), idx_of(y));
+      std::sort(ie.evs.begin(), ie.evs.end());
+      std::sort(ie.ses.begin(), ie.ses.end());
+      std::sort(ie.rel.begin(), ie.rel.end());
+      edges.push_back(std::move(ie));
+    }
+    out_edges.resize(node_idx.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      out_edges[static_cast<std::size_t>(edges[i].from)].push_back(i);
+    }
+  }
+};
+
 /// Can eventuality `ev` (as labeled on edge `start`) be satisfied?  Searches
 /// chains e_i, e_{i+1}, ... where the eventuality is transformed by each
-/// edge's node relation and discharged by membership in some se(e_j).
-bool eventuality_satisfiable(const Graph& g,
-                             const std::map<GNode, std::vector<std::size_t>>& out_edges,
-                             std::size_t start, const Eventuality& ev) {
-  std::set<std::pair<std::size_t, GNode>> visited;
-  std::vector<std::pair<std::size_t, Eventuality>> stack{{start, ev}};
+/// edge's node relation and discharged by membership in some se(e_j).  The
+/// primitive is constant along a chain, so the visited set is (edge, node).
+bool eventuality_satisfiable(const IndexedGraph& ig, const std::vector<char>& edge_alive,
+                             std::size_t start, const std::pair<int, int>& ev) {
+  const int prim = ev.first;
+  std::unordered_set<std::uint64_t> visited;
+  std::vector<std::pair<std::size_t, int>> stack{{start, ev.second}};
   while (!stack.empty()) {
     auto [eidx, cur] = stack.back();
     stack.pop_back();
-    const GEdge& e = g.edges[eidx];
-    if (!e.alive) continue;
-    if (!visited.insert({eidx, cur.second}).second) continue;
-    if (e.ses.count(cur)) return true;
+    if (!edge_alive[eidx]) continue;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(eidx) << 32) | static_cast<std::uint32_t>(cur);
+    if (!visited.insert(key).second) continue;
+    const IndexedGraph::Edge& e = ig.edges[eidx];
+    if (std::binary_search(e.ses.begin(), e.ses.end(), std::make_pair(prim, cur))) return true;
     // Transform through this edge's node relation and step to successors.
-    for (const auto& [x, y] : e.rel) {
-      if (x != cur.second) continue;
-      const Eventuality next{cur.first, y};
-      auto it = out_edges.find(e.to);
-      if (it == out_edges.end()) continue;
-      for (std::size_t succ : it->second) {
-        if (g.edges[succ].alive) stack.push_back({succ, next});
+    auto lo = std::lower_bound(e.rel.begin(), e.rel.end(), std::make_pair(cur, INT_MIN));
+    for (auto it = lo; it != e.rel.end() && it->first == cur; ++it) {
+      for (std::size_t succ : ig.out_edges[static_cast<std::size_t>(e.to)]) {
+        if (edge_alive[succ]) stack.push_back({succ, it->second});
       }
     }
   }
@@ -53,65 +107,71 @@ DecisionStats iterate_graph(Graph& g) {
     g.edges.push_back(std::move(loop));
   }
 
-  std::map<GNode, std::vector<std::size_t>> out_edges;
-  for (std::size_t i = 0; i < g.edges.size(); ++i) out_edges[g.edges[i].from].push_back(i);
+  IndexedGraph ig(g);
+  std::vector<char> edge_alive(ig.edges.size(), 1);
+  std::vector<char> node_dead(ig.node_idx.size(), 0);
 
   // Immediately kill contradictory edges.
-  for (GEdge& e : g.edges) {
-    if (e.prop.contradictory) e.alive = false;
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    if (g.edges[i].prop.contradictory) edge_alive[i] = 0;
   }
 
-  std::set<GNode> dead_nodes;
   for (bool changed = true; changed;) {
     changed = false;
     ++stats.iterations;
-    for (std::size_t i = 0; i < g.edges.size(); ++i) {
-      GEdge& e = g.edges[i];
-      if (!e.alive) continue;
-      if (dead_nodes.count(e.from) || dead_nodes.count(e.to)) {
-        e.alive = false;
+    for (std::size_t i = 0; i < ig.edges.size(); ++i) {
+      if (!edge_alive[i]) continue;
+      const IndexedGraph::Edge& e = ig.edges[i];
+      if (node_dead[static_cast<std::size_t>(e.from)] ||
+          node_dead[static_cast<std::size_t>(e.to)]) {
+        edge_alive[i] = 0;
         changed = true;
         continue;
       }
-      for (const Eventuality& ev : e.evs) {
-        if (!eventuality_satisfiable(g, out_edges, i, ev)) {
-          e.alive = false;
+      for (const auto& ev : e.evs) {
+        if (!eventuality_satisfiable(ig, edge_alive, i, ev)) {
+          edge_alive[i] = 0;
           changed = true;
           break;
         }
       }
     }
     // Nodes with no alive outgoing edges die (END has its self-loop).
-    auto check_node = [&](const GNode& n) {
-      if (dead_nodes.count(n)) return;
-      auto it = out_edges.find(n);
-      if (it != out_edges.end()) {
-        for (std::size_t eidx : it->second) {
-          if (g.edges[eidx].alive) return;
+    for (int n : ig.graph_nodes) {
+      if (node_dead[static_cast<std::size_t>(n)]) continue;
+      bool has_out = false;
+      for (std::size_t eidx : ig.out_edges[static_cast<std::size_t>(n)]) {
+        if (edge_alive[eidx]) {
+          has_out = true;
+          break;
         }
       }
-      dead_nodes.insert(n);
-      changed = true;
-    };
-    for (const GNode& n : g.nodes) check_node(n);
+      if (!has_out) {
+        node_dead[static_cast<std::size_t>(n)] = 1;
+        changed = true;
+      }
+    }
   }
 
-  for (const GNode& n : g.nodes) {
-    if (!dead_nodes.count(n)) ++stats.alive_nodes;
+  // Write the verdict back onto the caller's graph (alive flags are part of
+  // the Graph interface) and collect the stats.
+  for (std::size_t i = 0; i < g.edges.size(); ++i) g.edges[i].alive = edge_alive[i] != 0;
+  for (int n : ig.graph_nodes) {
+    if (!node_dead[static_cast<std::size_t>(n)]) ++stats.alive_nodes;
   }
-  for (const GEdge& e : g.edges) {
-    if (e.alive) ++stats.alive_edges;
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    if (edge_alive[i]) ++stats.alive_edges;
   }
-  stats.satisfiable = !dead_nodes.count(g.init);
+  stats.satisfiable = !node_dead[static_cast<std::size_t>(ig.init)];
   return stats;
 }
 
-DecisionStats decide(const Expr& expr) {
+DecisionStats decide(ExprId expr) {
   GraphBuilder builder;
   Graph g = builder.build(expr);
   return iterate_graph(g);
 }
 
-bool lll_satisfiable(const Expr& expr) { return decide(expr).satisfiable; }
+bool lll_satisfiable(ExprId expr) { return decide(expr).satisfiable; }
 
 }  // namespace il::lll

@@ -13,7 +13,10 @@
 // The iteration repeatedly deletes: edges with contradictory propositional
 // parts, edges carrying an unsatisfiable eventuality, and nodes with no
 // remaining outgoing edges.  The formula is satisfiable iff the initial
-// node survives.
+// node survives.  Internally every basis-subset node (including the nodes
+// appearing inside eventualities and node relations) is mapped to a dense
+// integer index once, so the deletion loop and the eventuality chain search
+// are pure integer work.
 #pragma once
 
 #include <cstddef>
@@ -35,9 +38,9 @@ struct DecisionStats {
 DecisionStats iterate_graph(Graph& g);
 
 /// Builds the graph for `expr` and decides satisfiability.
-DecisionStats decide(const Expr& expr);
+DecisionStats decide(ExprId expr);
 
 /// Convenience: just the verdict.
-bool lll_satisfiable(const Expr& expr);
+bool lll_satisfiable(ExprId expr);
 
 }  // namespace il::lll

@@ -4,7 +4,7 @@
 
 namespace il::lll {
 
-ExprPtr encode_ltl(const ltl::Arena& arena, ltl::Id formula) {
+ExprId encode_ltl(const ltl::Arena& arena, ltl::Id formula) {
   const ltl::Node& n = arena.node(formula);
   switch (n.kind) {
     case ltl::Kind::True:
@@ -12,10 +12,11 @@ ExprPtr encode_ltl(const ltl::Arena& arena, ltl::Id formula) {
     case ltl::Kind::False:
       return ff();
     case ltl::Kind::Atom:
-      // p -> p T*  (p now, anything afterwards).
-      return concat(lit(arena.atom_name(n.atom)), tstar());
+      // p -> p T*  (p now, anything afterwards).  The atom's interned
+      // symbol id is reused verbatim as the LLL variable.
+      return concat(lit_sym(n.sym), tstar());
     case ltl::Kind::NegAtom:
-      return concat(lit(arena.atom_name(n.atom), /*negated=*/true), tstar());
+      return concat(lit_sym(n.sym, /*negated=*/true), tstar());
     case ltl::Kind::And:
       return conj(encode_ltl(arena, n.a), encode_ltl(arena, n.b));
     case ltl::Kind::Or:
@@ -37,27 +38,26 @@ ExprPtr encode_ltl(const ltl::Arena& arena, ltl::Id formula) {
   IL_CHECK(false, "unreachable");
 }
 
-ExprPtr starts_no_later(ExprPtr a, ExprPtr b, bool hide_markers, const std::string& marker_a,
-                        const std::string& marker_b) {
+ExprId starts_no_later(ExprId a, ExprId b, bool hide_markers, std::string_view marker_a,
+                       std::string_view marker_b) {
+  const std::uint32_t ma = SymbolTable::global().intern(marker_a);
+  const std::uint32_t mb = SymbolTable::global().intern(marker_b);
   // (Fx)(T* x a): after an arbitrary idle prefix, marker x fires exactly at
   // the first instant of `a` (the concatenations overlap one state, so x
   // and a's first conjunction coincide); Fx forces x false everywhere else
   // within this conjunct's span.
-  ExprPtr mark_a =
-      force_false(marker_a, concat(tstar(), concat(lit(marker_a), std::move(a))));
-  ExprPtr mark_b =
-      force_false(marker_b, concat(tstar(), concat(lit(marker_b), std::move(b))));
+  ExprId mark_a = force_false_sym(ma, concat(tstar(), concat(lit_sym(ma), a)));
+  ExprId mark_b = force_false_sym(mb, concat(tstar(), concat(lit_sym(mb), b)));
   // (Fx)(Fy)(T* x T* y): the first x comes no later than the first y (the
   // middle T* has length >= 1 and overlaps one state on each side, so
   // simultaneous firing is permitted).
-  ExprPtr order = force_false(
-      marker_a,
-      force_false(marker_b,
-                  concat(tstar(), concat(lit(marker_a),
-                                         concat(tstar(), concat(lit(marker_b), tstar()))))));
-  ExprPtr whole = conj(std::move(mark_a), conj(std::move(mark_b), std::move(order)));
+  ExprId order = force_false_sym(
+      ma, force_false_sym(
+              mb, concat(tstar(), concat(lit_sym(ma),
+                                         concat(tstar(), concat(lit_sym(mb), tstar()))))));
+  ExprId whole = conj(mark_a, conj(mark_b, order));
   if (!hide_markers) return whole;
-  return hide(marker_a, hide(marker_b, std::move(whole)));
+  return hide_sym(ma, hide_sym(mb, whole));
 }
 
 }  // namespace il::lll

@@ -13,6 +13,11 @@
 //
 // (negation must be pushed to the atoms first — callers pass NNF).
 //
+// The LTL arena and the LLL expression table share the global SymbolTable,
+// so an atom crosses the translation as the same integer id it carried in
+// the tableau — the two decision procedures literally talk about the same
+// interned variable.
+//
 // Section 3 gives the synchronization-constraint example verbatim —
 // "a begins no later than b begins":
 //
@@ -25,6 +30,8 @@
 // does.
 #pragma once
 
+#include <string_view>
+
 #include "lll/ast.h"
 #include "ltl/formula.h"
 
@@ -32,15 +39,15 @@ namespace il::lll {
 
 /// Encodes an NNF LTL formula (Appendix C Section 7).  Throws if the
 /// formula contains Not/Implies (call Arena::nnf first).
-ExprPtr encode_ltl(const ltl::Arena& arena, ltl::Id formula);
+ExprId encode_ltl(const ltl::Arena& arena, ltl::Id formula);
 
 /// Section 3's synchronization constraint: computations of `a` and `b`
 /// (each preceded by an arbitrary idle prefix) such that `a` begins no
 /// later than `b` begins.  `marker_a`/`marker_b` are the begin-marker event
 /// names (must not occur free in a or b); they are hidden with (Ex)(Ey)
 /// when `hide_markers` is set.
-ExprPtr starts_no_later(ExprPtr a, ExprPtr b, bool hide_markers = true,
-                        const std::string& marker_a = "__bx",
-                        const std::string& marker_b = "__by");
+ExprId starts_no_later(ExprId a, ExprId b, bool hide_markers = true,
+                       std::string_view marker_a = "__bx",
+                       std::string_view marker_b = "__by");
 
 }  // namespace il::lll

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <functional>
+#include <map>
 
 #include "util/assert.h"
 #include "util/strings.h"
@@ -34,45 +35,46 @@ std::string Graph::to_string() const {
   return out;
 }
 
-Graph GraphBuilder::build(const Expr& expr) {
-  switch (expr.kind()) {
-    case Expr::Kind::Lit: {
+Graph GraphBuilder::build(ExprId id) {
+  const ExprNode& e = expr(id);
+  switch (e.kind) {
+    case Kind::Lit: {
       Conj c;
-      c.lits[expr.var()] = !expr.negated();
+      c.assign(e.var, !e.negated);
       return build_leaf(c);
     }
-    case Expr::Kind::T:
+    case Kind::T:
       return build_leaf(Conj{});
-    case Expr::Kind::F: {
+    case Kind::F: {
       Conj c;
       c.contradictory = true;
       return build_leaf(c);
     }
-    case Expr::Kind::TStar:
+    case Kind::TStar:
       return build_tstar();
-    case Expr::Kind::Or:
-      return build_or(build(*expr.a()), build(*expr.b()));
-    case Expr::Kind::Semi:
-      return build_semi(build(*expr.a()), build(*expr.b()));
-    case Expr::Kind::Concat:
-      return build_concat(build(*expr.a()), build(*expr.b()));
-    case Expr::Kind::And:
-      return build_and(build(*expr.a()), build(*expr.b()), /*same_length=*/false);
-    case Expr::Kind::As:
-      return build_and(build(*expr.a()), build(*expr.b()), /*same_length=*/true);
-    case Expr::Kind::Exists:
-    case Expr::Kind::ForceF:
-    case Expr::Kind::ForceT:
-      return build_scoped(expr.kind(), expr.var(), build(*expr.a()));
-    case Expr::Kind::Infloop:
-      return build_iter(IterKind::Infloop, build(*expr.a()), nullptr);
-    case Expr::Kind::IterStar: {
-      Graph b = build(*expr.b());
-      return build_iter(IterKind::Star, build(*expr.a()), &b);
+    case Kind::Or:
+      return build_or(build(e.a), build(e.b));
+    case Kind::Semi:
+      return build_semi(build(e.a), build(e.b));
+    case Kind::Concat:
+      return build_concat(build(e.a), build(e.b));
+    case Kind::And:
+      return build_and(build(e.a), build(e.b), /*same_length=*/false);
+    case Kind::As:
+      return build_and(build(e.a), build(e.b), /*same_length=*/true);
+    case Kind::Exists:
+    case Kind::ForceF:
+    case Kind::ForceT:
+      return build_scoped(e.kind, e.var, build(e.a));
+    case Kind::Infloop:
+      return build_iter(IterKind::Infloop, build(e.a), nullptr);
+    case Kind::IterStar: {
+      Graph b = build(e.b);
+      return build_iter(IterKind::Star, build(e.a), &b);
     }
-    case Expr::Kind::IterParen: {
-      Graph b = build(*expr.b());
-      return build_iter(IterKind::Paren, build(*expr.a()), &b);
+    case Kind::IterParen: {
+      Graph b = build(e.b);
+      return build_iter(IterKind::Paren, build(e.a), &b);
     }
   }
   IL_CHECK(false, "unreachable");
@@ -161,6 +163,14 @@ Graph GraphBuilder::build_concat(Graph a, Graph b) {
   g.nodes = a.nodes;
   g.nodes.insert(b.nodes.begin(), b.nodes.end());
   g.has_end = b.has_end;
+  // Budget the edges actually emitted: only a's END-edges multiply with b's
+  // initial edges; everything else passes through once.
+  std::size_t a_end_edges = 0, b_init_edges = 0;
+  for (const GEdge& e : a.edges) a_end_edges += is_end(e.to) ? 1 : 0;
+  for (const GEdge& e : b.edges) b_init_edges += e.from == b.init ? 1 : 0;
+  IL_REQUIRE((a.edges.size() - a_end_edges) + a_end_edges * b_init_edges + b.edges.size() <=
+                 edge_budget_,
+             "serial composition exceeded the edge budget");
   for (GEdge& e : a.edges) {
     if (!is_end(e.to)) {
       g.edges.push_back(std::move(e));
@@ -199,6 +209,11 @@ Graph GraphBuilder::build_and(Graph a, Graph b, bool same_length) {
   }
   g.has_end = a.has_end && b.has_end;
 
+  // Product edges, plus (for /\) the continuation copies of both operands.
+  const std::size_t continuation = same_length ? 0 : a.edges.size() + b.edges.size();
+  IL_REQUIRE(a.edges.size() * b.edges.size() + continuation <= edge_budget_,
+             "concurrent composition exceeded the edge budget");
+
   auto product_edge = [&](const GEdge& ea, const GEdge& eb) {
     GEdge e;
     e.from = set_union(ea.from, eb.from);
@@ -235,17 +250,17 @@ Graph GraphBuilder::build_and(Graph a, Graph b, bool same_length) {
   return g;
 }
 
-Graph GraphBuilder::build_scoped(Expr::Kind kind, const std::string& var, Graph a) {
+Graph GraphBuilder::build_scoped(Kind kind, std::uint32_t var, Graph a) {
   for (GEdge& e : a.edges) {
     switch (kind) {
-      case Expr::Kind::Exists:
-        e.prop.lits.erase(var);
+      case Kind::Exists:
+        e.prop.erase(var);
         break;
-      case Expr::Kind::ForceF:
-        e.prop.lits.try_emplace(var, false);
+      case Kind::ForceF:
+        e.prop.default_to(var, false);
         break;
-      case Expr::Kind::ForceT:
-        e.prop.lits.try_emplace(var, true);
+      case Kind::ForceT:
+        e.prop.default_to(var, true);
         break;
       default:
         IL_CHECK(false, "not a scoped kind");
@@ -319,19 +334,40 @@ Graph GraphBuilder::build_iter(IterKind kind, Graph a, const Graph* b) {
     empty.nodes.insert(empty.init);
     gp = build_or(std::move(a), std::move(empty));
   }
-  const GNode m0 = gp.init;
 
-  // Index outgoing edges per node.
-  std::map<GNode, std::vector<const GEdge*>> out_edges;
-  for (const GEdge& e : gp.edges) out_edges[e.from].push_back(&e);
+  // Index G' nodes densely so marker sets are sorted vectors of small ints.
+  std::map<GNode, int> node_idx;
+  std::vector<const GNode*> idx_node;
+  auto idx_of = [&](const GNode& n) {
+    auto [it, inserted] = node_idx.try_emplace(n, static_cast<int>(idx_node.size()));
+    if (inserted) idx_node.push_back(&it->first);
+    return it->second;
+  };
+
+  const GNode m0 = gp.init;
+  const int m0_idx = idx_of(m0);
+
+  // Outgoing edges per node index, with the target pre-indexed (-1 == END).
+  struct ERef {
+    const GEdge* e;
+    int to;
+  };
+  std::vector<std::vector<ERef>> out_edges;
+  for (const GEdge& e : gp.edges) {
+    const int from = idx_of(e.from);
+    if (from >= static_cast<int>(out_edges.size())) out_edges.resize(from + 1);
+    out_edges[from].push_back({&e, is_end(e.to) ? -1 : idx_of(e.to)});
+  }
+  out_edges.resize(idx_node.size());
 
   const int v = (kind == IterKind::Star) ? fresh_ev() : -1;
 
-  // Marker sets: sorted vectors of G' nodes.  Reachable subset construction.
-  using Marks = std::vector<GNode>;
-  auto union_basis = [](const Marks& marks) {
+  // Marker sets: sorted vectors of G' node indices.  Reachable subset
+  // construction.
+  using Marks = std::vector<int>;
+  auto union_basis = [&](const Marks& marks) {
     GNode u;
-    for (const GNode& n : marks) u = set_union(u, n);
+    for (int n : marks) u = set_union(u, *idx_node[static_cast<std::size_t>(n)]);
     return u;
   };
 
@@ -339,33 +375,33 @@ Graph GraphBuilder::build_iter(IterKind kind, Graph a, const Graph* b) {
   out.init = m0;  // the singleton marker set {m0} unions to m0 itself
   out.nodes.insert(out.init);
 
-  std::map<Marks, bool> visited;
+  std::set<Marks> visited;
   std::deque<Marks> work;
-  const Marks start{m0};
+  const Marks start{m0_idx};
   work.push_back(start);
-  visited[start] = true;
+  visited.insert(start);
 
   // Enumerates every way to pick one edge per marked node subject to a
   // filter, producing composite edges.
   auto for_each_choice = [&](const Marks& marks,
-                             const std::function<bool(const GEdge&)>& allowed,
-                             const std::function<void(const std::vector<const GEdge*>&)>& emit) {
-    std::vector<std::vector<const GEdge*>> options;
-    for (const GNode& n : marks) {
-      std::vector<const GEdge*> opts;
-      for (const GEdge* e : out_edges[n]) {
-        if (allowed(*e)) opts.push_back(e);
+                             const std::function<bool(const ERef&)>& allowed,
+                             const std::function<void(const std::vector<const ERef*>&)>& emit) {
+    std::vector<std::vector<const ERef*>> options;
+    for (int n : marks) {
+      std::vector<const ERef*> opts;
+      for (const ERef& e : out_edges[static_cast<std::size_t>(n)]) {
+        if (allowed(e)) opts.push_back(&e);
       }
       if (opts.empty()) return;  // some marker cannot move
       options.push_back(std::move(opts));
     }
-    std::vector<const GEdge*> choice(options.size());
+    std::vector<const ERef*> choice(options.size());
     std::function<void(std::size_t)> rec = [&](std::size_t i) {
       if (i == options.size()) {
         emit(choice);
         return;
       }
-      for (const GEdge* e : options[i]) {
+      for (const ERef* e : options[i]) {
         choice[i] = e;
         rec(i + 1);
       }
@@ -373,31 +409,36 @@ Graph GraphBuilder::build_iter(IterKind kind, Graph a, const Graph* b) {
     rec(0);
   };
 
-  auto compose = [&](const std::vector<const GEdge*>& parts, bool spawn,
+  auto compose = [&](const std::vector<const ERef*>& parts, bool spawn,
                      bool b_transition) -> std::pair<GEdge, Marks> {
     GEdge e;
     Marks to_marks;
     bool all_end = true;
-    for (const GEdge* p : parts) {
-      e.prop.merge(p->prop);
-      e.evs.insert(p->evs.begin(), p->evs.end());
-      e.ses.insert(p->ses.begin(), p->ses.end());
-      e.rel.insert(p->rel.begin(), p->rel.end());
-      if (!is_end(p->to)) {
+    for (const ERef* p : parts) {
+      e.prop.merge(p->e->prop);
+      e.evs.insert(p->e->evs.begin(), p->e->evs.end());
+      e.ses.insert(p->e->ses.begin(), p->e->ses.end());
+      e.rel.insert(p->e->rel.begin(), p->e->rel.end());
+      if (p->to >= 0) {
         all_end = false;
         to_marks.push_back(p->to);
       }
     }
     if (spawn) {
       // The init marker reproduces: implicit self edge <m0, m0, T, θ_{m0,m0}>.
-      to_marks.push_back(m0);
+      to_marks.push_back(m0_idx);
       e.rel.insert({m0, m0});
       all_end = false;
     }
     if (v >= 0) {
       if (b_transition) {
         e.ses.insert({v, m0});
-      } else {
+      } else if (spawn) {
+        // Only the pre-b a-transitions (where the initial marker is still
+        // reproducing) assert the eventuality <v, m0>.  Post-b edges must
+        // not: the obligation was discharged by the b-transition, and
+        // re-asserting it there would delete every computation whose b part
+        // is infinite (e.g. iter*(T*, infloop(p)), the encoding of <>[]p).
         e.evs.insert({v, m0});
       }
     }
@@ -411,10 +452,10 @@ Graph GraphBuilder::build_iter(IterKind kind, Graph a, const Graph* b) {
     const Marks marks = work.front();
     work.pop_front();
     const GNode from_node = union_basis(marks);
-    const bool has_init = std::find(marks.begin(), marks.end(), m0) != marks.end();
+    const bool has_init = std::binary_search(marks.begin(), marks.end(), m0_idx);
 
     auto emit_edge = [&](GEdge e, const Marks& to_marks) {
-      IL_REQUIRE(out.edges.size() < 500000, "iterator subset construction exploded");
+      IL_REQUIRE(out.edges.size() < edge_budget_, "iterator subset construction exploded");
       e.from = from_node;
       if (to_marks.empty()) {
         e.to = end_node();
@@ -422,10 +463,7 @@ Graph GraphBuilder::build_iter(IterKind kind, Graph a, const Graph* b) {
       } else {
         e.to = union_basis(to_marks);
         out.nodes.insert(e.to);
-        if (!visited.count(to_marks)) {
-          visited[to_marks] = true;
-          work.push_back(to_marks);
-        }
+        if (visited.insert(to_marks).second) work.push_back(to_marks);
       }
       out.edges.push_back(std::move(e));
     };
@@ -439,8 +477,8 @@ Graph GraphBuilder::build_iter(IterKind kind, Graph a, const Graph* b) {
       // a-transitions: every marker moves along a non-b edge; init also
       // spawns a fresh copy of `a` while keeping its own marker.
       for_each_choice(
-          marks, [&](const GEdge& e) { return !e.b_side; },
-          [&](const std::vector<const GEdge*>& parts) {
+          marks, [&](const ERef& e) { return !e.e->b_side; },
+          [&](const std::vector<const ERef*>& parts) {
             auto [e, to_marks] = compose(parts, /*spawn=*/true, /*b_transition=*/false);
             emit_edge(std::move(e), to_marks);
           });
@@ -449,11 +487,11 @@ Graph GraphBuilder::build_iter(IterKind kind, Graph a, const Graph* b) {
         // the other markers move along non-b edges.
         for_each_choice(
             marks,
-            [&](const GEdge& e) {
-              const bool from_init = e.from == m0;
-              return from_init ? e.b_side : !e.b_side;
+            [&](const ERef& e) {
+              const bool from_init = e.e->from == m0;
+              return from_init ? e.e->b_side : !e.e->b_side;
             },
-            [&](const std::vector<const GEdge*>& parts) {
+            [&](const std::vector<const ERef*>& parts) {
               auto [e, to_marks] = compose(parts, /*spawn=*/false, /*b_transition=*/true);
               emit_edge(std::move(e), to_marks);
             });
@@ -461,8 +499,8 @@ Graph GraphBuilder::build_iter(IterKind kind, Graph a, const Graph* b) {
     } else {
       // Post-b transitions: every remaining marker moves.
       for_each_choice(
-          marks, [](const GEdge&) { return true; },
-          [&](const std::vector<const GEdge*>& parts) {
+          marks, [](const ERef&) { return true; },
+          [&](const std::vector<const ERef*>& parts) {
             auto [e, to_marks] = compose(parts, /*spawn=*/false, /*b_transition=*/false);
             emit_edge(std::move(e), to_marks);
           });

@@ -6,10 +6,10 @@
 //   * Nodes are subsets of a node basis (fresh integers); the END node is
 //     the empty set.  Using basis subsets lets concurrent composition take
 //     unions of nodes ("markers" on several component states at once).
-//   * Edges carry a propositional part (one conjunction of literals), a set
-//     of eventualities and satisfied eventualities — pairs <v, n> of an
-//     eventuality primitive and a node — and a node relation R used to
-//     transform eventualities along paths.
+//   * Edges carry a propositional part (one conjunction of literals over
+//     interned variable ids), a set of eventualities and satisfied
+//     eventualities — pairs <v, n> of an eventuality primitive and a node —
+//     and a node relation R used to transform eventualities along paths.
 //   * The iteration connectives (infloop, iter*, iter(*)) use the marker
 //     construction: a marker on the initial node reproduces itself while
 //     spawning one copy of `a` per instant (a-transitions) until, for the
@@ -19,11 +19,13 @@
 // The subset construction for the iterators is performed over *reachable*
 // marker sets only (the paper's definition ranges over all subsets; the
 // reachable fragment decides the same language and keeps the benchmarkable
-// blowup honest).  Before iterating, `a` is node-disjoined per the paper.
+// blowup honest), with marker sets held as sorted vectors of dense node
+// indices — the inner loops are integer merges, not string or tree
+// comparisons.  Before iterating, `a` is node-disjoined per the paper.
 #pragma once
 
 #include <cstddef>
-#include <map>
+#include <cstdint>
 #include <set>
 #include <string>
 #include <vector>
@@ -68,9 +70,21 @@ struct Graph {
 /// fresh-id counters shared across one compilation.
 class GraphBuilder {
  public:
-  Graph build(const Expr& expr);
+  /// Hard cap on edges any single construction step may produce.  The
+  /// nonelementary blowup (Section 4.5) is real: without a budget, one
+  /// /\-product of two iterator graphs can allocate tens of millions of
+  /// edges before anything observes the size.  Exceeding the budget throws
+  /// std::invalid_argument, which batch deciders surface per job.  Callers
+  /// probing feasibility (e.g. corpus filters) can pass a tighter budget.
+  static constexpr std::size_t kDefaultEdgeBudget = 500000;
+
+  explicit GraphBuilder(std::size_t edge_budget = kDefaultEdgeBudget)
+      : edge_budget_(edge_budget) {}
+
+  Graph build(ExprId expr);
 
   std::size_t basis_used() const { return static_cast<std::size_t>(next_basis_); }
+  std::size_t edge_budget() const { return edge_budget_; }
 
  private:
   int fresh_basis() { return next_basis_++; }
@@ -82,7 +96,7 @@ class GraphBuilder {
   Graph build_semi(Graph a, Graph b);
   Graph build_concat(Graph a, Graph b);
   Graph build_and(Graph a, Graph b, bool same_length);
-  Graph build_scoped(Expr::Kind kind, const std::string& var, Graph a);
+  Graph build_scoped(Kind kind, std::uint32_t var, Graph a);
   /// infloop / iter* / iter(*) via the marker construction.
   enum class IterKind { Infloop, Star, Paren };
   Graph build_iter(IterKind kind, Graph a, const Graph* b);
@@ -92,6 +106,7 @@ class GraphBuilder {
 
   int next_basis_ = 0;
   int next_ev_ = 0;
+  std::size_t edge_budget_ = kDefaultEdgeBudget;
 };
 
 }  // namespace il::lll

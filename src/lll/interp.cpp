@@ -10,17 +10,74 @@ namespace il::lll {
 
 void Conj::merge(const Conj& other) {
   if (other.contradictory) contradictory = true;
-  for (const auto& [v, val] : other.lits) {
-    auto [it, inserted] = lits.try_emplace(v, val);
-    if (!inserted && it->second != val) contradictory = true;
+  if (other.lits.empty()) return;
+  if (lits.empty()) {
+    lits = other.lits;
+    return;
   }
+  std::vector<std::pair<std::uint32_t, bool>> out;
+  out.reserve(lits.size() + other.lits.size());
+  auto a = lits.begin();
+  auto b = other.lits.begin();
+  while (a != lits.end() && b != other.lits.end()) {
+    if (a->first < b->first) {
+      out.push_back(*a++);
+    } else if (b->first < a->first) {
+      out.push_back(*b++);
+    } else {
+      if (a->second != b->second) contradictory = true;
+      out.push_back(*a);
+      ++a;
+      ++b;
+    }
+  }
+  out.insert(out.end(), a, lits.end());
+  out.insert(out.end(), b, other.lits.end());
+  lits = std::move(out);
+}
+
+namespace {
+
+auto lower_bound_var(std::vector<std::pair<std::uint32_t, bool>>& lits, std::uint32_t var) {
+  return std::lower_bound(lits.begin(), lits.end(), var,
+                          [](const auto& l, std::uint32_t v) { return l.first < v; });
+}
+
+}  // namespace
+
+void Conj::assign(std::uint32_t var, bool value) {
+  auto it = lower_bound_var(lits, var);
+  if (it != lits.end() && it->first == var) {
+    it->second = value;
+  } else {
+    lits.insert(it, {var, value});
+  }
+}
+
+void Conj::default_to(std::uint32_t var, bool value) {
+  auto it = lower_bound_var(lits, var);
+  if (it == lits.end() || it->first != var) lits.insert(it, {var, value});
+}
+
+void Conj::erase(std::uint32_t var) {
+  auto it = lower_bound_var(lits, var);
+  if (it != lits.end() && it->first == var) lits.erase(it);
+}
+
+const bool* Conj::find(std::uint32_t var) const {
+  auto it = std::lower_bound(lits.begin(), lits.end(), var,
+                             [](const auto& l, std::uint32_t v) { return l.first < v; });
+  if (it == lits.end() || it->first != var) return nullptr;
+  return &it->second;
 }
 
 std::string Conj::to_string() const {
   if (contradictory) return "F";
   if (lits.empty()) return "T";
   std::vector<std::string> parts;
-  for (const auto& [v, val] : lits) parts.push_back((val ? "" : "!") + v);
+  for (const auto& [v, val] : lits) {
+    parts.push_back((val ? "" : "!") + SymbolTable::global().name(v));
+  }
   return join(parts, "&");
 }
 
@@ -64,7 +121,7 @@ PartialInterp interp_concat(const PartialInterp& a, const PartialInterp& b) {
   return out;
 }
 
-Set enumerate_rec(const Expr& e, std::size_t max_len, std::size_t cap);
+Set enumerate_rec(ExprId e, std::size_t max_len, std::size_t cap);
 
 /// The T^k;a family used by the iterators: a shifted right by k instants.
 PartialInterp shift(const PartialInterp& a, std::size_t k) {
@@ -73,11 +130,11 @@ PartialInterp shift(const PartialInterp& a, std::size_t k) {
   return out;
 }
 
-Set enumerate_iter_star(const Expr& e, std::size_t max_len, std::size_t cap) {
+Set enumerate_iter_star(const ExprNode& n, std::size_t max_len, std::size_t cap) {
   // iter*(a,b) = \/_{j>=0} [ a as (T;a) as ... as (T^j;a) as (T^{j+1};b) ],
   // all components forced to the same total length.
-  const Set as = enumerate_rec(*e.a(), max_len, cap);
-  const Set bs = enumerate_rec(*e.b(), max_len, cap);
+  const Set as = enumerate_rec(n.a, max_len, cap);
+  const Set bs = enumerate_rec(n.b, max_len, cap);
   Set out;
   // b may begin immediately (the graph's initial marker may take a
   // b-transition as its first move): no copies of a at all.
@@ -132,52 +189,56 @@ Set enumerate_iter_star(const Expr& e, std::size_t max_len, std::size_t cap) {
   return out;
 }
 
-Set enumerate_rec(const Expr& e, std::size_t max_len, std::size_t cap) {
+Set enumerate_rec(ExprId e, std::size_t max_len, std::size_t cap) {
+  const ExprNode& n = expr(e);
   Set out;
-  switch (e.kind()) {
-    case Expr::Kind::Lit: {
+  // Metadata pruning: a subexpression all of whose constraints are infinite
+  // (infloop, and anything forced through one) contributes nothing finite.
+  if (!n.has_finite) return out;
+  switch (n.kind) {
+    case Kind::Lit: {
       Conj c;
-      c.lits[e.var()] = !e.negated();
+      c.assign(n.var, !n.negated);
       out.insert({std::move(c)});
       return out;
     }
-    case Expr::Kind::T:
+    case Kind::T:
       out.insert({Conj{}});
       return out;
-    case Expr::Kind::F: {
+    case Kind::F: {
       Conj c;
       c.contradictory = true;
       out.insert({std::move(c)});
       return out;
     }
-    case Expr::Kind::TStar: {
+    case Kind::TStar: {
       for (std::size_t k = 1; k <= max_len; ++k) out.insert(PartialInterp(k));
       return out;
     }
-    case Expr::Kind::Or: {
-      out = enumerate_rec(*e.a(), max_len, cap);
-      for (auto& i : enumerate_rec(*e.b(), max_len, cap)) out.insert(i);
+    case Kind::Or: {
+      out = enumerate_rec(n.a, max_len, cap);
+      for (auto& i : enumerate_rec(n.b, max_len, cap)) out.insert(i);
       check_cap(out, cap);
       return out;
     }
-    case Expr::Kind::And:
-    case Expr::Kind::As: {
-      const Set as = enumerate_rec(*e.a(), max_len, cap);
-      const Set bs = enumerate_rec(*e.b(), max_len, cap);
+    case Kind::And:
+    case Kind::As: {
+      const Set as = enumerate_rec(n.a, max_len, cap);
+      const Set bs = enumerate_rec(n.b, max_len, cap);
       for (const auto& ia : as) {
         for (const auto& ib : bs) {
-          if (e.kind() == Expr::Kind::As && ia.size() != ib.size()) continue;
+          if (n.kind == Kind::As && ia.size() != ib.size()) continue;
           out.insert(interp_and(ia, ib));
           check_cap(out, cap);
         }
       }
       return out;
     }
-    case Expr::Kind::Concat:
-    case Expr::Kind::Semi: {
-      const bool overlap = e.kind() == Expr::Kind::Concat;
-      const Set as = enumerate_rec(*e.a(), max_len, cap);
-      const Set bs = enumerate_rec(*e.b(), max_len, cap);
+    case Kind::Concat:
+    case Kind::Semi: {
+      const bool overlap = n.kind == Kind::Concat;
+      const Set as = enumerate_rec(n.a, max_len, cap);
+      const Set bs = enumerate_rec(n.b, max_len, cap);
       for (const auto& ia : as) {
         for (const auto& ib : bs) {
           const std::size_t len = ia.size() + ib.size() - (overlap ? 1 : 0);
@@ -194,30 +255,30 @@ Set enumerate_rec(const Expr& e, std::size_t max_len, std::size_t cap) {
       }
       return out;
     }
-    case Expr::Kind::Exists: {
-      for (auto interp : enumerate_rec(*e.a(), max_len, cap)) {
-        for (Conj& c : interp) c.lits.erase(e.var());
+    case Kind::Exists: {
+      for (auto interp : enumerate_rec(n.a, max_len, cap)) {
+        for (Conj& c : interp) c.erase(n.var);
         out.insert(std::move(interp));
       }
       return out;
     }
-    case Expr::Kind::ForceF:
-    case Expr::Kind::ForceT: {
-      const bool value = e.kind() == Expr::Kind::ForceT;
-      for (auto interp : enumerate_rec(*e.a(), max_len, cap)) {
-        for (Conj& c : interp) c.lits.try_emplace(e.var(), value);
+    case Kind::ForceF:
+    case Kind::ForceT: {
+      const bool value = n.kind == Kind::ForceT;
+      for (auto interp : enumerate_rec(n.a, max_len, cap)) {
+        for (Conj& c : interp) c.default_to(n.var, value);
         out.insert(std::move(interp));
       }
       return out;
     }
-    case Expr::Kind::Infloop:
-      // All elements of psi(infloop(a)) are infinite; none enumerated.
+    case Kind::Infloop:
+      // Unreachable: has_finite == false, handled by the prune above.
       return out;
-    case Expr::Kind::IterStar:
-      return enumerate_iter_star(e, max_len, cap);
-    case Expr::Kind::IterParen: {
+    case Kind::IterStar:
+      return enumerate_iter_star(n, max_len, cap);
+    case Kind::IterParen: {
       // infloop(a) \/ iter*(a,b): only the iter* part has finite elements.
-      return enumerate_iter_star(e, max_len, cap);
+      return enumerate_iter_star(n, max_len, cap);
     }
   }
   IL_CHECK(false, "unreachable");
@@ -225,12 +286,12 @@ Set enumerate_rec(const Expr& e, std::size_t max_len, std::size_t cap) {
 
 }  // namespace
 
-std::vector<PartialInterp> enumerate(const Expr& expr, std::size_t max_len, std::size_t cap) {
+std::vector<PartialInterp> enumerate(ExprId expr, std::size_t max_len, std::size_t cap) {
   Set s = enumerate_rec(expr, max_len, cap);
   return {s.begin(), s.end()};
 }
 
-bool satisfiable_bounded(const Expr& expr, std::size_t max_len) {
+bool satisfiable_bounded(ExprId expr, std::size_t max_len) {
   for (const auto& interp : enumerate(expr, max_len)) {
     bool ok = true;
     for (const Conj& c : interp) {

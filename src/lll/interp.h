@@ -9,14 +9,15 @@
 // psi(a) is infinite in general (T*, the iterators); enumerate() produces
 // exactly the finite elements of psi(a) of length <= max_len, which is a
 // complete ground truth for expressions whose satisfiability has a finite
-// witness.  infloop contributes no finite elements (all its constraints are
-// infinite), so satisfiability involving a top-level infloop must be decided
-// by the graph procedure instead; enumerate() is the cross-check for the
-// rest.
+// witness.  Subexpressions whose psi has no finite elements at all (e.g.
+// infloop, whose constraints are all infinite) are pruned via the
+// table-precomputed has_finite flag; satisfiability involving a top-level
+// infloop must be decided by the graph procedure instead, and enumerate()
+// is the cross-check for the rest.
 #pragma once
 
 #include <cstddef>
-#include <map>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,13 +25,30 @@
 
 namespace il::lll {
 
-/// One conjunction of literals; `contradictory` marks x /\ !x (or F).
+/// One conjunction of literals over interned variable ids; `contradictory`
+/// marks x /\ !x (or F).  Literals are a sorted-unique (symbol id, value)
+/// vector, so merging is a linear integer merge and ordering/equality need
+/// no normalization — this is the innermost object of the graph
+/// construction's edge composition.
 struct Conj {
-  std::map<std::string, bool> lits;
+  std::vector<std::pair<std::uint32_t, bool>> lits;  ///< sorted by symbol id
   bool contradictory = false;
 
   /// Conjoins `other` into this, setting `contradictory` on clash.
   void merge(const Conj& other);
+
+  /// Sets var := value, overwriting any previous literal on var.
+  void assign(std::uint32_t var, bool value);
+
+  /// Sets var := value unless var already has a literal (try_emplace).
+  void default_to(std::uint32_t var, bool value);
+
+  /// Removes any literal on var.
+  void erase(std::uint32_t var);
+
+  /// The literal's value, or nullptr when var is unconstrained.
+  const bool* find(std::uint32_t var) const;
+  bool has(std::uint32_t var) const { return find(var) != nullptr; }
 
   bool operator<(const Conj& o) const {
     return std::tie(contradictory, lits) < std::tie(o.contradictory, o.lits);
@@ -46,11 +64,11 @@ using PartialInterp = std::vector<Conj>;
 
 /// All finite elements of psi(expr) with length in [1, max_len].
 /// Throws if the element count exceeds `cap` (guards exponential cases).
-std::vector<PartialInterp> enumerate(const Expr& expr, std::size_t max_len,
+std::vector<PartialInterp> enumerate(ExprId expr, std::size_t max_len,
                                      std::size_t cap = 200000);
 
 /// True iff some enumerated element is contradiction-free.
-bool satisfiable_bounded(const Expr& expr, std::size_t max_len);
+bool satisfiable_bounded(ExprId expr, std::size_t max_len);
 
 std::string to_string(const PartialInterp& interp);
 

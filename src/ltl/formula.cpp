@@ -3,42 +3,72 @@
 #include <cctype>
 
 #include "util/assert.h"
+#include "util/hash.h"
 
 namespace il::ltl {
 
+std::size_t Arena::UniqueKeyHash::operator()(const UniqueKey& k) const {
+  std::size_t seed = k.kind;
+  hash_combine(seed, (static_cast<std::size_t>(static_cast<std::uint32_t>(k.a)) << 32) |
+                         static_cast<std::uint32_t>(k.b));
+  hash_combine(seed, k.sym);
+  return seed;
+}
+
 Arena::Arena() {
-  nodes_.push_back({Kind::True, -1, -1, -1});
-  nodes_.push_back({Kind::False, -1, -1, -1});
+  // Typical decision workloads intern tens of nodes; pre-size the node
+  // vector so the small-formula fast path never reallocates (the unique
+  // map's buckets grow on demand — pre-sizing those costs more per-arena
+  // than the rehashes it saves on small formulas).
+  nodes_.reserve(64);
+  nodes_.push_back({Kind::True, -1, -1, SymbolTable::kNoSymbol, -1});
+  nodes_.push_back({Kind::False, -1, -1, SymbolTable::kNoSymbol, -1});
 }
 
 Id Arena::intern(Node n) {
   // Exact structural key: ids are canonical, so equality of ids must mean
   // equality of formulas — no lossy hashing allowed here.
-  const UniqueKey key{static_cast<int>(n.kind), n.a, n.b, n.atom};
+  const UniqueKey key{static_cast<std::uint8_t>(n.kind), n.a, n.b, n.sym};
   auto [it, inserted] = unique_.try_emplace(key, static_cast<Id>(nodes_.size()));
   if (!inserted) return it->second;
   nodes_.push_back(n);
   return it->second;
 }
 
-Id Arena::atom(const std::string& name) {
-  auto [it, inserted] = atom_index_.try_emplace(name, static_cast<std::int32_t>(atom_names_.size()));
-  if (inserted) atom_names_.push_back(name);
-  return intern({Kind::Atom, -1, -1, it->second});
+Id Arena::literal(std::uint32_t sym, bool negated) {
+  const std::size_t before = nodes_.size();
+  const Id pos = intern({Kind::Atom, -1, -1, sym, -1});
+  const Id neg = intern({Kind::NegAtom, -1, -1, sym, -1});
+  if (nodes_.size() > before) {
+    // First sight of this atom: link the polarities and record the symbol.
+    nodes_[static_cast<std::size_t>(pos)].complement = neg;
+    nodes_[static_cast<std::size_t>(neg)].complement = pos;
+    atoms_.push_back(sym);
+  }
+  return negated ? neg : pos;
 }
 
-Id Arena::neg_atom(const std::string& name) {
-  const Id a = atom(name);  // ensures interning
-  return intern({Kind::NegAtom, -1, -1, node(a).atom});
+Id Arena::atom(std::string_view name) {
+  return literal(SymbolTable::global().intern(name), false);
+}
+
+Id Arena::neg_atom(std::string_view name) {
+  return literal(SymbolTable::global().intern(name), true);
+}
+
+Id Arena::atom_sym(std::uint32_t sym) { return literal(sym, false); }
+Id Arena::neg_atom_sym(std::uint32_t sym) { return literal(sym, true); }
+
+const std::string& Arena::atom_name(std::uint32_t sym) const {
+  return SymbolTable::global().name(sym);
 }
 
 Id Arena::mk_not(Id a) {
   if (kind(a) == Kind::True) return falsity();
   if (kind(a) == Kind::False) return truth();
-  if (kind(a) == Kind::Atom) return intern({Kind::NegAtom, -1, -1, node(a).atom});
-  if (kind(a) == Kind::NegAtom) return intern({Kind::Atom, -1, -1, node(a).atom});
+  if (kind(a) == Kind::Atom || kind(a) == Kind::NegAtom) return complement(a);
   if (kind(a) == Kind::Not) return node(a).a;
-  return intern({Kind::Not, a, -1, -1});
+  return intern({Kind::Not, a, -1, SymbolTable::kNoSymbol, -1});
 }
 
 Id Arena::mk_and(Id a, Id b) {
@@ -47,7 +77,7 @@ Id Arena::mk_and(Id a, Id b) {
   if (b == truth()) return a;
   if (a == b) return a;
   if (a > b) std::swap(a, b);  // commutative normalization
-  return intern({Kind::And, a, b, -1});
+  return intern({Kind::And, a, b, SymbolTable::kNoSymbol, -1});
 }
 
 Id Arena::mk_or(Id a, Id b) {
@@ -56,26 +86,32 @@ Id Arena::mk_or(Id a, Id b) {
   if (b == falsity()) return a;
   if (a == b) return a;
   if (a > b) std::swap(a, b);
-  return intern({Kind::Or, a, b, -1});
+  return intern({Kind::Or, a, b, SymbolTable::kNoSymbol, -1});
 }
 
-Id Arena::mk_implies(Id a, Id b) { return intern({Kind::Implies, a, b, -1}); }
+Id Arena::mk_implies(Id a, Id b) {
+  return intern({Kind::Implies, a, b, SymbolTable::kNoSymbol, -1});
+}
 
 Id Arena::mk_iff(Id a, Id b) {
   return mk_and(mk_implies(a, b), mk_implies(b, a));
 }
 
-Id Arena::mk_next(Id a) { return intern({Kind::Next, a, -1, -1}); }
+Id Arena::mk_next(Id a) { return intern({Kind::Next, a, -1, SymbolTable::kNoSymbol, -1}); }
 Id Arena::mk_always(Id a) {
   if (a == truth() || a == falsity()) return a;
-  return intern({Kind::Always, a, -1, -1});
+  return intern({Kind::Always, a, -1, SymbolTable::kNoSymbol, -1});
 }
 Id Arena::mk_eventually(Id a) {
   if (a == truth() || a == falsity()) return a;
-  return intern({Kind::Eventually, a, -1, -1});
+  return intern({Kind::Eventually, a, -1, SymbolTable::kNoSymbol, -1});
 }
-Id Arena::mk_until(Id a, Id b) { return intern({Kind::Until, a, b, -1}); }
-Id Arena::mk_strong_until(Id a, Id b) { return intern({Kind::StrongUntil, a, b, -1}); }
+Id Arena::mk_until(Id a, Id b) {
+  return intern({Kind::Until, a, b, SymbolTable::kNoSymbol, -1});
+}
+Id Arena::mk_strong_until(Id a, Id b) {
+  return intern({Kind::StrongUntil, a, b, SymbolTable::kNoSymbol, -1});
+}
 
 Id Arena::mk_and_all(const std::vector<Id>& xs) {
   Id out = truth();
@@ -127,9 +163,8 @@ Id Arena::nnf_not(Id id) {
     case Kind::False:
       return truth();
     case Kind::Atom:
-      return intern({Kind::NegAtom, -1, -1, n.atom});
     case Kind::NegAtom:
-      return intern({Kind::Atom, -1, -1, n.atom});
+      return n.complement;
     case Kind::Not:
       return nnf(n.a);
     case Kind::And:
@@ -168,9 +203,9 @@ std::string Arena::to_string(Id id) const {
     case Kind::False:
       return "false";
     case Kind::Atom:
-      return atom_names_[n.atom];
+      return atom_name(n.sym);
     case Kind::NegAtom:
-      return "!" + atom_names_[n.atom];
+      return "!" + atom_name(n.sym);
     case Kind::Not:
       return "!(" + to_string(n.a) + ")";
     case Kind::And:

@@ -9,16 +9,28 @@
 //
 // Formulas are hash-consed into an Arena; a formula is an integer id, so
 // structural equality is id equality and sets of formulas are sorted int
-// vectors.  Atoms are interned strings (for the theory combination they are
-// parsed further by the theory layer; the tableau treats them opaquely).
+// vectors.  Atoms are *process-wide* interned symbols: an atom node carries
+// the dense uint32 id the global il::SymbolTable assigned its source text,
+// so the tableau, the lasso evaluator, the LLL encoding, and the theory
+// oracles all exchange the same integer for the same atom — no string
+// comparison survives past parsing.  Both polarities of a literal are
+// interned together and cross-linked, so taking a complement is a field
+// read, never a table probe; after construction an Arena is immutable to
+// the decision procedures (Tableau takes `const Arena&`), which is what
+// lets engine decision workers share one arena with no synchronization.
+//
+// Arena mutation (parse/nnf/mk_*) is single-threaded by contract: build
+// formulas before handing them to a parallel batch (engine/decision.h), the
+// same construction-then-read-only discipline as core/intern.h.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
-#include <tuple>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "core/intern.h"
 
 namespace il::ltl {
 
@@ -42,9 +54,10 @@ enum class Kind : std::uint8_t {
 
 struct Node {
   Kind kind;
-  Id a = -1;     ///< first operand
-  Id b = -1;     ///< second operand
-  std::int32_t atom = -1;  ///< atom index for Atom/NegAtom
+  Id a = -1;          ///< first operand
+  Id b = -1;          ///< second operand
+  std::uint32_t sym = SymbolTable::kNoSymbol;  ///< global symbol id for Atom/NegAtom
+  Id complement = -1;  ///< for Atom/NegAtom: the opposite-polarity literal
 };
 
 class Arena {
@@ -53,8 +66,11 @@ class Arena {
 
   Id truth() const { return 0; }
   Id falsity() const { return 1; }
-  Id atom(const std::string& name);
-  Id neg_atom(const std::string& name);
+  Id atom(std::string_view name);
+  Id neg_atom(std::string_view name);
+  /// Literals by pre-interned symbol id (no string touches).
+  Id atom_sym(std::uint32_t sym);
+  Id neg_atom_sym(std::uint32_t sym);
   Id mk_not(Id a);
   Id mk_and(Id a, Id b);
   Id mk_or(Id a, Id b);
@@ -72,8 +88,14 @@ class Arena {
 
   const Node& node(Id id) const { return nodes_[static_cast<std::size_t>(id)]; }
   Kind kind(Id id) const { return node(id).kind; }
-  const std::string& atom_name(std::int32_t atom_index) const { return atom_names_[atom_index]; }
-  std::size_t atom_count() const { return atom_names_.size(); }
+  /// O(1) complement of an Atom/NegAtom literal (both polarities are
+  /// interned together at literal creation).
+  Id complement(Id literal) const { return node(literal).complement; }
+  /// The source text of an atom symbol (global SymbolTable lookup).
+  const std::string& atom_name(std::uint32_t sym) const;
+  /// The distinct atom symbols this arena has seen, in first-use order.
+  const std::vector<std::uint32_t>& atoms() const { return atoms_; }
+  std::size_t atom_count() const { return atoms_.size(); }
   std::size_t size() const { return nodes_.size(); }
 
   /// Negation-normal form: Not/Implies eliminated, negations pushed to
@@ -91,14 +113,28 @@ class Arena {
   Id parse(const std::string& text);
 
  private:
-  using UniqueKey = std::tuple<int, Id, Id, std::int32_t>;
+  struct UniqueKey {
+    std::uint8_t kind = 0;
+    Id a = -1;
+    Id b = -1;
+    std::uint32_t sym = SymbolTable::kNoSymbol;
+
+    bool operator==(const UniqueKey& o) const {
+      return kind == o.kind && a == o.a && b == o.b && sym == o.sym;
+    }
+  };
+  struct UniqueKeyHash {
+    std::size_t operator()(const UniqueKey& k) const;
+  };
 
   Id intern(Node n);
+  /// Interns both polarities of the literal for `sym` and links their
+  /// complement fields; returns the polarity asked for.
+  Id literal(std::uint32_t sym, bool negated);
 
   std::vector<Node> nodes_;
-  std::map<UniqueKey, Id> unique_;
-  std::vector<std::string> atom_names_;
-  std::unordered_map<std::string, std::int32_t> atom_index_;
+  std::unordered_map<UniqueKey, Id, UniqueKeyHash> unique_;
+  std::vector<std::uint32_t> atoms_;  ///< distinct atom syms, first-use order
 };
 
 }  // namespace il::ltl

@@ -49,9 +49,9 @@ class WordEval {
       case Kind::False:
         return false;
       case Kind::Atom:
-        return at(pos).count(nd.atom) > 0;
+        return at(pos).count(nd.sym) > 0;
       case Kind::NegAtom:
-        return at(pos).count(nd.atom) == 0;
+        return at(pos).count(nd.sym) == 0;
       case Kind::Not:
         return !eval(nd.a, pos);
       case Kind::And:
@@ -110,7 +110,7 @@ bool eval_on_word(const Arena& arena, Id formula, const Word& word) {
 }
 
 bool satisfiable_bounded(const Arena& arena, Id formula,
-                         const std::vector<std::int32_t>& atoms, std::size_t total_len) {
+                         const std::vector<std::uint32_t>& atoms, std::size_t total_len) {
   IL_REQUIRE(atoms.size() <= 8, "too many atoms for exhaustive word enumeration");
   const std::size_t vals = std::size_t{1} << atoms.size();
 

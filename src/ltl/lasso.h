@@ -8,6 +8,7 @@
 // extracts must itself evaluate true here.
 #pragma once
 
+#include <cstdint>
 #include <set>
 #include <string>
 #include <vector>
@@ -16,8 +17,8 @@
 
 namespace il::ltl {
 
-/// A state valuation: the set of atoms (by arena atom index) that hold.
-using Valuation = std::set<std::int32_t>;
+/// A state valuation: the set of atoms (by global symbol id) that hold.
+using Valuation = std::set<std::uint32_t>;
 
 /// An ultimately periodic word: prefix . loop^omega.  The loop must be
 /// non-empty.
@@ -32,9 +33,9 @@ struct Word {
 bool eval_on_word(const Arena& arena, Id formula, const Word& word);
 
 /// Enumerates all words with |prefix| + |loop| <= total_len over the given
-/// atom indices and reports whether any satisfies the formula.  Exponential;
+/// atom symbols and reports whether any satisfies the formula.  Exponential;
 /// intended for cross-validation on few atoms / short words.
 bool satisfiable_bounded(const Arena& arena, Id formula,
-                         const std::vector<std::int32_t>& atoms, std::size_t total_len);
+                         const std::vector<std::uint32_t>& atoms, std::size_t total_len);
 
 }  // namespace il::ltl

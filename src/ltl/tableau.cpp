@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <deque>
+#include <map>
 #include <set>
 
 #include "util/assert.h"
+#include "util/hash.h"
 
 namespace il::ltl {
 namespace {
@@ -15,13 +17,43 @@ std::vector<Id> sorted_unique(std::vector<Id> v) {
   return v;
 }
 
+std::size_t hash_id_vec(std::size_t seed, const std::vector<Id>& v) {
+  hash_combine(seed, v.size());
+  for (Id x : v) hash_combine(seed, static_cast<std::uint32_t>(x));
+  return seed;
+}
+
+/// A sorted-unique id vector with set semantics: cheap to copy when a
+/// disjunctive expansion forks a branch (vectors beat node-based sets for
+/// the handful of elements a branch holds).
+struct IdSet {
+  std::vector<Id> v;
+
+  bool insert(Id x) {
+    auto it = std::lower_bound(v.begin(), v.end(), x);
+    if (it != v.end() && *it == x) return false;
+    v.insert(it, x);
+    return true;
+  }
+  bool contains(Id x) const { return std::binary_search(v.begin(), v.end(), x); }
+};
+
 }  // namespace
 
-Tableau::Tableau(Arena& arena, Id formula) : arena_(arena) {
+std::size_t Tableau::IdVecHash::operator()(const std::vector<Id>& v) const {
+  return hash_id_vec(0x51ed2701u, v);
+}
+
+std::size_t Tableau::NodeSigHash::operator()(const NodeSig& s) const {
+  std::size_t seed = hash_id_vec(0x8f1bbcdcu, s.label);
+  seed = hash_id_vec(seed, s.next);
+  return hash_id_vec(seed, s.evs);
+}
+
+Tableau::Tableau(const Arena& arena, Id formula) : arena_(arena) {
   // BFS over start sets; cache expansions per start set so distinct nodes
   // sharing a next-set reuse the work.
-  std::map<std::vector<Id>, std::vector<int>> expansion_cache;  // start set -> node ids
-  std::deque<std::vector<Id>> work;
+  std::unordered_map<std::vector<Id>, std::vector<int>, IdVecHash> expansion_cache;
 
   auto nodes_for = [&](const std::vector<Id>& start) -> const std::vector<int>& {
     auto it = expansion_cache.find(start);
@@ -34,7 +66,6 @@ Tableau::Tableau(Arena& arena, Id formula) : arena_(arena) {
       if (nodes_.size() > before) {
         // Newly created: stash its next-set for later edge creation.
         pending_next_.push_back({node, e.lits, e.evs, e.next});
-        work.push_back(e.next);
       }
     }
     return expansion_cache.emplace(start, std::move(ids)).first->second;
@@ -43,7 +74,6 @@ Tableau::Tableau(Arena& arena, Id formula) : arena_(arena) {
   // Seed with the formula itself.
   const std::vector<Id> seed{formula};
   for (int n : nodes_for(seed)) initial_.push_back(n);
-  work.push_back(seed);  // (already expanded via cache; harmless)
 
   // Create edges: each node's successors are the expansions of its next set.
   // pending_next_ grows while we iterate, so index it manually.
@@ -65,7 +95,7 @@ Tableau::Tableau(Arena& arena, Id formula) : arena_(arena) {
 }
 
 int Tableau::intern_node(const Expansion& e, const std::vector<Id>& next_key) {
-  auto key = std::make_tuple(e.label, next_key, e.evs);
+  NodeSig key{e.label, next_key, e.evs};
   auto it = node_index_.find(key);
   if (it != node_index_.end()) return it->second;
   TableauNode n;
@@ -81,10 +111,10 @@ std::vector<Tableau::Expansion> Tableau::expand(const std::vector<Id>& start) co
 
   struct Branch {
     std::vector<Id> todo;
-    std::set<Id> seen;   // every formula added (becomes the label)
-    std::set<Id> lits;   // literal subset of seen
-    std::set<Id> next;
-    std::set<Id> evs;
+    IdSet seen;   // every formula added (becomes the label)
+    IdSet lits;   // literal subset of seen
+    IdSet next;
+    IdSet evs;
   };
 
   std::deque<Branch> branches;
@@ -103,7 +133,7 @@ std::vector<Tableau::Expansion> Tableau::expand(const std::vector<Id>& start) co
       br.todo.pop_back();
       const Node& n = arena_.node(f);
       auto push = [&](Id g) {
-        if (br.seen.insert(g).second) br.todo.push_back(g);
+        if (br.seen.insert(g)) br.todo.push_back(g);
       };
       switch (n.kind) {
         case Kind::True:
@@ -112,18 +142,14 @@ std::vector<Tableau::Expansion> Tableau::expand(const std::vector<Id>& start) co
           contradicted = true;
           break;
         case Kind::Atom:
-        case Kind::NegAtom: {
-          // Check for the complementary literal.
-          const Id comp = (n.kind == Kind::Atom)
-                              ? arena_.neg_atom(arena_.atom_name(n.atom))
-                              : arena_.atom(arena_.atom_name(n.atom));
-          if (br.lits.count(comp)) {
+        case Kind::NegAtom:
+          // The complementary literal is a field read on the interned node.
+          if (br.lits.contains(n.complement)) {
             contradicted = true;
           } else {
             br.lits.insert(f);
           }
           break;
-        }
         case Kind::And:
           push(n.a);
           push(n.b);
@@ -131,7 +157,7 @@ std::vector<Tableau::Expansion> Tableau::expand(const std::vector<Id>& start) co
         case Kind::Or: {
           Branch other = br;
           // this branch takes n.a, the clone takes n.b
-          if (other.seen.insert(n.b).second) other.todo.push_back(n.b);
+          if (other.seen.insert(n.b)) other.todo.push_back(n.b);
           branches.push_back(std::move(other));
           push(n.a);
           break;
@@ -154,7 +180,7 @@ std::vector<Tableau::Expansion> Tableau::expand(const std::vector<Id>& start) co
         case Kind::Until: {
           // U(p,q) = q \/ (p /\ o U(p,q)); weak: no eventuality.
           Branch defer = br;
-          if (defer.seen.insert(n.a).second) defer.todo.push_back(n.a);
+          if (defer.seen.insert(n.a)) defer.todo.push_back(n.a);
           defer.next.insert(f);
           branches.push_back(std::move(defer));
           push(n.b);  // the "q now" branch
@@ -162,7 +188,7 @@ std::vector<Tableau::Expansion> Tableau::expand(const std::vector<Id>& start) co
         }
         case Kind::StrongUntil: {
           Branch defer = br;
-          if (defer.seen.insert(n.a).second) defer.todo.push_back(n.a);
+          if (defer.seen.insert(n.a)) defer.todo.push_back(n.a);
           defer.next.insert(f);
           defer.evs.insert(n.b);
           branches.push_back(std::move(defer));
@@ -177,13 +203,10 @@ std::vector<Tableau::Expansion> Tableau::expand(const std::vector<Id>& start) co
     if (contradicted) continue;
 
     Expansion e;
-    e.label.assign(br.seen.begin(), br.seen.end());
-    e.lits.assign(br.lits.begin(), br.lits.end());
-    e.next.assign(br.next.begin(), br.next.end());
-    e.evs.assign(br.evs.begin(), br.evs.end());
-    e.label = sorted_unique(std::move(e.label));
-    e.next = sorted_unique(std::move(e.next));
-    e.evs = sorted_unique(std::move(e.evs));
+    e.label = std::move(br.seen.v);    // already sorted-unique
+    e.lits = std::move(br.lits.v);
+    e.next = std::move(br.next.v);
+    e.evs = std::move(br.evs.v);
     out.push_back(std::move(e));
   }
 
@@ -205,40 +228,69 @@ void Tableau::prune_edges(const std::function<bool(const std::vector<Id>&)>& lit
   }
 }
 
-bool Tableau::label_reachable(int from, Id target) const {
-  std::vector<int> stack{from};
-  std::set<int> visited;
-  while (!stack.empty()) {
-    const int n = stack.back();
-    stack.pop_back();
-    if (!visited.insert(n).second) continue;
-    if (!nodes_[n].alive) continue;
-    if (std::binary_search(nodes_[n].label.begin(), nodes_[n].label.end(), target)) return true;
-    for (int eidx : nodes_[n].out) {
-      const TableauEdge& e = edges_[eidx];
-      if (e.alive && nodes_[e.to].alive) stack.push_back(e.to);
-    }
-  }
-  return false;
-}
-
 bool Tableau::iterate() {
+  // Distinct eventualities appearing on any edge.
+  std::vector<Id> all_evs;
+  for (const TableauEdge& e : edges_) all_evs.insert(all_evs.end(), e.evs.begin(), e.evs.end());
+  all_evs = sorted_unique(std::move(all_evs));
+
+  // One backward sweep per eventuality per pass: mark every alive node from
+  // which a node whose label contains `ev` is alive-reachable, then delete
+  // all edges whose eventuality is unmarked at their terminal node.  The
+  // deletions are monotone, so batching them per pass converges to the same
+  // fixpoint as deleting one edge at a time.
+  std::vector<char> marked(nodes_.size(), 0);
+  std::vector<int> stack;
+
+  auto mark_can_reach = [&](Id ev) {
+    std::fill(marked.begin(), marked.end(), 0);
+    stack.clear();
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (!nodes_[i].alive) continue;
+      const auto& label = nodes_[i].label;
+      if (std::binary_search(label.begin(), label.end(), ev)) {
+        marked[i] = 1;
+        stack.push_back(static_cast<int>(i));
+      }
+    }
+    while (!stack.empty()) {
+      const int n = stack.back();
+      stack.pop_back();
+      for (int eidx : nodes_[n].in) {
+        const TableauEdge& e = edges_[eidx];
+        if (!e.alive || !nodes_[e.from].alive || marked[e.from]) continue;
+        marked[e.from] = 1;
+        stack.push_back(e.from);
+      }
+    }
+  };
+
   bool changed = true;
   while (changed) {
     changed = false;
-    // Delete edges whose eventualities cannot be satisfied.
+    // Delete edges with a dead endpoint.
     for (TableauEdge& e : edges_) {
-      if (!e.alive) continue;
-      if (!nodes_[e.from].alive || !nodes_[e.to].alive) {
+      if (e.alive && (!nodes_[e.from].alive || !nodes_[e.to].alive)) {
         e.alive = false;
         changed = true;
-        continue;
       }
-      for (Id ev : e.evs) {
-        if (!label_reachable(e.to, ev)) {
+    }
+    // Delete edges whose eventualities cannot be satisfied.
+    for (Id ev : all_evs) {
+      bool ev_in_use = false;
+      for (const TableauEdge& e : edges_) {
+        if (e.alive && std::binary_search(e.evs.begin(), e.evs.end(), ev)) {
+          ev_in_use = true;
+          break;
+        }
+      }
+      if (!ev_in_use) continue;
+      mark_can_reach(ev);
+      for (TableauEdge& e : edges_) {
+        if (!e.alive || marked[e.to]) continue;
+        if (std::binary_search(e.evs.begin(), e.evs.end(), ev)) {
           e.alive = false;
           changed = true;
-          break;
         }
       }
     }

@@ -16,6 +16,15 @@
 // A is valid iff every initial node of Graph(!A) is deleted by the
 // iteration; !A is satisfiable iff one survives.
 //
+// Everything here is integer work over the arena's hash-consed ids: labels,
+// literal conjunctions, and eventuality sets are sorted id vectors; literal
+// contradiction is an O(1) complement-field read; and the per-eventuality
+// reachability of Iter is one backward sweep over the alive graph per pass
+// rather than a search per edge.  The tableau only *reads* the arena (the
+// formula must already be in NNF and all literals exist with both
+// polarities), which is what allows engine decision workers to build
+// tableaux for formulas from one shared arena concurrently.
+//
 // Algorithm A (theory combination) plugs in as a pre-pass that deletes every
 // edge whose literal conjunction is unsatisfiable in the specialized theory;
 // the hook is the `lits_sat` callback.  Algorithm B reuses the same graph
@@ -24,9 +33,9 @@
 
 #include <cstddef>
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ltl/formula.h"
@@ -51,8 +60,8 @@ struct TableauEdge {
 class Tableau {
  public:
   /// Builds Graph(formula) — callers wanting validity of A pass nnf(!A).
-  /// The formula must be in NNF.
-  Tableau(Arena& arena, Id formula);
+  /// The formula must be in NNF.  The arena is only read.
+  Tableau(const Arena& arena, Id formula);
 
   /// Optional theory pre-pass (Algorithm A): kills edges whose literal
   /// conjunction the callback rejects.  Call before iterate().
@@ -79,7 +88,7 @@ class Tableau {
   const std::vector<TableauNode>& nodes() const { return nodes_; }
   const std::vector<TableauEdge>& edges() const { return edges_; }
   const std::vector<int>& initial_nodes() const { return initial_; }
-  Arena& arena() const { return arena_; }
+  const Arena& arena() const { return arena_; }
 
  private:
   struct Expansion {
@@ -89,21 +98,33 @@ class Tableau {
     std::vector<Id> evs;
   };
 
+  /// Node identity: the (label, next-set, eventualities) triple.
+  struct NodeSig {
+    std::vector<Id> label;
+    std::vector<Id> next;
+    std::vector<Id> evs;
+
+    bool operator==(const NodeSig& o) const {
+      return label == o.label && next == o.next && evs == o.evs;
+    }
+  };
+  struct NodeSigHash {
+    std::size_t operator()(const NodeSig& s) const;
+  };
+  struct IdVecHash {
+    std::size_t operator()(const std::vector<Id>& v) const;
+  };
+
   /// All full expansions of a start set (the alpha/beta saturation).
   std::vector<Expansion> expand(const std::vector<Id>& start) const;
 
   int intern_node(const Expansion& e, const std::vector<Id>& next_key);
 
-  /// True if a node whose label contains `target` is reachable from `from`
-  /// through alive edges (including `from` itself).
-  bool label_reachable(int from, Id target) const;
-
-  Arena& arena_;
+  const Arena& arena_;
   std::vector<TableauNode> nodes_;
   std::vector<TableauEdge> edges_;
   std::vector<int> initial_;
-  // Node identity: (label, next-set, eventualities) triple.
-  std::map<std::tuple<std::vector<Id>, std::vector<Id>, std::vector<Id>>, int> node_index_;
+  std::unordered_map<NodeSig, int, NodeSigHash> node_index_;
 
   // Construction bookkeeping: nodes whose outgoing edges are not yet built.
   struct PendingNode {

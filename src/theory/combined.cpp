@@ -10,14 +10,15 @@
 namespace il::theory {
 namespace {
 
-/// Converts tableau literal ids to theory literals.
+/// Converts tableau literal ids to theory literals: the arena's interned
+/// atom symbol crosses into the oracle unchanged — no string materializes.
 std::vector<TheoryLit> to_theory_lits(const ltl::Arena& arena, const std::vector<ltl::Id>& lits) {
   std::vector<TheoryLit> out;
   out.reserve(lits.size());
   for (ltl::Id l : lits) {
     const ltl::Node& n = arena.node(l);
     IL_CHECK(n.kind == ltl::Kind::Atom || n.kind == ltl::Kind::NegAtom);
-    out.push_back({arena.atom_name(n.atom), n.kind == ltl::Kind::Atom});
+    out.push_back({n.sym, n.kind == ltl::Kind::Atom});
   }
   return out;
 }

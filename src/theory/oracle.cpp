@@ -7,17 +7,17 @@ namespace {
 
 /// Key for an opaque propositional atom: extralogical atoms share one slot
 /// across instances; state atoms are distinct per instance.
-std::pair<std::string, int> opaque_key(const std::string& atom, int instance,
-                                       const std::set<std::string>& extralogical) {
-  return {atom, extralogical.count(atom) ? -1 : instance};
+std::pair<std::uint32_t, int> opaque_key(const TheoryLit& lit, int instance,
+                                         const std::set<std::string>& extralogical) {
+  return {lit.sym, extralogical.count(lit.text()) ? -1 : instance};
 }
 
 }  // namespace
 
 bool PropositionalOracle::conj_sat(const std::vector<TheoryLit>& lits) const {
-  std::set<std::string> pos, neg;
-  for (const TheoryLit& l : lits) (l.positive ? pos : neg).insert(l.atom);
-  for (const auto& a : pos) {
+  std::set<std::uint32_t> pos, neg;
+  for (const TheoryLit& l : lits) (l.positive ? pos : neg).insert(l.sym);
+  for (std::uint32_t a : pos) {
     if (neg.count(a)) return false;
   }
   return true;
@@ -26,14 +26,23 @@ bool PropositionalOracle::conj_sat(const std::vector<TheoryLit>& lits) const {
 bool PropositionalOracle::conj_sat_instances(
     const std::vector<std::pair<TheoryLit, int>>& lits,
     const std::set<std::string>& extralogical) const {
-  std::set<std::pair<std::string, int>> pos, neg;
+  std::set<std::pair<std::uint32_t, int>> pos, neg;
   for (const auto& [l, inst] : lits) {
-    (l.positive ? pos : neg).insert(opaque_key(l.atom, inst, extralogical));
+    (l.positive ? pos : neg).insert(opaque_key(l, inst, extralogical));
   }
   for (const auto& k : pos) {
     if (neg.count(k)) return false;
   }
   return true;
+}
+
+const std::optional<LinearConstraint>& LinearArithmeticOracle::parsed(std::uint32_t sym) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = parse_cache_.find(sym);
+  if (it == parse_cache_.end()) {
+    it = parse_cache_.emplace(sym, parse_linear(SymbolTable::global().name(sym))).first;
+  }
+  return it->second;
 }
 
 bool LinearArithmeticOracle::conj_sat(const std::vector<TheoryLit>& lits) const {
@@ -47,14 +56,14 @@ bool LinearArithmeticOracle::conj_sat_instances(
     const std::vector<std::pair<TheoryLit, int>>& lits,
     const std::set<std::string>& extralogical) const {
   std::vector<LinearConstraint> cs;
-  std::set<std::pair<std::string, int>> opaque_pos, opaque_neg;
+  std::set<std::pair<std::uint32_t, int>> opaque_pos, opaque_neg;
   for (const auto& [l, inst] : lits) {
-    auto parsed = parse_linear(l.atom);
-    if (!parsed) {
-      (l.positive ? opaque_pos : opaque_neg).insert(opaque_key(l.atom, inst, extralogical));
+    const auto& parse = parsed(l.sym);
+    if (!parse) {
+      (l.positive ? opaque_pos : opaque_neg).insert(opaque_key(l, inst, extralogical));
       continue;
     }
-    LinearConstraint c = l.positive ? *parsed : parsed->negated();
+    LinearConstraint c = l.positive ? *parse : parse->negated();
     const int instance = inst;
     cs.push_back(c.renamed([&](const std::string& v) {
       return extralogical.count(v) ? v : v + "#" + std::to_string(instance);

@@ -1,8 +1,13 @@
 // The specialized-theory oracle interface of Appendix B.
 //
 // The combined decision procedures only need one question answered: is a
-// conjunction of theory literals satisfiable?  A literal is an atom (by its
-// source text, as interned in the LTL arena) or its negation.
+// conjunction of theory literals satisfiable?  A literal is an atom or its
+// negation, identified by the global SymbolTable id of its source text —
+// the very same integer the LTL arena stores on its Atom/NegAtom nodes, so
+// the tableau's `lits_sat` hook hands edge conjunctions to the oracle
+// without materializing a single string.  The text is looked up only when
+// an oracle actually needs to parse it (LinearArithmeticOracle caches that
+// parse per symbol, so each distinct atom is parsed once per oracle).
 //
 // Two oracles are provided:
 //  * PropositionalOracle — atoms are opaque; a conjunction is satisfiable
@@ -14,19 +19,35 @@
 //    propositions.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <set>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/intern.h"
 #include "theory/linear.h"
 
 namespace il::theory {
 
 struct TheoryLit {
-  std::string atom;  ///< atom source text, e.g. "x > 0"
+  std::uint32_t sym = SymbolTable::kNoSymbol;  ///< atom source text, interned
   bool positive = true;
+
+  TheoryLit() = default;
+  TheoryLit(std::uint32_t s, bool pos = true) : sym(s), positive(pos) {}
+  /// Convenience for tests and hand-built conjunctions: interns the text.
+  TheoryLit(std::string_view atom, bool pos = true)
+      : sym(SymbolTable::global().intern(atom)), positive(pos) {}
+  TheoryLit(const char* atom, bool pos = true) : TheoryLit(std::string_view(atom), pos) {}
+
+  /// The atom's source text (SymbolTable lookup).
+  const std::string& text() const { return SymbolTable::global().name(sym); }
 };
 
 class Oracle {
@@ -60,6 +81,14 @@ class LinearArithmeticOracle final : public Oracle {
   bool conj_sat_instances(const std::vector<std::pair<TheoryLit, int>>& lits,
                           const std::set<std::string>& extralogical) const override;
   std::string name() const override { return "linear-arithmetic"; }
+
+ private:
+  /// The parse of an atom's text, computed once per distinct symbol
+  /// (nullopt = not a linear constraint; treated as opaque).
+  const std::optional<LinearConstraint>& parsed(std::uint32_t sym) const;
+
+  mutable std::mutex mu_;
+  mutable std::unordered_map<std::uint32_t, std::optional<LinearConstraint>> parse_cache_;
 };
 
 }  // namespace il::theory

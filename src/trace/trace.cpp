@@ -28,6 +28,12 @@ State& Trace::back_mut() {
   return states_.back();
 }
 
+State& Trace::state_mut(std::size_t k) {
+  IL_REQUIRE(k < states_.size());
+  id_ = next_id();  // the caller may mutate through the reference
+  return states_[k];
+}
+
 std::size_t Trace::last_index() const {
   IL_REQUIRE(!states_.empty());
   return states_.size() - 1;

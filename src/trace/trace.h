@@ -62,6 +62,10 @@ class Trace {
   /// next evaluation — a reference retained across a memoized check would
   /// let later mutations alias the id the cache already stored under.
   State& back_mut();
+  /// Mutable access to the state at index k (same identity contract as
+  /// back_mut).  Lets exhaustive sweeps (core/bounded.h) advance one state
+  /// of a reused trace instead of rebuilding the whole sequence.
+  State& state_mut(std::size_t k);
 
   /// Index of the last explicitly stored state (requires non-empty).
   std::size_t last_index() const;

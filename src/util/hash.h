@@ -1,0 +1,15 @@
+// Shared hash mixing for the interning layers' unique tables.
+#pragma once
+
+#include <cstddef>
+
+namespace il {
+
+/// Boost-style mixing with the 64-bit golden-ratio constant; used by every
+/// hash-consing key hasher (core/intern, ltl::Arena, lll::ExprTable, the
+/// tableau node index) so they share one mixing function.
+inline void hash_combine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace il

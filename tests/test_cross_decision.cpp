@@ -1,0 +1,144 @@
+// Cross-procedure agreement: every propositional temporal formula can be
+// decided by the Appendix B tableau *and*, via the Section 7 encoding, by
+// the Appendix C low-level-language iteration.  The two procedures were
+// built from different halves of the paper and share no graph code, so
+// agreement over a seeded random corpus is a strong differential check on
+// both — and on the unified intern layer that lets one formula's atoms flow
+// through both pipelines as the same symbol ids.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/decision.h"
+#include "lll/decide.h"
+#include "lll/encode.h"
+#include "lll/graph.h"
+#include "ltl/formula.h"
+#include "util/rng.h"
+
+namespace il {
+namespace {
+
+/// The LLL translation is the paper's nonelementary construction: a random
+/// corpus must be filtered to the fragment whose graphs stay small, or a
+/// single unlucky nesting dominates (or explodes) the whole test.  A tight
+/// trial budget makes infeasible candidates throw almost immediately.
+bool lll_feasible(lll::ExprId e) {
+  try {
+    lll::GraphBuilder probe(/*edge_budget=*/20000);
+    probe.build(e);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+/// Seeded random NNF-friendly formula over three atoms.  Sizes are kept
+/// small because the LLL translation of nested untils is the paper's
+/// nonelementary-blowup construction — the corpus must exercise it without
+/// tripping the subset-construction guard.
+ltl::Id random_formula(ltl::Arena& arena, Rng& rng, int depth) {
+  const char* atoms[] = {"p", "q", "r"};
+  if (depth == 0 || rng.chance(0.25)) {
+    const char* name = atoms[rng.below(3)];
+    return rng.chance(0.5) ? arena.atom(name) : arena.neg_atom(name);
+  }
+  switch (rng.below(7)) {
+    case 0:
+      return arena.mk_and(random_formula(arena, rng, depth - 1),
+                          random_formula(arena, rng, depth - 1));
+    case 1:
+      return arena.mk_or(random_formula(arena, rng, depth - 1),
+                         random_formula(arena, rng, depth - 1));
+    case 2:
+      return arena.mk_next(random_formula(arena, rng, depth - 1));
+    case 3:
+      return arena.mk_always(random_formula(arena, rng, depth - 1));
+    case 4:
+      return arena.mk_eventually(random_formula(arena, rng, depth - 1));
+    case 5:
+      return arena.mk_until(random_formula(arena, rng, depth - 1),
+                            random_formula(arena, rng, depth - 1));
+    default:
+      return arena.mk_strong_until(random_formula(arena, rng, depth - 1),
+                                   random_formula(arena, rng, depth - 1));
+  }
+}
+
+TEST(CrossDecision, TableauAndLllAgreeOnSeededCorpus) {
+  ltl::Arena arena;
+  Rng rng(0xC0FFEE);
+
+  // Build the whole corpus up front (construction is single-threaded by the
+  // engine contract), pairing each tableau job with its translation.
+  std::vector<std::string> texts;
+  std::vector<engine::DecisionJob> jobs;  // even = tableau, odd = lll
+  int candidates = 0;
+  while (texts.size() < 40 && candidates < 400) {
+    ++candidates;
+    const ltl::Id f = random_formula(arena, rng, 3);
+    const ltl::Id nnf = arena.nnf(f);
+    const lll::ExprId encoded = lll::encode_ltl(arena, nnf);
+    if (!lll_feasible(encoded)) continue;
+    texts.push_back(arena.to_string(f));
+    jobs.push_back(engine::tableau_sat_job(arena, nnf));
+    jobs.push_back(engine::lll_sat_job(encoded));
+  }
+  ASSERT_EQ(texts.size(), 40u) << "corpus generator starved";
+
+  engine::EngineOptions options;
+  options.num_threads = 2;
+  const auto results = engine::decide_batch(jobs, options);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < texts.size(); ++i) {
+    EXPECT_EQ(results[2 * i].verdict, results[2 * i + 1].verdict)
+        << "tableau vs LLL disagree on: " << texts[i];
+  }
+}
+
+TEST(CrossDecision, ValidityAgreesThroughNegation) {
+  // A is valid iff !A is unsatisfiable — check the tableau's validity
+  // verdict against the LLL decision on the encoded negation.
+  ltl::Arena arena;
+  Rng rng(0xBADA55);
+  int checked = 0, candidates = 0;
+  while (checked < 20 && candidates < 400) {
+    ++candidates;
+    const ltl::Id f = random_formula(arena, rng, 2);
+    const lll::ExprId neg = lll::encode_ltl(arena, arena.nnf(arena.mk_not(f)));
+    if (!lll_feasible(neg)) continue;
+    ++checked;
+    const auto valid_job = engine::tableau_valid_job(arena, f);
+    const bool tableau_valid = engine::run_decision_job(valid_job).verdict;
+    const bool lll_neg_sat = lll::lll_satisfiable(neg);
+    EXPECT_EQ(tableau_valid, !lll_neg_sat) << arena.to_string(f);
+  }
+  EXPECT_EQ(checked, 20) << "corpus generator starved";
+}
+
+TEST(CrossDecision, KnownVerdictsSurviveBothPipelines) {
+  const std::vector<std::pair<std::string, bool>> corpus = {
+      {"[]p /\\ <>!p", false},
+      {"SU(p, q) /\\ []!q", false},
+      {"U(p, q) /\\ []!q", true},
+      {"[](p \\/ q) /\\ []!p", true},
+      {"o p /\\ o !p", false},
+      {"<>p /\\ []!p", false},
+  };
+  ltl::Arena arena;
+  std::vector<engine::DecisionJob> jobs;
+  for (const auto& [text, expected] : corpus) {
+    const ltl::Id nnf = arena.nnf(arena.parse(text));
+    jobs.push_back(engine::tableau_sat_job(arena, nnf));
+    jobs.push_back(engine::lll_sat_job(lll::encode_ltl(arena, nnf)));
+  }
+  const auto results = engine::decide_batch(jobs);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(results[2 * i].verdict, corpus[i].second) << corpus[i].first;
+    EXPECT_EQ(results[2 * i + 1].verdict, corpus[i].second) << corpus[i].first;
+  }
+}
+
+}  // namespace
+}  // namespace il

@@ -1,0 +1,112 @@
+// Tests for the engine's decision-job family (engine/decision.h): verdict
+// correctness through the batch path, input-ordered determinism across
+// thread counts, stats aggregation, and precondition errors.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/decision.h"
+#include "lll/encode.h"
+#include "ltl/formula.h"
+
+namespace il::engine {
+namespace {
+
+std::vector<DecisionJob> mixed_jobs(ltl::Arena& arena) {
+  const std::vector<std::string> sat_corpus = {
+      "p", "[]p", "<>p", "[]p /\\ <>!p", "U(p,q) /\\ []!q", "SU(p,q) /\\ []!q",
+      "<>[]p", "[](p -> <>q)", "o o p /\\ []!p",
+  };
+  const std::vector<std::string> valid_corpus = {
+      "[]p -> p", "(<>[]p) -> ([]<>p)", "SU(p,q) -> <>q", "p -> []p",
+  };
+  std::vector<DecisionJob> jobs;
+  for (const auto& s : sat_corpus) {
+    const ltl::Id f = arena.parse(s);
+    jobs.push_back(tableau_sat_job(arena, f));
+    jobs.push_back(lll_sat_job(lll::encode_ltl(arena, arena.nnf(f))));
+  }
+  for (const auto& s : valid_corpus) jobs.push_back(tableau_valid_job(arena, arena.parse(s)));
+  return jobs;
+}
+
+TEST(DecisionEngine, MatchesSequentialAndIsThreadCountInvariant) {
+  ltl::Arena arena;
+  const std::vector<DecisionJob> jobs = mixed_jobs(arena);
+
+  std::vector<DecisionResult> sequential;
+  sequential.reserve(jobs.size());
+  for (const DecisionJob& j : jobs) sequential.push_back(run_decision_job(j));
+
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    EngineOptions options;
+    options.num_threads = threads;
+    BatchDecider decider(options);
+    const auto results = decider.run(jobs);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_EQ(results[i].verdict, sequential[i].verdict) << "job " << i;
+      EXPECT_EQ(results[i].graph_nodes, sequential[i].graph_nodes) << "job " << i;
+      EXPECT_EQ(results[i].graph_edges, sequential[i].graph_edges) << "job " << i;
+      EXPECT_EQ(results[i].alive_nodes, sequential[i].alive_nodes) << "job " << i;
+      EXPECT_EQ(results[i].alive_edges, sequential[i].alive_edges) << "job " << i;
+    }
+    EXPECT_EQ(decider.stats().jobs, jobs.size());
+  }
+}
+
+TEST(DecisionEngine, VerdictsAreCorrect) {
+  ltl::Arena arena;
+  std::vector<DecisionJob> jobs = {
+      tableau_valid_job(arena, arena.parse("[]p -> p")),        // valid
+      tableau_valid_job(arena, arena.parse("p -> []p")),        // not valid
+      tableau_sat_job(arena, arena.parse("p -> []p")),          // satisfiable
+      tableau_sat_job(arena, arena.parse("[]p /\\ <>!p")),      // unsat
+      lll_sat_job(lll::encode_ltl(arena, arena.nnf(arena.parse("<>p")))),       // sat
+      lll_sat_job(lll::encode_ltl(arena, arena.nnf(arena.parse("p /\\ !p")))),  // unsat
+  };
+  const auto results = decide_batch(jobs);
+  ASSERT_EQ(results.size(), 6u);
+  EXPECT_TRUE(results[0].verdict);
+  EXPECT_FALSE(results[1].verdict);
+  EXPECT_TRUE(results[2].verdict);
+  EXPECT_FALSE(results[3].verdict);
+  EXPECT_TRUE(results[4].verdict);
+  EXPECT_FALSE(results[5].verdict);
+  // Graph sizes are reported per job.  Job 0's tableau is the graph of
+  // []p /\ !p — propositionally contradictory in every expansion, so the
+  // graph is legitimately empty; the rest are non-trivial.
+  EXPECT_EQ(results[0].graph_nodes, 0u);
+  for (std::size_t i = 1; i < results.size(); ++i) EXPECT_GT(results[i].graph_nodes, 0u);
+}
+
+TEST(DecisionEngine, StatsCountJobFamilies) {
+  ltl::Arena arena;
+  BatchDecider decider;
+  const std::vector<DecisionJob> jobs = {
+      tableau_sat_job(arena, arena.parse("[]p")),
+      lll_sat_job(lll::encode_ltl(arena, arena.nnf(arena.parse("[]p")))),
+      tableau_valid_job(arena, arena.parse("[]p -> p")),
+  };
+  decider.run(jobs);
+  EXPECT_EQ(decider.stats().jobs, 3u);
+  EXPECT_EQ(decider.stats().tableau_jobs, 2u);
+  EXPECT_EQ(decider.stats().lll_jobs, 1u);
+  EXPECT_GT(decider.stats().graph_nodes, 0u);
+  EXPECT_GT(decider.stats().graph_edges, 0u);
+}
+
+TEST(DecisionEngine, UnboundJobsThrow) {
+  DecisionJob tableau_unbound;  // no arena
+  EXPECT_THROW(run_decision_job(tableau_unbound), std::invalid_argument);
+  DecisionJob lll_unbound;
+  lll_unbound.kind = DecisionJob::Kind::LllSat;
+  EXPECT_THROW(run_decision_job(lll_unbound), std::invalid_argument);
+  // Through a batch, the error surfaces on the calling thread.
+  EXPECT_THROW(decide_batch({tableau_unbound}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace il::engine

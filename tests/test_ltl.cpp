@@ -18,6 +18,19 @@ TEST(Arena, HashConsing) {
   EXPECT_NE(a.parse("[] p"), a.parse("<> p"));
 }
 
+TEST(Arena, AtomsAreGlobalSymbolsWithLinkedComplements) {
+  Arena a, b;
+  // The same atom text interns to the same process-wide symbol id in every
+  // arena — the integer the theory layer and the LLL encoding exchange.
+  EXPECT_EQ(a.node(a.atom("p")).sym, b.node(b.atom("p")).sym);
+  EXPECT_NE(a.node(a.atom("p")).sym, a.node(a.atom("q")).sym);
+  // Both polarities are interned together and cross-linked.
+  EXPECT_EQ(a.complement(a.atom("p")), a.neg_atom("p"));
+  EXPECT_EQ(a.complement(a.neg_atom("p")), a.atom("p"));
+  EXPECT_EQ(a.mk_not(a.atom("p")), a.neg_atom("p"));
+  EXPECT_EQ(a.atoms().size(), 2u);
+}
+
 TEST(Arena, ParsePrint) {
   Arena a;
   for (const char* s : {"[](p -> <>q)", "U(p, q)", "SU(p, q /\\ r)", "o p",
@@ -50,7 +63,7 @@ TEST(Nnf, SemanticsPreservedOnWords) {
   const std::vector<std::string> formulas = {
       "!([]p)", "!(<>p)", "!(U(p,q))", "!(SU(p,q))", "!(o p)",
       "!(p -> q)", "!(p /\\ (q \\/ !p))", "!([](p -> <>q))"};
-  std::vector<std::int32_t> atoms = {a.node(a.atom("p")).atom, a.node(a.atom("q")).atom};
+  std::vector<std::uint32_t> atoms = {a.node(a.atom("p")).sym, a.node(a.atom("q")).sym};
   for (const auto& s : formulas) {
     Id f = a.parse(s);
     Id g = a.nnf(f);
@@ -87,7 +100,7 @@ TEST(Nnf, SemanticsPreservedOnWords) {
 TEST(Lasso, BasicSemantics) {
   Arena a;
   Id p = a.atom("p");
-  const std::int32_t pi = a.node(p).atom;
+  const std::uint32_t pi = a.node(p).sym;
   // Word: {} ({p})^omega  — p eventually always.
   Word w;
   w.prefix.push_back({});
@@ -101,7 +114,7 @@ TEST(Lasso, BasicSemantics) {
 
 TEST(Lasso, WeakVsStrongUntil) {
   Arena a;
-  const std::int32_t pi = a.node(a.atom("p")).atom;
+  const std::uint32_t pi = a.node(a.atom("p")).sym;
   // p forever, q never.
   Word w;
   w.loop.push_back({pi});
@@ -161,9 +174,7 @@ TEST(Tableau, AgreesWithBoundedSemantics) {
     Arena a;
     Id f = a.parse(s);
     const bool tab = satisfiable(a, f);
-    std::vector<std::int32_t> atoms;
-    for (std::size_t i = 0; i < a.atom_count(); ++i) atoms.push_back(static_cast<std::int32_t>(i));
-    const bool sem = satisfiable_bounded(a, f, atoms, 5);
+    const bool sem = satisfiable_bounded(a, f, a.atoms(), 5);
     EXPECT_EQ(tab, sem) << s;
   }
 }
@@ -187,7 +198,7 @@ TEST(Tableau, ExtractedModelsSatisfyFormula) {
     auto to_valuation = [&](const std::vector<Id>& lits) {
       Valuation v;
       for (Id l : lits) {
-        if (a.kind(l) == Kind::Atom) v.insert(a.node(l).atom);
+        if (a.kind(l) == Kind::Atom) v.insert(a.node(l).sym);
       }
       return v;
     };

@@ -53,6 +53,33 @@ TEST(Monitor, ProvisionalVerdictsRecover) {
   EXPECT_TRUE(m.current().ok);
 }
 
+TEST(Monitor, PersistentCacheHitsGrowAcrossCalls) {
+  Monitor m(simple_spec());
+  m.observe(st(false, false, true, true));
+  EXPECT_TRUE(m.current().ok);
+  const std::size_t hits_after_first = m.cache().hits();
+  const std::size_t inserts_after_first = m.cache().inserts();
+  EXPECT_GT(inserts_after_first, 0u);  // the first verdict populated the cache
+
+  // Same trace, same verdict: the second call is answered from the
+  // persistent cache, so hits grow while inserts stay put.
+  EXPECT_TRUE(m.current().ok);
+  const std::size_t hits_after_second = m.cache().hits();
+  EXPECT_GT(hits_after_second, hits_after_first);
+  EXPECT_EQ(m.cache().inserts(), inserts_after_first);
+
+  // A new observation refreshes the trace identity: old entries can no
+  // longer be hit, and the verdict is recomputed (inserts grow again), but
+  // the cache object itself persists — its counters keep accumulating.
+  m.observe(st(false, false, true, true));
+  EXPECT_TRUE(m.current().ok);
+  EXPECT_GT(m.cache().inserts(), inserts_after_first);
+  EXPECT_GE(m.cache().hits(), hits_after_second);
+
+  // And verdicts stay identical to a fresh uncached check.
+  EXPECT_EQ(m.current().ok, check_spec(m.spec(), m.trace()).ok);
+}
+
 TEST(Monitor, StatesSeenAndTrace) {
   Monitor m(simple_spec());
   m.observe(st(false, false, false, false));
