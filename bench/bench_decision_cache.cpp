@@ -1,0 +1,92 @@
+// E10 — the cross-batch DecisionCache (engine/decision.h): cold versus warm
+// batch wall time over one regression-shaped corpus of tableau and LLL
+// decision jobs.
+//
+// A cold batch decides every distinct job; a warm batch — the same decider,
+// cache populated by a previous run — answers every job from the
+// (formula id, job kind) -> result memo on the calling thread without
+// spawning any work.  The hit_rate counter reports the warm run's cache hit
+// fraction, and CI asserts warm < cold from the emitted JSON (the cache is
+// only worth shipping if a repeated corpus is measurably free).
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/decision.h"
+#include "lll/encode.h"
+#include "ltl/formula.h"
+
+namespace {
+
+/// A mixed regression corpus: tableau satisfiability, tableau validity, and
+/// the LLL encodings of the satisfiability half.
+std::vector<il::engine::DecisionJob> corpus(il::ltl::Arena& arena) {
+  const std::vector<std::string> sat_texts = {
+      "[]p",         "<>p /\\ []!p",      "SU(p, q) /\\ []!q", "U(p, q) /\\ []!q",
+      "[](p -> <>q)", "o o p /\\ []!p",   "<>[]p",             "[]p \\/ []!p",
+  };
+  const std::vector<std::string> valid_texts = {
+      "[]p -> p", "(<>[]p) -> ([]<>p)", "SU(p,q) -> <>q", "!(<>p) <-> []!p",
+  };
+  std::vector<il::engine::DecisionJob> jobs;
+  for (const auto& s : sat_texts) {
+    const il::ltl::Id f = arena.parse(s);
+    jobs.push_back(il::engine::tableau_sat_job(arena, f));
+    jobs.push_back(il::engine::lll_sat_job(il::lll::encode_ltl(arena, arena.nnf(f))));
+  }
+  for (const auto& s : valid_texts) {
+    jobs.push_back(il::engine::tableau_valid_job(arena, arena.parse(s)));
+  }
+  return jobs;
+}
+
+/// Every iteration constructs a fresh BatchDecider: an empty cache, so the
+/// whole corpus is decided from scratch — the cost a regression sweep pays
+/// without the cache.
+void bench_decision_batch_cold(benchmark::State& state) {
+  il::ltl::Arena arena;
+  const auto jobs = corpus(arena);
+  il::engine::EngineOptions options;
+  options.num_threads = static_cast<std::size_t>(state.range(0));
+  double hit_rate = 0;
+  for (auto _ : state) {
+    il::engine::BatchDecider decider(options);
+    auto results = decider.run(jobs);
+    hit_rate = static_cast<double>(decider.stats().cache_hits) /
+               static_cast<double>(decider.stats().jobs);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+  state.counters["hit_rate"] = hit_rate;
+}
+
+/// One BatchDecider survives across iterations, warmed by a pre-loop run:
+/// every timed batch is pure cache hits.
+void bench_decision_batch_warm(benchmark::State& state) {
+  il::ltl::Arena arena;
+  const auto jobs = corpus(arena);
+  il::engine::EngineOptions options;
+  options.num_threads = static_cast<std::size_t>(state.range(0));
+  il::engine::BatchDecider decider(options);
+  {
+    auto warmup = decider.run(jobs);
+    benchmark::DoNotOptimize(warmup);
+  }
+  double hit_rate = 0;
+  for (auto _ : state) {
+    auto results = decider.run(jobs);
+    hit_rate = static_cast<double>(decider.stats().cache_hits) /
+               static_cast<double>(decider.stats().jobs);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+  state.counters["hit_rate"] = hit_rate;
+}
+
+}  // namespace
+
+BENCHMARK(bench_decision_batch_cold)->Arg(1)->Arg(2);
+BENCHMARK(bench_decision_batch_warm)->Arg(1)->Arg(2);
+
+BENCHMARK_MAIN();

@@ -124,11 +124,41 @@ void bench_lll_batch_engine(benchmark::State& state) {
   state.counters["jobs"] = static_cast<double>(jobs.size());
 }
 
+/// The same fleet re-decided through one long-lived BatchDecider: after the
+/// first batch every probe is a DecisionCache hit, the regression-corpus
+/// shape the cross-batch cache exists for.
+void bench_lll_batch_engine_warm(benchmark::State& state) {
+  std::vector<il::engine::DecisionJob> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(il::engine::lll_sat_job(nested(1 + (i % 2))));
+  jobs.push_back(il::engine::lll_sat_job(
+      starts_no_later(concat(lit("p"), tstar()), concat(lit("q"), tstar()))));
+  jobs.push_back(il::engine::lll_sat_job(iter_star(concat(lit("P"), tstar()), lit("Q"))));
+  jobs.push_back(
+      il::engine::lll_sat_job(conj(infloop(lit("x")), semi(tstar(), lit("x", true)))));
+  il::engine::EngineOptions options;
+  options.num_threads = static_cast<std::size_t>(state.range(0));
+  il::engine::BatchDecider decider(options);
+  {
+    auto warmup = decider.run(jobs);
+    benchmark::DoNotOptimize(warmup);
+  }
+  double hit_rate = 0;
+  for (auto _ : state) {
+    auto results = decider.run(jobs);
+    hit_rate = static_cast<double>(decider.stats().cache_hits) /
+               static_cast<double>(decider.stats().jobs);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+  state.counters["hit_rate"] = hit_rate;
+}
+
 }  // namespace
 
 BENCHMARK(bench_nested_iterators)->DenseRange(1, 3);
 BENCHMARK(bench_nested_decision)->DenseRange(1, 2);
 BENCHMARK(bench_deep_first_arg)->DenseRange(1, 3);
 BENCHMARK(bench_lll_batch_engine)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(bench_lll_batch_engine_warm)->Arg(1)->Arg(4);
 
 BENCHMARK_MAIN();

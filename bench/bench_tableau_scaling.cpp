@@ -103,6 +103,36 @@ void bench_tableau_batch_engine(benchmark::State& state) {
   state.counters["jobs"] = static_cast<double>(batch);
 }
 
+/// The same tableau fleet through one long-lived BatchDecider: batches after
+/// the first resolve entirely from the cross-batch DecisionCache on the
+/// calling thread (hit_rate reports the warm fraction).
+void bench_tableau_batch_engine_warm(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const std::size_t threads = static_cast<std::size_t>(state.range(1));
+  il::ltl::Arena arena;
+  std::vector<il::engine::DecisionJob> jobs;
+  for (int i = 0; i < batch; ++i) {
+    const std::string text = response_chain(2, "j" + std::to_string(i) + "_");
+    jobs.push_back(il::engine::tableau_sat_job(arena, arena.parse(text)));
+  }
+  il::engine::EngineOptions options;
+  options.num_threads = threads;
+  il::engine::BatchDecider decider(options);
+  {
+    auto warmup = decider.run(jobs);
+    benchmark::DoNotOptimize(warmup);
+  }
+  double hit_rate = 0;
+  for (auto _ : state) {
+    auto results = decider.run(jobs);
+    hit_rate = static_cast<double>(decider.stats().cache_hits) /
+               static_cast<double>(decider.stats().jobs);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["jobs"] = static_cast<double>(batch);
+  state.counters["hit_rate"] = hit_rate;
+}
+
 }  // namespace
 
 BENCHMARK(bench_response_chain)->DenseRange(1, 4);
@@ -113,5 +143,6 @@ BENCHMARK(bench_tableau_batch_engine)
     ->Args({8, 2})
     ->Args({8, 4})
     ->Args({16, 4});
+BENCHMARK(bench_tableau_batch_engine_warm)->Args({8, 1})->Args({16, 4});
 
 BENCHMARK_MAIN();

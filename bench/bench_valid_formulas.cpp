@@ -88,11 +88,50 @@ void bench_valid_corpus_engine(benchmark::State& state) {
   state.counters["all_valid"] = static_cast<double>(all_valid);
 }
 
+/// The same validity corpus through one long-lived BatchDecider: every batch
+/// after the first answers from the cross-batch DecisionCache — the cost of
+/// re-running a lemma regression suite whose formulas did not change.
+void bench_valid_corpus_engine_warm(benchmark::State& state) {
+  const std::vector<std::string> corpus = {
+      "[]p -> p",
+      "[]p -> o p",
+      "[]p -> [][]p",
+      "p -> <>p",
+      "(<>[]p) -> ([]<>p)",
+      "[](p -> q) -> ([]p -> []q)",
+      "!(<>p) <-> []!p",
+      "U(p,q) <-> (q \\/ (p /\\ o U(p,q)))",
+      "SU(p,q) -> <>q",
+  };
+  il::ltl::Arena arena;
+  std::vector<il::engine::DecisionJob> jobs;
+  for (const auto& s : corpus) {
+    jobs.push_back(il::engine::tableau_valid_job(arena, arena.parse(s)));
+  }
+  il::engine::EngineOptions options;
+  options.num_threads = static_cast<std::size_t>(state.range(0));
+  il::engine::BatchDecider decider(options);
+  {
+    auto warmup = decider.run(jobs);
+    benchmark::DoNotOptimize(warmup);
+  }
+  double hit_rate = 0;
+  for (auto _ : state) {
+    auto results = decider.run(jobs);
+    hit_rate = static_cast<double>(decider.stats().cache_hits) /
+               static_cast<double>(decider.stats().jobs);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+  state.counters["hit_rate"] = hit_rate;
+}
+
 }  // namespace
 
 BENCHMARK(bench_v1_distribution)->DenseRange(2, 3);
 BENCHMARK(bench_v9_event_hold)->DenseRange(3, 6);
 BENCHMARK(bench_v15_composition)->DenseRange(2, 3);
 BENCHMARK(bench_valid_corpus_engine)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(bench_valid_corpus_engine_warm)->Arg(1)->Arg(4);
 
 BENCHMARK_MAIN();

@@ -1,11 +1,13 @@
 #include "engine/decision.h"
 
-#include <thread>
+#include <cstring>
+#include <utility>
 
 #include "engine/pool.h"
 #include "lll/decide.h"
 #include "ltl/tableau.h"
 #include "util/assert.h"
+#include "util/hash.h"
 
 namespace il::engine {
 
@@ -64,7 +66,45 @@ DecisionResult run_decision_job(const DecisionJob& job) {
   return r;
 }
 
-BatchDecider::BatchDecider(EngineOptions options) : options_(options) {}
+DecisionCache::Key DecisionCache::key_for(const DecisionJob& job) {
+  Key key;
+  key.kind = static_cast<std::uint8_t>(job.kind);
+  if (job.kind == DecisionJob::Kind::LllSat) {
+    key.id = job.expr;
+  } else {
+    key.arena = job.arena;
+    key.id = job.formula;
+  }
+  return key;
+}
+
+std::size_t DecisionCache::KeyHash::operator()(const Key& k) const {
+  std::size_t h = std::hash<const void*>{}(k.arena);
+  hash_combine(h, static_cast<std::size_t>(static_cast<std::uint32_t>(k.id)));
+  hash_combine(h, static_cast<std::size_t>(k.kind));
+  return h;
+}
+
+const DecisionResult* DecisionCache::lookup(const Key& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void DecisionCache::store(const Key& key, const DecisionResult& result) {
+  if (capacity_ != 0 && map_.size() >= capacity_) return;
+  if (map_.emplace(key, result).second) ++inserts_;
+}
+
+void DecisionCache::clear() { map_.clear(); }
+
+BatchDecider::BatchDecider(EngineOptions options) : options_(options) {
+  cache_.set_capacity(options_.decision_cache_capacity);
+}
 
 std::vector<DecisionResult> BatchDecider::run(const std::vector<DecisionJob>& jobs) {
   stats_ = DecisionEngineStats{};
@@ -79,21 +119,67 @@ std::vector<DecisionResult> BatchDecider::run(const std::vector<DecisionJob>& jo
 
   std::vector<DecisionResult> results(jobs.size());
   if (jobs.empty()) return results;
+  const std::size_t inserts_before = cache_.inserts();
 
-  std::size_t pool = options_.num_threads;
-  if (pool == 0) pool = std::thread::hardware_concurrency();
-  if (pool == 0) pool = 1;
-  if (pool > jobs.size()) pool = jobs.size();
-
-  if (pool <= 1 || jobs.size() == 1) {
-    // Inline fast path: no thread spawn for the sequential-equivalent case.
-    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = run_decision_job(jobs[i]);
+  // Resolve phase, on the calling thread: answer jobs from the cross-batch
+  // cache and collapse within-batch duplicates (regression corpora repeat
+  // formulas; hash-consed ids make the duplicate check one map probe).
+  // `slot[i]` is the index into the distinct-work list, or kResolved.
+  constexpr std::size_t kResolved = ~std::size_t{0};
+  const bool use_cache = options_.decision_cache;
+  std::vector<std::size_t> slot(jobs.size(), kResolved);
+  std::vector<std::size_t> distinct;  // job index of each distinct-work slot
+  std::vector<DecisionCache::Key> distinct_keys;
+  if (use_cache) {
+    std::unordered_map<DecisionCache::Key, std::size_t, DecisionCache::KeyHash> first_seen;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const DecisionCache::Key key = DecisionCache::key_for(jobs[i]);
+      if (const DecisionResult* cached = cache_.lookup(key)) {
+        results[i] = *cached;
+        ++stats_.cache_hits;
+        continue;
+      }
+      ++stats_.cache_misses;
+      const auto [it, inserted] = first_seen.try_emplace(key, distinct.size());
+      if (inserted) {
+        distinct.push_back(i);
+        distinct_keys.push_back(key);
+      }
+      slot[i] = it->second;
+    }
   } else {
-    detail::run_claimed(
-        jobs.size(), pool, [](std::size_t) { return 0; },
-        [&](int&, std::size_t i) { results[i] = run_decision_job(jobs[i]); },
-        [](int&, std::size_t) {});
-    stats_.threads = pool;
+    distinct.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      slot[i] = distinct.size();
+      distinct.push_back(i);
+    }
+  }
+  stats_.unique_jobs = distinct.size();
+
+  std::vector<DecisionResult> decided(distinct.size());
+  if (!distinct.empty()) {
+    const std::size_t pool = detail::effective_pool(distinct.size(), options_.num_threads);
+    if (pool <= 1 || distinct.size() == 1) {
+      // Inline fast path: no thread spawn for the sequential-equivalent case.
+      for (std::size_t d = 0; d < distinct.size(); ++d) {
+        decided[d] = run_decision_job(jobs[distinct[d]]);
+      }
+    } else {
+      detail::run_claimed(
+          distinct.size(), pool, [](std::size_t) { return 0; },
+          [&](int&, std::size_t d) { decided[d] = run_decision_job(jobs[distinct[d]]); },
+          [](int&, std::size_t) {});
+      stats_.threads = pool;
+    }
+  }
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (slot[i] != kResolved) results[i] = decided[slot[i]];
+  }
+  if (use_cache) {
+    for (std::size_t d = 0; d < distinct.size(); ++d) cache_.store(distinct_keys[d], decided[d]);
+    stats_.cache_inserts = cache_.inserts() - inserts_before;
+    stats_.cache_entries = cache_.size();
   }
 
   for (const DecisionResult& r : results) {

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/engine.h"
@@ -64,8 +65,65 @@ struct DecisionEngineStats {
   std::size_t threads = 0;  ///< workers actually spawned (0 = inline)
   std::size_t tableau_jobs = 0;
   std::size_t lll_jobs = 0;
+  std::size_t unique_jobs = 0;  ///< jobs actually decided (cache/dedup removed the rest)
   std::size_t graph_nodes = 0;  ///< summed over jobs
   std::size_t graph_edges = 0;
+  std::size_t cache_hits = 0;     ///< jobs answered by the DecisionCache
+  std::size_t cache_misses = 0;
+  std::size_t cache_inserts = 0;  ///< results stored this run
+  std::size_t cache_entries = 0;  ///< entries resident after the run
+};
+
+/// Cross-batch memo of decision results, mirroring what EvalCache does for
+/// trace checks: the hash-consed intern layer makes a formula a stable
+/// integer, so "have we decided this before" is one map probe on packed ids.
+/// Keys carry the owning arena for tableau jobs (ids are per-arena); LLL
+/// expression ids are process-global, so their arena slot is null.  Entries
+/// referencing an arena are only valid while that arena lives — clear() the
+/// cache (or destroy the BatchDecider) before tearing the arena down.
+/// Consulted once per job on the calling thread, never from workers, so it
+/// needs no synchronization.
+class DecisionCache {
+ public:
+  struct Key {
+    std::uint8_t kind = 0;              ///< DecisionJob::Kind
+    const ltl::Arena* arena = nullptr;  ///< tableau jobs; null for LllSat
+    std::int32_t id = -1;               ///< ltl::Id or lll::ExprId
+
+    bool operator==(const Key& o) const {
+      return kind == o.kind && arena == o.arena && id == o.id;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  static Key key_for(const DecisionJob& job);
+
+  /// The cached result, or nullptr on a miss.  Hit/miss counters are
+  /// updated either way.  The pointer is invalidated by the next store().
+  const DecisionResult* lookup(const Key& key);
+
+  /// Stores `result`; no-op once the soft capacity is reached (the cache
+  /// never evicts — regression corpora are bounded).
+  void store(const Key& key, const DecisionResult& result);
+
+  void clear();
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+  std::size_t inserts() const { return inserts_; }
+  std::size_t size() const { return map_.size(); }
+
+  /// Soft cap on stored entries; 0 means unlimited.
+  void set_capacity(std::size_t cap) { capacity_ = cap; }
+
+ private:
+  std::unordered_map<Key, DecisionResult, KeyHash> map_;
+  std::size_t capacity_ = 1u << 20;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t inserts_ = 0;
 };
 
 class BatchDecider {
@@ -73,17 +131,27 @@ class BatchDecider {
   explicit BatchDecider(EngineOptions options = {});
 
   /// Decides every job; results[i] corresponds to jobs[i].  Deterministic:
-  /// independent of thread count and scheduling.  Exceptions thrown by a
-  /// job (e.g. the LLL subset-construction explosion guard) are captured
-  /// and rethrown on the calling thread for the lowest-indexed failing job.
+  /// independent of thread count, scheduling, and cache temperature.
+  /// When options().decision_cache is set (the default), the calling thread
+  /// first resolves every job against the cross-batch DecisionCache and
+  /// collapses within-batch duplicates, then fans out only the distinct
+  /// unresolved jobs; their results are stored back, so an identical batch
+  /// re-run is pure cache hits.  Exceptions thrown by a job (e.g. the LLL
+  /// graph budget guard) are captured and rethrown on the calling thread
+  /// for the lowest-indexed failing job.
   std::vector<DecisionResult> run(const std::vector<DecisionJob>& jobs);
 
   const EngineOptions& options() const { return options_; }
   const DecisionEngineStats& stats() const { return stats_; }
+  const DecisionCache& cache() const { return cache_; }
+  /// Drops every cached entry (required before destroying an arena whose
+  /// jobs were decided through this decider, if the decider outlives it).
+  void clear_cache() { cache_.clear(); }
 
  private:
   EngineOptions options_;
   DecisionEngineStats stats_;
+  DecisionCache cache_;
 };
 
 /// Decides one job — the unit of work a BatchDecider worker executes,

@@ -35,10 +35,7 @@ std::vector<CheckResult> BatchChecker::run(const std::vector<CheckJob>& jobs) {
   std::vector<CheckResult> results(jobs.size());
   if (jobs.empty()) return results;
 
-  std::size_t pool = options_.num_threads;
-  if (pool == 0) pool = std::thread::hardware_concurrency();
-  if (pool == 0) pool = 1;
-  if (pool > jobs.size()) pool = jobs.size();
+  const std::size_t pool = detail::effective_pool(jobs.size(), options_.num_threads);
 
   const auto make_cache = [this]() {
     EvalCache cache;

@@ -48,6 +48,16 @@ struct EngineOptions {
 
   /// Soft cap on entries per worker cache; 0 = unlimited.
   std::size_t memo_capacity = 1u << 22;
+
+  /// Cross-batch decision-result cache on BatchDecider (engine/decision.h):
+  /// (job kind, formula/expression id) → full DecisionResult, consulted on
+  /// the calling thread before any work fans out, so repeated formulas —
+  /// within one batch or across a regression corpus of batches — are
+  /// decided once.  Irrelevant to BatchChecker.
+  bool decision_cache = true;
+
+  /// Soft cap on decision-cache entries; 0 = unlimited.
+  std::size_t decision_cache_capacity = 1u << 20;
 };
 
 /// Aggregate counters from the last run().  The memo_* fields sum the

@@ -15,6 +15,18 @@
 
 namespace il::engine::detail {
 
+/// Resolves EngineOptions::num_threads against a workload: 0 means the
+/// hardware concurrency, and the pool never exceeds the number of jobs.
+/// Shared by both batch front-ends so "how many workers will this spawn"
+/// has exactly one answer.
+inline std::size_t effective_pool(std::size_t jobs, std::size_t requested) {
+  std::size_t pool = requested;
+  if (pool == 0) pool = std::thread::hardware_concurrency();
+  if (pool == 0) pool = 1;
+  if (pool > jobs) pool = jobs;
+  return pool;
+}
+
 /// Runs `body(state, i)` for every i in [0, count) across `pool` worker
 /// threads.  `make_worker(w)` builds per-worker state on the worker thread;
 /// `finish(state, w)` runs there after the claim loop drains (use it to

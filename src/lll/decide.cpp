@@ -1,11 +1,9 @@
 #include "lll/decide.h"
 
 #include <algorithm>
-#include <climits>
 #include <cstdint>
-#include <map>
-#include <set>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "util/assert.h"
@@ -13,78 +11,32 @@
 namespace il::lll {
 namespace {
 
-/// Dense-integer view of a graph: every basis-subset node occurring
-/// anywhere (graph nodes, END, edge endpoints, eventuality components, node
-/// relations) is mapped to one index, and per-edge eventuality/relation
-/// sets become sorted int-pair vectors, so the deletion fixpoint and the
-/// eventuality chain search do no GNode (vector) comparisons at all.
-struct IndexedGraph {
-  std::map<GNode, int> node_idx;
-  std::vector<int> graph_nodes;  ///< indices of g.nodes (END excluded)
-  int init = -1;
-  int end = -1;
-
-  struct Edge {
-    int from = -1;
-    int to = -1;
-    std::vector<std::pair<int, int>> evs;  ///< (primitive, node idx), sorted
-    std::vector<std::pair<int, int>> ses;
-    std::vector<std::pair<int, int>> rel;  ///< (x idx, y idx), sorted by x
-  };
-  std::vector<Edge> edges;
-  std::vector<std::vector<std::size_t>> out_edges;  ///< per node idx
-
-  int idx_of(const GNode& n) {
-    auto [it, inserted] = node_idx.try_emplace(n, static_cast<int>(node_idx.size()));
-    return it->second;
-  }
-
-  explicit IndexedGraph(const Graph& g) {
-    end = idx_of(end_node());
-    init = idx_of(g.init);
-    for (const GNode& n : g.nodes) graph_nodes.push_back(idx_of(n));
-    edges.reserve(g.edges.size());
-    for (const GEdge& e : g.edges) {
-      Edge ie;
-      ie.from = idx_of(e.from);
-      ie.to = idx_of(e.to);
-      for (const auto& [v, n] : e.evs) ie.evs.emplace_back(v, idx_of(n));
-      for (const auto& [v, n] : e.ses) ie.ses.emplace_back(v, idx_of(n));
-      for (const auto& [x, y] : e.rel) ie.rel.emplace_back(idx_of(x), idx_of(y));
-      std::sort(ie.evs.begin(), ie.evs.end());
-      std::sort(ie.ses.begin(), ie.ses.end());
-      std::sort(ie.rel.begin(), ie.rel.end());
-      edges.push_back(std::move(ie));
-    }
-    out_edges.resize(node_idx.size());
-    for (std::size_t i = 0; i < edges.size(); ++i) {
-      out_edges[static_cast<std::size_t>(edges[i].from)].push_back(i);
-    }
-  }
-};
-
 /// Can eventuality `ev` (as labeled on edge `start`) be satisfied?  Searches
 /// chains e_i, e_{i+1}, ... where the eventuality is transformed by each
 /// edge's node relation and discharged by membership in some se(e_j).  The
 /// primitive is constant along a chain, so the visited set is (edge, node).
-bool eventuality_satisfiable(const IndexedGraph& ig, const std::vector<char>& edge_alive,
-                             std::size_t start, const std::pair<int, int>& ev) {
-  const int prim = ev.first;
+/// Everything is already dense: edges carry interned payload-span ids and
+/// nodes are pool ids, so the search is pure integer work on sorted spans.
+bool eventuality_satisfiable(const Graph& g, const std::vector<std::vector<std::size_t>>& out_edges,
+                             const std::vector<char>& edge_alive, std::size_t start, const Ev& ev) {
+  const NodePool& pool = *g.pool;
+  const std::int32_t prim = ev.first;
   std::unordered_set<std::uint64_t> visited;
-  std::vector<std::pair<std::size_t, int>> stack{{start, ev.second}};
+  std::vector<std::pair<std::size_t, NodeId>> stack{{start, ev.second}};
   while (!stack.empty()) {
     auto [eidx, cur] = stack.back();
     stack.pop_back();
     if (!edge_alive[eidx]) continue;
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(eidx) << 32) | static_cast<std::uint32_t>(cur);
+    const std::uint64_t key = (static_cast<std::uint64_t>(eidx) << 32) | cur;
     if (!visited.insert(key).second) continue;
-    const IndexedGraph::Edge& e = ig.edges[eidx];
-    if (std::binary_search(e.ses.begin(), e.ses.end(), std::make_pair(prim, cur))) return true;
+    const GEdge& e = g.edges[eidx];
+    const Span<Ev> ses = pool.evs(e.ses);
+    if (std::binary_search(ses.begin(), ses.end(), Ev{prim, cur})) return true;
     // Transform through this edge's node relation and step to successors.
-    auto lo = std::lower_bound(e.rel.begin(), e.rel.end(), std::make_pair(cur, INT_MIN));
-    for (auto it = lo; it != e.rel.end() && it->first == cur; ++it) {
-      for (std::size_t succ : ig.out_edges[static_cast<std::size_t>(e.to)]) {
+    const Span<Rel> rel = pool.rels(e.rel);
+    auto lo = std::lower_bound(rel.begin(), rel.end(), Rel{cur, 0});
+    for (auto it = lo; it != rel.end() && it->first == cur; ++it) {
+      for (std::size_t succ : out_edges[e.to]) {
         if (edge_alive[succ]) stack.push_back({succ, it->second});
       }
     }
@@ -95,21 +47,26 @@ bool eventuality_satisfiable(const IndexedGraph& ig, const std::vector<char>& ed
 }  // namespace
 
 DecisionStats iterate_graph(Graph& g) {
+  IL_REQUIRE(g.pool != nullptr, "iterate_graph needs a pool-backed graph");
   DecisionStats stats;
   stats.nodes = g.node_count();
   stats.edges = g.edge_count();
 
   // END is accepting: a finite constraint may be followed by anything.
   if (g.has_end) {
-    GEdge loop;
-    loop.from = end_node();
-    loop.to = end_node();
+    GEdge loop;  // from == to == END, empty payloads
     g.edges.push_back(std::move(loop));
   }
 
-  IndexedGraph ig(g);
-  std::vector<char> edge_alive(ig.edges.size(), 1);
-  std::vector<char> node_dead(ig.node_idx.size(), 0);
+  // The substrate already indexes everything: node ids are pool-dense, edge
+  // payloads are interned sorted spans.  Build only the per-node out-edge
+  // lists (the one piece of derived state the fixpoint needs).
+  const std::size_t n_ids = g.pool->node_count();
+  std::vector<std::vector<std::size_t>> out_edges(n_ids);
+  for (std::size_t i = 0; i < g.edges.size(); ++i) out_edges[g.edges[i].from].push_back(i);
+
+  std::vector<char> edge_alive(g.edges.size(), 1);
+  std::vector<char> node_dead(n_ids, 0);
 
   // Immediately kill contradictory edges.
   for (std::size_t i = 0; i < g.edges.size(); ++i) {
@@ -119,17 +76,16 @@ DecisionStats iterate_graph(Graph& g) {
   for (bool changed = true; changed;) {
     changed = false;
     ++stats.iterations;
-    for (std::size_t i = 0; i < ig.edges.size(); ++i) {
+    for (std::size_t i = 0; i < g.edges.size(); ++i) {
       if (!edge_alive[i]) continue;
-      const IndexedGraph::Edge& e = ig.edges[i];
-      if (node_dead[static_cast<std::size_t>(e.from)] ||
-          node_dead[static_cast<std::size_t>(e.to)]) {
+      const GEdge& e = g.edges[i];
+      if (node_dead[e.from] || node_dead[e.to]) {
         edge_alive[i] = 0;
         changed = true;
         continue;
       }
-      for (const auto& ev : e.evs) {
-        if (!eventuality_satisfiable(ig, edge_alive, i, ev)) {
+      for (const Ev& ev : g.pool->evs(e.evs)) {
+        if (!eventuality_satisfiable(g, out_edges, edge_alive, i, ev)) {
           edge_alive[i] = 0;
           changed = true;
           break;
@@ -137,17 +93,17 @@ DecisionStats iterate_graph(Graph& g) {
       }
     }
     // Nodes with no alive outgoing edges die (END has its self-loop).
-    for (int n : ig.graph_nodes) {
-      if (node_dead[static_cast<std::size_t>(n)]) continue;
+    for (NodeId n : g.nodes) {
+      if (node_dead[n]) continue;
       bool has_out = false;
-      for (std::size_t eidx : ig.out_edges[static_cast<std::size_t>(n)]) {
+      for (std::size_t eidx : out_edges[n]) {
         if (edge_alive[eidx]) {
           has_out = true;
           break;
         }
       }
       if (!has_out) {
-        node_dead[static_cast<std::size_t>(n)] = 1;
+        node_dead[n] = 1;
         changed = true;
       }
     }
@@ -156,13 +112,13 @@ DecisionStats iterate_graph(Graph& g) {
   // Write the verdict back onto the caller's graph (alive flags are part of
   // the Graph interface) and collect the stats.
   for (std::size_t i = 0; i < g.edges.size(); ++i) g.edges[i].alive = edge_alive[i] != 0;
-  for (int n : ig.graph_nodes) {
-    if (!node_dead[static_cast<std::size_t>(n)]) ++stats.alive_nodes;
+  for (NodeId n : g.nodes) {
+    if (!node_dead[n]) ++stats.alive_nodes;
   }
   for (std::size_t i = 0; i < g.edges.size(); ++i) {
     if (edge_alive[i]) ++stats.alive_edges;
   }
-  stats.satisfiable = !node_dead[static_cast<std::size_t>(ig.init)];
+  stats.satisfiable = !node_dead[g.init];
   return stats;
 }
 

@@ -13,10 +13,11 @@
 // The iteration repeatedly deletes: edges with contradictory propositional
 // parts, edges carrying an unsatisfiable eventuality, and nodes with no
 // remaining outgoing edges.  The formula is satisfiable iff the initial
-// node survives.  Internally every basis-subset node (including the nodes
-// appearing inside eventualities and node relations) is mapped to a dense
-// integer index once, so the deletion loop and the eventuality chain search
-// are pure integer work.
+// node survives.  The graph substrate (lll/graph.h) already hands every
+// basis-subset node to us as a dense pool id and every eventuality/relation
+// payload as an interned sorted span, so the deletion loop and the
+// eventuality chain search run directly on the built graph — no per-decision
+// re-indexing pass.
 #pragma once
 
 #include <cstddef>

@@ -1,41 +1,71 @@
 #include "lll/encode.h"
 
+#include <unordered_map>
+
 #include "util/assert.h"
 
 namespace il::lll {
+namespace {
 
-ExprId encode_ltl(const ltl::Arena& arena, ltl::Id formula) {
+/// The arena hash-conses subformulas, so a shared subtree appears once per
+/// distinct id: memoizing on the id keeps the translation linear in the DAG
+/// size even when the formula tree (e.g. an unfolded macro) is exponential.
+ExprId encode_rec(const ltl::Arena& arena, ltl::Id formula,
+                  std::unordered_map<ltl::Id, ExprId>& memo) {
+  const auto it = memo.find(formula);
+  if (it != memo.end()) return it->second;
   const ltl::Node& n = arena.node(formula);
+  ExprId out = kNoExpr;
   switch (n.kind) {
     case ltl::Kind::True:
-      return tstar();
+      out = tstar();
+      break;
     case ltl::Kind::False:
-      return ff();
+      out = ff();
+      break;
     case ltl::Kind::Atom:
       // p -> p T*  (p now, anything afterwards).  The atom's interned
       // symbol id is reused verbatim as the LLL variable.
-      return concat(lit_sym(n.sym), tstar());
+      out = concat(lit_sym(n.sym), tstar());
+      break;
     case ltl::Kind::NegAtom:
-      return concat(lit_sym(n.sym, /*negated=*/true), tstar());
+      out = concat(lit_sym(n.sym, /*negated=*/true), tstar());
+      break;
     case ltl::Kind::And:
-      return conj(encode_ltl(arena, n.a), encode_ltl(arena, n.b));
+      out = conj(encode_rec(arena, n.a, memo), encode_rec(arena, n.b, memo));
+      break;
     case ltl::Kind::Or:
-      return disj(encode_ltl(arena, n.a), encode_ltl(arena, n.b));
+      out = disj(encode_rec(arena, n.a, memo), encode_rec(arena, n.b, memo));
+      break;
     case ltl::Kind::Next:
-      return semi(tt(), encode_ltl(arena, n.a));
+      out = semi(tt(), encode_rec(arena, n.a, memo));
+      break;
     case ltl::Kind::Always:
-      return infloop(encode_ltl(arena, n.a));
+      out = infloop(encode_rec(arena, n.a, memo));
+      break;
     case ltl::Kind::Eventually:
-      return iter_star(tstar(), encode_ltl(arena, n.a));
+      out = iter_star(tstar(), encode_rec(arena, n.a, memo));
+      break;
     case ltl::Kind::Until:
-      return iter_paren(encode_ltl(arena, n.a), encode_ltl(arena, n.b));
+      out = iter_paren(encode_rec(arena, n.a, memo), encode_rec(arena, n.b, memo));
+      break;
     case ltl::Kind::StrongUntil:
-      return iter_star(encode_ltl(arena, n.a), encode_ltl(arena, n.b));
+      out = iter_star(encode_rec(arena, n.a, memo), encode_rec(arena, n.b, memo));
+      break;
     case ltl::Kind::Not:
     case ltl::Kind::Implies:
       IL_REQUIRE(false, "encode_ltl requires NNF input");
   }
-  IL_CHECK(false, "unreachable");
+  IL_CHECK(out != kNoExpr, "unreachable");
+  memo.emplace(formula, out);
+  return out;
+}
+
+}  // namespace
+
+ExprId encode_ltl(const ltl::Arena& arena, ltl::Id formula) {
+  std::unordered_map<ltl::Id, ExprId> memo;
+  return encode_rec(arena, formula, memo);
 }
 
 ExprId starts_no_later(ExprId a, ExprId b, bool hide_markers, std::string_view marker_a,

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <deque>
-#include <functional>
-#include <map>
+#include <stdexcept>
 
 #include "util/assert.h"
 #include "util/strings.h"
@@ -11,16 +10,23 @@
 namespace il::lll {
 namespace {
 
-GNode set_union(const GNode& a, const GNode& b) {
-  GNode out;
-  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
-  return out;
-}
-
 Conj conj_merge(const Conj& a, const Conj& b) {
   Conj out = a;
   out.merge(b);
   return out;
+}
+
+/// Merges two sorted-unique id vectors.
+std::vector<NodeId> merge_nodes(const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+void insert_node(std::vector<NodeId>& nodes, NodeId n) {
+  auto it = std::lower_bound(nodes.begin(), nodes.end(), n);
+  if (it == nodes.end() || *it != n) nodes.insert(it, n);
 }
 
 }  // namespace
@@ -28,11 +34,25 @@ Conj conj_merge(const Conj& a, const Conj& b) {
 std::string Graph::to_string() const {
   std::string out = "init=" + [&] {
     std::vector<std::string> xs;
-    for (int b : init) xs.push_back(std::to_string(b));
+    if (pool) {
+      for (int b : pool->basis(init)) xs.push_back(std::to_string(b));
+    }
     return "{" + join(xs, ",") + "}";
   }();
   out += " nodes=" + std::to_string(node_count()) + " edges=" + std::to_string(edges.size());
+  if (pool) out += " payload_bytes=" + std::to_string(pool->payload_bytes());
   return out;
+}
+
+void GraphBuilder::require_budget(std::size_t projected_edges, const char* stage) const {
+  const std::size_t bytes = pool_->payload_bytes();
+  if (projected_edges > edge_budget_ || bytes > payload_byte_budget_) {
+    throw std::invalid_argument(
+        std::string(stage) + " exceeded the graph budget (edges=" +
+        std::to_string(projected_edges) + "/" + std::to_string(edge_budget_) +
+        ", payload_bytes=" + std::to_string(bytes) + "/" +
+        std::to_string(payload_byte_budget_) + ")");
+  }
 }
 
 Graph GraphBuilder::build(ExprId id) {
@@ -82,12 +102,13 @@ Graph GraphBuilder::build(ExprId id) {
 
 Graph GraphBuilder::build_leaf(const Conj& prop) {
   Graph g;
-  g.init = {fresh_basis()};
-  g.nodes.insert(g.init);
+  g.pool = pool_;
+  g.init = pool_->intern_node({fresh_basis()});
+  g.nodes = {g.init};
   g.has_end = true;
   GEdge e;
   e.from = g.init;
-  e.to = end_node();
+  e.to = kEndNode;
   e.prop = prop;
   g.edges.push_back(std::move(e));
   return g;
@@ -95,27 +116,28 @@ Graph GraphBuilder::build_leaf(const Conj& prop) {
 
 Graph GraphBuilder::build_tstar() {
   Graph g;
-  g.init = {fresh_basis()};
-  g.nodes.insert(g.init);
+  g.pool = pool_;
+  g.init = pool_->intern_node({fresh_basis()});
+  g.nodes = {g.init};
   g.has_end = true;
   GEdge self;
   self.from = g.init;
   self.to = g.init;
-  self.rel.insert({g.init, g.init});
+  self.rel = pool_->rel_singleton(g.init, g.init);
   g.edges.push_back(self);
   GEdge fin;
   fin.from = g.init;
-  fin.to = end_node();
+  fin.to = kEndNode;
   g.edges.push_back(fin);
   return g;
 }
 
 Graph GraphBuilder::build_or(Graph a, Graph b) {
   Graph g;
-  g.init = {fresh_basis()};
-  g.nodes.insert(g.init);
-  g.nodes.insert(a.nodes.begin(), a.nodes.end());
-  g.nodes.insert(b.nodes.begin(), b.nodes.end());
+  g.pool = pool_;
+  g.init = pool_->intern_node({fresh_basis()});
+  g.nodes = merge_nodes(a.nodes, b.nodes);
+  insert_node(g.nodes, g.init);
   g.has_end = a.has_end || b.has_end;
   // Copies of the initial edges of both operands, re-rooted at the new init.
   auto add_copies = [&](const Graph& src, bool b_side) {
@@ -134,24 +156,26 @@ Graph GraphBuilder::build_or(Graph a, Graph b) {
     e.b_side = true;
     g.edges.push_back(std::move(e));
   }
+  require_budget(g.edges.size(), "choice composition");
   return g;
 }
 
 Graph GraphBuilder::build_semi(Graph a, Graph b) {
   // END-edges of `a` are redirected to init(b); no state overlap.
   Graph g;
+  g.pool = pool_;
   g.init = a.init;
-  g.nodes = a.nodes;
-  g.nodes.insert(b.nodes.begin(), b.nodes.end());
+  g.nodes = merge_nodes(a.nodes, b.nodes);
   g.has_end = b.has_end;
   for (GEdge& e : a.edges) {
     if (is_end(e.to)) {
       e.to = b.init;
-      e.rel.insert({e.from, b.init});
+      e.rel = pool_->union_rels(e.rel, pool_->rel_singleton(e.from, b.init));
     }
     g.edges.push_back(std::move(e));
   }
   for (GEdge& e : b.edges) g.edges.push_back(std::move(e));
+  require_budget(g.edges.size(), "serial composition");
   return g;
 }
 
@@ -159,18 +183,17 @@ Graph GraphBuilder::build_concat(Graph a, Graph b) {
   // One-state overlap: an END-edge <m, END, C> of `a` becomes, for every
   // initial edge <init(b), n, D> of `b`, an edge <m, n, C /\ D>.
   Graph g;
+  g.pool = pool_;
   g.init = a.init;
-  g.nodes = a.nodes;
-  g.nodes.insert(b.nodes.begin(), b.nodes.end());
+  g.nodes = merge_nodes(a.nodes, b.nodes);
   g.has_end = b.has_end;
   // Budget the edges actually emitted: only a's END-edges multiply with b's
   // initial edges; everything else passes through once.
   std::size_t a_end_edges = 0, b_init_edges = 0;
   for (const GEdge& e : a.edges) a_end_edges += is_end(e.to) ? 1 : 0;
   for (const GEdge& e : b.edges) b_init_edges += e.from == b.init ? 1 : 0;
-  IL_REQUIRE((a.edges.size() - a_end_edges) + a_end_edges * b_init_edges + b.edges.size() <=
-                 edge_budget_,
-             "serial composition exceeded the edge budget");
+  require_budget((a.edges.size() - a_end_edges) + a_end_edges * b_init_edges + b.edges.size(),
+                 "serial composition");
   for (GEdge& e : a.edges) {
     if (!is_end(e.to)) {
       g.edges.push_back(std::move(e));
@@ -182,54 +205,53 @@ Graph GraphBuilder::build_concat(Graph a, Graph b) {
       merged.from = e.from;
       merged.to = be.to;
       merged.prop = conj_merge(e.prop, be.prop);
-      merged.evs = e.evs;
-      merged.evs.insert(be.evs.begin(), be.evs.end());
-      merged.ses = e.ses;
-      merged.ses.insert(be.ses.begin(), be.ses.end());
-      merged.rel = e.rel;
-      merged.rel.insert(be.rel.begin(), be.rel.end());
+      merged.evs = pool_->union_evs(e.evs, be.evs);
+      merged.ses = pool_->union_evs(e.ses, be.ses);
+      merged.rel = pool_->union_rels(e.rel, be.rel);
       g.edges.push_back(std::move(merged));
+      // Per-edge: the payload arena must not blow past its byte budget
+      // mid-product (the unions above intern as they go).
+      require_budget(g.edges.size(), "serial composition");
     }
   }
   for (GEdge& e : b.edges) g.edges.push_back(std::move(e));
+  require_budget(g.edges.size(), "serial composition");
   return g;
 }
 
 Graph GraphBuilder::build_and(Graph a, Graph b, bool same_length) {
   Graph g;
-  g.init = set_union(a.init, b.init);
+  g.pool = pool_;
+  g.init = pool_->union_nodes(a.init, b.init);
   // Product nodes plus (for /\ only) the component nodes: the longer
   // computation continues alone after the shorter one ends.
-  for (const GNode& m : a.nodes) {
-    for (const GNode& n : b.nodes) g.nodes.insert(set_union(m, n));
+  std::vector<NodeId> nodes;
+  nodes.reserve(a.nodes.size() * b.nodes.size() + (same_length ? 0 : a.nodes.size() + b.nodes.size()));
+  for (NodeId m : a.nodes) {
+    for (NodeId n : b.nodes) nodes.push_back(pool_->union_nodes(m, n));
   }
   if (!same_length) {
-    g.nodes.insert(a.nodes.begin(), a.nodes.end());
-    g.nodes.insert(b.nodes.begin(), b.nodes.end());
+    nodes.insert(nodes.end(), a.nodes.begin(), a.nodes.end());
+    nodes.insert(nodes.end(), b.nodes.begin(), b.nodes.end());
   }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  g.nodes = std::move(nodes);
   g.has_end = a.has_end && b.has_end;
 
   // Product edges, plus (for /\) the continuation copies of both operands.
   const std::size_t continuation = same_length ? 0 : a.edges.size() + b.edges.size();
-  IL_REQUIRE(a.edges.size() * b.edges.size() + continuation <= edge_budget_,
-             "concurrent composition exceeded the edge budget");
+  require_budget(a.edges.size() * b.edges.size() + continuation, "concurrent composition");
 
   auto product_edge = [&](const GEdge& ea, const GEdge& eb) {
     GEdge e;
-    e.from = set_union(ea.from, eb.from);
-    const bool both_end = is_end(ea.to) && is_end(eb.to);
-    if (both_end) {
-      e.to = end_node();
-    } else {
-      e.to = set_union(ea.to, eb.to);  // END contributes nothing to the union
-    }
+    e.from = pool_->union_nodes(ea.from, eb.from);
+    // END contributes nothing to the union, so both-END lands on END itself.
+    e.to = pool_->union_nodes(ea.to, eb.to);
     e.prop = conj_merge(ea.prop, eb.prop);
-    e.evs = ea.evs;
-    e.evs.insert(eb.evs.begin(), eb.evs.end());
-    e.ses = ea.ses;
-    e.ses.insert(eb.ses.begin(), eb.ses.end());
-    e.rel = ea.rel;
-    e.rel.insert(eb.rel.begin(), eb.rel.end());
+    e.evs = pool_->union_evs(ea.evs, eb.evs);
+    e.ses = pool_->union_evs(ea.ses, eb.ses);
+    e.rel = pool_->union_rels(ea.rel, eb.rel);
     return e;
   };
 
@@ -240,6 +262,9 @@ Graph GraphBuilder::build_and(Graph a, Graph b, bool same_length) {
         if (is_end(ea.to) != is_end(eb.to)) continue;
       }
       g.edges.push_back(product_edge(ea, eb));
+      // Per-edge: product_edge interns union payloads as it goes, so the
+      // byte budget must be watched inside the loop, not only after it.
+      require_budget(g.edges.size(), "concurrent composition");
     }
   }
   if (!same_length) {
@@ -247,6 +272,7 @@ Graph GraphBuilder::build_and(Graph a, Graph b, bool same_length) {
     for (const GEdge& e : a.edges) g.edges.push_back(e);
     for (const GEdge& e : b.edges) g.edges.push_back(e);
   }
+  require_budget(g.edges.size(), "concurrent composition");
   return g;
 }
 
@@ -270,52 +296,87 @@ Graph GraphBuilder::build_scoped(Kind kind, std::uint32_t var, Graph a) {
 }
 
 Graph GraphBuilder::disjoin(Graph g) {
-  // Check whether the nodes are already pairwise disjoint.
+  // Check whether the nodes are already pairwise disjoint.  Basis elements
+  // are dense builder-local ints, so membership is a flat bitmap.
   bool disjoint = true;
-  std::set<int> seen;
-  for (const GNode& n : g.nodes) {
-    for (int b : n) {
-      if (!seen.insert(b).second) {
+  std::vector<char> seen(static_cast<std::size_t>(next_basis_), 0);
+  for (NodeId n : g.nodes) {
+    for (int b : pool_->basis(n)) {
+      char& slot = seen[static_cast<std::size_t>(b)];
+      if (slot) {
         disjoint = false;
         break;
       }
+      slot = 1;
     }
     if (!disjoint) break;
   }
   if (disjoint) return g;
 
-  // Rename each node's basis elements freshly; map nodes wholesale.
-  std::map<GNode, GNode> theta;
-  for (const GNode& n : g.nodes) {
-    GNode renamed;
-    renamed.reserve(n.size());
-    for (std::size_t i = 0; i < n.size(); ++i) renamed.push_back(fresh_basis());
-    std::sort(renamed.begin(), renamed.end());
-    theta[n] = std::move(renamed);
+  // Rename each node's basis elements freshly; map node ids wholesale
+  // through a dense theta (ids are per-build dense, so a flat vector works).
+  constexpr NodeId kUnmapped = ~NodeId{0};
+  std::vector<NodeId> theta(pool_->node_count(), kUnmapped);
+  for (NodeId n : g.nodes) {
+    std::vector<int> renamed;
+    renamed.reserve(pool_->basis(n).size());
+    for (std::size_t i = 0; i < pool_->basis(n).size(); ++i) renamed.push_back(fresh_basis());
+    // fresh_basis() is increasing, so `renamed` is already sorted.
+    theta[n] = pool_->intern_node(renamed);
   }
-  auto map_node = [&](const GNode& n) -> GNode {
+  auto map_node = [&](NodeId n) -> NodeId {
     if (is_end(n)) return n;
-    auto it = theta.find(n);
     // Subsets that are not nodes of the graph (possible inside eventuality
     // components after deep composition) are kept unchanged; see DESIGN.md.
-    return it == theta.end() ? n : it->second;
+    const NodeId t = n < theta.size() ? theta[n] : kUnmapped;
+    return t == kUnmapped ? n : t;
+  };
+  // Payload remaps memoized per interned set (hash-consed payloads repeat
+  // across many edges).
+  std::unordered_map<EvSetId, EvSetId> ev_memo;
+  std::unordered_map<RelSetId, RelSetId> rel_memo;
+  auto map_evs = [&](EvSetId id) -> EvSetId {
+    if (id == kEmptySet) return id;
+    auto it = ev_memo.find(id);
+    if (it != ev_memo.end()) return it->second;
+    std::vector<Ev> out;
+    const Span<Ev> s = pool_->evs(id);
+    out.reserve(s.size());
+    for (const Ev& e : s) out.emplace_back(e.first, map_node(e.second));
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    const EvSetId mapped = pool_->intern_evs(out);
+    ev_memo.emplace(id, mapped);
+    return mapped;
+  };
+  auto map_rels = [&](RelSetId id) -> RelSetId {
+    if (id == kEmptySet) return id;
+    auto it = rel_memo.find(id);
+    if (it != rel_memo.end()) return it->second;
+    std::vector<Rel> out;
+    const Span<Rel> s = pool_->rels(id);
+    out.reserve(s.size());
+    for (const Rel& r : s) out.emplace_back(map_node(r.first), map_node(r.second));
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    const RelSetId mapped = pool_->intern_rels(out);
+    rel_memo.emplace(id, mapped);
+    return mapped;
   };
 
   Graph out;
+  out.pool = pool_;
   out.has_end = g.has_end;
   out.init = map_node(g.init);
-  for (const GNode& n : g.nodes) out.nodes.insert(theta[n]);
+  out.nodes.reserve(g.nodes.size());
+  for (NodeId n : g.nodes) out.nodes.push_back(theta[n]);
+  std::sort(out.nodes.begin(), out.nodes.end());
   for (GEdge e : g.edges) {
     e.from = map_node(e.from);
     e.to = map_node(e.to);
-    std::set<Eventuality> evs, ses;
-    for (const auto& [v, n] : e.evs) evs.insert({v, map_node(n)});
-    for (const auto& [v, n] : e.ses) ses.insert({v, map_node(n)});
-    e.evs = std::move(evs);
-    e.ses = std::move(ses);
-    std::set<std::pair<GNode, GNode>> rel;
-    for (const auto& [x, y] : e.rel) rel.insert({map_node(x), map_node(y)});
-    e.rel = std::move(rel);
+    e.evs = map_evs(e.evs);
+    e.ses = map_evs(e.ses);
+    e.rel = map_rels(e.rel);
     out.edges.push_back(std::move(e));
   }
   return out;
@@ -330,83 +391,82 @@ Graph GraphBuilder::build_iter(IterKind kind, Graph a, const Graph* b) {
     gp = build_or(std::move(a), *b);
   } else {
     Graph empty;  // build_or against an edgeless placeholder
-    empty.init = {fresh_basis()};
-    empty.nodes.insert(empty.init);
+    empty.pool = pool_;
+    empty.init = pool_->intern_node({fresh_basis()});
+    empty.nodes = {empty.init};
     gp = build_or(std::move(a), std::move(empty));
   }
 
-  // Index G' nodes densely so marker sets are sorted vectors of small ints.
-  std::map<GNode, int> node_idx;
-  std::vector<const GNode*> idx_node;
-  auto idx_of = [&](const GNode& n) {
-    auto [it, inserted] = node_idx.try_emplace(n, static_cast<int>(idx_node.size()));
-    if (inserted) idx_node.push_back(&it->first);
-    return it->second;
-  };
+  const NodeId m0 = gp.init;
 
-  const GNode m0 = gp.init;
-  const int m0_idx = idx_of(m0);
-
-  // Outgoing edges per node index, with the target pre-indexed (-1 == END).
+  // Outgoing edges per node id (ids are pool-dense, so a flat table).
   struct ERef {
     const GEdge* e;
-    int to;
+    NodeId to;
   };
-  std::vector<std::vector<ERef>> out_edges;
-  for (const GEdge& e : gp.edges) {
-    const int from = idx_of(e.from);
-    if (from >= static_cast<int>(out_edges.size())) out_edges.resize(from + 1);
-    out_edges[from].push_back({&e, is_end(e.to) ? -1 : idx_of(e.to)});
-  }
-  out_edges.resize(idx_node.size());
+  std::vector<std::vector<ERef>> out_edges(pool_->node_count());
+  for (const GEdge& e : gp.edges) out_edges[e.from].push_back({&e, e.to});
 
   const int v = (kind == IterKind::Star) ? fresh_ev() : -1;
+  const EvSetId ev_v_m0 = v >= 0 ? pool_->ev_singleton(v, m0) : kEmptySet;
+  const RelSetId rel_m0_m0 = pool_->rel_singleton(m0, m0);
 
-  // Marker sets: sorted vectors of G' node indices.  Reachable subset
-  // construction.
-  using Marks = std::vector<int>;
+  // Marker sets: sorted vectors of G' node ids, interned exactly like nodes
+  // so the reachable-subset visited check is "did interning mint a new id".
+  using Marks = std::vector<NodeId>;
+  detail::SpanInterner<NodeId> mark_sets;
+
   auto union_basis = [&](const Marks& marks) {
-    GNode u;
-    for (int n : marks) u = set_union(u, *idx_node[static_cast<std::size_t>(n)]);
+    NodeId u = kEndNode;
+    for (NodeId n : marks) u = pool_->union_nodes(u, n);
     return u;
   };
 
   Graph out;
+  out.pool = pool_;
   out.init = m0;  // the singleton marker set {m0} unions to m0 itself
-  out.nodes.insert(out.init);
+  // Node ids are pool-dense, so membership is a flat bitmap and the node
+  // list is collected unsorted (one sort at the end) — O(1) per target,
+  // where a sorted-vector insert would go quadratic on big constructions.
+  std::vector<char> node_seen;
+  auto add_node = [&](NodeId n) {
+    if (n >= node_seen.size()) node_seen.resize(static_cast<std::size_t>(n) + 1, 0);
+    if (node_seen[n]) return;
+    node_seen[n] = 1;
+    out.nodes.push_back(n);
+  };
+  add_node(out.init);
 
-  std::set<Marks> visited;
   std::deque<Marks> work;
-  const Marks start{m0_idx};
+  const Marks start{m0};
+  mark_sets.intern(start);
   work.push_back(start);
-  visited.insert(start);
 
   // Enumerates every way to pick one edge per marked node subject to a
   // filter, producing composite edges.
-  auto for_each_choice = [&](const Marks& marks,
-                             const std::function<bool(const ERef&)>& allowed,
-                             const std::function<void(const std::vector<const ERef*>&)>& emit) {
+  auto for_each_choice = [&](const Marks& marks, auto&& allowed, auto&& emit) {
     std::vector<std::vector<const ERef*>> options;
-    for (int n : marks) {
+    options.reserve(marks.size());
+    for (NodeId n : marks) {
       std::vector<const ERef*> opts;
-      for (const ERef& e : out_edges[static_cast<std::size_t>(n)]) {
+      for (const ERef& e : out_edges[n]) {
         if (allowed(e)) opts.push_back(&e);
       }
       if (opts.empty()) return;  // some marker cannot move
       options.push_back(std::move(opts));
     }
     std::vector<const ERef*> choice(options.size());
-    std::function<void(std::size_t)> rec = [&](std::size_t i) {
+    auto rec = [&](auto&& self, std::size_t i) -> void {
       if (i == options.size()) {
         emit(choice);
         return;
       }
       for (const ERef* e : options[i]) {
         choice[i] = e;
-        rec(i + 1);
+        self(self, i + 1);
       }
     };
-    rec(0);
+    rec(rec, 0);
   };
 
   auto compose = [&](const std::vector<const ERef*>& parts, bool spawn,
@@ -416,30 +476,30 @@ Graph GraphBuilder::build_iter(IterKind kind, Graph a, const Graph* b) {
     bool all_end = true;
     for (const ERef* p : parts) {
       e.prop.merge(p->e->prop);
-      e.evs.insert(p->e->evs.begin(), p->e->evs.end());
-      e.ses.insert(p->e->ses.begin(), p->e->ses.end());
-      e.rel.insert(p->e->rel.begin(), p->e->rel.end());
-      if (p->to >= 0) {
+      e.evs = pool_->union_evs(e.evs, p->e->evs);
+      e.ses = pool_->union_evs(e.ses, p->e->ses);
+      e.rel = pool_->union_rels(e.rel, p->e->rel);
+      if (!is_end(p->to)) {
         all_end = false;
         to_marks.push_back(p->to);
       }
     }
     if (spawn) {
       // The init marker reproduces: implicit self edge <m0, m0, T, θ_{m0,m0}>.
-      to_marks.push_back(m0_idx);
-      e.rel.insert({m0, m0});
+      to_marks.push_back(m0);
+      e.rel = pool_->union_rels(e.rel, rel_m0_m0);
       all_end = false;
     }
     if (v >= 0) {
       if (b_transition) {
-        e.ses.insert({v, m0});
+        e.ses = pool_->union_evs(e.ses, ev_v_m0);
       } else if (spawn) {
         // Only the pre-b a-transitions (where the initial marker is still
         // reproducing) assert the eventuality <v, m0>.  Post-b edges must
         // not: the obligation was discharged by the b-transition, and
         // re-asserting it there would delete every computation whose b part
         // is infinite (e.g. iter*(T*, infloop(p)), the encoding of <>[]p).
-        e.evs.insert({v, m0});
+        e.evs = pool_->union_evs(e.evs, ev_v_m0);
       }
     }
     std::sort(to_marks.begin(), to_marks.end());
@@ -449,21 +509,21 @@ Graph GraphBuilder::build_iter(IterKind kind, Graph a, const Graph* b) {
   };
 
   while (!work.empty()) {
-    const Marks marks = work.front();
+    const Marks marks = std::move(work.front());
     work.pop_front();
-    const GNode from_node = union_basis(marks);
-    const bool has_init = std::binary_search(marks.begin(), marks.end(), m0_idx);
+    const NodeId from_node = union_basis(marks);
+    const bool has_init = std::binary_search(marks.begin(), marks.end(), m0);
 
     auto emit_edge = [&](GEdge e, const Marks& to_marks) {
-      IL_REQUIRE(out.edges.size() < edge_budget_, "iterator subset construction exploded");
+      require_budget(out.edges.size() + 1, "iterator subset construction");
       e.from = from_node;
       if (to_marks.empty()) {
-        e.to = end_node();
+        e.to = kEndNode;
         out.has_end = true;
       } else {
         e.to = union_basis(to_marks);
-        out.nodes.insert(e.to);
-        if (visited.insert(to_marks).second) work.push_back(to_marks);
+        add_node(e.to);
+        if (mark_sets.intern(to_marks).second) work.push_back(to_marks);
       }
       out.edges.push_back(std::move(e));
     };
@@ -506,6 +566,7 @@ Graph GraphBuilder::build_iter(IterKind kind, Graph a, const Graph* b) {
           });
     }
   }
+  std::sort(out.nodes.begin(), out.nodes.end());
   return out;
 }
 

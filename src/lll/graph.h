@@ -16,18 +16,33 @@
 //     iter forms, a b-transition starts `b`; iter* adds an eventuality
 //     forcing the b-transition to happen.
 //
+// Representation: every basis subset a build touches — graph nodes, edge
+// endpoints, the node components of eventualities, both sides of the node
+// relations — is interned once into a per-build NodePool and referenced by
+// a dense uint32 NodeId (0 == END).  Edges are POD-sized records
+// {from, to, prop, evs, ses, rel} whose eventuality/relation payloads are
+// ids of interned sorted spans in a shared arena: structurally identical
+// payloads (rampant under the /\-product, which used to materialize a
+// duplicate std::set per edge) are stored once and compared by id, and
+// every composition step — build_or/semi/concat/and/iter, disjoin, the
+// marker subset construction — is an integer merge/union pass with the
+// unions themselves memoized on id pairs.
+//
 // The subset construction for the iterators is performed over *reachable*
 // marker sets only (the paper's definition ranges over all subsets; the
 // reachable fragment decides the same language and keeps the benchmarkable
-// blowup honest), with marker sets held as sorted vectors of dense node
-// indices — the inner loops are integer merges, not string or tree
-// comparisons.  Before iterating, `a` is node-disjoined per the paper.
+// blowup honest), with marker sets interned exactly like nodes so the
+// visited check is "did interning mint a fresh id".  Before iterating, `a`
+// is node-disjoined per the paper.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <set>
+#include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "lll/ast.h"
@@ -35,29 +50,180 @@
 
 namespace il::lll {
 
-/// A node: a sorted set of node-basis elements.  Empty == END.
-using GNode = std::vector<int>;
+/// Dense per-build id of an interned basis subset.  0 is END (the empty
+/// subset); every other id names a distinct non-empty sorted subset.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kEndNode = 0;
 
-inline GNode end_node() { return {}; }
-inline bool is_end(const GNode& n) { return n.empty(); }
+inline bool is_end(NodeId n) { return n == kEndNode; }
 
-/// Eventuality: an eventuality primitive paired with a node.
-using Eventuality = std::pair<int, GNode>;
+/// Eventuality: an eventuality primitive paired with an interned node.
+using Ev = std::pair<std::int32_t, NodeId>;
+/// One pair of the node relation R_e.
+using Rel = std::pair<NodeId, NodeId>;
+
+/// Id of an interned sorted Ev/Rel span; 0 is the empty set.
+using EvSetId = std::uint32_t;
+using RelSetId = std::uint32_t;
+inline constexpr std::uint32_t kEmptySet = 0;
+
+/// Read-only view into a pool arena.
+template <typename T>
+struct Span {
+  const T* ptr = nullptr;
+  std::size_t len = 0;
+
+  const T* begin() const { return ptr; }
+  const T* end() const { return ptr + len; }
+  std::size_t size() const { return len; }
+  bool empty() const { return len == 0; }
+  const T& operator[](std::size_t i) const { return ptr[i]; }
+};
+
+namespace detail {
+
+/// Interns sorted-unique element runs into one contiguous arena, handing
+/// out dense uint32 ids (0 == the empty run).  Equal runs share one id, so
+/// equality is id equality and set unions can be memoized on id pairs.
+/// Elements must be totally ordered and hashable via elem_key().
+template <typename T>
+class SpanInterner {
+ public:
+  SpanInterner() { refs_.push_back({0, 0}); }  // id 0: the empty span
+
+  /// Returns (id, minted): `minted` is true iff the run was new.
+  std::pair<std::uint32_t, bool> intern(const T* data, std::size_t len) {
+    if (len == 0) return {0, false};
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= elem_key(data[i]);
+      h *= 1099511628211ull;
+    }
+    auto& bucket = buckets_[h];
+    for (std::uint32_t id : bucket) {
+      const Ref r = refs_[id];
+      if (r.len == len && std::equal(data, data + len, arena_.begin() + r.off)) {
+        return {id, false};
+      }
+    }
+    const auto id = static_cast<std::uint32_t>(refs_.size());
+    refs_.push_back({static_cast<std::uint32_t>(arena_.size()), static_cast<std::uint32_t>(len)});
+    arena_.insert(arena_.end(), data, data + len);
+    bucket.push_back(id);
+    return {id, true};
+  }
+  std::pair<std::uint32_t, bool> intern(const std::vector<T>& v) {
+    return intern(v.data(), v.size());
+  }
+
+  Span<T> span(std::uint32_t id) const {
+    const Ref r = refs_[id];
+    return {arena_.data() + r.off, r.len};
+  }
+
+  /// Interned runs minted so far (including the empty run).
+  std::size_t size() const { return refs_.size(); }
+  /// Bytes of arena storage behind all interned runs.
+  std::size_t element_bytes() const { return arena_.size() * sizeof(T); }
+
+  /// Memoized sorted-set union; commutative, so keys are ordered id pairs.
+  std::uint32_t set_union(std::uint32_t a, std::uint32_t b) {
+    if (a == b || b == 0) return a;
+    if (a == 0) return b;
+    if (a > b) std::swap(a, b);
+    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+    auto it = union_memo_.find(key);
+    if (it != union_memo_.end()) return it->second;
+    const Span<T> sa = span(a);
+    const Span<T> sb = span(b);
+    std::vector<T> out;
+    out.reserve(sa.size() + sb.size());
+    std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(), std::back_inserter(out));
+    const std::uint32_t id = intern(out).first;
+    union_memo_.emplace(key, id);
+    return id;
+  }
+
+ private:
+  struct Ref {
+    std::uint32_t off = 0;
+    std::uint32_t len = 0;
+  };
+
+  static std::uint64_t elem_key(int e) { return static_cast<std::uint64_t>(e); }
+  static std::uint64_t elem_key(std::uint32_t e) { return e; }
+  template <typename A, typename B>
+  static std::uint64_t elem_key(const std::pair<A, B>& e) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.first)) << 32) |
+           static_cast<std::uint32_t>(e.second);
+  }
+
+  std::vector<T> arena_;
+  std::vector<Ref> refs_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets_;
+  std::unordered_map<std::uint64_t, std::uint32_t> union_memo_;
+};
+
+}  // namespace detail
+
+/// The per-build interning substrate: basis subsets to NodeIds, eventuality
+/// sets to EvSetIds, node relations to RelSetIds — each deduped by hash into
+/// a shared arena.  All composition loops work on these ids; the decision
+/// iteration (lll/decide.cpp) reads the spans back without any remapping.
+class NodePool {
+ public:
+  /// Interns a sorted-unique basis subset (empty == END == id 0).
+  NodeId intern_node(const std::vector<int>& sorted_basis) {
+    return nodes_.intern(sorted_basis).first;
+  }
+  Span<int> basis(NodeId id) const { return nodes_.span(id); }
+  NodeId union_nodes(NodeId a, NodeId b) { return nodes_.set_union(a, b); }
+  /// Ids minted so far (dense: every id < node_count()).
+  std::size_t node_count() const { return nodes_.size(); }
+
+  EvSetId intern_evs(const std::vector<Ev>& sorted_evs) { return evs_.intern(sorted_evs).first; }
+  Span<Ev> evs(EvSetId id) const { return evs_.span(id); }
+  EvSetId union_evs(EvSetId a, EvSetId b) { return evs_.set_union(a, b); }
+  EvSetId ev_singleton(std::int32_t prim, NodeId node) {
+    return intern_evs({Ev{prim, node}});
+  }
+
+  RelSetId intern_rels(const std::vector<Rel>& sorted_rels) {
+    return rels_.intern(sorted_rels).first;
+  }
+  Span<Rel> rels(RelSetId id) const { return rels_.span(id); }
+  RelSetId union_rels(RelSetId a, RelSetId b) { return rels_.set_union(a, b); }
+  RelSetId rel_singleton(NodeId x, NodeId y) { return intern_rels({Rel{x, y}}); }
+
+  /// Arena bytes behind every interned basis subset and payload span — the
+  /// quantity the GraphBuilder budget guards alongside the edge count (a
+  /// few edges carrying enormous relation sets are as dangerous as many
+  /// edges).
+  std::size_t payload_bytes() const {
+    return nodes_.element_bytes() + evs_.element_bytes() + rels_.element_bytes();
+  }
+
+ private:
+  detail::SpanInterner<int> nodes_;
+  detail::SpanInterner<Ev> evs_;
+  detail::SpanInterner<Rel> rels_;
+};
 
 struct GEdge {
-  GNode from;
-  GNode to;  ///< empty == END
+  NodeId from = kEndNode;
+  NodeId to = kEndNode;  ///< kEndNode == END
   Conj prop;
-  std::set<Eventuality> evs;
-  std::set<Eventuality> ses;                 ///< satisfied eventualities
-  std::set<std::pair<GNode, GNode>> rel;     ///< node relation R_e
-  bool b_side = false;  ///< used during iterator construction
+  EvSetId evs = kEmptySet;
+  EvSetId ses = kEmptySet;   ///< satisfied eventualities
+  RelSetId rel = kEmptySet;  ///< node relation R_e
+  bool b_side = false;       ///< used during iterator construction
   bool alive = true;
 };
 
 struct Graph {
-  std::set<GNode> nodes;  ///< excludes END
-  GNode init;
+  std::shared_ptr<NodePool> pool;  ///< owns every id this graph references
+  std::vector<NodeId> nodes;       ///< sorted-unique, excludes END
+  NodeId init = kEndNode;
   std::vector<GEdge> edges;
   bool has_end = false;
 
@@ -67,7 +233,7 @@ struct Graph {
 };
 
 /// Compiles an expression to its graph.  `basis` and `ev_primitives` are
-/// fresh-id counters shared across one compilation.
+/// fresh-id counters shared across one compilation, as is the NodePool.
 class GraphBuilder {
  public:
   /// Hard cap on edges any single construction step may produce.  The
@@ -78,17 +244,30 @@ class GraphBuilder {
   /// probing feasibility (e.g. corpus filters) can pass a tighter budget.
   static constexpr std::size_t kDefaultEdgeBudget = 500000;
 
-  explicit GraphBuilder(std::size_t edge_budget = kDefaultEdgeBudget)
-      : edge_budget_(edge_budget) {}
+  /// Companion cap on interned-payload arena bytes (NodePool::payload_bytes):
+  /// the edge count alone can be dodged by a handful of edges whose relation
+  /// or eventuality sets are enormous, so the guard checks both and the
+  /// thrown message reports both.
+  static constexpr std::size_t kDefaultPayloadByteBudget = std::size_t{64} << 20;
+
+  explicit GraphBuilder(std::size_t edge_budget = kDefaultEdgeBudget,
+                        std::size_t payload_byte_budget = kDefaultPayloadByteBudget)
+      : edge_budget_(edge_budget), payload_byte_budget_(payload_byte_budget) {}
 
   Graph build(ExprId expr);
 
   std::size_t basis_used() const { return static_cast<std::size_t>(next_basis_); }
   std::size_t edge_budget() const { return edge_budget_; }
+  std::size_t payload_byte_budget() const { return payload_byte_budget_; }
+  const NodePool& pool() const { return *pool_; }
 
  private:
   int fresh_basis() { return next_basis_++; }
   int fresh_ev() { return next_ev_++; }
+
+  /// Throws std::invalid_argument (reporting edges and payload bytes
+  /// against both budgets) when either budget is exceeded.
+  void require_budget(std::size_t projected_edges, const char* stage) const;
 
   Graph build_leaf(const Conj& prop);
   Graph build_tstar();
@@ -104,9 +283,11 @@ class GraphBuilder {
   /// Renames node-basis elements per node so distinct nodes are disjoint.
   Graph disjoin(Graph g);
 
+  std::shared_ptr<NodePool> pool_ = std::make_shared<NodePool>();
   int next_basis_ = 0;
   int next_ev_ = 0;
   std::size_t edge_budget_ = kDefaultEdgeBudget;
+  std::size_t payload_byte_budget_ = kDefaultPayloadByteBudget;
 };
 
 }  // namespace il::lll

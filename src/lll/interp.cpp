@@ -1,7 +1,8 @@
 #include "lll/interp.h"
 
 #include <algorithm>
-#include <set>
+#include <cstdint>
+#include <unordered_set>
 
 #include "util/assert.h"
 #include "util/strings.h"
@@ -90,7 +91,29 @@ std::string to_string(const PartialInterp& interp) {
 
 namespace {
 
-using Set = std::set<PartialInterp>;
+/// The enumerator's working sets are hashed on the packed literal content —
+/// consistent with the dense graph substrate, model enumeration does no
+/// tree-shaped (lexicographic vector<Conj>) comparisons on the hot path;
+/// ordering is applied once, at the enumerate() boundary.
+struct InterpHash {
+  std::size_t operator()(const PartialInterp& interp) const {
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    for (const Conj& c : interp) {
+      mix(c.contradictory ? 0x9e3779b97f4a7c15ull : 0x85ebca6b0aa9f4edull);
+      for (const auto& [var, val] : c.lits) {
+        mix((static_cast<std::uint64_t>(var) << 1) | static_cast<std::uint64_t>(val));
+      }
+      mix(0xfeedfacecafef00dull);  // conjunction boundary
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+using Set = std::unordered_set<PartialInterp, InterpHash>;
 
 void check_cap(const Set& s, std::size_t cap) {
   IL_REQUIRE(s.size() <= cap, "psi enumeration exceeded cap");
@@ -282,13 +305,18 @@ Set enumerate_rec(ExprId e, std::size_t max_len, std::size_t cap) {
     }
   }
   IL_CHECK(false, "unreachable");
+  return out;  // not reached: IL_CHECK throws
 }
 
 }  // namespace
 
 std::vector<PartialInterp> enumerate(ExprId expr, std::size_t max_len, std::size_t cap) {
   Set s = enumerate_rec(expr, max_len, cap);
-  return {s.begin(), s.end()};
+  std::vector<PartialInterp> out(s.begin(), s.end());
+  // The working sets are hashed; the returned ground truth stays sorted so
+  // callers (and golden tests) see a canonical order.
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 bool satisfiable_bounded(ExprId expr, std::size_t max_len) {

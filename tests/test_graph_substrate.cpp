@@ -1,0 +1,332 @@
+// The dense interned graph substrate (lll/graph.h NodePool) and the engine's
+// cross-batch DecisionCache: differential proof that the sorted-span
+// representation decides exactly the language the tree-shaped PR 3
+// representation did — the seeded 40-formula cross-decision corpus plus the
+// A1/A2/A3 nesting family, against tableau-side verdicts, under 1/2/4-thread
+// BatchDecider pools — plus unit coverage of the pool itself, the
+// byte-aware construction budget, and cache hit/dedup behavior.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/decision.h"
+#include "lll/decide.h"
+#include "lll/encode.h"
+#include "lll/graph.h"
+#include "ltl/formula.h"
+#include "util/rng.h"
+
+namespace il {
+namespace {
+
+using lll::Ev;
+using lll::GraphBuilder;
+using lll::kEndNode;
+using lll::NodeId;
+using lll::NodePool;
+using lll::Rel;
+
+// ---------------------------------------------------------------------------
+// NodePool: interning, unions, payload accounting.
+// ---------------------------------------------------------------------------
+
+TEST(NodePool, InterningDedupsByValue) {
+  NodePool pool;
+  EXPECT_EQ(pool.intern_node({}), kEndNode);
+  const NodeId a = pool.intern_node({1, 3, 5});
+  const NodeId b = pool.intern_node({1, 3, 5});
+  const NodeId c = pool.intern_node({1, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, kEndNode);
+  // Spans read back exactly what was interned.
+  const auto s = pool.basis(a);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 1);
+  EXPECT_EQ(s[1], 3);
+  EXPECT_EQ(s[2], 5);
+  EXPECT_TRUE(pool.basis(kEndNode).empty());
+}
+
+TEST(NodePool, UnionIsMemoizedSetUnion) {
+  NodePool pool;
+  const NodeId a = pool.intern_node({1, 3});
+  const NodeId b = pool.intern_node({2, 3, 7});
+  const NodeId u1 = pool.union_nodes(a, b);
+  const NodeId u2 = pool.union_nodes(b, a);  // commutative, same id
+  EXPECT_EQ(u1, u2);
+  EXPECT_EQ(u1, pool.intern_node({1, 2, 3, 7}));
+  // Identity and END cases.
+  EXPECT_EQ(pool.union_nodes(a, a), a);
+  EXPECT_EQ(pool.union_nodes(a, kEndNode), a);
+  EXPECT_EQ(pool.union_nodes(kEndNode, b), b);
+}
+
+TEST(NodePool, PayloadSetsInternAndMerge) {
+  NodePool pool;
+  const NodeId n1 = pool.intern_node({1});
+  const NodeId n2 = pool.intern_node({2});
+  const auto e1 = pool.intern_evs({Ev{0, n1}});
+  const auto e2 = pool.intern_evs({Ev{0, n1}});
+  EXPECT_EQ(e1, e2);  // hash-deduped: the /\-product shares payloads by id
+  EXPECT_EQ(pool.ev_singleton(0, n1), e1);
+  const auto merged = pool.union_evs(e1, pool.ev_singleton(1, n2));
+  const auto evs = pool.evs(merged);
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0], (Ev{0, n1}));
+  EXPECT_EQ(evs[1], (Ev{1, n2}));
+  EXPECT_EQ(pool.union_evs(merged, e1), merged);  // absorption
+
+  const auto r1 = pool.rel_singleton(n1, n2);
+  const auto r2 = pool.union_rels(r1, pool.rel_singleton(n2, n2));
+  ASSERT_EQ(pool.rels(r2).size(), 2u);
+  EXPECT_EQ(pool.rels(r2)[0], (Rel{n1, n2}));
+  EXPECT_EQ(pool.rels(r2)[1], (Rel{n2, n2}));
+
+  EXPECT_GT(pool.payload_bytes(), 0u);
+  const std::size_t before = pool.payload_bytes();
+  (void)pool.intern_evs({Ev{0, n1}});  // already interned: no growth
+  EXPECT_EQ(pool.payload_bytes(), before);
+  (void)pool.intern_evs({Ev{5, n2}});  // fresh: arena grows
+  EXPECT_GT(pool.payload_bytes(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Construction budget: edge count AND interned-payload bytes.
+// ---------------------------------------------------------------------------
+
+TEST(GraphBudget, EdgeBudgetStillThrowsAndReportsBothCounts) {
+  // iter* of a two-instant body: the subset construction emits more than
+  // three edges immediately.
+  const lll::ExprId e =
+      lll::iter_star(lll::semi(lll::lit("bp"), lll::lit("bp")), lll::lit("bq"));
+  GraphBuilder tight(/*edge_budget=*/3);
+  try {
+    tight.build(e);
+    FAIL() << "edge budget did not trip";
+  } catch (const std::invalid_argument& err) {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find("edges="), std::string::npos) << msg;
+    EXPECT_NE(msg.find("payload_bytes="), std::string::npos) << msg;
+    EXPECT_NE(msg.find("/3"), std::string::npos) << msg;  // the edge budget
+  }
+}
+
+TEST(GraphBudget, PayloadBytesCatchWhatEdgeCountMisses) {
+  // Nested iteration interns marker-set unions and relation payloads well
+  // before the edge count is interesting: a byte budget of 16 bytes trips even
+  // though the edge budget is effectively unlimited.
+  const lll::ExprId e =
+      lll::iter_star(lll::semi(lll::lit("pp"), lll::lit("pp")), lll::lit("pq"));
+  GraphBuilder tight(/*edge_budget=*/1u << 30, /*payload_byte_budget=*/16);
+  try {
+    tight.build(e);
+    FAIL() << "payload-byte budget did not trip";
+  } catch (const std::invalid_argument& err) {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find("payload_bytes="), std::string::npos) << msg;
+    EXPECT_NE(msg.find("/16"), std::string::npos) << msg;  // the byte budget
+  }
+  // The same expression builds fine under the default budgets.
+  GraphBuilder roomy;
+  EXPECT_NO_THROW(roomy.build(e));
+}
+
+// ---------------------------------------------------------------------------
+// Differential: dense substrate vs tableau on the PR 3 corpora.
+// ---------------------------------------------------------------------------
+
+/// The seeded random corpus generator of tests/test_cross_decision.cpp —
+/// same shape, same seed, so this suite decides the very corpus PR 3
+/// locked in, now through the dense substrate.
+ltl::Id random_formula(ltl::Arena& arena, Rng& rng, int depth) {
+  const char* atoms[] = {"p", "q", "r"};
+  if (depth == 0 || rng.chance(0.25)) {
+    const char* name = atoms[rng.below(3)];
+    return rng.chance(0.5) ? arena.atom(name) : arena.neg_atom(name);
+  }
+  switch (rng.below(7)) {
+    case 0:
+      return arena.mk_and(random_formula(arena, rng, depth - 1),
+                          random_formula(arena, rng, depth - 1));
+    case 1:
+      return arena.mk_or(random_formula(arena, rng, depth - 1),
+                         random_formula(arena, rng, depth - 1));
+    case 2:
+      return arena.mk_next(random_formula(arena, rng, depth - 1));
+    case 3:
+      return arena.mk_always(random_formula(arena, rng, depth - 1));
+    case 4:
+      return arena.mk_eventually(random_formula(arena, rng, depth - 1));
+    case 5:
+      return arena.mk_until(random_formula(arena, rng, depth - 1),
+                            random_formula(arena, rng, depth - 1));
+    default:
+      return arena.mk_strong_until(random_formula(arena, rng, depth - 1),
+                                   random_formula(arena, rng, depth - 1));
+  }
+}
+
+bool lll_feasible(lll::ExprId e) {
+  try {
+    GraphBuilder probe(/*edge_budget=*/20000);
+    probe.build(e);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+/// A_n = infloop( iter(*)((p0 ; p0), q0) as ... ) — the Section 4.5
+/// nonelementary family (bench_lll_blowup's A1/A2/A3).
+lll::ExprId nesting_family(int n) {
+  lll::ExprId acc = lll::kNoExpr;
+  for (int i = 0; i < n; ++i) {
+    const std::string p = "p" + std::to_string(i);
+    const std::string q = "q" + std::to_string(i);
+    lll::ExprId it = lll::iter_paren(lll::semi(lll::lit(p), lll::lit(p)), lll::lit(q));
+    acc = acc == lll::kNoExpr ? it : lll::same_len(acc, it);
+  }
+  return lll::infloop(acc);
+}
+
+TEST(GraphSubstrate, DenseVerdictsMatchTableauOnSeededCorpusAcrossThreadCounts) {
+  ltl::Arena arena;
+  Rng rng(0xC0FFEE);
+
+  std::vector<std::string> texts;
+  std::vector<engine::DecisionJob> jobs;  // even = tableau, odd = lll
+  int candidates = 0;
+  while (texts.size() < 40 && candidates < 400) {
+    ++candidates;
+    const ltl::Id f = random_formula(arena, rng, 3);
+    const ltl::Id nnf = arena.nnf(f);
+    const lll::ExprId encoded = lll::encode_ltl(arena, nnf);
+    if (!lll_feasible(encoded)) continue;
+    texts.push_back(arena.to_string(f));
+    jobs.push_back(engine::tableau_sat_job(arena, nnf));
+    jobs.push_back(engine::lll_sat_job(encoded));
+  }
+  ASSERT_EQ(texts.size(), 40u) << "corpus generator starved";
+  // The A1/A2/A3 nesting family rides along (no tableau twin: the family is
+  // native LLL).  All three are satisfiable — a has an infinite a-loop.
+  const std::size_t family_base = jobs.size();
+  for (int n = 1; n <= 3; ++n) jobs.push_back(engine::lll_sat_job(nesting_family(n)));
+
+  std::vector<engine::DecisionResult> reference;
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    engine::EngineOptions options;
+    options.num_threads = threads;
+    const auto results = engine::decide_batch(jobs, options);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < texts.size(); ++i) {
+      EXPECT_EQ(results[2 * i].verdict, results[2 * i + 1].verdict)
+          << "tableau vs dense LLL disagree on: " << texts[i] << " (threads=" << threads << ")";
+    }
+    for (int n = 1; n <= 3; ++n) {
+      EXPECT_TRUE(results[family_base + static_cast<std::size_t>(n) - 1].verdict)
+          << "A" << n << " must be satisfiable";
+    }
+    if (reference.empty()) {
+      reference = results;
+      continue;
+    }
+    // Bit-identical across pool sizes: verdicts and every stat field.
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].verdict, reference[i].verdict) << i;
+      EXPECT_EQ(results[i].graph_nodes, reference[i].graph_nodes) << i;
+      EXPECT_EQ(results[i].graph_edges, reference[i].graph_edges) << i;
+      EXPECT_EQ(results[i].alive_nodes, reference[i].alive_nodes) << i;
+      EXPECT_EQ(results[i].alive_edges, reference[i].alive_edges) << i;
+      EXPECT_EQ(results[i].iterations, reference[i].iterations) << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DecisionCache: cross-batch hits and within-batch dedup.
+// ---------------------------------------------------------------------------
+
+std::vector<engine::DecisionJob> small_corpus(ltl::Arena& arena) {
+  std::vector<engine::DecisionJob> jobs;
+  for (const char* s : {"[]p", "<>p /\\ []!p", "SU(p, q)", "U(p, q) /\\ []!q"}) {
+    const ltl::Id nnf = arena.nnf(arena.parse(s));
+    jobs.push_back(engine::tableau_sat_job(arena, nnf));
+    jobs.push_back(engine::lll_sat_job(lll::encode_ltl(arena, nnf)));
+  }
+  return jobs;
+}
+
+TEST(DecisionCache, RepeatedBatchIsAllHits) {
+  ltl::Arena arena;
+  const auto jobs = small_corpus(arena);
+  engine::BatchDecider decider;
+  const auto cold = decider.run(jobs);
+  EXPECT_EQ(decider.stats().cache_hits, 0u);
+  EXPECT_EQ(decider.stats().cache_misses, jobs.size());
+  EXPECT_EQ(decider.stats().unique_jobs, jobs.size());
+  EXPECT_EQ(decider.stats().cache_inserts, jobs.size());
+
+  const auto warm = decider.run(jobs);
+  EXPECT_EQ(decider.stats().cache_hits, jobs.size());
+  EXPECT_EQ(decider.stats().cache_misses, 0u);
+  EXPECT_EQ(decider.stats().unique_jobs, 0u);
+  EXPECT_EQ(decider.stats().cache_entries, jobs.size());
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(warm[i].verdict, cold[i].verdict) << i;
+    EXPECT_EQ(warm[i].graph_nodes, cold[i].graph_nodes) << i;
+    EXPECT_EQ(warm[i].graph_edges, cold[i].graph_edges) << i;
+    EXPECT_EQ(warm[i].alive_nodes, cold[i].alive_nodes) << i;
+    EXPECT_EQ(warm[i].alive_edges, cold[i].alive_edges) << i;
+    EXPECT_EQ(warm[i].iterations, cold[i].iterations) << i;
+  }
+}
+
+TEST(DecisionCache, WithinBatchDuplicatesDecideOnce) {
+  ltl::Arena arena;
+  const ltl::Id nnf = arena.nnf(arena.parse("[](p -> <>q)"));
+  const auto job = engine::tableau_sat_job(arena, nnf);
+  std::vector<engine::DecisionJob> jobs(5, job);
+  jobs.push_back(engine::lll_sat_job(lll::encode_ltl(arena, nnf)));
+  engine::BatchDecider decider;
+  const auto results = decider.run(jobs);
+  EXPECT_EQ(decider.stats().jobs, 6u);
+  EXPECT_EQ(decider.stats().unique_jobs, 2u);  // one tableau + one lll
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_EQ(results[i].verdict, results[0].verdict);
+    EXPECT_EQ(results[i].graph_nodes, results[0].graph_nodes);
+  }
+}
+
+TEST(DecisionCache, KnobDisablesCachingEntirely) {
+  ltl::Arena arena;
+  const auto jobs = small_corpus(arena);
+  engine::EngineOptions options;
+  options.decision_cache = false;
+  engine::BatchDecider decider(options);
+  decider.run(jobs);
+  decider.run(jobs);
+  EXPECT_EQ(decider.stats().cache_hits, 0u);
+  EXPECT_EQ(decider.stats().cache_entries, 0u);
+  EXPECT_EQ(decider.stats().unique_jobs, jobs.size());
+  EXPECT_EQ(decider.cache().size(), 0u);
+}
+
+TEST(DecisionCache, TableauKeysAreArenaScoped) {
+  // The same formula text in two arenas gets distinct cache slots (ids are
+  // per-arena), while the LLL encoding — interned process-globally — shares.
+  ltl::Arena a1, a2;
+  engine::BatchDecider decider;
+  decider.run({engine::tableau_sat_job(a1, a1.parse("[]p"))});
+  decider.run({engine::tableau_sat_job(a2, a2.parse("[]p"))});
+  EXPECT_EQ(decider.cache().hits(), 0u);
+  decider.run({engine::lll_sat_job(lll::encode_ltl(a1, a1.nnf(a1.parse("[]p"))))});
+  decider.run({engine::lll_sat_job(lll::encode_ltl(a2, a2.nnf(a2.parse("[]p"))))});
+  EXPECT_EQ(decider.cache().hits(), 1u);
+}
+
+}  // namespace
+}  // namespace il
