@@ -22,6 +22,10 @@ Spec monitored_spec() {
   return spec;
 }
 
+// Both cases below compute ONE verdict over an already-observed trace — the
+// one-shot shape, where scratch evaluation is the right mode (and the
+// historical baseline).  The incremental monitor's own shapes — a verdict
+// after every state, warm and cold — live in bench_monitor_incremental.cpp.
 void bench_monitor_per_state(benchmark::State& state) {
   const std::size_t prefix = static_cast<std::size_t>(state.range(0));
   sys::MutexRunConfig config;
@@ -30,7 +34,7 @@ void bench_monitor_per_state(benchmark::State& state) {
   Trace tr = sys::run_mutex(config);
   for (auto _ : state) {
     state.PauseTiming();
-    Monitor m(monitored_spec());
+    Monitor m(monitored_spec(), {}, Monitor::Mode::Scratch);
     for (std::size_t k = 0; k < std::min(prefix, tr.size()); ++k) m.observe(tr.at(k));
     state.ResumeTiming();
     m.observe(tr.at(std::min(prefix, tr.size() - 1)));
@@ -44,7 +48,7 @@ void bench_monitor_full_run(benchmark::State& state) {
   config.entries = static_cast<std::size_t>(state.range(0));
   Trace tr = sys::run_mutex(config);
   for (auto _ : state) {
-    Monitor m(monitored_spec());
+    Monitor m(monitored_spec(), {}, Monitor::Mode::Scratch);
     bool final_ok = true;
     for (std::size_t k = 0; k < tr.size(); ++k) {
       m.observe(tr.at(k));

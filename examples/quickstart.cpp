@@ -7,6 +7,7 @@
 #include "core/bounded.h"
 #include "core/check.h"
 #include "core/diagram.h"
+#include "core/monitor.h"
 #include "core/parser.h"
 #include "core/semantics.h"
 #include "engine/engine.h"
@@ -100,5 +101,37 @@ int main() {
   for (std::size_t i = 0; i < verdicts.size(); ++i) {
     std::printf("  trace %zu: %s\n", i, verdicts[i].to_string().c_str());
   }
+
+  // Streaming: feed states one at a time to an incremental monitor and
+  // read verdicts as they settle.  The response axiom fails *provisionally*
+  // while a request is outstanding (the stuttering extension has no grant
+  // yet) and recovers the moment the grant arrives; under the hood only the
+  // open obligations re-settle — verdicts for closed intervals are pinned.
+  Spec stream_spec;
+  stream_spec.name = "stream";
+  stream_spec.axioms.push_back({"response", parse_formula("[] [ req => ] *grant")});
+  Monitor monitor(stream_spec);  // Monitor::Mode::Incremental is the default
+
+  struct Step {
+    bool req, grant;
+    const char* note;
+  };
+  const Step steps[] = {
+      {false, false, "quiet"},
+      {true, false, "req rises: grant now owed"},
+      {true, false, "still waiting"},
+      {true, true, "grant rises: obligation settles"},
+  };
+  std::printf("\nstreaming %s:\n", stream_spec.axioms[0].formula->to_string().c_str());
+  for (const Step& step : steps) {
+    State s;
+    s.set_bool("req", step.req);
+    s.set_bool("grant", step.grant);
+    const CheckResult verdict = monitor.append(s);  // observe + delta pass
+    std::printf("  %-32s -> %s\n", step.note, verdict.to_string().c_str());
+  }
+  const auto& graph = monitor.obligations();
+  std::printf("  obligations: %zu tracked, %zu settled, %zu re-settlements total\n",
+              graph.size(), graph.settled_count(), graph.recomputes());
   return 0;
 }

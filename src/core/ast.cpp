@@ -57,10 +57,11 @@ struct FormulaFactory {
     f.quant_domain_ = std::move(dom);
   }
   static void finish(Formula& f, std::uint32_t id, std::vector<std::uint32_t> metas,
-                     bool has_star, std::uint32_t depth) {
+                     bool has_star, bool suffix_sensitive, std::uint32_t depth) {
     f.id_ = id;
     f.free_meta_ids_ = std::move(metas);
     f.has_star_ = has_star;
+    f.suffix_sensitive_ = suffix_sensitive;
     f.depth_ = depth;
   }
 };
@@ -76,10 +77,11 @@ struct TermFactory {
   static void set_left(Term& t, TermPtr p) { t.left_ = std::move(p); }
   static void set_right(Term& t, TermPtr p) { t.right_ = std::move(p); }
   static void finish(Term& t, std::uint32_t id, std::vector<std::uint32_t> metas,
-                     bool has_star, std::uint32_t depth) {
+                     bool has_star, bool suffix_sensitive, std::uint32_t depth) {
     t.id_ = id;
     t.free_meta_ids_ = std::move(metas);
     t.has_star_ = has_star;
+    t.suffix_sensitive_ = suffix_sensitive;
     t.depth_ = depth;
   }
 };
@@ -221,7 +223,10 @@ FormulaPtr atom(PredPtr p) {
   key.child[0] = p->id();
   return NodeTable::global().intern<Formula>(key, [&](std::uint32_t id) {
     auto node = FormulaFactory::make(Formula::Kind::Atom);
-    FormulaFactory::finish(*node, id, p->meta_ids(), /*has_star=*/false, /*depth=*/1);
+    // An atom reads exactly the first state of its interval: never sensitive
+    // to how the trace grows past it.
+    FormulaFactory::finish(*node, id, p->meta_ids(), /*has_star=*/false,
+                           /*suffix_sensitive=*/false, /*depth=*/1);
     FormulaFactory::set_pred(*node, std::move(p));
     return node;
   });
@@ -233,15 +238,19 @@ FormulaPtr truth() { return atom(Pred::constant(true)); }
 FormulaPtr falsity() { return atom(Pred::constant(false)); }
 
 namespace {
-/// Unary connectives and temporal operators: one formula child.
+/// Unary connectives and temporal operators: one formula child.  [] and <>
+/// quantify over every start position up to the (growing) trace horizon, so
+/// they are suffix-sensitive regardless of their body; plain negation just
+/// propagates the child flag.
 FormulaPtr unary(Formula::Kind k, FormulaPtr a) {
   IL_REQUIRE(a != nullptr);
   NodeTable::Key key = formula_key(k);
   key.child[0] = a->id();
+  const bool temporal = k == Formula::Kind::Always || k == Formula::Kind::Eventually;
   return NodeTable::global().intern<Formula>(key, [&](std::uint32_t id) {
     auto node = FormulaFactory::make(k);
     FormulaFactory::finish(*node, id, a->free_meta_ids(), a->has_star_modifier(),
-                           1 + a->depth());
+                           temporal || a->suffix_sensitive(), 1 + a->depth());
     FormulaFactory::set_lhs(*node, std::move(a));
     return node;
   });
@@ -256,6 +265,7 @@ FormulaPtr binary(Formula::Kind k, FormulaPtr a, FormulaPtr b) {
     auto node = FormulaFactory::make(k);
     FormulaFactory::finish(*node, id, merge_ids(a->free_meta_ids(), b->free_meta_ids()),
                            a->has_star_modifier() || b->has_star_modifier(),
+                           a->suffix_sensitive() || b->suffix_sensitive(),
                            1 + std::max(a->depth(), b->depth()));
     FormulaFactory::set_lhs(*node, std::move(a));
     FormulaFactory::set_rhs(*node, std::move(b));
@@ -289,6 +299,7 @@ FormulaPtr interval(TermPtr term, FormulaPtr body) {
     auto node = FormulaFactory::make(Formula::Kind::Interval);
     FormulaFactory::finish(*node, id, merge_ids(term->free_meta_ids(), body->free_meta_ids()),
                            term->has_star_modifier() || body->has_star_modifier(),
+                           term->suffix_sensitive() || body->suffix_sensitive(),
                            1 + std::max(term->depth(), body->depth()));
     FormulaFactory::set_term(*node, std::move(term));
     FormulaFactory::set_lhs(*node, std::move(body));
@@ -303,7 +314,7 @@ FormulaPtr occurs(TermPtr term) {
   return NodeTable::global().intern<Formula>(key, [&](std::uint32_t id) {
     auto node = FormulaFactory::make(Formula::Kind::Occurs);
     FormulaFactory::finish(*node, id, term->free_meta_ids(), term->has_star_modifier(),
-                           1 + term->depth());
+                           term->suffix_sensitive(), 1 + term->depth());
     FormulaFactory::set_term(*node, std::move(term));
     return node;
   });
@@ -323,7 +334,8 @@ FormulaPtr quantifier(Formula::Kind k, std::string var, std::vector<std::int64_t
     // The quantifier binds its own variable: only the body's *other* meta
     // references are free here.
     FormulaFactory::finish(*node, id, remove_id(body->free_meta_ids(), var_id),
-                           body->has_star_modifier(), 1 + body->depth());
+                           body->has_star_modifier(), body->suffix_sensitive(),
+                           1 + body->depth());
     FormulaFactory::set_quant(*node, var_id, std::move(domain));
     FormulaFactory::set_lhs(*node, std::move(body));
     return node;
@@ -356,8 +368,11 @@ TermPtr event(FormulaPtr defining_formula) {
   key.child[0] = defining_formula->id();
   return NodeTable::global().intern<Term>(key, [&](std::uint32_t id) {
     auto node = TermFactory::make(Term::Kind::Event);
+    // Locating an event scans the changeset up to the trace horizon, and an
+    // unfound change may yet appear: always suffix-sensitive.
     TermFactory::finish(*node, id, defining_formula->free_meta_ids(),
-                        defining_formula->has_star_modifier(), 1 + defining_formula->depth());
+                        defining_formula->has_star_modifier(), /*suffix_sensitive=*/true,
+                        1 + defining_formula->depth());
     TermFactory::set_event(*node, std::move(defining_formula));
     return node;
   });
@@ -376,7 +391,7 @@ TermPtr wrap(Term::Kind k, TermPtr inner) {
     auto node = TermFactory::make(k);
     TermFactory::finish(*node, id, inner->free_meta_ids(),
                         k == Term::Kind::Star || inner->has_star_modifier(),
-                        1 + inner->depth());
+                        inner->suffix_sensitive(), 1 + inner->depth());
     TermFactory::set_arg(*node, std::move(inner));
     return node;
   });
@@ -394,6 +409,8 @@ TermPtr arrow(Term::Kind k, TermPtr left, TermPtr right) {
     TermFactory::finish(*node, id, merge_ids(lm, rm),
                         (left && left->has_star_modifier()) ||
                             (right && right->has_star_modifier()),
+                        (left && left->suffix_sensitive()) ||
+                            (right && right->suffix_sensitive()),
                         1 + std::max(depth_of(left), depth_of(right)));
     TermFactory::set_left(*node, std::move(left));
     TermFactory::set_right(*node, std::move(right));

@@ -92,6 +92,16 @@ class Formula {
   /// at construction.
   bool has_star_modifier() const { return has_star_; }
 
+  /// True if evaluating this formula over a right-open interval <lo, inf>
+  /// can read states beyond lo — i.e. its verdict on a growing trace may
+  /// change as states are appended.  Temporal operators ([] / <>) and
+  /// anything containing an event term are suffix-sensitive; atoms and
+  /// boolean/quantifier combinations of them are not (they read exactly the
+  /// first state of the interval).  O(1): cached at construction.  This is
+  /// the flag the incremental monitor (core/incremental.h) uses to split
+  /// evaluation into pinned (settled-forever) and open obligations.
+  bool suffix_sensitive() const { return suffix_sensitive_; }
+
  private:
   friend struct FormulaFactory;
   void append_vars(std::vector<std::string>& out) const;
@@ -107,6 +117,7 @@ class Formula {
   std::uint32_t id_ = kNoNode;
   std::vector<std::uint32_t> free_meta_ids_;
   bool has_star_ = false;
+  bool suffix_sensitive_ = false;
   std::uint32_t depth_ = 1;
 };
 
@@ -139,6 +150,11 @@ class Term {
   void collect_metas(std::vector<std::string>& out) const;
   /// O(1): cached at construction.
   bool has_star_modifier() const { return has_star_; }
+  /// True if locating this term inside a right-open context can read states
+  /// beyond the context start (any Event within makes the changeset scan
+  /// horizon-bounded; bare arrow skeletons are insensitive).  O(1): cached
+  /// at construction.
+  bool suffix_sensitive() const { return suffix_sensitive_; }
 
  private:
   friend struct TermFactory;
@@ -152,6 +168,7 @@ class Term {
   std::uint32_t id_ = kNoNode;
   std::vector<std::uint32_t> free_meta_ids_;
   bool has_star_ = false;
+  bool suffix_sensitive_ = false;
   std::uint32_t depth_ = 1;
 };
 

@@ -10,8 +10,9 @@
 // whole formula language:
 //
 //   - structural equality is pointer (or id) equality,
-//   - per-node metadata (free meta-variable ids, star flags, depth) is
-//     computed once at construction instead of by repeated tree walks,
+//   - per-node metadata (free meta-variable ids, star flags, suffix
+//     sensitivity, depth) is computed once at construction instead of by
+//     repeated tree walks,
 //   - memoization keys shrink to packed integers (core/memo.h),
 //   - the tables are append-only and, after specs are built, read-only —
 //     engine workers share them with no synchronization on the hot path.

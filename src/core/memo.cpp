@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "core/intern.h"
+#include "util/assert.h"
+
 namespace il {
 
 namespace {
@@ -100,5 +103,112 @@ void EvalCache::clear() {
   inserts_ = 0;
   env_overflows_ = 0;
 }
+
+bool restrict_env_span(const std::vector<std::uint32_t>& metas, const Env& env,
+                       std::uint8_t& n_env, std::uint32_t* metas_out,
+                       std::int64_t* values_out) {
+  n_env = 0;
+  if (metas.empty() || env.empty()) return true;
+  const auto& bound = env.bindings();
+  std::size_t bi = 0;
+  for (std::uint32_t meta : metas) {
+    while (bi < bound.size() && bound[bi].first < meta) ++bi;
+    if (bi == bound.size()) break;
+    if (bound[bi].first != meta) continue;
+    if (n_env == EvalCache::kMaxEnv) return false;
+    metas_out[n_env] = meta;
+    values_out[n_env] = bound[bi].second;
+    ++n_env;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ObligationGraph
+// ---------------------------------------------------------------------------
+
+ObligationGraph::ObligationGraph() {
+  // Slot 0 is the horizon sentinel: permanently open, never recomputed, the
+  // root of the invalidation walk.
+  obligations_.emplace_back();
+  reverse_.emplace_back();
+}
+
+std::size_t ObligationGraph::KeyHash::operator()(const Key& k) const {
+  std::uint64_t h = mix64((static_cast<std::uint64_t>(k.node) << 8) |
+                          static_cast<std::uint64_t>(k.op));
+  h ^= mix64(k.lo + 0x9e3779b97f4a7c15ull * k.n_env);
+  for (std::uint8_t i = 0; i < k.n_env; ++i) {
+    h ^= mix64((static_cast<std::uint64_t>(k.metas[i]) << 32) ^
+               static_cast<std::uint64_t>(k.values[i]));
+  }
+  return static_cast<std::size_t>(h);
+}
+
+void ObligationGraph::begin_epoch() {
+  ++epoch_;
+  // Change propagation: everything the live suffix can reach through the
+  // reverse-dependency index must re-settle; settled obligations are
+  // firewalls (their result is pinned, so nothing changes through them).
+  // Settlement is permanent, so settled parents are compacted out of each
+  // reverse list as the walk passes — the pass stays proportional to the
+  // *open* frontier, not to every obligation the run has ever settled.
+  last_dirtied_ = 0;
+  std::vector<ObId> stack = {kHorizon};
+  while (!stack.empty()) {
+    const ObId child = stack.back();
+    stack.pop_back();
+    std::vector<ObId>& parents = reverse_[child];
+    std::size_t w = 0;
+    for (const ObId parent : parents) {
+      Obligation& ob = obligations_[parent];
+      if (ob.settled) continue;  // drop the edge: it can never matter again
+      parents[w++] = parent;
+      if (ob.dirty) continue;
+      ob.dirty = true;
+      ++last_dirtied_;
+      ++total_dirtied_;
+      stack.push_back(parent);
+    }
+    parents.resize(w);
+  }
+}
+
+ObligationGraph::ObId ObligationGraph::obtain(const Key& key) {
+  const auto [it, inserted] = index_.try_emplace(key, static_cast<ObId>(obligations_.size()));
+  if (inserted) {
+    Obligation ob;
+    ob.key = key;
+    obligations_.push_back(std::move(ob));
+    reverse_.emplace_back();
+  }
+  return it->second;
+}
+
+void ObligationGraph::add_dep(ObId parent, ObId child) {
+  IL_CHECK(parent < obligations_.size() && child < reverse_.size());
+  const std::uint64_t packed = (static_cast<std::uint64_t>(parent) << 32) | child;
+  if (!edge_set_.insert(packed).second) return;
+  obligations_[parent].deps.push_back(child);
+  reverse_[child].push_back(parent);
+}
+
+void ObligationGraph::reset() {
+  obligations_.clear();
+  index_.clear();
+  reverse_.clear();
+  edge_set_.clear();
+  obligations_.emplace_back();
+  reverse_.emplace_back();
+  last_dirtied_ = 0;
+}
+
+std::size_t ObligationGraph::settled_count() const {
+  std::size_t n = 0;
+  for (std::size_t i = 1; i < obligations_.size(); ++i) n += obligations_[i].settled ? 1 : 0;
+  return n;
+}
+
+std::size_t ObligationGraph::open_count() const { return size() - settled_count(); }
 
 }  // namespace il

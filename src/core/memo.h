@@ -23,9 +23,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace il {
+
+class Env;
 
 class EvalCache {
  public:
@@ -119,6 +123,177 @@ class EvalCache {
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
   std::size_t inserts_ = 0;
+  std::size_t env_overflows_ = 0;
+};
+
+/// Restricts the ambient bindings to a node's free metas (both sides sorted
+/// by id: a linear merge) into an inline (meta, value) span of capacity
+/// EvalCache::kMaxEnv, so cache/obligation keys are shared across bindings
+/// the node never reads.  Returns false when the observable bindings
+/// overflow the span, in which case the caller evaluates unkeyed.  Shared by
+/// the memoizing evaluator (core/semantics.cpp) and the incremental
+/// evaluator (core/incremental.cpp).
+bool restrict_env_span(const std::vector<std::uint32_t>& metas, const Env& env,
+                       std::uint8_t& n_env, std::uint32_t* metas_out,
+                       std::int64_t* values_out);
+
+// ---------------------------------------------------------------------------
+// ObligationGraph: settled/open obligation states for incremental monitoring.
+// ---------------------------------------------------------------------------
+
+/// The obligation store behind the incremental monitor (core/incremental.h).
+///
+/// Where an EvalCache remembers *answers* — entries that are either valid or
+/// evicted wholesale — an ObligationGraph remembers *questions in flight*
+/// over one growing trace.  Each obligation is a suffix-sensitive query
+/// (node id, <lo, inf>, op, restricted env) together with:
+///
+///   - its current result and whether that result is SETTLED (pinned forever:
+///     no future append can change it) or OPEN (provisional, recomputed when
+///     the trace grows),
+///   - per-kind resume state, so re-settlement is a delta pass instead of a
+///     re-evaluation: [] / <> keep a scan frontier plus the list of start
+///     positions whose body verdict is still open; event searches keep the
+///     rolling changeset probe at the frontier,
+///   - explicit dependency edges to the child obligations (and to the
+///     distinguished `kHorizon` sentinel when the recomputation read the
+///     stuttering horizon), reverse-indexed for invalidation.
+///
+/// When a state is appended, begin_epoch() runs the change-propagation pass:
+/// it walks the reverse-dependency index from `kHorizon`, marking every
+/// reachable *unsettled* obligation dirty.  Settled obligations are
+/// firewalls — they are never marked and the walk does not pass through
+/// them — which is exactly how verdicts for closed intervals stay pinned
+/// while only the live suffix re-settles.  Recomputation itself is lazy:
+/// the evaluator re-settles a dirty obligation the next time a root verdict
+/// needs it.
+///
+/// Single-threaded by design: one graph belongs to one monitor over one
+/// trace (parallel fleets get one graph per monitor; see engine/stream.h).
+class ObligationGraph {
+ public:
+  using ObId = std::uint32_t;
+  static constexpr ObId kNoOb = 0xffffffffu;
+  /// Sentinel obligation: "the trace's live suffix".  Obligations whose
+  /// recomputation read the stuttering horizon register a dependency on it;
+  /// begin_epoch()'s invalidation walk starts here.
+  static constexpr ObId kHorizon = 0;
+
+  /// What question an obligation answers.
+  enum class Op : std::uint8_t {
+    Sat,       ///< s<lo,inf> |= node
+    FindFwd,   ///< F(node, <lo,inf>, Forward)
+    FindBwd,   ///< F(node, <lo,inf>, Backward)
+    StarsFwd,  ///< star_requirements(node, <lo,inf>, Forward)
+    StarsBwd,  ///< star_requirements(node, <lo,inf>, Backward)
+  };
+
+  /// Obligation identity.  The interval is always <lo, inf>: queries with a
+  /// finite right end are settled by construction and live in the monitor's
+  /// settled EvalCache instead (the trace never changes below its horizon).
+  struct Key {
+    std::uint32_t node = 0;  ///< hash-cons node id (Formula or Term)
+    std::uint64_t lo = 0;
+    Op op = Op::Sat;
+    std::uint8_t n_env = 0;
+    std::uint32_t metas[EvalCache::kMaxEnv] = {0, 0, 0, 0};
+    std::int64_t values[EvalCache::kMaxEnv] = {0, 0, 0, 0};
+
+    bool operator==(const Key& o) const {
+      if (node != o.node || lo != o.lo || op != o.op || n_env != o.n_env) return false;
+      for (std::uint8_t i = 0; i < n_env; ++i) {
+        if (metas[i] != o.metas[i] || values[i] != o.values[i]) return false;
+      }
+      return true;
+    }
+  };
+
+  struct Obligation {
+    Key key;
+    EvalCache::Entry result;  ///< boolean for Sat/Stars*, interval for Find*
+    bool settled = false;     ///< pinned: no future append can change result
+    bool dirty = true;        ///< must re-settle before result is reusable
+    std::uint64_t epoch = 0;  ///< epoch the result was (re)computed at
+
+    // Resume state for the delta pass (meaning depends on the node kind):
+    std::uint64_t frontier = 0;     ///< next start position to scan ([], <>, fwd search)
+    std::uint64_t scanned_top = 0;  ///< highest position scanned (bwd search)
+    bool have_prev = false;         ///< rolling probe below seeded?
+    bool prev = false;              ///< changeset probe value at frontier-1
+    /// Start positions in [lo, frontier) whose body verdict was still OPEN
+    /// at the last recomputation — whatever its current sign.  For [] these
+    /// are mostly true-but-open conjuncts, plus possibly the false-but-open
+    /// position a short-circuited scan stopped at; for <> dually.  Every
+    /// listed position must be rechecked each epoch; settled positions are
+    /// dropped (and a settled-false / settled-true one pins the operator).
+    std::vector<std::uint64_t> open_positions;
+    /// Child obligations read by the last recomputation (kHorizon included
+    /// when the scan touched the stuttering horizon).  Monotone across
+    /// epochs: an over-approximation is safe for invalidation.
+    std::vector<ObId> deps;
+  };
+
+  ObligationGraph();
+
+  /// Current epoch (== number of begin_epoch() calls).
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Starts a new epoch: bumps the clock and runs the invalidation pass
+  /// (reverse-dependency walk from kHorizon marking unsettled obligations
+  /// dirty).  Call once per appended state, before re-reading root verdicts.
+  void begin_epoch();
+
+  /// The obligation for `key`, created open+dirty on first sight.
+  ObId obtain(const Key& key);
+  Obligation& at(ObId id) { return obligations_[id]; }
+  const Obligation& at(ObId id) const { return obligations_[id]; }
+
+  /// Records "recomputing `parent` read `child`" in both directions
+  /// (idempotent per edge).
+  void add_dep(ObId parent, ObId child);
+
+  /// Drops every obligation and edge (counters keep accumulating); for
+  /// owners whose trace was rewritten rather than appended to.
+  void reset();
+
+  // Accounting (lifetime counters unless noted).
+  std::size_t size() const { return obligations_.size() - 1; }  ///< excl. sentinel
+  std::size_t edges() const { return edge_set_.size(); }
+  std::size_t settled_count() const;          ///< resident settled obligations
+  std::size_t open_count() const;             ///< resident open obligations
+  std::size_t last_dirtied() const { return last_dirtied_; }  ///< by last begin_epoch()
+  std::size_t total_dirtied() const { return total_dirtied_; }  ///< lifetime sum
+  std::size_t recomputes() const { return recomputes_; }
+  std::size_t settled_hits() const { return settled_hits_; }
+  std::size_t fresh_hits() const { return fresh_hits_; }
+  /// Open-world queries whose observable bindings overflowed the inline key
+  /// capacity and were evaluated without an obligation record.
+  std::size_t env_overflows() const { return env_overflows_; }
+
+  /// Called by the evaluator: an obligation was re-settled this epoch / was
+  /// answered from its pinned result / was answered because it was already
+  /// fresh (recomputed earlier in the same epoch) / a query's bindings
+  /// overflowed the inline key span.
+  void note_recompute() { ++recomputes_; }
+  void note_settled_hit() { ++settled_hits_; }
+  void note_fresh_hit() { ++fresh_hits_; }
+  void note_env_overflow() { ++env_overflows_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  std::vector<Obligation> obligations_;  ///< [0] is the horizon sentinel
+  std::unordered_map<Key, ObId, KeyHash> index_;
+  std::vector<std::vector<ObId>> reverse_;  ///< child -> parents
+  std::unordered_set<std::uint64_t> edge_set_;  ///< packed parent<<32|child
+  std::uint64_t epoch_ = 0;
+  std::size_t last_dirtied_ = 0;
+  std::size_t total_dirtied_ = 0;
+  std::size_t recomputes_ = 0;
+  std::size_t settled_hits_ = 0;
+  std::size_t fresh_hits_ = 0;
   std::size_t env_overflows_ = 0;
 };
 

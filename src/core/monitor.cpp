@@ -1,15 +1,26 @@
 #include "core/monitor.h"
 
+#include "core/incremental.h"
 #include "util/assert.h"
 
 namespace il {
 
-Monitor::Monitor(Spec spec, Env env) : spec_(std::move(spec)), env_(std::move(env)) {}
+Monitor::Monitor(Spec spec, Env env, Mode mode)
+    : spec_(std::move(spec)), env_(std::move(env)), mode_(mode) {}
 
 void Monitor::observe(const State& s) { trace_.push(s); }
 
+CheckResult Monitor::append(const State& s) {
+  observe(s);
+  return current();
+}
+
 CheckResult Monitor::current() const {
   IL_REQUIRE(!trace_.empty(), "no states observed yet");
+  return mode_ == Mode::Incremental ? current_incremental() : current_scratch();
+}
+
+CheckResult Monitor::current_scratch() const {
   // One persistent cache across calls: entries keyed on the trace identity
   // id stay valid exactly as long as the trace is unmodified, so a repeated
   // verdict (or the shared subformulas of later verdicts) is served from
@@ -22,6 +33,34 @@ CheckResult Monitor::current() const {
     cache_trace_id_ = trace_.id();
   }
   return check_spec_cached(spec_, trace_, env_, &cache_);
+}
+
+CheckResult Monitor::current_incremental() const {
+  // The delta pass.  The trace is owned by this monitor and only ever
+  // grows through observe(); if some future caller nevertheless rewrites a
+  // state in place, the append-delta premise is gone — drop both stores and
+  // start over (correct, just no longer incremental for that step).
+  if (trace_.rewrites() != seen_rewrites_) {
+    graph_.reset();
+    cache_.evict_entries();
+    seen_rewrites_ = trace_.rewrites();
+    seen_appends_ = 0;  // force an epoch: everything recomputes
+  }
+  if (trace_.appends() != seen_appends_) {
+    // One epoch per verdict refresh (several appends between verdicts fold
+    // into one invalidation pass; the scan frontiers cover the gap).
+    graph_.begin_epoch();
+    seen_appends_ = trace_.appends();
+  }
+  IncrementalEvaluator ev(trace_, &graph_, &cache_);
+  CheckResult result;
+  for (const Axiom* axiom : spec_.all()) {
+    if (!ev.sat_root(*axiom->formula, env_)) {
+      result.ok = false;
+      result.failed.push_back(spec_.name + "." + axiom->name);
+    }
+  }
+  return result;
 }
 
 }  // namespace il

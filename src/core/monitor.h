@@ -12,20 +12,34 @@
 // `violations`, counting axioms false at the final state, which is the
 // quantity the benchmarks and tests assert on for complete runs.
 //
-// The monitor owns one EvalCache for its whole lifetime: repeated current()
-// calls (and the shared subformulas of different axioms) hit the same
-// memoized entries instead of rebuilding a cache per verdict.  Staleness is
-// impossible by construction — cache keys carry the trace identity id
-// (trace/trace.h), which observe() refreshes, so entries recorded against a
-// shorter trace can never satisfy a lookup against the extended one; when
-// the id changes, the orphaned entries are evicted wholesale so memory
-// stays bounded by one trace's working set.
+// Two evaluation modes:
+//
+//   Mode::Incremental (default) — verdicts come from an obligation graph
+//   (core/incremental.h): appending a state dirties only the obligations
+//   whose right endpoint was still open, and the next verdict re-settles
+//   exactly those.  Work per append is proportional to the live suffix
+//   (pending response obligations + newly arrived states), not the trace
+//   length; verdicts for closed intervals are pinned and never recomputed.
+//   The monitor keeps two stores for the whole lifetime: a settled
+//   EvalCache (closed-world results, keyed by the trace's stable lineage
+//   id, valid forever under appends) and the ObligationGraph (open-world
+//   state).  append() is the natural driver: observe + delta verdict in one
+//   call.
+//
+//   Mode::Scratch — the pre-incremental path, kept behind this flag for
+//   differential testing and as the reference semantics: every current()
+//   re-evaluates from the monitor-lifetime EvalCache whose entries die with
+//   each trace identity bump.  Bit-identical verdicts to Incremental at
+//   every prefix (tests/test_monitor_incremental.cpp).  Also the right mode
+//   when verdicts are *rare* relative to appends (a single check after a
+//   recorded run): a one-shot verdict has no deltas to exploit, so the
+//   obligation graph would be pure bookkeeping overhead.
 //
 // A Monitor is a stateful online object: current(), although const, writes
-// the internal cache, so a single Monitor must be driven from one thread at
-// a time (the same construction-then-read-only discipline does NOT apply
-// here — observe/current interleave for the monitor's whole life).  Use one
-// Monitor per stream; for parallel verdict fleets use engine::BatchChecker.
+// the internal stores, so a single Monitor must be driven from one thread
+// at a time.  Use one Monitor per stream; for fleets sharing one state
+// stream use engine::BatchMonitor (engine/stream.h), and for offline batch
+// verdicts engine::BatchChecker.
 #pragma once
 
 #include <cstddef>
@@ -41,10 +55,19 @@ namespace il {
 
 class Monitor {
  public:
-  explicit Monitor(Spec spec, Env env = {});
+  enum class Mode {
+    Incremental,  ///< obligation-graph delta pass (default)
+    Scratch,      ///< full re-evaluation per verdict (reference semantics)
+  };
+
+  explicit Monitor(Spec spec, Env env = {}, Mode mode = Mode::Incremental);
 
   /// Observes one state.
   void observe(const State& s);
+
+  /// Observes one state and returns the refreshed verdicts: the streaming
+  /// append-delta pass (equivalent to observe() + current()).
+  CheckResult append(const State& s);
 
   /// Verdicts for the trace so far (provisional; see header comment).
   CheckResult current() const;
@@ -54,17 +77,30 @@ class Monitor {
 
   const Trace& trace() const { return trace_; }
   const Spec& spec() const { return spec_; }
+  Mode mode() const { return mode_; }
 
-  /// The monitor-lifetime memoization cache (hit/miss/insert counters grow
-  /// across current() calls; entries are invalidated by trace identity).
+  /// The monitor-lifetime memoization cache.  Scratch mode: entries are
+  /// invalidated by trace identity.  Incremental mode: the settled
+  /// closed-world store — entries are valid forever while the trace only
+  /// grows, so hits accumulate across appends.
   const EvalCache& cache() const { return cache_; }
 
+  /// Incremental mode's open-world store (empty in scratch mode).
+  const ObligationGraph& obligations() const { return graph_; }
+
  private:
+  CheckResult current_scratch() const;
+  CheckResult current_incremental() const;
+
   Spec spec_;
   Env env_;
+  Mode mode_;
   Trace trace_;
   mutable EvalCache cache_;  ///< persists across observe()/current() calls
-  mutable std::uint32_t cache_trace_id_ = 0;  ///< trace id the cache was filled under
+  mutable std::uint32_t cache_trace_id_ = 0;  ///< scratch: trace id the cache was filled under
+  mutable ObligationGraph graph_;
+  mutable std::uint64_t seen_appends_ = 0;   ///< appends consumed by the delta pass
+  mutable std::uint64_t seen_rewrites_ = 0;  ///< rewrites seen (any change: full reset)
 };
 
 }  // namespace il

@@ -21,6 +21,16 @@ Evaluator::Evaluator(const Trace& trace, EvalCache* cache) : trace_(trace), cach
   IL_REQUIRE(!trace.empty(), "evaluation requires a non-empty trace");
 }
 
+Evaluator::Evaluator(const Trace& trace, EvalCache* cache, std::uint32_t cache_key_id)
+    : trace_(trace), cache_(cache), key_override_(cache_key_id) {
+  IL_REQUIRE(!trace.empty(), "evaluation requires a non-empty trace");
+  IL_REQUIRE(cache_key_id != 0, "0 is reserved for 'use the live trace id'");
+}
+
+std::uint32_t Evaluator::cache_key_id() const {
+  return key_override_ != 0 ? key_override_ : trace_.id();
+}
+
 namespace {
 
 /// Only the recursion points whose recomputation is super-constant are worth
@@ -42,43 +52,16 @@ bool memoizable(Formula::Kind kind) {
 
 }  // namespace
 
-namespace {
-
-/// Fills the key's env span with the ambient bindings restricted to the
-/// node's free metas (both sides sorted by id: a linear merge), so cache
-/// entries are shared across bindings the node never reads.  Returns false
-/// when the observable bindings overflow the key's inline capacity, in which
-/// case the caller evaluates uncached.
-bool restrict_env(const std::vector<std::uint32_t>& metas, const Env& env,
-                  EvalCache::Key& key) {
-  key.n_env = 0;
-  if (metas.empty() || env.empty()) return true;
-  const auto& bound = env.bindings();
-  std::size_t bi = 0;
-  for (std::uint32_t meta : metas) {
-    while (bi < bound.size() && bound[bi].first < meta) ++bi;
-    if (bi == bound.size()) break;
-    if (bound[bi].first != meta) continue;
-    if (key.n_env == EvalCache::kMaxEnv) return false;
-    key.metas[key.n_env] = meta;
-    key.values[key.n_env] = bound[bi].second;
-    ++key.n_env;
-  }
-  return true;
-}
-
-}  // namespace
-
 bool Evaluator::sat(const Formula& formula, Interval iv, const Env& env) const {
   IL_REQUIRE(!iv.null, "sat() requires a non-null interval (null is vacuous at the caller)");
   if (cache_ == nullptr || !memoizable(formula.kind())) return sat_uncached(formula, iv, env);
   EvalCache::Key key;
   key.node = formula.id();
-  key.trace = trace_.id();
+  key.trace = cache_key_id();
   key.lo = iv.lo;
   key.hi = iv.hi;
   key.op = EvalCache::Op::Sat;
-  if (!restrict_env(formula.free_meta_ids(), env, key)) {
+  if (!restrict_env_span(formula.free_meta_ids(), env, key.n_env, key.metas, key.values)) {
     cache_->note_env_overflow();
     return sat_uncached(formula, iv, env);
   }
@@ -101,11 +84,11 @@ Interval Evaluator::find(const Term& term, Interval ctx, Dir dir, const Env& env
   }
   EvalCache::Key key;
   key.node = term.id();
-  key.trace = trace_.id();
+  key.trace = cache_key_id();
   key.lo = ctx.lo;
   key.hi = ctx.hi;
   key.op = dir == Dir::Forward ? EvalCache::Op::FindFwd : EvalCache::Op::FindBwd;
-  if (!restrict_env(term.free_meta_ids(), env, key)) {
+  if (!restrict_env_span(term.free_meta_ids(), env, key.n_env, key.metas, key.values)) {
     cache_->note_env_overflow();
     return find_uncached(term, ctx, dir, env);
   }

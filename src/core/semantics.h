@@ -81,6 +81,13 @@ class Evaluator {
   /// bit-identical to the uncached evaluator.
   Evaluator(const Trace& trace, EvalCache* cache);
 
+  /// As above, but cache keys carry `cache_key_id` instead of the live
+  /// trace id.  For owners that manage invalidation themselves: the
+  /// incremental monitor keys its settled-prefix cache by the trace's
+  /// *stable* lineage id, so entries survive appends (which only ever grow
+  /// the suffix) instead of being orphaned by every identity bump.
+  Evaluator(const Trace& trace, EvalCache* cache, std::uint32_t cache_key_id);
+
   /// s<i,j> |= a.  The interval must be non-null.
   bool sat(const Formula& formula, Interval iv, const Env& env) const;
 
@@ -108,8 +115,13 @@ class Evaluator {
   bool sat_uncached(const Formula& formula, Interval iv, const Env& env) const;
   Interval find_uncached(const Term& term, Interval ctx, Dir dir, const Env& env) const;
 
+  /// The trace identity for cache keys: the override when set, else the
+  /// live trace id (which mutation refreshes).
+  std::uint32_t cache_key_id() const;
+
   const Trace& trace_;
   EvalCache* cache_ = nullptr;
+  std::uint32_t key_override_ = 0;  ///< 0: use trace_.id() (ids start at 1)
 };
 
 /// Top-level satisfaction: the whole computation satisfies the formula

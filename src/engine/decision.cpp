@@ -72,14 +72,22 @@ DecisionCache::Key DecisionCache::key_for(const DecisionJob& job) {
   if (job.kind == DecisionJob::Kind::LllSat) {
     key.id = job.expr;
   } else {
-    key.arena = job.arena;
+    // The *prefix* fingerprint as of the formula's own node: stable while
+    // the arena grows past it, so a corpus decided early keeps hitting
+    // after later parses extend the same arena.  Malformed (arena-less)
+    // jobs keep fp 0; they throw in run_decision_job before any result
+    // could be stored under it.
+    key.arena_fp = job.arena != nullptr && job.formula >= 0 &&
+                           static_cast<std::size_t>(job.formula) < job.arena->size()
+                       ? job.arena->fingerprint_at(job.formula)
+                       : 0;
     key.id = job.formula;
   }
   return key;
 }
 
 std::size_t DecisionCache::KeyHash::operator()(const Key& k) const {
-  std::size_t h = std::hash<const void*>{}(k.arena);
+  std::size_t h = static_cast<std::size_t>(k.arena_fp);
   hash_combine(h, static_cast<std::size_t>(static_cast<std::uint32_t>(k.id)));
   hash_combine(h, static_cast<std::size_t>(k.kind));
   return h;

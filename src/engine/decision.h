@@ -77,21 +77,28 @@ struct DecisionEngineStats {
 /// Cross-batch memo of decision results, mirroring what EvalCache does for
 /// trace checks: the hash-consed intern layer makes a formula a stable
 /// integer, so "have we decided this before" is one map probe on packed ids.
-/// Keys carry the owning arena for tableau jobs (ids are per-arena); LLL
-/// expression ids are process-global, so their arena slot is null.  Entries
-/// referencing an arena are only valid while that arena lives — clear() the
-/// cache (or destroy the BatchDecider) before tearing the arena down.
+/// Tableau keys carry the owning arena's content-derived *prefix
+/// fingerprint* (ltl::Arena::fingerprint_at(id), the digest as of the
+/// formula's own node) rather than the arena's address: ids are per-arena,
+/// but id assignment is deterministic in the construction sequence the
+/// fingerprint digests, so an (fingerprint, id) pair denotes the same
+/// formula in every arena whose construction *begins* with that sequence.
+/// Entries therefore survive arena teardown, are answered for a freshly
+/// rebuilt arena with identical content — no clear_cache()-before-teardown
+/// requirement — and keep hitting while the live arena grows past the
+/// formulas already decided.  LLL
+/// expression ids are process-global, so their fingerprint slot is zero.
 /// Consulted once per job on the calling thread, never from workers, so it
 /// needs no synchronization.
 class DecisionCache {
  public:
   struct Key {
-    std::uint8_t kind = 0;              ///< DecisionJob::Kind
-    const ltl::Arena* arena = nullptr;  ///< tableau jobs; null for LllSat
-    std::int32_t id = -1;               ///< ltl::Id or lll::ExprId
+    std::uint8_t kind = 0;        ///< DecisionJob::Kind
+    std::uint64_t arena_fp = 0;   ///< arena content fingerprint; 0 for LllSat
+    std::int32_t id = -1;         ///< ltl::Id or lll::ExprId
 
     bool operator==(const Key& o) const {
-      return kind == o.kind && arena == o.arena && id == o.id;
+      return kind == o.kind && arena_fp == o.arena_fp && id == o.id;
     }
   };
   struct KeyHash {
@@ -144,8 +151,9 @@ class BatchDecider {
   const EngineOptions& options() const { return options_; }
   const DecisionEngineStats& stats() const { return stats_; }
   const DecisionCache& cache() const { return cache_; }
-  /// Drops every cached entry (required before destroying an arena whose
-  /// jobs were decided through this decider, if the decider outlives it).
+  /// Drops every cached entry.  Keys are content-derived (see
+  /// DecisionCache), so this is a memory knob, not a lifetime requirement:
+  /// entries stay valid across arena teardown and rebuild.
   void clear_cache() { cache_.clear(); }
 
  private:

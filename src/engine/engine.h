@@ -63,7 +63,11 @@ struct EngineOptions {
 /// Aggregate counters from the last run().  The memo_* fields sum the
 /// per-worker EvalCache counters (each worker owns a private cache over the
 /// shared read-only symbol/node tables), so a batch result reports exactly
-/// how much memoization paid across the whole fleet.
+/// how much memoization paid across the whole fleet.  The stream_* and
+/// obligation_* fields are filled by the streaming front-end
+/// (engine::BatchMonitor, engine/stream.h), which sums its monitors'
+/// settled caches into memo_* and their obligation graphs into
+/// obligation_*; they stay zero for offline BatchChecker runs.
 struct EngineStats {
   std::size_t jobs = 0;
   std::size_t threads = 0;       ///< workers actually spawned (0 = inline)
@@ -73,6 +77,12 @@ struct EngineStats {
   std::size_t memo_entries = 0;  ///< entries resident at end of run
   std::size_t axioms_checked = 0;
   std::size_t axioms_failed = 0;
+  std::size_t stream_states = 0;    ///< states fed to the monitor fleet
+  std::size_t stream_verdicts = 0;  ///< verdicts emitted (states × monitors)
+  std::size_t obligations = 0;           ///< resident obligations, all graphs
+  std::size_t obligations_settled = 0;   ///< of which pinned forever
+  std::size_t obligations_dirtied = 0;   ///< invalidation-pass marks, lifetime
+  std::size_t obligations_recomputed = 0;  ///< re-settlements, lifetime
 };
 
 class BatchChecker {

@@ -1,0 +1,93 @@
+#include "engine/stream.h"
+
+#include "engine/pool.h"
+#include "util/assert.h"
+
+namespace il {
+namespace engine {
+
+BatchMonitor::BatchMonitor(const std::vector<MonitorJob>& jobs, EngineOptions options)
+    : options_(options) {
+  monitors_.reserve(jobs.size());
+  for (const MonitorJob& job : jobs) {
+    IL_REQUIRE(job.spec != nullptr, "MonitorJob must bind a spec");
+    monitors_.emplace_back(*job.spec, job.env, job.mode);
+  }
+  verdicts_.resize(monitors_.size());
+}
+
+const std::vector<CheckResult>& BatchMonitor::feed(const State& s) {
+  // Monitors are stateful: if one append throws mid-feed, earlier-indexed
+  // monitors have consumed the state and later ones have not, so the fleet's
+  // verdict rows would silently compare different trace prefixes.  A feed
+  // that threw therefore poisons the fleet — further feeds refuse instead
+  // of diverging quietly.
+  IL_REQUIRE(!poisoned_, "a previous feed() threw mid-state; the fleet is torn");
+  const std::size_t count = monitors_.size();
+  // Unlike the offline families (one pool spawn per *batch*), a stream
+  // spawns per fed state, and an incremental append is of the same order
+  // as a thread create+join — so num_threads = 0 means inline here, and
+  // fan-out is opt-in via an explicit thread count (see stream.h).
+  const std::size_t pool =
+      options_.num_threads <= 1 ? 1 : detail::effective_pool(count, options_.num_threads);
+  try {
+    if (pool <= 1 || count <= 1) {
+      // Inline fast path: no thread spawn for the sequential-equivalent case.
+      threads_ = 0;
+      for (std::size_t i = 0; i < count; ++i) verdicts_[i] = monitors_[i].append(s);
+    } else {
+      detail::run_claimed(
+          count, pool, [](std::size_t) { return 0; },
+          [&](int&, std::size_t i) { verdicts_[i] = monitors_[i].append(s); },
+          [](int&, std::size_t) {});
+      threads_ = pool;
+    }
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
+  ++states_fed_;
+  for (std::size_t i = 0; i < count; ++i) {
+    axioms_checked_ += monitors_[i].spec().all().size();
+    axioms_failed_ += verdicts_[i].failed.size();
+  }
+  return verdicts_;
+}
+
+const std::vector<CheckResult>& BatchMonitor::feed_all(const Trace& t) {
+  for (const State& s : t.states()) feed(s);
+  return verdicts_;
+}
+
+const EngineStats& BatchMonitor::stats() const {
+  stats_ = EngineStats{};
+  stats_.jobs = monitors_.size();
+  stats_.threads = threads_;
+  stats_.axioms_checked = axioms_checked_;
+  stats_.axioms_failed = axioms_failed_;
+  stats_.stream_states = states_fed_;
+  stats_.stream_verdicts = states_fed_ * monitors_.size();
+  for (const Monitor& m : monitors_) {
+    const EvalCache& c = m.cache();
+    stats_.memo_hits += c.hits();
+    stats_.memo_misses += c.misses();
+    stats_.memo_inserts += c.inserts();
+    stats_.memo_entries += c.size();
+    const ObligationGraph& g = m.obligations();
+    stats_.obligations += g.size();
+    stats_.obligations_settled += g.settled_count();
+    stats_.obligations_dirtied += g.total_dirtied();
+    stats_.obligations_recomputed += g.recomputes();
+  }
+  return stats_;
+}
+
+std::vector<MonitorJob> jobs_for_specs(const std::vector<Spec>& specs, const Env& env) {
+  std::vector<MonitorJob> jobs;
+  jobs.reserve(specs.size());
+  for (const Spec& spec : specs) jobs.push_back(MonitorJob{&spec, env, Monitor::Mode::Incremental});
+  return jobs;
+}
+
+}  // namespace engine
+}  // namespace il

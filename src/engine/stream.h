@@ -1,0 +1,96 @@
+// Streaming monitor fleets: the engine's third workload class.
+//
+// BatchChecker fans many finished (spec, trace) pairs across a pool;
+// BatchDecider fans decision questions.  A *streaming* deployment is the
+// transpose: one live state stream, many subscribed specifications — the
+// per-session compliance monitors, SLO watchdogs, and protocol validators a
+// production system keeps current while the trace grows.  BatchMonitor
+// owns one incremental Monitor (core/monitor.h) per subscription and, on
+// every fed state, runs each monitor's append-delta pass across the shared
+// worker pool (engine/pool.h):
+//
+//   - workers claim monitor indices from one atomic counter; monitors are
+//     share-nothing (each owns its trace copy, settled cache, and
+//     obligation graph), so there is no synchronization on the data path,
+//   - verdicts land in a pre-sized slot per job, so the verdict stream is
+//     input-ordered and bit-identical for any thread count — the same
+//     determinism contract as the other two job families, proven by
+//     tests/test_monitor_incremental.cpp across 1/2/4-thread pools,
+//   - exceptions rethrow on the feeding thread for the lowest-indexed
+//     failing monitor (engine/pool.h).
+//
+// Aggregate accounting lands in the shared EngineStats: memo_* sums the
+// monitors' settled caches, obligation_* their obligation graphs, and
+// stream_* counts the states/verdicts that flowed through.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/check.h"
+#include "core/monitor.h"
+#include "engine/engine.h"
+#include "trace/trace.h"
+
+namespace il {
+namespace engine {
+
+/// One stream subscription.  The spec is borrowed: the caller must keep it
+/// alive for the BatchMonitor's lifetime.
+struct MonitorJob {
+  const Spec* spec = nullptr;
+  Env env;
+  Monitor::Mode mode = Monitor::Mode::Incremental;
+};
+
+class BatchMonitor {
+ public:
+  /// Builds one monitor per job.  Only EngineOptions::num_threads is
+  /// consulted (each monitor owns its memoization stores; the memoize /
+  /// cache-capacity knobs govern the offline job families).  Unlike those
+  /// families, num_threads = 0 here means *inline*, not hardware
+  /// concurrency: a pool is spawned per fed state, so fanning out only
+  /// pays when per-monitor append work exceeds thread create+join cost —
+  /// opt in with an explicit thread count when it does.
+  explicit BatchMonitor(const std::vector<MonitorJob>& jobs, EngineOptions options = {});
+
+  /// Feeds one state to every monitor and refreshes every verdict.
+  /// verdicts()[i] belongs to jobs[i] — input-ordered and independent of
+  /// thread count.  The reference is valid until the next feed().  If an
+  /// append throws (lowest-indexed exception rethrown here), the fleet is
+  /// torn — some monitors consumed the state, some did not — and every
+  /// later feed() refuses rather than emitting rows that silently compare
+  /// different prefixes.
+  const std::vector<CheckResult>& feed(const State& s);
+
+  /// Feeds every explicit state of `t` in order; returns the final verdicts.
+  const std::vector<CheckResult>& feed_all(const Trace& t);
+
+  /// The verdicts from the last feed() (empty before the first).
+  const std::vector<CheckResult>& verdicts() const { return verdicts_; }
+
+  std::size_t size() const { return monitors_.size(); }
+  std::size_t states_fed() const { return states_fed_; }
+  const Monitor& monitor(std::size_t i) const { return monitors_[i]; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Aggregate counters over the fleet's whole lifetime (see header).
+  const EngineStats& stats() const;
+
+ private:
+  EngineOptions options_;
+  std::vector<Monitor> monitors_;
+  std::vector<CheckResult> verdicts_;
+  std::size_t states_fed_ = 0;
+  bool poisoned_ = false;    ///< a feed threw mid-state: fleet prefixes differ
+  std::size_t threads_ = 0;  ///< workers spawned by the last feed (0 = inline)
+  std::size_t axioms_checked_ = 0;
+  std::size_t axioms_failed_ = 0;
+  mutable EngineStats stats_;  ///< materialized on stats()
+};
+
+/// Builds the common "every spec watches the same stream" job list.
+std::vector<MonitorJob> jobs_for_specs(const std::vector<Spec>& specs, const Env& env = {});
+
+}  // namespace engine
+}  // namespace il

@@ -21,7 +21,12 @@ Arena::Arena() {
   // map's buckets grow on demand — pre-sizing those costs more per-arena
   // than the rehashes it saves on small formulas).
   nodes_.reserve(64);
+  prefix_fp_.reserve(64);
+  // The two builtin nodes are identical in every arena; seed the digest
+  // chain with fixed values for them.
+  prefix_fp_.push_back(0x9e3779b97f4a7c15ull);
   nodes_.push_back({Kind::True, -1, -1, SymbolTable::kNoSymbol, -1});
+  prefix_fp_.push_back(0xbf58476d1ce4e5b9ull);
   nodes_.push_back({Kind::False, -1, -1, SymbolTable::kNoSymbol, -1});
 }
 
@@ -31,6 +36,26 @@ Id Arena::intern(Node n) {
   const UniqueKey key{static_cast<std::uint8_t>(n.kind), n.a, n.b, n.sym};
   auto [it, inserted] = unique_.try_emplace(key, static_cast<Id>(nodes_.size()));
   if (!inserted) return it->second;
+  // Extend the rolling content digest chain: prefix_fp_[i] covers nodes
+  // [0, i], order-sensitive by construction — which is exactly the
+  // determinism id reuse needs.  The node's fields are folded in as two
+  // *injectively packed* words ((kind, sym) and (a, b) in disjoint bit
+  // lanes), each passed through the splitmix64 finalizer, so two
+  // structurally different nodes can only collide by 64-bit hash accident,
+  // never by lane overlap.  The complement back-link is excluded: it is
+  // derived from sym and patched after interning.
+  const auto mix = [](std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  };
+  const std::uint64_t kind_sym =
+      (static_cast<std::uint64_t>(static_cast<std::uint8_t>(n.kind)) << 32) |
+      static_cast<std::uint64_t>(n.sym);
+  const std::uint64_t ab = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(n.a)) << 32) |
+                           static_cast<std::uint64_t>(static_cast<std::uint32_t>(n.b));
+  prefix_fp_.push_back(mix(mix(prefix_fp_.back() ^ kind_sym) ^ ab));
   nodes_.push_back(n);
   return it->second;
 }

@@ -98,6 +98,25 @@ class Arena {
   std::size_t atom_count() const { return atoms_.size(); }
   std::size_t size() const { return nodes_.size(); }
 
+  /// Content-derived identity: a 64-bit digest folded over every node this
+  /// arena has interned, in interning order.  Two arenas that ran the same
+  /// construction sequence (e.g. the same corpus re-parsed after a teardown)
+  /// have equal fingerprints — and because id assignment is deterministic
+  /// in that sequence, an (fingerprint, id) pair denotes the same formula in
+  /// both.  This is what lets engine::DecisionCache keep tableau verdicts
+  /// across arena rebuilds instead of keying on the arena's address.
+  /// Updated on every intern; O(1) to read.
+  std::uint64_t fingerprint() const { return prefix_fp_.back(); }
+
+  /// The digest as of node `id`'s interning: the *prefix* fingerprint.  The
+  /// right cache identity for a formula — it covers every node the formula
+  /// can reference (ids are topological) and nothing interned after it, so
+  /// entries keyed on it stay hittable while the owning arena keeps
+  /// growing, and are shared between arenas that diverge only later.
+  std::uint64_t fingerprint_at(Id id) const {
+    return prefix_fp_[static_cast<std::size_t>(id)];
+  }
+
   /// Negation-normal form: Not/Implies eliminated, negations pushed to
   /// atoms using the duals  ![]a = <>!a,  !<>a = []!a,  !o a = o !a,
   /// !U(p,q) = SU(!q, !p /\ !q),  !SU(p,q) = U(!q, !p /\ !q).
@@ -135,6 +154,7 @@ class Arena {
   std::vector<Node> nodes_;
   std::unordered_map<UniqueKey, Id, UniqueKeyHash> unique_;
   std::vector<std::uint32_t> atoms_;  ///< distinct atom syms, first-use order
+  std::vector<std::uint64_t> prefix_fp_;  ///< rolling content digest per node
 };
 
 }  // namespace il::ltl

@@ -12,6 +12,17 @@
 // (core/memo.h) in place of pointer identity.  The id changes whenever the
 // state sequence is mutated, so a cache entry can never be satisfied by a
 // trace whose contents have changed since the entry was stored.
+//
+// For *streaming* consumers the whole-identity bump is too blunt: appending
+// a state leaves every existing position untouched, so results that only
+// read the settled prefix are still valid.  A trace therefore also exposes
+// an append-delta view of its mutation history: stable_id() names the state
+// sequence's lineage (fresh per construction/copy, surviving push), and the
+// appends()/rewrites() counters say *how* it got to its current content.
+// A consumer that snapshots (stable_id, appends, rewrites) can tell a pure
+// append run (delta := new states only) from an in-place rewrite (full
+// invalidation required).  The incremental monitor (core/monitor.h) is the
+// first client.
 #pragma once
 
 #include <cstddef>
@@ -25,21 +36,42 @@ namespace il {
 
 class Trace {
  public:
-  Trace() : id_(next_id()) {}
-  explicit Trace(std::vector<State> states) : states_(std::move(states)), id_(next_id()) {}
+  Trace() : id_(next_id()), stable_id_(id_) {}
+  explicit Trace(std::vector<State> states)
+      : states_(std::move(states)), id_(next_id()), stable_id_(id_) {}
 
-  Trace(const Trace& other) : states_(other.states_), id_(next_id()) {}
+  Trace(const Trace& other) : states_(other.states_), id_(next_id()), stable_id_(id_) {}
   Trace& operator=(const Trace& other) {
     states_ = other.states_;
     id_ = next_id();
+    stable_id_ = id_;
+    appends_ = 0;
+    rewrites_ = 0;
     return *this;
   }
-  Trace(Trace&&) = default;  ///< moves keep the id: same logical trace
+  Trace(Trace&&) = default;  ///< moves keep the ids: same logical trace
   Trace& operator=(Trace&&) = default;
 
   /// Identity for memoization keys.  Unique per distinct state sequence the
   /// process has observed: fresh per construction/copy, refreshed on push().
   std::uint32_t id() const { return id_; }
+
+  /// Lineage identity: fresh per construction/copy, *not* refreshed by
+  /// push() or the mutable-state accessors.  Two snapshots with the same
+  /// stable_id() are the same growing sequence; combine with appends() and
+  /// rewrites() to learn how its content evolved in between.
+  std::uint32_t stable_id() const { return stable_id_; }
+
+  /// Number of push() calls since construction/copy.  A consumer that saw
+  /// (stable_id, appends, rewrites) == (s, a, r) and now sees (s, a', r)
+  /// knows exactly the states [size()-(a'-a), size()) are new and every
+  /// earlier position is bit-identical — the append-only delta.
+  std::uint64_t appends() const { return appends_; }
+
+  /// Number of mutable-state handouts (back_mut/state_mut) since
+  /// construction/copy.  Any change here means existing positions may have
+  /// been rewritten in place: delta reasoning is off, invalidate fully.
+  std::uint64_t rewrites() const { return rewrites_; }
 
   /// Number of explicitly stored states.  Must be >= 1 before evaluation.
   std::size_t size() const { return states_.size(); }
@@ -49,10 +81,13 @@ class Trace {
   /// indices past the end read the final state.
   const State& at(std::size_t k) const;
 
-  /// Appends a state (invalidating previously cached results by id change).
+  /// Appends a state (invalidating previously cached results by id change;
+  /// append-delta consumers instead watch appends() tick under an unchanged
+  /// stable_id()).
   void push(State s) {
     states_.push_back(std::move(s));
     id_ = next_id();
+    ++appends_;
   }
 
   /// Last explicitly stored state (requires non-empty).
@@ -79,6 +114,9 @@ class Trace {
 
   std::vector<State> states_;
   std::uint32_t id_ = 0;
+  std::uint32_t stable_id_ = 0;
+  std::uint64_t appends_ = 0;
+  std::uint64_t rewrites_ = 0;
 };
 
 /// Builder that records a system's evolution: mutate the working state via

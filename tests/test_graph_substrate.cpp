@@ -315,17 +315,45 @@ TEST(DecisionCache, KnobDisablesCachingEntirely) {
   EXPECT_EQ(decider.cache().size(), 0u);
 }
 
-TEST(DecisionCache, TableauKeysAreArenaScoped) {
-  // The same formula text in two arenas gets distinct cache slots (ids are
-  // per-arena), while the LLL encoding — interned process-globally — shares.
-  ltl::Arena a1, a2;
+TEST(DecisionCache, TableauVerdictsSurviveArenaRebuild) {
+  // Tableau keys carry the arena's content fingerprint, not its address: a
+  // torn-down arena rebuilt by the same construction sequence re-uses the
+  // cached verdict (no clear_cache()-before-teardown requirement), while an
+  // arena with different content gets its own slot.
   engine::BatchDecider decider;
-  decider.run({engine::tableau_sat_job(a1, a1.parse("[]p"))});
-  decider.run({engine::tableau_sat_job(a2, a2.parse("[]p"))});
-  EXPECT_EQ(decider.cache().hits(), 0u);
-  decider.run({engine::lll_sat_job(lll::encode_ltl(a1, a1.nnf(a1.parse("[]p"))))});
-  decider.run({engine::lll_sat_job(lll::encode_ltl(a2, a2.nnf(a2.parse("[]p"))))});
+  engine::DecisionResult first;
+  {
+    ltl::Arena a1;
+    first = decider.run({engine::tableau_sat_job(a1, a1.parse("[]p"))})[0];
+    EXPECT_EQ(decider.cache().hits(), 0u);
+  }  // a1 destroyed; its entries stay valid — keys hold no arena pointer
+
+  ltl::Arena a2;  // identical content: same fingerprint, same ids
+  const auto rebuilt = decider.run({engine::tableau_sat_job(a2, a2.parse("[]p"))});
   EXPECT_EQ(decider.cache().hits(), 1u);
+  EXPECT_EQ(rebuilt[0].verdict, first.verdict);
+  EXPECT_EQ(rebuilt[0].graph_nodes, first.graph_nodes);
+
+  // Keys digest the construction *prefix* up to the formula's own node, so
+  // growing the live arena afterwards does not orphan its cached verdicts.
+  (void)a2.parse("extra /\\ <>later");
+  decider.run({engine::tableau_sat_job(a2, a2.parse("[]p"))});
+  EXPECT_EQ(decider.cache().hits(), 2u);
+
+  // Diverging the construction sequence changes the fingerprint (and the
+  // ids), so the same formula text in a different-content arena is decided
+  // afresh rather than wrongly answered from the other arena's slot.
+  ltl::Arena a3;
+  (void)a3.parse("q /\\ r");
+  decider.run({engine::tableau_sat_job(a3, a3.parse("[]p"))});
+  EXPECT_EQ(decider.cache().hits(), 2u);  // no new hit
+
+  // LLL expression ids are process-global and share slots across arenas,
+  // as before.
+  ltl::Arena a4, a5;
+  decider.run({engine::lll_sat_job(lll::encode_ltl(a4, a4.nnf(a4.parse("[]p"))))});
+  decider.run({engine::lll_sat_job(lll::encode_ltl(a5, a5.nnf(a5.parse("[]p"))))});
+  EXPECT_EQ(decider.cache().hits(), 3u);
 }
 
 }  // namespace

@@ -103,6 +103,29 @@ TEST(Metadata, StarFlagAndDepthArePrecomputed) {
   EXPECT_GT(starred->depth(), f::negate(atom)->depth());
 }
 
+TEST(Metadata, SuffixSensitivityIsPrecomputed) {
+  // Atoms and their boolean/quantifier combinations read exactly the first
+  // state of the interval: insensitive to how the trace grows.
+  EXPECT_FALSE(parse_formula("p")->suffix_sensitive());
+  EXPECT_FALSE(parse_formula("!(p /\\ q) -> r")->suffix_sensitive());
+  EXPECT_FALSE(f::forall("v", {1, 2}, parse_formula("x = $v"))->suffix_sensitive());
+
+  // Temporal operators quantify over the growing horizon; events scan for
+  // changes up to it.  Both make every enclosing formula sensitive.
+  EXPECT_TRUE(parse_formula("[] p")->suffix_sensitive());
+  EXPECT_TRUE(parse_formula("<> p")->suffix_sensitive());
+  EXPECT_TRUE(parse_formula("p /\\ [] q")->suffix_sensitive());
+  EXPECT_TRUE(parse_formula("[ A => B ] p")->suffix_sensitive());
+  EXPECT_TRUE(parse_formula("*A")->suffix_sensitive());
+  EXPECT_TRUE(parse_term("A => B")->suffix_sensitive());
+  EXPECT_TRUE(parse_term("begin(A)")->suffix_sensitive());
+
+  // Arrow skeletons with no event anywhere locate nothing: insensitive.
+  EXPECT_FALSE(t::fwd(nullptr, nullptr)->suffix_sensitive());
+  EXPECT_FALSE(t::begin(t::fwd(nullptr, nullptr))->suffix_sensitive());
+  EXPECT_FALSE(f::interval(t::fwd(nullptr, nullptr), f::atom("p"))->suffix_sensitive());
+}
+
 // Satellite: collect_vars/collect_metas previously emitted duplicates; they
 // now promise sorted-unique output.
 TEST(Collect, VarsAndMetasAreSortedUnique) {

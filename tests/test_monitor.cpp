@@ -54,7 +54,9 @@ TEST(Monitor, ProvisionalVerdictsRecover) {
 }
 
 TEST(Monitor, PersistentCacheHitsGrowAcrossCalls) {
-  Monitor m(simple_spec());
+  // Scratch mode: this pins the pre-incremental cache lifecycle (entries
+  // die with each trace identity bump, counters accumulate).
+  Monitor m(simple_spec(), {}, Monitor::Mode::Scratch);
   m.observe(st(false, false, true, true));
   EXPECT_TRUE(m.current().ok);
   const std::size_t hits_after_first = m.cache().hits();
@@ -86,6 +88,61 @@ TEST(Monitor, StatesSeenAndTrace) {
   m.observe(st(false, false, false, false));
   EXPECT_EQ(m.states_seen(), 2u);
   EXPECT_EQ(m.trace().size(), 2u);
+}
+
+TEST(Monitor, AppendIsObservePlusCurrent) {
+  Monitor inc(simple_spec());
+  Monitor scratch(simple_spec(), {}, Monitor::Mode::Scratch);
+  const State states[] = {
+      st(false, false, false, false), st(true, false, false, false),
+      st(true, false, false, true),  // cs without x: safety violation
+      st(true, true, false, false),  st(false, false, true, true),
+  };
+  for (const State& s : states) {
+    const CheckResult a = inc.append(s);
+    scratch.observe(s);
+    const CheckResult b = scratch.current();
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.failed, b.failed);
+  }
+  EXPECT_EQ(inc.states_seen(), 5u);
+}
+
+TEST(Monitor, IncrementalSettlesAndPinsObligations) {
+  Monitor m(simple_spec());
+  m.append(st(false, false, false, false));
+  m.append(st(true, false, false, false));   // req rises: response pending
+  EXPECT_FALSE(m.current().ok);              // provisional failure
+  const std::size_t recomputes_pending = m.obligations().recomputes();
+  EXPECT_GT(m.obligations().size(), 0u);
+
+  m.append(st(true, true, false, false));    // grant arrives
+  EXPECT_TRUE(m.current().ok);
+  // The grant settled obligations (the located request interval and its
+  // grant occurrence are pinned); later quiet states re-settle only the
+  // live suffix, not the settled prefix.
+  EXPECT_GT(m.obligations().settled_count(), 0u);
+  const std::size_t recomputes_settled = m.obligations().recomputes() - recomputes_pending;
+  EXPECT_GT(recomputes_settled, 0u);
+
+  // A repeated current() with no new state re-reads fresh results only.
+  const std::size_t recomputes_before = m.obligations().recomputes();
+  EXPECT_TRUE(m.current().ok);
+  EXPECT_EQ(m.obligations().recomputes(), recomputes_before);
+  EXPECT_GT(m.obligations().fresh_hits() + m.obligations().settled_hits(), 0u);
+}
+
+TEST(Monitor, IncrementalSettledCacheSurvivesAppends) {
+  // The closed-world cache is keyed by the stable lineage id: appends never
+  // evict it, so resident entries only grow.
+  Monitor m(simple_spec());
+  m.append(st(false, false, true, true));
+  m.append(st(true, false, true, true));
+  const std::size_t entries_two = m.cache().size();
+  m.append(st(true, true, true, true));
+  EXPECT_GE(m.cache().size(), entries_two);
+  // And the obligation graph saw one invalidation pass per append epoch.
+  EXPECT_EQ(m.obligations().epoch(), 3u);
 }
 
 }  // namespace

@@ -85,5 +85,42 @@ TEST(TraceBuilder, StepHelper) {
   EXPECT_EQ(tb.trace().at(0).get("y"), 5);
 }
 
+TEST(Trace, AppendDeltaNotification) {
+  // The append-delta view: push() ticks appends() under an unchanged
+  // stable_id(), while the memoization identity id() still refreshes.
+  Trace tr;
+  const std::uint32_t lineage = tr.stable_id();
+  const std::uint32_t id0 = tr.id();
+  EXPECT_EQ(tr.appends(), 0u);
+  EXPECT_EQ(tr.rewrites(), 0u);
+
+  State s;
+  s.set("x", 1);
+  tr.push(s);
+  tr.push(s);
+  EXPECT_EQ(tr.stable_id(), lineage);
+  EXPECT_NE(tr.id(), id0);
+  EXPECT_EQ(tr.appends(), 2u);
+  EXPECT_EQ(tr.rewrites(), 0u);
+
+  // In-place mutation is the other kind of delta: rewrites() ticks and
+  // append-only reasoning is off.
+  tr.back_mut().set("x", 9);
+  EXPECT_EQ(tr.rewrites(), 1u);
+  tr.state_mut(0).set("x", 3);
+  EXPECT_EQ(tr.rewrites(), 2u);
+  EXPECT_EQ(tr.stable_id(), lineage);
+
+  // Copies are a fresh lineage with fresh counters; moves keep both.
+  Trace copy = tr;
+  EXPECT_NE(copy.stable_id(), lineage);
+  EXPECT_EQ(copy.appends(), 0u);
+  EXPECT_EQ(copy.rewrites(), 0u);
+  Trace moved = std::move(tr);
+  EXPECT_EQ(moved.stable_id(), lineage);
+  EXPECT_EQ(moved.appends(), 2u);
+  EXPECT_EQ(moved.rewrites(), 2u);
+}
+
 }  // namespace
 }  // namespace il
