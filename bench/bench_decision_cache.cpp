@@ -53,7 +53,7 @@ void bench_decision_batch_cold(benchmark::State& state) {
   for (auto _ : state) {
     il::engine::BatchDecider decider(options);
     auto results = decider.run(jobs);
-    hit_rate = static_cast<double>(decider.stats().cache_hits) /
+    hit_rate = static_cast<double>(decider.stats().decision_hits) /
                static_cast<double>(decider.stats().jobs);
     benchmark::DoNotOptimize(results);
   }
@@ -76,7 +76,7 @@ void bench_decision_batch_warm(benchmark::State& state) {
   double hit_rate = 0;
   for (auto _ : state) {
     auto results = decider.run(jobs);
-    hit_rate = static_cast<double>(decider.stats().cache_hits) /
+    hit_rate = static_cast<double>(decider.stats().decision_hits) /
                static_cast<double>(decider.stats().jobs);
     benchmark::DoNotOptimize(results);
   }

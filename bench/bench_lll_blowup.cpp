@@ -145,7 +145,7 @@ void bench_lll_batch_engine_warm(benchmark::State& state) {
   double hit_rate = 0;
   for (auto _ : state) {
     auto results = decider.run(jobs);
-    hit_rate = static_cast<double>(decider.stats().cache_hits) /
+    hit_rate = static_cast<double>(decider.stats().decision_hits) /
                static_cast<double>(decider.stats().jobs);
     benchmark::DoNotOptimize(results);
   }

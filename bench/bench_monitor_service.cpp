@@ -1,0 +1,135 @@
+// E14 — monitoring as a service: what the resident parked pool buys over
+// the spawn-per-feed fan-out it replaced, and how a resident fleet scales.
+//
+//   bench_service_feed_parked/T   per-state fleet epoch through a ParkedPool
+//                                 of T workers (the BatchMonitor/
+//                                 MonitorService path: wake + drain)
+//   bench_service_feed_spawn/T    the pre-service reference: the same epoch
+//                                 through run_claimed(), spawning and
+//                                 joining T threads for every state
+//   bench_service_resident_fleet/N
+//                                 one appended state through a MonitorService
+//                                 with N resident monitors (10^2..10^4),
+//                                 including verdict-row assembly and drain
+//
+// CI asserts feed_parked < feed_spawn at 4 threads from the emitted JSON:
+// parking the workers is the reason the service can afford an epoch per
+// state.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/monitor.h"
+#include "core/parser.h"
+#include "engine/pool.h"
+#include "engine/service.h"
+#include "systems/mutex.h"
+
+namespace {
+
+using namespace il;
+
+Spec monitored_spec() {
+  Spec spec;
+  spec.name = "monitored";
+  spec.axioms.push_back({"safety", parse_formula("[] (cs1 -> x1)")});
+  spec.axioms.push_back({"scan", parse_formula("[] [ x1 <= cs1 ] <> !x2")});
+  return spec;
+}
+
+Trace mutex_run(std::size_t entries) {
+  sys::MutexRunConfig config;
+  config.entries = entries;
+  return sys::run_mutex(config);
+}
+
+constexpr std::size_t kFleet = 16;   ///< monitors per feed benchmark
+constexpr std::size_t kBlock = 32;   ///< timed states per iteration
+
+/// The feed benchmarks monitor one cheap safety axiom: the point is the
+/// fan-out cost per state (wake + drain vs spawn + join), so the per-monitor
+/// append must be small enough not to drown it.
+Spec feed_spec() {
+  Spec spec;
+  spec.name = "feed";
+  spec.axioms.push_back({"safety", parse_formula("[] (cs1 -> x1)")});
+  return spec;
+}
+
+/// Feeds kBlock states to a fresh fleet, one epoch per state, fanned out by
+/// `epoch(count, body)`.  The fleet build is untimed; the timed region is
+/// exactly the per-state epochs, so items_per_second is states/s.
+template <typename Epoch>
+void feed_blocks(benchmark::State& state, Epoch&& epoch) {
+  const Spec spec = feed_spec();
+  const Trace tr = mutex_run(8);
+  std::size_t failed = 0;
+  std::vector<std::size_t> slots(kFleet);  ///< per-monitor, so workers never share
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Monitor> fleet;
+    fleet.reserve(kFleet);
+    for (std::size_t i = 0; i < kFleet; ++i) fleet.emplace_back(spec);
+    state.ResumeTiming();
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      const State& s = tr.at(j);
+      epoch(fleet.size(), [&](std::size_t i) { slots[i] = fleet[i].append(s).failed.size(); });
+      for (const std::size_t f : slots) failed += f;
+    }
+    benchmark::DoNotOptimize(failed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kBlock));
+  state.counters["monitors"] = static_cast<double>(kFleet);
+}
+
+void bench_service_feed_parked(benchmark::State& state) {
+  engine::detail::ParkedPool pool(static_cast<std::size_t>(state.range(0)));
+  feed_blocks(state, [&](std::size_t count, const std::function<void(std::size_t)>& body) {
+    pool.run(count, body);
+  });
+}
+
+void bench_service_feed_spawn(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  feed_blocks(state, [&](std::size_t count, const std::function<void(std::size_t)>& body) {
+    engine::detail::run_claimed(
+        count, threads, [](std::size_t) { return 0; },
+        [&](int&, std::size_t i) { body(i); }, [](int&, std::size_t) {});
+  });
+}
+
+/// One state through a resident service with N monitors: epoch fan-out over
+/// the dirty shards, verdict-row assembly, and the caller's drain.
+void bench_service_resident_fleet(benchmark::State& state) {
+  const std::size_t monitors = static_cast<std::size_t>(state.range(0));
+  const Spec spec = monitored_spec();
+  const Trace tr = mutex_run(8);
+  engine::Options options;
+  options.num_threads = 4;
+  options.queue_capacity = 64;
+  engine::MonitorService service(options);
+  for (std::size_t i = 0; i < monitors; ++i) service.register_spec(spec);
+  service.flush();
+  std::size_t k = 0;
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    service.append(tr.at(k));
+    service.flush();
+    rows += service.drain().size();
+    k = (k + 1) % tr.size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["monitors"] = static_cast<double>(monitors);
+  state.counters["shards"] = static_cast<double>(service.shards());
+}
+
+}  // namespace
+
+BENCHMARK(bench_service_feed_parked)->Arg(2)->Arg(4);
+BENCHMARK(bench_service_feed_spawn)->Arg(2)->Arg(4);
+BENCHMARK(bench_service_resident_fleet)->Arg(100)->Arg(1000)->Arg(10000);
+
+BENCHMARK_MAIN();

@@ -6,9 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/check.h"
-#include "systems/ab_protocol.h"
-#include "systems/queue_system.h"
+#include "il.h"
 
 int main(int argc, char** argv) {
   using namespace il;

@@ -5,10 +5,7 @@
 //   ./arbiter_demo
 #include <cstdio>
 
-#include "core/check.h"
-#include "systems/arbiter.h"
-#include "systems/selftimed.h"
-#include "theory/combined.h"
+#include "il.h"
 
 int main() {
   using namespace il;

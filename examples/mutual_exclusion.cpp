@@ -6,8 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/check.h"
-#include "systems/mutex.h"
+#include "il.h"
 
 int main(int argc, char** argv) {
   using namespace il;

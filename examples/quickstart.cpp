@@ -3,14 +3,9 @@
 //
 //   ./quickstart
 #include <cstdio>
+#include <sstream>
 
-#include "core/bounded.h"
-#include "core/check.h"
-#include "core/diagram.h"
-#include "core/monitor.h"
-#include "core/parser.h"
-#include "core/semantics.h"
-#include "engine/engine.h"
+#include "il.h"
 
 int main() {
   using namespace il;
@@ -94,10 +89,10 @@ int main() {
 
   engine::BatchChecker checker;  // one worker per hardware thread
   auto verdicts = checker.run(engine::jobs_for_traces(batch_spec, fleet));
-  // stats().threads counts spawned workers; 0 means the batch ran inline.
+  // check_stats().threads counts spawned workers; 0 means the batch ran inline.
   std::printf("\nbatch of %zu traces (%zu worker threads, %zu memo hits):\n", verdicts.size(),
-              checker.stats().threads == 0 ? 1 : checker.stats().threads,
-              checker.stats().memo_hits);
+              checker.check_stats().threads == 0 ? 1 : checker.check_stats().threads,
+              checker.check_stats().memo_hits);
   for (std::size_t i = 0; i < verdicts.size(); ++i) {
     std::printf("  trace %zu: %s\n", i, verdicts[i].to_string().c_str());
   }
@@ -133,5 +128,26 @@ int main() {
   const auto& graph = monitor.obligations();
   std::printf("  obligations: %zu tracked, %zu settled, %zu re-settlements total\n",
               graph.size(), graph.settled_count(), graph.recomputes());
+
+  // Monitoring as a service: a resident MonitorService owns a parked worker
+  // pool; monitors register and retire at runtime while states stream in
+  // through a bounded queue, and dump() renders the live counters as
+  // debugfs-style `key value` text.
+  MonitorService service;
+  const MonitorId id = service.register_spec(stream_spec);
+  for (const Step& step : steps) {
+    State s;
+    s.set_bool("req", step.req);
+    s.set_bool("grant", step.grant);
+    service.append(s);
+  }
+  service.flush();
+  std::printf("\nservice: monitor %llu saw %zu rows; final verdict %s\n",
+              static_cast<unsigned long long>(id), service.drain().size(),
+              service.stats().totals.axioms_failed == 0 ? "clean" : "had failures");
+  std::printf("--- service.dump() ---\n");
+  std::ostringstream dump;
+  service.dump(dump);
+  std::printf("%s", dump.str().c_str());
   return 0;
 }

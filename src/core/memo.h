@@ -102,6 +102,18 @@ class EvalCache {
   /// kMaxEnv and the query bypasses the cache.
   void note_env_overflow() { ++env_overflows_; }
 
+  /// Counter-export hook for the introspection surface
+  /// (engine/introspect.h): calls fn(name, value) for every counter.
+  /// `entries` is a gauge (resident now); the rest are lifetime counters.
+  template <typename Fn>
+  void for_each_counter(Fn&& fn) const {
+    fn("hits", static_cast<std::uint64_t>(hits_));
+    fn("misses", static_cast<std::uint64_t>(misses_));
+    fn("inserts", static_cast<std::uint64_t>(inserts_));
+    fn("entries", static_cast<std::uint64_t>(count_));
+    fn("env_overflows", static_cast<std::uint64_t>(env_overflows_));
+  }
+
   /// Soft cap on stored entries; 0 means unlimited.
   void set_capacity(std::size_t cap) { capacity_ = cap; }
 
@@ -278,6 +290,22 @@ class ObligationGraph {
   void note_settled_hit() { ++settled_hits_; }
   void note_fresh_hit() { ++fresh_hits_; }
   void note_env_overflow() { ++env_overflows_; }
+
+  /// Counter-export hook for the introspection surface
+  /// (engine/introspect.h): calls fn(name, value) for every counter.
+  /// entries/settled/open/edges are gauges; the rest lifetime counters.
+  template <typename Fn>
+  void for_each_counter(Fn&& fn) const {
+    fn("entries", static_cast<std::uint64_t>(size()));
+    fn("settled", static_cast<std::uint64_t>(settled_count()));
+    fn("open", static_cast<std::uint64_t>(open_count()));
+    fn("edges", static_cast<std::uint64_t>(edges()));
+    fn("dirtied", static_cast<std::uint64_t>(total_dirtied_));
+    fn("recomputed", static_cast<std::uint64_t>(recomputes_));
+    fn("settled_hits", static_cast<std::uint64_t>(settled_hits_));
+    fn("fresh_hits", static_cast<std::uint64_t>(fresh_hits_));
+    fn("env_overflows", static_cast<std::uint64_t>(env_overflows_));
+  }
 
  private:
   struct KeyHash {

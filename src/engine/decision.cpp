@@ -110,12 +110,12 @@ void DecisionCache::store(const Key& key, const DecisionResult& result) {
 
 void DecisionCache::clear() { map_.clear(); }
 
-BatchDecider::BatchDecider(EngineOptions options) : options_(options) {
+BatchDecider::BatchDecider(Options options) : options_(options) {
   cache_.set_capacity(options_.decision_cache_capacity);
 }
 
 std::vector<DecisionResult> BatchDecider::run(const std::vector<DecisionJob>& jobs) {
-  stats_ = DecisionEngineStats{};
+  stats_ = DecisionStats{};
   stats_.jobs = jobs.size();
   for (const DecisionJob& j : jobs) {
     if (j.kind == DecisionJob::Kind::LllSat) {
@@ -144,10 +144,10 @@ std::vector<DecisionResult> BatchDecider::run(const std::vector<DecisionJob>& jo
       const DecisionCache::Key key = DecisionCache::key_for(jobs[i]);
       if (const DecisionResult* cached = cache_.lookup(key)) {
         results[i] = *cached;
-        ++stats_.cache_hits;
+        ++stats_.decision_hits;
         continue;
       }
-      ++stats_.cache_misses;
+      ++stats_.decision_misses;
       const auto [it, inserted] = first_seen.try_emplace(key, distinct.size());
       if (inserted) {
         distinct.push_back(i);
@@ -186,8 +186,8 @@ std::vector<DecisionResult> BatchDecider::run(const std::vector<DecisionJob>& jo
   }
   if (use_cache) {
     for (std::size_t d = 0; d < distinct.size(); ++d) cache_.store(distinct_keys[d], decided[d]);
-    stats_.cache_inserts = cache_.inserts() - inserts_before;
-    stats_.cache_entries = cache_.size();
+    stats_.decision_inserts = cache_.inserts() - inserts_before;
+    stats_.decision_entries = cache_.size();
   }
 
   for (const DecisionResult& r : results) {
@@ -198,7 +198,7 @@ std::vector<DecisionResult> BatchDecider::run(const std::vector<DecisionJob>& jo
 }
 
 std::vector<DecisionResult> decide_batch(const std::vector<DecisionJob>& jobs,
-                                         EngineOptions options) {
+                                         Options options) {
   BatchDecider decider(options);
   return decider.run(jobs);
 }

@@ -59,8 +59,9 @@ struct DecisionResult {
   std::size_t iterations = 0;   ///< LLL deletion passes (0 for tableau jobs)
 };
 
-/// Aggregate counters from the last run().
-struct DecisionEngineStats {
+/// Aggregate counters from the last run().  The decision_* quad follows the
+/// engine-wide *_hits/_misses/_inserts/_entries convention (engine.h).
+struct DecisionStats {
   std::size_t jobs = 0;
   std::size_t threads = 0;  ///< workers actually spawned (0 = inline)
   std::size_t tableau_jobs = 0;
@@ -68,11 +69,14 @@ struct DecisionEngineStats {
   std::size_t unique_jobs = 0;  ///< jobs actually decided (cache/dedup removed the rest)
   std::size_t graph_nodes = 0;  ///< summed over jobs
   std::size_t graph_edges = 0;
-  std::size_t cache_hits = 0;     ///< jobs answered by the DecisionCache
-  std::size_t cache_misses = 0;
-  std::size_t cache_inserts = 0;  ///< results stored this run
-  std::size_t cache_entries = 0;  ///< entries resident after the run
+  std::size_t decision_hits = 0;     ///< jobs answered by the DecisionCache
+  std::size_t decision_misses = 0;
+  std::size_t decision_inserts = 0;  ///< results stored this run
+  std::size_t decision_entries = 0;  ///< entries resident after the run
 };
+
+/// Deprecated name, kept for one release.
+using DecisionEngineStats = DecisionStats;
 
 /// Cross-batch memo of decision results, mirroring what EvalCache does for
 /// trace checks: the hash-consed intern layer makes a formula a stable
@@ -122,6 +126,16 @@ class DecisionCache {
   std::size_t inserts() const { return inserts_; }
   std::size_t size() const { return map_.size(); }
 
+  /// Counter-export hook for the introspection surface (engine/introspect.h):
+  /// calls fn(name, value) for every counter, gauges last.
+  template <typename Fn>
+  void for_each_counter(Fn&& fn) const {
+    fn("hits", static_cast<std::uint64_t>(hits_));
+    fn("misses", static_cast<std::uint64_t>(misses_));
+    fn("inserts", static_cast<std::uint64_t>(inserts_));
+    fn("entries", static_cast<std::uint64_t>(map_.size()));
+  }
+
   /// Soft cap on stored entries; 0 means unlimited.
   void set_capacity(std::size_t cap) { capacity_ = cap; }
 
@@ -135,7 +149,7 @@ class DecisionCache {
 
 class BatchDecider {
  public:
-  explicit BatchDecider(EngineOptions options = {});
+  explicit BatchDecider(Options options = {});
 
   /// Decides every job; results[i] corresponds to jobs[i].  Deterministic:
   /// independent of thread count, scheduling, and cache temperature.
@@ -148,8 +162,8 @@ class BatchDecider {
   /// for the lowest-indexed failing job.
   std::vector<DecisionResult> run(const std::vector<DecisionJob>& jobs);
 
-  const EngineOptions& options() const { return options_; }
-  const DecisionEngineStats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+  const DecisionStats& stats() const { return stats_; }
   const DecisionCache& cache() const { return cache_; }
   /// Drops every cached entry.  Keys are content-derived (see
   /// DecisionCache), so this is a memory knob, not a lifetime requirement:
@@ -157,8 +171,8 @@ class BatchDecider {
   void clear_cache() { cache_.clear(); }
 
  private:
-  EngineOptions options_;
-  DecisionEngineStats stats_;
+  Options options_;
+  DecisionStats stats_;
   DecisionCache cache_;
 };
 
@@ -168,6 +182,6 @@ DecisionResult run_decision_job(const DecisionJob& job);
 
 /// One-shot convenience over a temporary BatchDecider.
 std::vector<DecisionResult> decide_batch(const std::vector<DecisionJob>& jobs,
-                                         EngineOptions options = {});
+                                         Options options = {});
 
 }  // namespace il::engine

@@ -26,11 +26,11 @@ CheckResult run_job(const CheckJob& job, EvalCache* cache) {
   return check_spec_cached(*job.spec, *job.trace, job.env, cache);
 }
 
-BatchChecker::BatchChecker(EngineOptions options) : options_(options) {}
+BatchChecker::BatchChecker(Options options) : options_(options) {}
 
 std::vector<CheckResult> BatchChecker::run(const std::vector<CheckJob>& jobs) {
-  stats_ = EngineStats{};
-  stats_.jobs = jobs.size();
+  check_stats_ = CheckStats{};
+  check_stats_.jobs = jobs.size();
 
   std::vector<CheckResult> results(jobs.size());
   if (jobs.empty()) return results;
@@ -48,10 +48,10 @@ std::vector<CheckResult> BatchChecker::run(const std::vector<CheckJob>& jobs) {
     EvalCache cache = make_cache();
     EvalCache* cache_ptr = options_.memoize ? &cache : nullptr;
     for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = run_job(jobs[i], cache_ptr);
-    stats_.memo_hits = cache.hits();
-    stats_.memo_misses = cache.misses();
-    stats_.memo_inserts = cache.inserts();
-    stats_.memo_entries = cache.size();
+    check_stats_.memo_hits = cache.hits();
+    check_stats_.memo_misses = cache.misses();
+    check_stats_.memo_inserts = cache.inserts();
+    check_stats_.memo_entries = cache.size();
   } else {
     std::vector<WorkerReport> reports(pool);
     // The rethrow happens after the reports are aggregated, so the memo
@@ -72,22 +72,35 @@ std::vector<CheckResult> BatchChecker::run(const std::vector<CheckJob>& jobs) {
     } catch (...) {
       batch_error = std::current_exception();
     }
-    stats_.threads = pool;
+    check_stats_.threads = pool;
     for (const WorkerReport& r : reports) {
-      stats_.memo_hits += r.memo_hits;
-      stats_.memo_misses += r.memo_misses;
-      stats_.memo_inserts += r.memo_inserts;
-      stats_.memo_entries += r.memo_entries;
+      check_stats_.memo_hits += r.memo_hits;
+      check_stats_.memo_misses += r.memo_misses;
+      check_stats_.memo_inserts += r.memo_inserts;
+      check_stats_.memo_entries += r.memo_entries;
     }
     if (batch_error) std::rethrow_exception(batch_error);
   }
 
-  for (const CheckResult& r : results) stats_.axioms_failed += r.failed.size();
-  for (const CheckJob& j : jobs) stats_.axioms_checked += j.spec->all().size();
+  for (const CheckResult& r : results) check_stats_.axioms_failed += r.failed.size();
+  for (const CheckJob& j : jobs) check_stats_.axioms_checked += j.spec->all().size();
   return results;
 }
 
-std::vector<CheckResult> check_batch(const std::vector<CheckJob>& jobs, EngineOptions options) {
+const EngineStats& BatchChecker::stats() const {
+  stats_ = EngineStats{};
+  stats_.jobs = check_stats_.jobs;
+  stats_.threads = check_stats_.threads;
+  stats_.memo_hits = check_stats_.memo_hits;
+  stats_.memo_misses = check_stats_.memo_misses;
+  stats_.memo_inserts = check_stats_.memo_inserts;
+  stats_.memo_entries = check_stats_.memo_entries;
+  stats_.axioms_checked = check_stats_.axioms_checked;
+  stats_.axioms_failed = check_stats_.axioms_failed;
+  return stats_;
+}
+
+std::vector<CheckResult> check_batch(const std::vector<CheckJob>& jobs, Options options) {
   BatchChecker checker(options);
   return checker.run(jobs);
 }

@@ -36,10 +36,16 @@ struct CheckJob {
   Env env;
 };
 
-struct EngineOptions {
-  /// Worker threads; 0 means std::thread::hardware_concurrency().  The
-  /// effective pool never exceeds the number of jobs, and batches of at
-  /// most one job run inline on the calling thread.
+/// The engine's one options struct, shared by every front-end: the offline
+/// batch families (BatchChecker, BatchDecider), the streaming fleet
+/// (BatchMonitor), and the resident MonitorService.  Each front-end reads
+/// the knobs that concern it and documents any family-specific meaning.
+struct Options {
+  /// Worker threads; 0 means std::thread::hardware_concurrency() for the
+  /// offline families and for MonitorService.  The effective pool never
+  /// exceeds the number of jobs, and batches of at most one job run inline
+  /// on the calling thread.  BatchMonitor is the exception: 0 means
+  /// *inline* there (see stream.h).
   std::size_t num_threads = 0;
 
   /// Per-worker subformula memoization (see core/memo.h).  Disabling it is
@@ -49,26 +55,40 @@ struct EngineOptions {
   /// Soft cap on entries per worker cache; 0 = unlimited.
   std::size_t memo_capacity = 1u << 22;
 
-  /// Cross-batch decision-result cache on BatchDecider (engine/decision.h):
-  /// (job kind, formula/expression id) → full DecisionResult, consulted on
-  /// the calling thread before any work fans out, so repeated formulas —
-  /// within one batch or across a regression corpus of batches — are
-  /// decided once.  Irrelevant to BatchChecker.
+  /// Cross-batch decision-result cache on BatchDecider (engine/decision.h)
+  /// and MonitorService::decide(): (job kind, formula/expression id) → full
+  /// DecisionResult, consulted on the calling thread before any work fans
+  /// out, so repeated formulas — within one batch or across a regression
+  /// corpus of batches — are decided once.  Irrelevant to BatchChecker.
   bool decision_cache = true;
 
   /// Soft cap on decision-cache entries; 0 = unlimited.
   std::size_t decision_cache_capacity = 1u << 20;
+
+  /// MonitorService only: bounded ingest-queue depth.  append() blocks (and
+  /// try_append() reports QueueFull) while this many commands are pending —
+  /// backpressure instead of unbounded buffering.  Must be >= 1.
+  std::size_t queue_capacity = 1024;
+
+  /// MonitorService only: number of monitor shards; 0 means one per worker.
+  std::size_t num_shards = 0;
 };
 
-/// Aggregate counters from the last run().  The memo_* fields sum the
+/// Deprecated name, kept for one release.
+using EngineOptions = Options;
+
+// ---------------------------------------------------------------------------
+// Per-family statistics.  One struct per workload class, with one naming
+// convention for every cache/store family: *_hits / *_misses / *_inserts /
+// *_entries (gauges named *_entries count what is resident now; the rest
+// are lifetime counters).
+// ---------------------------------------------------------------------------
+
+/// BatchChecker counters from the last run().  The memo_* fields sum the
 /// per-worker EvalCache counters (each worker owns a private cache over the
 /// shared read-only symbol/node tables), so a batch result reports exactly
-/// how much memoization paid across the whole fleet.  The stream_* and
-/// obligation_* fields are filled by the streaming front-end
-/// (engine::BatchMonitor, engine/stream.h), which sums its monitors'
-/// settled caches into memo_* and their obligation graphs into
-/// obligation_*; they stay zero for offline BatchChecker runs.
-struct EngineStats {
+/// how much memoization paid across the whole fleet.
+struct CheckStats {
   std::size_t jobs = 0;
   std::size_t threads = 0;       ///< workers actually spawned (0 = inline)
   std::size_t memo_hits = 0;     ///< summed over worker caches
@@ -77,17 +97,54 @@ struct EngineStats {
   std::size_t memo_entries = 0;  ///< entries resident at end of run
   std::size_t axioms_checked = 0;
   std::size_t axioms_failed = 0;
-  std::size_t stream_states = 0;    ///< states fed to the monitor fleet
-  std::size_t stream_verdicts = 0;  ///< verdicts emitted (states × monitors)
-  std::size_t obligations = 0;           ///< resident obligations, all graphs
-  std::size_t obligations_settled = 0;   ///< of which pinned forever
-  std::size_t obligations_dirtied = 0;   ///< invalidation-pass marks, lifetime
-  std::size_t obligations_recomputed = 0;  ///< re-settlements, lifetime
+};
+
+/// Streaming-fleet counters (BatchMonitor, and per shard inside
+/// MonitorService): the monitors' settled caches summed into memo_*, their
+/// obligation graphs into obligation_*.
+struct StreamStats {
+  std::size_t monitors = 0;  ///< resident monitors
+  std::size_t threads = 0;   ///< pool workers serving the fleet (0 = inline)
+  std::size_t states = 0;    ///< states fed
+  std::size_t verdicts = 0;  ///< verdict rows emitted (states × monitors)
+  std::size_t axioms_checked = 0;
+  std::size_t axioms_failed = 0;
+  std::size_t memo_hits = 0;  ///< settled-cache counters, summed
+  std::size_t memo_misses = 0;
+  std::size_t memo_inserts = 0;
+  std::size_t memo_entries = 0;
+  std::size_t obligation_entries = 0;  ///< resident obligations, all graphs
+  std::size_t obligation_settled = 0;  ///< of which pinned forever
+  std::size_t obligation_open = 0;     ///< of which still provisional
+  std::size_t obligation_edges = 0;    ///< dependency edges resident
+  std::size_t obligation_dirtied = 0;  ///< invalidation-pass marks, lifetime
+  std::size_t obligation_recomputed = 0;  ///< re-settlements, lifetime
+};
+
+/// Deprecated pre-unification aggregate, kept for one release.  The check
+/// fields mirror CheckStats; the stream_*/obligation_* tail mirrors
+/// StreamStats under the old names.  New code reads BatchChecker::
+/// check_stats() / BatchMonitor::stream_stats() instead.
+struct EngineStats {
+  std::size_t jobs = 0;
+  std::size_t threads = 0;
+  std::size_t memo_hits = 0;
+  std::size_t memo_misses = 0;
+  std::size_t memo_inserts = 0;
+  std::size_t memo_entries = 0;
+  std::size_t axioms_checked = 0;
+  std::size_t axioms_failed = 0;
+  std::size_t stream_states = 0;
+  std::size_t stream_verdicts = 0;
+  std::size_t obligations = 0;
+  std::size_t obligations_settled = 0;
+  std::size_t obligations_dirtied = 0;
+  std::size_t obligations_recomputed = 0;
 };
 
 class BatchChecker {
  public:
-  explicit BatchChecker(EngineOptions options = {});
+  explicit BatchChecker(Options options = {});
 
   /// Checks every job; results[i] corresponds to jobs[i].  Deterministic:
   /// independent of thread count and scheduling.  Exceptions thrown by a
@@ -95,12 +152,17 @@ class BatchChecker {
   /// on the calling thread for the lowest-indexed failing job.
   std::vector<CheckResult> run(const std::vector<CheckJob>& jobs);
 
-  const EngineOptions& options() const { return options_; }
-  const EngineStats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+  /// Counters from the last run().
+  const CheckStats& check_stats() const { return check_stats_; }
+  /// Deprecated: the same counters under the legacy aggregate, materialized
+  /// on each call.
+  const EngineStats& stats() const;
 
  private:
-  EngineOptions options_;
-  EngineStats stats_;
+  Options options_;
+  CheckStats check_stats_;
+  mutable EngineStats stats_;  ///< materialized by stats()
 };
 
 /// Checks one job with an optional caller-provided cache.  This is the unit
@@ -110,7 +172,7 @@ CheckResult run_job(const CheckJob& job, EvalCache* cache);
 
 /// One-shot convenience over a temporary BatchChecker.
 std::vector<CheckResult> check_batch(const std::vector<CheckJob>& jobs,
-                                     EngineOptions options = {});
+                                     Options options = {});
 
 /// Builds the common "one spec, many traces" batch shape.
 std::vector<CheckJob> jobs_for_traces(const Spec& spec, const std::vector<Trace>& traces,

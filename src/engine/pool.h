@@ -1,14 +1,30 @@
-// The engine's shared fan-out loop: workers claim job indices from a single
-// atomic counter, results land in pre-sized slots, and the lowest-indexed
-// exception is rethrown on the calling thread.  Both job families — trace
-// checking (engine.h) and decision procedures (decision.h) — run through
-// this one helper, so they share the same determinism and error-reporting
-// contract by construction.
+// The engine's shared fan-out machinery.  Two loops live here:
+//
+//   run_claimed() — spawn-per-batch: workers claim job indices from a single
+//   atomic counter, results land in pre-sized slots, and the lowest-indexed
+//   exception is rethrown on the calling thread.  The offline job families —
+//   trace checking (engine.h) and decision procedures (decision.h) — run
+//   through this helper, so they share the same determinism and
+//   error-reporting contract by construction.
+//
+//   ParkedPool — the resident variant: the same claim-counter loop, but the
+//   workers are spawned once and *parked* on a condition variable between
+//   runs instead of being created and joined per batch.  A run() is a wake
+//   (one generation bump + notify) and a drain (wait for the last worker to
+//   check in), which costs microseconds where a thread spawn costs tens —
+//   the difference that makes fine-grained streaming pay off.  The streaming
+//   family (stream.h) and the resident MonitorService (service.h) run their
+//   per-state epochs through it; the offline families can adopt it whenever
+//   batch arrival rate makes spawn cost visible.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
+#include <functional>
+#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -73,5 +89,127 @@ void run_claimed(std::size_t count, std::size_t pool, MakeWorker&& make_worker, 
   }
   if (first != nullptr) std::rethrow_exception(first->error);
 }
+
+/// A resident worker pool.  Threads are spawned once, park on a condition
+/// variable between runs, and execute the same claim-counter loop as
+/// run_claimed() when woken, with the same contracts:
+///
+///   - run(count, body) executes body(i) for every i in [0, count) exactly
+///     once; callers pre-size result slots so output order is input order,
+///   - exceptions are captured per worker and the lowest-indexed one is
+///     rethrown on the run() caller after the epoch drains,
+///   - run() returns only when every worker has checked back in, so `body`
+///     (which lives on the caller's stack) is never read after return.
+///
+/// run() itself is serialized: concurrent callers queue on an internal
+/// mutex, which lets one pool serve several front-ends (e.g. a service's
+/// stream epochs and its decision batches) without interleaving epochs.
+class ParkedPool {
+ public:
+  explicit ParkedPool(std::size_t threads) : threads_(threads == 0 ? 1 : threads) {
+    errors_.resize(threads_);
+    workers_.reserve(threads_);
+    for (std::size_t w = 0; w < threads_; ++w) {
+      workers_.emplace_back([this, w]() { worker_loop(w); });
+    }
+  }
+
+  ~ParkedPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ParkedPool(const ParkedPool&) = delete;
+  ParkedPool& operator=(const ParkedPool&) = delete;
+
+  std::size_t size() const { return threads_; }
+  std::uint64_t epochs() const { return generation_.load(std::memory_order_relaxed); }
+
+  /// Wakes the pool, runs body(i) for every i in [0, count), and blocks
+  /// until the epoch drains.  Rethrows the lowest-indexed captured
+  /// exception, if any.
+  void run(std::size_t count, const std::function<void(std::size_t)>& body) {
+    if (count == 0) return;
+    std::lock_guard<std::mutex> serialize(run_mu_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      count_ = count;
+      body_ = &body;
+      next_.store(0, std::memory_order_relaxed);
+      remaining_ = threads_;
+      for (Capture& c : errors_) c = Capture{};
+      ++generation_;
+    }
+    wake_.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      drained_.wait(lock, [this]() { return remaining_ == 0; });
+      body_ = nullptr;
+    }
+    const Capture* first = nullptr;
+    for (const Capture& c : errors_) {
+      if (c.error && (first == nullptr || c.index < first->index)) first = &c;
+    }
+    if (first != nullptr) std::rethrow_exception(first->error);
+  }
+
+ private:
+  struct Capture {
+    std::size_t index = 0;
+    std::exception_ptr error;
+  };
+
+  void worker_loop(std::size_t w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* body = nullptr;
+      std::size_t count = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [&]() { return shutdown_ || generation_ != seen; });
+        if (shutdown_) return;
+        seen = generation_;
+        body = body_;
+        count = count_;
+      }
+      for (;;) {
+        const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) break;
+        try {
+          (*body)(i);
+        } catch (...) {
+          // Indices claimed by one worker increase, so the first capture is
+          // this worker's lowest.
+          if (!errors_[w].error) {
+            errors_[w].error = std::current_exception();
+            errors_[w].index = i;
+          }
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--remaining_ == 0) drained_.notify_one();
+      }
+    }
+  }
+
+  const std::size_t threads_;
+  std::mutex run_mu_;  ///< serializes concurrent run() callers
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable drained_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::size_t count_ = 0;
+  std::size_t remaining_ = 0;
+  bool shutdown_ = false;
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::atomic<std::size_t> next_{0};
+  std::vector<Capture> errors_;
+  std::vector<std::thread> workers_;
+};
 
 }  // namespace il::engine::detail

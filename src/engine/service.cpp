@@ -1,0 +1,523 @@
+#include "engine/service.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "engine/introspect.h"
+#include "engine/pool.h"
+#include "util/assert.h"
+
+namespace il {
+namespace engine {
+
+/// One command on the ingest queue.  Register/Retire ride the same queue as
+/// Append, which is what makes lifecycle interleavings deterministic: a
+/// monitor observes exactly the states enqueued after its registration and
+/// before its retirement.
+struct MonitorService::Command {
+  enum class Kind : std::uint8_t { Append, Register, Retire };
+
+  Kind kind = Kind::Append;
+  State state;            ///< Append
+  std::uint64_t seq = 0;  ///< Append: state sequence number
+  MonitorId id = 0;       ///< Register / Retire
+  Spec spec;              ///< Register (owned copy)
+  Env env;                ///< Register
+  Monitor::Mode mode = Monitor::Mode::Incremental;  ///< Register
+};
+
+/// Monitors live in the shard owning their id (id % shards).  The shard
+/// mutex covers the monitor map, the counters, and the decision cache, so a
+/// dump_shard() between epochs reads one consistent snapshot.
+struct MonitorService::Shard {
+  mutable std::mutex mu;
+  std::map<MonitorId, Monitor> monitors;  ///< id order = deterministic row order
+
+  // Stream counters (lifetime; survive retirement).
+  std::size_t states = 0;
+  std::size_t verdicts = 0;
+  std::size_t axioms_checked = 0;
+  std::size_t axioms_failed = 0;
+
+  // Lifetime cache/graph counters inherited from retired monitors, so the
+  // shard's hit/miss history is monotone while the resident entries
+  // (gauges) drop to zero with the retirement.
+  std::size_t retired_memo_hits = 0;
+  std::size_t retired_memo_misses = 0;
+  std::size_t retired_memo_inserts = 0;
+  std::size_t retired_obligation_dirtied = 0;
+  std::size_t retired_obligation_recomputed = 0;
+
+  DecisionCache decisions;  ///< cross-batch cache for decide()
+  std::size_t decision_jobs = 0;
+};
+
+MonitorService::MonitorService(Options options) : options_(options) {
+  IL_REQUIRE(options_.queue_capacity >= 1, "MonitorService needs a queue capacity of at least 1");
+  std::size_t threads = options_.num_threads;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  std::size_t shards = options_.num_shards;
+  if (shards == 0) shards = threads;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
+  for (const auto& sh : shards_) sh->decisions.set_capacity(options_.decision_cache_capacity);
+  if (threads > 1) pool_ = std::make_unique<detail::ParkedPool>(threads);
+  coordinator_ = std::thread([this]() { coordinator_loop(); });
+}
+
+MonitorService::~MonitorService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  queue_ready_.notify_all();
+  queue_space_.notify_all();
+  applied_.notify_all();
+  coordinator_.join();
+}
+
+std::size_t MonitorService::threads() const { return pool_ ? pool_->size() : 1; }
+
+std::size_t MonitorService::resident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_;
+}
+
+// ---------------------------------------------------------------------------
+// Ingest side: every public mutation is an enqueue under backpressure.
+// ---------------------------------------------------------------------------
+
+void MonitorService::enqueue(Command cmd) {
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_space_.wait(lock, [&]() {
+    return poisoned_ || stopping_ || queue_.size() < options_.queue_capacity;
+  });
+  if (error_) std::rethrow_exception(error_);
+  IL_REQUIRE(!stopping_, "MonitorService is shutting down");
+  if (cmd.kind == Command::Kind::Append) cmd.seq = next_seq_++;
+  queue_.push_back(std::move(cmd));
+  ++submitted_;
+  queue_ready_.notify_one();
+}
+
+MonitorId MonitorService::register_spec(const Spec& spec, Env env, Monitor::Mode mode) {
+  MonitorId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    ++registered_;
+    ++resident_;
+  }
+  Command cmd;
+  cmd.kind = Command::Kind::Register;
+  cmd.id = id;
+  cmd.spec = spec;
+  cmd.env = std::move(env);
+  cmd.mode = mode;
+  enqueue(std::move(cmd));
+  return id;
+}
+
+void MonitorService::retire(MonitorId id) {
+  Command cmd;
+  cmd.kind = Command::Kind::Retire;
+  cmd.id = id;
+  enqueue(std::move(cmd));
+}
+
+void MonitorService::append(const State& s) {
+  Command cmd;
+  cmd.kind = Command::Kind::Append;
+  cmd.state = s;
+  enqueue(std::move(cmd));
+}
+
+AppendStatus MonitorService::try_append(const State& s) {
+  Command cmd;
+  cmd.kind = Command::Kind::Append;
+  cmd.state = s;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (error_) std::rethrow_exception(error_);
+    IL_REQUIRE(!stopping_, "MonitorService is shutting down");
+    if (queue_.size() >= options_.queue_capacity) return AppendStatus::QueueFull;
+    cmd.seq = next_seq_++;
+    queue_.push_back(std::move(cmd));
+    ++submitted_;
+  }
+  queue_ready_.notify_one();
+  return AppendStatus::Ok;
+}
+
+void MonitorService::flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::uint64_t target = submitted_;
+  applied_.wait(lock, [&]() { return poisoned_ || stopping_ || applied_count_ >= target; });
+  if (error_) std::rethrow_exception(error_);
+}
+
+void MonitorService::pause() {
+  std::unique_lock<std::mutex> lock(mu_);
+  paused_ = true;
+  applied_.wait(lock, [&]() { return !in_flight_; });
+}
+
+void MonitorService::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  queue_ready_.notify_all();
+}
+
+std::vector<VerdictRow> MonitorService::drain() {
+  std::lock_guard<std::mutex> lock(out_mu_);
+  std::vector<VerdictRow> rows;
+  rows.swap(rows_);
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side.
+// ---------------------------------------------------------------------------
+
+void MonitorService::coordinator_loop() {
+  for (;;) {
+    Command cmd;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_ready_.wait(lock,
+                        [&]() { return stopping_ || (!paused_ && !queue_.empty()); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      // Shutdown drains the queue (stopping_ overrides paused_), so a
+      // destructor never abandons accepted commands.
+      cmd = std::move(queue_.front());
+      queue_.pop_front();
+      in_flight_ = true;
+      queue_space_.notify_one();
+    }
+    apply(cmd);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_ = false;
+      ++applied_count_;
+      if (poisoned_) {
+        // Wake everyone so blocked producers observe the stored exception.
+        applied_.notify_all();
+        queue_space_.notify_all();
+        return;
+      }
+    }
+    applied_.notify_all();
+  }
+}
+
+void MonitorService::apply(Command& cmd) {
+  switch (cmd.kind) {
+    case Command::Kind::Register: {
+      Shard& sh = *shards_[cmd.id % shards_.size()];
+      std::lock_guard<std::mutex> lock(sh.mu);
+      sh.monitors.emplace(
+          std::piecewise_construct, std::forward_as_tuple(cmd.id),
+          std::forward_as_tuple(std::move(cmd.spec), std::move(cmd.env), cmd.mode));
+      return;
+    }
+    case Command::Kind::Retire: {
+      Shard& sh = *shards_[cmd.id % shards_.size()];
+      bool found = false;
+      {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        auto it = sh.monitors.find(cmd.id);
+        if (it != sh.monitors.end()) {
+          found = true;
+          // Keep the lifetime counters monotone; the resident entries (the
+          // gauges) fall with the destruction, which is the point: retiring
+          // frees the monitor's obligations and settled-cache entries.
+          const EvalCache& c = it->second.cache();
+          sh.retired_memo_hits += c.hits();
+          sh.retired_memo_misses += c.misses();
+          sh.retired_memo_inserts += c.inserts();
+          const ObligationGraph& g = it->second.obligations();
+          sh.retired_obligation_dirtied += g.total_dirtied();
+          sh.retired_obligation_recomputed += g.recomputes();
+          sh.monitors.erase(it);
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (found) {
+        ++retired_;
+        --resident_;
+      } else {
+        ++retire_misses_;
+      }
+      return;
+    }
+    case Command::Kind::Append: {
+      try {
+        run_epoch(cmd.state, cmd.seq);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++states_applied_;
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        poisoned_ = true;
+        error_ = std::current_exception();
+      }
+      return;
+    }
+  }
+}
+
+void MonitorService::run_epoch(const State& s, std::uint64_t seq) {
+  // One work item per *dirty* shard: a shard with no resident monitors is
+  // never locked, never woken for, never touched.
+  std::vector<std::size_t> dirty;
+  dirty.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    if (!shards_[i]->monitors.empty()) dirty.push_back(i);
+  }
+
+  std::vector<std::vector<ServiceVerdict>> per_shard(dirty.size());
+  const auto body = [&](std::size_t k) {
+    Shard& sh = *shards_[dirty[k]];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    std::vector<ServiceVerdict>& out = per_shard[k];
+    out.reserve(sh.monitors.size());
+    for (auto& [id, monitor] : sh.monitors) {
+      out.push_back(ServiceVerdict{id, monitor.append(s)});
+      sh.axioms_checked += monitor.spec().all().size();
+      sh.axioms_failed += out.back().result.failed.size();
+    }
+    ++sh.states;
+    sh.verdicts += out.size();
+  };
+  if (pool_ != nullptr && dirty.size() > 1) {
+    pool_->run(dirty.size(), body);
+  } else {
+    // Inline: in-order execution, so the first throw is the lowest index —
+    // the same contract the pool provides.
+    for (std::size_t k = 0; k < dirty.size(); ++k) body(k);
+  }
+
+  VerdictRow row;
+  row.seq = seq;
+  std::size_t total = 0;
+  for (const auto& part : per_shard) total += part.size();
+  row.verdicts.reserve(total);
+  for (auto& part : per_shard) {
+    for (ServiceVerdict& v : part) row.verdicts.push_back(std::move(v));
+  }
+  std::sort(row.verdicts.begin(), row.verdicts.end(),
+            [](const ServiceVerdict& a, const ServiceVerdict& b) { return a.id < b.id; });
+  std::lock_guard<std::mutex> lock(out_mu_);
+  rows_.push_back(std::move(row));
+}
+
+// ---------------------------------------------------------------------------
+// Decision batches through the resident pool.
+// ---------------------------------------------------------------------------
+
+std::vector<DecisionResult> MonitorService::decide(const std::vector<DecisionJob>& jobs) {
+  std::vector<DecisionResult> results(jobs.size());
+  if (jobs.empty()) return results;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    decision_jobs_ += jobs.size();
+  }
+
+  // Resolve phase on the calling thread: jobs shard by content key, each
+  // shard's cross-batch DecisionCache answers repeats, and within-batch
+  // duplicates collapse to one decision — BatchDecider's contract, with the
+  // cache sharded so hit rates show up per shard in dump().
+  constexpr std::size_t kResolved = ~std::size_t{0};
+  const bool use_cache = options_.decision_cache;
+  DecisionCache::KeyHash hasher;
+  std::vector<std::size_t> slot(jobs.size(), kResolved);
+  std::vector<std::size_t> distinct;
+  std::vector<DecisionCache::Key> distinct_keys;
+  std::vector<std::size_t> distinct_shard;
+  if (use_cache) {
+    std::unordered_map<DecisionCache::Key, std::size_t, DecisionCache::KeyHash> first_seen;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const DecisionCache::Key key = DecisionCache::key_for(jobs[i]);
+      const std::size_t shard = hasher(key) % shards_.size();
+      Shard& sh = *shards_[shard];
+      bool hit = false;
+      {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        ++sh.decision_jobs;
+        if (const DecisionResult* cached = sh.decisions.lookup(key)) {
+          results[i] = *cached;
+          hit = true;
+        }
+      }
+      if (hit) continue;
+      const auto [it, inserted] = first_seen.try_emplace(key, distinct.size());
+      if (inserted) {
+        distinct.push_back(i);
+        distinct_keys.push_back(key);
+        distinct_shard.push_back(shard);
+      }
+      slot[i] = it->second;
+    }
+  } else {
+    distinct.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      slot[i] = distinct.size();
+      distinct.push_back(i);
+    }
+    std::lock_guard<std::mutex> lock(shards_[0]->mu);
+    shards_[0]->decision_jobs += jobs.size();
+  }
+
+  std::vector<DecisionResult> decided(distinct.size());
+  if (!distinct.empty()) {
+    if (pool_ != nullptr && distinct.size() > 1) {
+      pool_->run(distinct.size(),
+                 [&](std::size_t d) { decided[d] = run_decision_job(jobs[distinct[d]]); });
+    } else {
+      for (std::size_t d = 0; d < distinct.size(); ++d) {
+        decided[d] = run_decision_job(jobs[distinct[d]]);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (slot[i] != kResolved) results[i] = decided[slot[i]];
+  }
+  if (use_cache) {
+    for (std::size_t d = 0; d < distinct.size(); ++d) {
+      Shard& sh = *shards_[distinct_shard[d]];
+      std::lock_guard<std::mutex> lock(sh.mu);
+      sh.decisions.store(distinct_keys[d], decided[d]);
+    }
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+// ---------------------------------------------------------------------------
+
+StreamStats MonitorService::shard_stats_locked(const Shard& sh) const {
+  StreamStats out;
+  out.monitors = sh.monitors.size();
+  out.threads = threads();
+  out.states = sh.states;
+  out.verdicts = sh.verdicts;
+  out.axioms_checked = sh.axioms_checked;
+  out.axioms_failed = sh.axioms_failed;
+  out.memo_hits = sh.retired_memo_hits;
+  out.memo_misses = sh.retired_memo_misses;
+  out.memo_inserts = sh.retired_memo_inserts;
+  out.obligation_dirtied = sh.retired_obligation_dirtied;
+  out.obligation_recomputed = sh.retired_obligation_recomputed;
+  for (const auto& [id, monitor] : sh.monitors) {
+    (void)id;
+    const EvalCache& c = monitor.cache();
+    out.memo_hits += c.hits();
+    out.memo_misses += c.misses();
+    out.memo_inserts += c.inserts();
+    out.memo_entries += c.size();
+    const ObligationGraph& g = monitor.obligations();
+    out.obligation_entries += g.size();
+    out.obligation_settled += g.settled_count();
+    out.obligation_open += g.open_count();
+    out.obligation_edges += g.edges();
+    out.obligation_dirtied += g.total_dirtied();
+    out.obligation_recomputed += g.recomputes();
+  }
+  return out;
+}
+
+StreamStats MonitorService::shard_stats(std::size_t shard) const {
+  IL_REQUIRE(shard < shards_.size(), "shard index out of range");
+  const Shard& sh = *shards_[shard];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  return shard_stats_locked(sh);
+}
+
+ServiceStats MonitorService::stats() const {
+  ServiceStats out;
+  out.shards = shards_.size();
+  out.threads = threads();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.queue_capacity = options_.queue_capacity;
+    out.queue_depth = queue_.size();
+    out.states_ingested = next_seq_;
+    out.states_applied = static_cast<std::size_t>(states_applied_);
+    out.monitors_registered = registered_;
+    out.monitors_resident = resident_;
+    out.monitors_retired = retired_;
+    out.retire_misses = retire_misses_;
+    out.decision_jobs = decision_jobs_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    out.rows_pending = rows_.size();
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const StreamStats ss = shard_stats(i);
+    out.totals.monitors += ss.monitors;
+    out.totals.verdicts += ss.verdicts;
+    out.totals.axioms_checked += ss.axioms_checked;
+    out.totals.axioms_failed += ss.axioms_failed;
+    out.totals.memo_hits += ss.memo_hits;
+    out.totals.memo_misses += ss.memo_misses;
+    out.totals.memo_inserts += ss.memo_inserts;
+    out.totals.memo_entries += ss.memo_entries;
+    out.totals.obligation_entries += ss.obligation_entries;
+    out.totals.obligation_settled += ss.obligation_settled;
+    out.totals.obligation_open += ss.obligation_open;
+    out.totals.obligation_edges += ss.obligation_edges;
+    out.totals.obligation_dirtied += ss.obligation_dirtied;
+    out.totals.obligation_recomputed += ss.obligation_recomputed;
+  }
+  // A shard's `states` gauge counts the epochs that actually touched it, so
+  // the fleet-level figure is the service's own applied count.
+  out.totals.threads = out.threads;
+  out.totals.states = out.states_applied;
+  return out;
+}
+
+void MonitorService::dump(std::ostream& os) const {
+  const ServiceStats s = stats();
+  KvWriter kv(os);
+  KvWriter service = kv.scoped("service");
+  service.emit("shards", s.shards);
+  service.emit("threads", s.threads);
+  service.emit("queue_capacity", s.queue_capacity);
+  service.emit("queue_depth", s.queue_depth);
+  service.emit("states_ingested", s.states_ingested);
+  service.emit("states_applied", s.states_applied);
+  service.emit("rows_pending", s.rows_pending);
+  service.emit("monitors_registered", s.monitors_registered);
+  service.emit("monitors_resident", s.monitors_resident);
+  service.emit("monitors_retired", s.monitors_retired);
+  service.emit("retire_misses", s.retire_misses);
+  service.emit("decision_jobs", s.decision_jobs);
+  for (std::size_t i = 0; i < shards_.size(); ++i) dump_shard(i, os);
+}
+
+void MonitorService::dump_shard(std::size_t shard, std::ostream& os) const {
+  IL_REQUIRE(shard < shards_.size(), "shard index out of range");
+  const Shard& sh = *shards_[shard];
+  // One lock for the whole section: a shard dump is a consistent snapshot
+  // taken between epochs touching this shard.
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const StreamStats ss = shard_stats_locked(sh);
+  KvWriter kv(os, "shard" + std::to_string(shard) + ".");
+  dump_counters(kv, ss);
+  KvWriter dec = kv.scoped("decision");
+  dump_counters(dec, sh.decisions);
+  dec.emit("jobs", sh.decision_jobs);
+}
+
+}  // namespace engine
+}  // namespace il

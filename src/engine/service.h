@@ -1,0 +1,235 @@
+// MonitorService: monitoring as a *service* rather than a library call.
+//
+// BatchMonitor (stream.h) is a fleet with a fixed membership driven from the
+// caller's thread.  A production deployment needs the transpose of control:
+// monitors come and go at runtime while one ingest stream flows, the caller
+// must never be blocked by evaluation (only by explicit backpressure), and
+// an operator must be able to watch the engine's internals live.  The
+// MonitorService is that resident process component:
+//
+//   Ingest — append()/try_append() enqueue states onto a *bounded* command
+//   queue (Options::queue_capacity).  append() blocks while the queue is
+//   full; try_append() returns AppendStatus::QueueFull instead.  There is no
+//   unbounded buffering anywhere on the ingest path.
+//
+//   Registry — register_spec() may be called at any time and returns a
+//   stable MonitorId; retire() frees the monitor's obligation graph and
+//   settled-cache entries.  Both are sequenced through the same command
+//   queue as appends, so a monitor observes exactly the states appended
+//   after its registration and before its retirement — the interleaving is
+//   the caller's call order, deterministically.
+//
+//   Evaluation — a coordinator thread drains the queue one command at a
+//   time.  Each appended state becomes one epoch over a persistent *parked*
+//   worker pool (detail::ParkedPool, engine/pool.h): workers sleep on a
+//   condition variable between epochs, so the per-state cost is a wake +
+//   drain, not a thread spawn.  Monitors are sharded by stable id
+//   (id % num_shards); an epoch fans out one work item per *dirty* shard
+//   (a shard with no resident monitors is never touched), and each shard's
+//   monitors are appended in id order under the shard's mutex.
+//
+//   Verdicts — every appended state produces one VerdictRow (the per-monitor
+//   verdicts, ordered by MonitorId) into an output buffer the caller
+//   drains.  Rows are input-ordered by construction (the coordinator is the
+//   only appender) and bit-identical for any thread/shard count (monitors
+//   are share-nothing; tests pin them to BatchMonitor and to the scratch
+//   evaluator on the PR 5 differential corpus).
+//
+//   Decisions — decide() serves decision batches through the same resident
+//   pool with per-shard cross-batch DecisionCaches (jobs shard by content
+//   key), so a resident deployment keeps one warm process for both
+//   workload classes.
+//
+//   Introspection — dump() / dump_shard() render every counter family as
+//   stable `key value` text (engine/introspect.h): service-level gauges,
+//   then per shard the engine, eval-cache (memo.*), decision-cache
+//   (decision.*), and obligation-graph counters.  A shard dump is snapshot-
+//   consistent: all of its lines are read under the shard's mutex, between
+//   epochs touching that shard.
+//
+// Error contract: if a monitor's append throws during an epoch, the service
+// is poisoned — the row is not emitted, the coordinator stops, and the
+// lowest-indexed captured exception is rethrown from flush() (and from any
+// later append()/try_append()).  Mirrors BatchMonitor's torn-fleet rule.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "core/check.h"
+#include "core/monitor.h"
+#include "engine/decision.h"
+#include "engine/engine.h"
+#include "trace/trace.h"
+
+namespace il {
+namespace engine {
+
+namespace detail {
+class ParkedPool;
+}
+
+/// Stable handle for a registered monitor.  Never reused, even after
+/// retirement.
+using MonitorId = std::uint64_t;
+
+enum class AppendStatus : std::uint8_t {
+  Ok,
+  QueueFull,  ///< bounded ingest queue is full; state was NOT enqueued
+};
+
+/// One monitor's verdict for one appended state.
+struct ServiceVerdict {
+  MonitorId id = 0;
+  CheckResult result;
+};
+
+/// All verdicts for one appended state, ordered by MonitorId.  seq is the
+/// 0-based index of the state in the ingest order.
+struct VerdictRow {
+  std::uint64_t seq = 0;
+  std::vector<ServiceVerdict> verdicts;
+};
+
+/// Service-level gauges and counters (per-shard detail via shard_stats()).
+struct ServiceStats {
+  std::size_t shards = 0;
+  std::size_t threads = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t queue_depth = 0;  ///< commands pending right now
+  std::size_t states_ingested = 0;
+  std::size_t states_applied = 0;
+  std::size_t rows_pending = 0;  ///< rows awaiting drain()
+  std::size_t monitors_registered = 0;  ///< lifetime
+  std::size_t monitors_resident = 0;
+  std::size_t monitors_retired = 0;
+  std::size_t retire_misses = 0;  ///< retire() of an unknown/already-retired id
+  std::size_t decision_jobs = 0;  ///< lifetime, via decide()
+  StreamStats totals;  ///< summed over shards
+};
+
+class MonitorService {
+ public:
+  explicit MonitorService(Options options = {});
+  ~MonitorService();
+
+  MonitorService(const MonitorService&) = delete;
+  MonitorService& operator=(const MonitorService&) = delete;
+
+  // -- registry -----------------------------------------------------------
+
+  /// Registers a monitor for `spec` (copied; the caller need not keep it
+  /// alive) and returns its stable id.  Sequenced on the command queue: the
+  /// monitor sees exactly the states appended after this call.  Blocks
+  /// while the queue is full.
+  MonitorId register_spec(const Spec& spec, Env env = {},
+                          Monitor::Mode mode = Monitor::Mode::Incremental);
+
+  /// Retires `id`: the monitor's obligation graph and settled-cache entries
+  /// are freed when the command is applied.  Retiring an unknown id is
+  /// counted (retire_misses), not an error.  Blocks while the queue is full.
+  void retire(MonitorId id);
+
+  // -- ingest -------------------------------------------------------------
+
+  /// Enqueues one state for every resident monitor; blocks while the
+  /// bounded queue is full (backpressure).
+  void append(const State& s);
+
+  /// Non-blocking append: QueueFull if the bounded queue is full.
+  AppendStatus try_append(const State& s);
+
+  /// Blocks until every command enqueued before this call has been applied;
+  /// rethrows the poisoning exception if an epoch failed.
+  void flush();
+
+  /// Pauses the coordinator between commands (ingestion keeps queueing up
+  /// to the backpressure bound); returns once no command is mid-flight.
+  /// For maintenance windows and deterministic backpressure tests.
+  void pause();
+  void resume();
+
+  // -- verdicts -----------------------------------------------------------
+
+  /// All completed verdict rows since the last drain, in ingest order.
+  std::vector<VerdictRow> drain();
+
+  // -- decisions ----------------------------------------------------------
+
+  /// Decides a batch through the resident pool, consulting per-shard
+  /// cross-batch DecisionCaches (jobs shard by content key).  Results are
+  /// input-ordered and thread-count-invariant, like BatchDecider's.  Runs
+  /// on the calling thread plus the parked pool; independent of the ingest
+  /// queue.
+  std::vector<DecisionResult> decide(const std::vector<DecisionJob>& jobs);
+
+  // -- observation --------------------------------------------------------
+
+  std::size_t shards() const { return shards_.size(); }
+  std::size_t threads() const;
+  /// Resident (registered and not yet retired) monitors.  Counts a
+  /// registration as soon as register_spec() returns, even while the
+  /// command is still queued.
+  std::size_t resident() const;
+
+  ServiceStats stats() const;
+  /// Aggregate counters for one shard (snapshot-consistent).
+  StreamStats shard_stats(std::size_t shard) const;
+
+  /// The full debugfs-style text dump: service section, then every shard.
+  void dump(std::ostream& os) const;
+  /// One shard's section only — the per-shard text endpoint.
+  void dump_shard(std::size_t shard, std::ostream& os) const;
+
+ private:
+  struct Command;
+  struct Shard;
+
+  void coordinator_loop();
+  void apply(Command& cmd);
+  void run_epoch(const State& s, std::uint64_t seq);
+  void enqueue(Command cmd);  ///< blocks on backpressure; throws if poisoned
+  StreamStats shard_stats_locked(const Shard& sh) const;  ///< caller holds sh.mu
+
+  Options options_;
+  std::unique_ptr<detail::ParkedPool> pool_;  ///< null = single worker, inline epochs
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex mu_;  ///< queue + lifecycle state
+  std::condition_variable queue_space_;  ///< waiters: append/register/retire
+  std::condition_variable queue_ready_;  ///< waiter: coordinator
+  std::condition_variable applied_;      ///< waiters: flush/pause
+  std::deque<Command> queue_;
+  std::uint64_t submitted_ = 0;  ///< commands enqueued, lifetime
+  std::uint64_t applied_count_ = 0;  ///< commands fully applied, lifetime
+  std::uint64_t next_seq_ = 0;       ///< next state sequence number
+  std::uint64_t states_applied_ = 0;  ///< epochs completed without poisoning
+  MonitorId next_id_ = 1;
+  std::size_t resident_ = 0;  ///< registered minus retired (incl. queued)
+  std::size_t registered_ = 0;
+  std::size_t retired_ = 0;
+  std::size_t retire_misses_ = 0;
+  std::size_t decision_jobs_ = 0;
+  bool stopping_ = false;
+  bool paused_ = false;
+  bool in_flight_ = false;  ///< coordinator is mid-command
+  bool poisoned_ = false;
+  std::exception_ptr error_;
+
+  mutable std::mutex out_mu_;
+  std::vector<VerdictRow> rows_;
+
+  std::thread coordinator_;  ///< last member: joined before the rest dies
+};
+
+}  // namespace engine
+}  // namespace il

@@ -6,7 +6,7 @@
 namespace il {
 namespace engine {
 
-BatchMonitor::BatchMonitor(const std::vector<MonitorJob>& jobs, EngineOptions options)
+BatchMonitor::BatchMonitor(const std::vector<MonitorJob>& jobs, Options options)
     : options_(options) {
   monitors_.reserve(jobs.size());
   for (const MonitorJob& job : jobs) {
@@ -14,7 +14,17 @@ BatchMonitor::BatchMonitor(const std::vector<MonitorJob>& jobs, EngineOptions op
     monitors_.emplace_back(*job.spec, job.env, job.mode);
   }
   verdicts_.resize(monitors_.size());
+  // The pool outlives every feed: workers park between states instead of
+  // being spawned per state (the pre-service design respawned here, which
+  // made fine-grained streaming pay only at coarse grain).
+  const std::size_t pool =
+      options_.num_threads <= 1 ? 1 : detail::effective_pool(monitors_.size(), options_.num_threads);
+  if (pool > 1) pool_ = std::make_unique<detail::ParkedPool>(pool);
 }
+
+BatchMonitor::~BatchMonitor() = default;
+BatchMonitor::BatchMonitor(BatchMonitor&&) noexcept = default;
+BatchMonitor& BatchMonitor::operator=(BatchMonitor&&) noexcept = default;
 
 const std::vector<CheckResult>& BatchMonitor::feed(const State& s) {
   // Monitors are stateful: if one append throws mid-feed, earlier-indexed
@@ -24,23 +34,12 @@ const std::vector<CheckResult>& BatchMonitor::feed(const State& s) {
   // of diverging quietly.
   IL_REQUIRE(!poisoned_, "a previous feed() threw mid-state; the fleet is torn");
   const std::size_t count = monitors_.size();
-  // Unlike the offline families (one pool spawn per *batch*), a stream
-  // spawns per fed state, and an incremental append is of the same order
-  // as a thread create+join — so num_threads = 0 means inline here, and
-  // fan-out is opt-in via an explicit thread count (see stream.h).
-  const std::size_t pool =
-      options_.num_threads <= 1 ? 1 : detail::effective_pool(count, options_.num_threads);
   try {
-    if (pool <= 1 || count <= 1) {
-      // Inline fast path: no thread spawn for the sequential-equivalent case.
-      threads_ = 0;
+    if (pool_ == nullptr || count <= 1) {
+      // Inline fast path: the sequential-equivalent case never touches the pool.
       for (std::size_t i = 0; i < count; ++i) verdicts_[i] = monitors_[i].append(s);
     } else {
-      detail::run_claimed(
-          count, pool, [](std::size_t) { return 0; },
-          [&](int&, std::size_t i) { verdicts_[i] = monitors_[i].append(s); },
-          [](int&, std::size_t) {});
-      threads_ = pool;
+      pool_->run(count, [&](std::size_t i) { verdicts_[i] = monitors_[i].append(s); });
     }
   } catch (...) {
     poisoned_ = true;
@@ -59,26 +58,48 @@ const std::vector<CheckResult>& BatchMonitor::feed_all(const Trace& t) {
   return verdicts_;
 }
 
-const EngineStats& BatchMonitor::stats() const {
-  stats_ = EngineStats{};
-  stats_.jobs = monitors_.size();
-  stats_.threads = threads_;
-  stats_.axioms_checked = axioms_checked_;
-  stats_.axioms_failed = axioms_failed_;
-  stats_.stream_states = states_fed_;
-  stats_.stream_verdicts = states_fed_ * monitors_.size();
+const StreamStats& BatchMonitor::stream_stats() const {
+  stream_stats_ = StreamStats{};
+  stream_stats_.monitors = monitors_.size();
+  stream_stats_.threads = pool_ ? pool_->size() : 0;
+  stream_stats_.states = states_fed_;
+  stream_stats_.verdicts = states_fed_ * monitors_.size();
+  stream_stats_.axioms_checked = axioms_checked_;
+  stream_stats_.axioms_failed = axioms_failed_;
   for (const Monitor& m : monitors_) {
     const EvalCache& c = m.cache();
-    stats_.memo_hits += c.hits();
-    stats_.memo_misses += c.misses();
-    stats_.memo_inserts += c.inserts();
-    stats_.memo_entries += c.size();
+    stream_stats_.memo_hits += c.hits();
+    stream_stats_.memo_misses += c.misses();
+    stream_stats_.memo_inserts += c.inserts();
+    stream_stats_.memo_entries += c.size();
     const ObligationGraph& g = m.obligations();
-    stats_.obligations += g.size();
-    stats_.obligations_settled += g.settled_count();
-    stats_.obligations_dirtied += g.total_dirtied();
-    stats_.obligations_recomputed += g.recomputes();
+    stream_stats_.obligation_entries += g.size();
+    stream_stats_.obligation_settled += g.settled_count();
+    stream_stats_.obligation_open += g.open_count();
+    stream_stats_.obligation_edges += g.edges();
+    stream_stats_.obligation_dirtied += g.total_dirtied();
+    stream_stats_.obligation_recomputed += g.recomputes();
   }
+  return stream_stats_;
+}
+
+const EngineStats& BatchMonitor::stats() const {
+  const StreamStats& s = stream_stats();
+  stats_ = EngineStats{};
+  stats_.jobs = s.monitors;
+  stats_.threads = s.threads;
+  stats_.memo_hits = s.memo_hits;
+  stats_.memo_misses = s.memo_misses;
+  stats_.memo_inserts = s.memo_inserts;
+  stats_.memo_entries = s.memo_entries;
+  stats_.axioms_checked = s.axioms_checked;
+  stats_.axioms_failed = s.axioms_failed;
+  stats_.stream_states = s.states;
+  stats_.stream_verdicts = s.verdicts;
+  stats_.obligations = s.obligation_entries;
+  stats_.obligations_settled = s.obligation_settled;
+  stats_.obligations_dirtied = s.obligation_dirtied;
+  stats_.obligations_recomputed = s.obligation_recomputed;
   return stats_;
 }
 

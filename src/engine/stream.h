@@ -12,19 +12,24 @@
 //   - workers claim monitor indices from one atomic counter; monitors are
 //     share-nothing (each owns its trace copy, settled cache, and
 //     obligation graph), so there is no synchronization on the data path,
+//   - the pool is *persistent and parked* (detail::ParkedPool, engine/pool.h):
+//     workers are spawned once at construction and sleep on a condition
+//     variable between fed states, so a feed() is a wake + drain, not a
+//     thread create + join per state,
 //   - verdicts land in a pre-sized slot per job, so the verdict stream is
 //     input-ordered and bit-identical for any thread count — the same
 //     determinism contract as the other two job families, proven by
 //     tests/test_monitor_incremental.cpp across 1/2/4-thread pools,
 //   - exceptions rethrow on the feeding thread for the lowest-indexed
-//     failing monitor (engine/pool.h).
+//     failing monitor.
 //
-// Aggregate accounting lands in the shared EngineStats: memo_* sums the
+// Aggregate accounting lands in StreamStats (engine.h): memo_* sums the
 // monitors' settled caches, obligation_* their obligation graphs, and
-// stream_* counts the states/verdicts that flowed through.
+// states/verdicts count what flowed through.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/check.h"
@@ -34,6 +39,10 @@
 
 namespace il {
 namespace engine {
+
+namespace detail {
+class ParkedPool;
+}
 
 /// One stream subscription.  The spec is borrowed: the caller must keep it
 /// alive for the BatchMonitor's lifetime.
@@ -45,14 +54,19 @@ struct MonitorJob {
 
 class BatchMonitor {
  public:
-  /// Builds one monitor per job.  Only EngineOptions::num_threads is
-  /// consulted (each monitor owns its memoization stores; the memoize /
+  /// Builds one monitor per job.  Only Options::num_threads is consulted
+  /// (each monitor owns its memoization stores; the memoize /
   /// cache-capacity knobs govern the offline job families).  Unlike those
   /// families, num_threads = 0 here means *inline*, not hardware
-  /// concurrency: a pool is spawned per fed state, so fanning out only
-  /// pays when per-monitor append work exceeds thread create+join cost —
-  /// opt in with an explicit thread count when it does.
-  explicit BatchMonitor(const std::vector<MonitorJob>& jobs, EngineOptions options = {});
+  /// concurrency: an incremental append is small, so fanning out pays only
+  /// past a fleet size worth a pool — opt in with an explicit thread
+  /// count.  With num_threads > 1 the pool is created once, here, and
+  /// parked between feeds (engine/pool.h), so per-state fan-out costs a
+  /// condvar wake rather than a thread spawn.
+  explicit BatchMonitor(const std::vector<MonitorJob>& jobs, Options options = {});
+  ~BatchMonitor();
+  BatchMonitor(BatchMonitor&&) noexcept;
+  BatchMonitor& operator=(BatchMonitor&&) noexcept;
 
   /// Feeds one state to every monitor and refreshes every verdict.
   /// verdicts()[i] belongs to jobs[i] — input-ordered and independent of
@@ -72,21 +86,25 @@ class BatchMonitor {
   std::size_t size() const { return monitors_.size(); }
   std::size_t states_fed() const { return states_fed_; }
   const Monitor& monitor(std::size_t i) const { return monitors_[i]; }
-  const EngineOptions& options() const { return options_; }
+  const Options& options() const { return options_; }
 
   /// Aggregate counters over the fleet's whole lifetime (see header).
+  const StreamStats& stream_stats() const;
+  /// Deprecated: the same counters under the legacy aggregate, materialized
+  /// on each call.
   const EngineStats& stats() const;
 
  private:
-  EngineOptions options_;
+  Options options_;
   std::vector<Monitor> monitors_;
   std::vector<CheckResult> verdicts_;
+  std::unique_ptr<detail::ParkedPool> pool_;  ///< persistent; null = inline
   std::size_t states_fed_ = 0;
-  bool poisoned_ = false;    ///< a feed threw mid-state: fleet prefixes differ
-  std::size_t threads_ = 0;  ///< workers spawned by the last feed (0 = inline)
+  bool poisoned_ = false;  ///< a feed threw mid-state: fleet prefixes differ
   std::size_t axioms_checked_ = 0;
   std::size_t axioms_failed_ = 0;
-  mutable EngineStats stats_;  ///< materialized on stats()
+  mutable StreamStats stream_stats_;  ///< materialized on stream_stats()
+  mutable EngineStats stats_;         ///< materialized on stats()
 };
 
 /// Builds the common "every spec watches the same stream" job list.

@@ -264,16 +264,16 @@ TEST(DecisionCache, RepeatedBatchIsAllHits) {
   const auto jobs = small_corpus(arena);
   engine::BatchDecider decider;
   const auto cold = decider.run(jobs);
-  EXPECT_EQ(decider.stats().cache_hits, 0u);
-  EXPECT_EQ(decider.stats().cache_misses, jobs.size());
+  EXPECT_EQ(decider.stats().decision_hits, 0u);
+  EXPECT_EQ(decider.stats().decision_misses, jobs.size());
   EXPECT_EQ(decider.stats().unique_jobs, jobs.size());
-  EXPECT_EQ(decider.stats().cache_inserts, jobs.size());
+  EXPECT_EQ(decider.stats().decision_inserts, jobs.size());
 
   const auto warm = decider.run(jobs);
-  EXPECT_EQ(decider.stats().cache_hits, jobs.size());
-  EXPECT_EQ(decider.stats().cache_misses, 0u);
+  EXPECT_EQ(decider.stats().decision_hits, jobs.size());
+  EXPECT_EQ(decider.stats().decision_misses, 0u);
   EXPECT_EQ(decider.stats().unique_jobs, 0u);
-  EXPECT_EQ(decider.stats().cache_entries, jobs.size());
+  EXPECT_EQ(decider.stats().decision_entries, jobs.size());
   ASSERT_EQ(warm.size(), cold.size());
   for (std::size_t i = 0; i < cold.size(); ++i) {
     EXPECT_EQ(warm[i].verdict, cold[i].verdict) << i;
@@ -309,8 +309,8 @@ TEST(DecisionCache, KnobDisablesCachingEntirely) {
   engine::BatchDecider decider(options);
   decider.run(jobs);
   decider.run(jobs);
-  EXPECT_EQ(decider.stats().cache_hits, 0u);
-  EXPECT_EQ(decider.stats().cache_entries, 0u);
+  EXPECT_EQ(decider.stats().decision_hits, 0u);
+  EXPECT_EQ(decider.stats().decision_entries, 0u);
   EXPECT_EQ(decider.stats().unique_jobs, jobs.size());
   EXPECT_EQ(decider.cache().size(), 0u);
 }
