@@ -85,7 +85,7 @@ void bench_ab_check_all_batch(benchmark::State& state) {
   Spec service = fifo_service_spec("Send", "Rec", domain(config.messages), "ab_service");
   std::vector<engine::CheckJob> jobs = {
       {&sender, &run.trace, {}}, {&receiver, &run.trace, {}}, {&service, &run.trace, {}}};
-  engine::EngineOptions opts;
+  engine::Options opts;
   opts.num_threads = static_cast<std::size_t>(state.range(0));
   engine::BatchChecker checker(opts);
   for (auto _ : state) {

@@ -47,7 +47,7 @@ std::vector<il::engine::DecisionJob> corpus(il::ltl::Arena& arena) {
 void bench_decision_batch_cold(benchmark::State& state) {
   il::ltl::Arena arena;
   const auto jobs = corpus(arena);
-  il::engine::EngineOptions options;
+  il::engine::Options options;
   options.num_threads = static_cast<std::size_t>(state.range(0));
   double hit_rate = 0;
   for (auto _ : state) {
@@ -66,7 +66,7 @@ void bench_decision_batch_cold(benchmark::State& state) {
 void bench_decision_batch_warm(benchmark::State& state) {
   il::ltl::Arena arena;
   const auto jobs = corpus(arena);
-  il::engine::EngineOptions options;
+  il::engine::Options options;
   options.num_threads = static_cast<std::size_t>(state.range(0));
   il::engine::BatchDecider decider(options);
   {

@@ -115,7 +115,7 @@ void bench_lll_batch_engine(benchmark::State& state) {
   jobs.push_back(il::engine::lll_sat_job(iter_star(concat(lit("P"), tstar()), lit("Q"))));
   jobs.push_back(
       il::engine::lll_sat_job(conj(infloop(lit("x")), semi(tstar(), lit("x", true)))));
-  il::engine::EngineOptions options;
+  il::engine::Options options;
   options.num_threads = threads;
   for (auto _ : state) {
     auto results = il::engine::decide_batch(jobs, options);
@@ -135,7 +135,7 @@ void bench_lll_batch_engine_warm(benchmark::State& state) {
   jobs.push_back(il::engine::lll_sat_job(iter_star(concat(lit("P"), tstar()), lit("Q"))));
   jobs.push_back(
       il::engine::lll_sat_job(conj(infloop(lit("x")), semi(tstar(), lit("x", true)))));
-  il::engine::EngineOptions options;
+  il::engine::Options options;
   options.num_threads = static_cast<std::size_t>(state.range(0));
   il::engine::BatchDecider decider(options);
   {

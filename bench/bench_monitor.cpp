@@ -73,19 +73,19 @@ void bench_monitor_batch_engine(benchmark::State& state) {
     traces.push_back(sys::run_mutex(config));
   }
   auto jobs = engine::jobs_for_traces(spec, traces);
-  engine::EngineOptions opts;
+  engine::Options opts;
   opts.num_threads = static_cast<std::size_t>(state.range(1));
   engine::BatchChecker checker(opts);
   std::size_t violations = 0;
   for (auto _ : state) {
     auto results = checker.run(jobs);
-    violations = checker.stats().axioms_failed;
+    violations = checker.check_stats().axioms_failed;
     benchmark::DoNotOptimize(results);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * fleet));
   state.counters["traces"] = static_cast<double>(fleet);
   state.counters["violations"] = static_cast<double>(violations);
-  const auto& s = checker.stats();
+  const auto& s = checker.check_stats();
   state.counters["memo_hit_rate"] =
       s.memo_hits + s.memo_misses == 0
           ? 0.0

@@ -66,7 +66,7 @@ void bench_mutex_batch_engine(benchmark::State& state) {
     traces.push_back(run_mutex(config));
   }
   auto jobs = engine::jobs_for_traces(spec, traces);
-  engine::EngineOptions opts;
+  engine::Options opts;
   opts.num_threads = static_cast<std::size_t>(state.range(1));
   engine::BatchChecker checker(opts);
   for (auto _ : state) {

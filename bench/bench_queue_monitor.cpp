@@ -69,7 +69,7 @@ void bench_fifo_batch_engine(benchmark::State& state) {
     traces.push_back(run_fifo_queue(config));
   }
   auto jobs = engine::jobs_for_traces(spec, traces);
-  engine::EngineOptions opts;
+  engine::Options opts;
   opts.num_threads = static_cast<std::size_t>(state.range(1));
   engine::BatchChecker checker(opts);
   for (auto _ : state) {
@@ -78,7 +78,7 @@ void bench_fifo_batch_engine(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * fleet));
   state.counters["traces"] = static_cast<double>(fleet);
-  state.counters["axioms_checked"] = static_cast<double>(checker.stats().axioms_checked);
+  state.counters["axioms_checked"] = static_cast<double>(checker.check_stats().axioms_checked);
 }
 
 // The memoization cache's own effect on the quantifier-heavy queue axiom.
@@ -87,7 +87,7 @@ void bench_fifo_check_memoized(benchmark::State& state) {
   config.values = static_cast<std::size_t>(state.range(0));
   Trace tr = run_fifo_queue(config);
   Spec spec = queue_spec(domain(config.values));
-  engine::EngineOptions opts;
+  engine::Options opts;
   opts.num_threads = 1;
   opts.memoize = state.range(1) != 0;
   std::vector<engine::CheckJob> jobs = {{&spec, &tr, {}}};

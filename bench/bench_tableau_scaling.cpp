@@ -94,7 +94,7 @@ void bench_tableau_batch_engine(benchmark::State& state) {
     const std::string text = response_chain(2, "j" + std::to_string(i) + "_");
     jobs.push_back(il::engine::tableau_sat_job(arena, arena.parse(text)));
   }
-  il::engine::EngineOptions options;
+  il::engine::Options options;
   options.num_threads = threads;
   for (auto _ : state) {
     auto results = il::engine::decide_batch(jobs, options);
@@ -115,7 +115,7 @@ void bench_tableau_batch_engine_warm(benchmark::State& state) {
     const std::string text = response_chain(2, "j" + std::to_string(i) + "_");
     jobs.push_back(il::engine::tableau_sat_job(arena, arena.parse(text)));
   }
-  il::engine::EngineOptions options;
+  il::engine::Options options;
   options.num_threads = threads;
   il::engine::BatchDecider decider(options);
   {

@@ -76,7 +76,7 @@ void bench_valid_corpus_engine(benchmark::State& state) {
   for (const auto& s : corpus) {
     jobs.push_back(il::engine::tableau_valid_job(arena, arena.parse(s)));
   }
-  il::engine::EngineOptions options;
+  il::engine::Options options;
   options.num_threads = threads;
   std::size_t all_valid = 1;
   for (auto _ : state) {
@@ -108,7 +108,7 @@ void bench_valid_corpus_engine_warm(benchmark::State& state) {
   for (const auto& s : corpus) {
     jobs.push_back(il::engine::tableau_valid_job(arena, arena.parse(s)));
   }
-  il::engine::EngineOptions options;
+  il::engine::Options options;
   options.num_threads = static_cast<std::size_t>(state.range(0));
   il::engine::BatchDecider decider(options);
   {

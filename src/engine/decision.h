@@ -19,14 +19,20 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "engine/engine.h"
 #include "lll/ast.h"
 #include "ltl/formula.h"
+#include "util/parallel.h"
 
 namespace il::engine {
+
+namespace detail {
+class ParkedPool;
+}
 
 /// One decision question.  Referenced arenas are borrowed and must stay
 /// alive (and un-mutated) until run() returns.
@@ -57,13 +63,54 @@ struct DecisionResult {
   std::size_t alive_nodes = 0;  ///< survivors of the deletion fixpoint
   std::size_t alive_edges = 0;
   std::size_t iterations = 0;   ///< LLL deletion passes (0 for tableau jobs)
+
+  // Intra-decision work units (deterministic, so cacheable with the rest):
+  // how many frontiers the decision processed and how many independent
+  // tasks each could fan across Options::intra_decision_threads workers.
+  std::size_t waves = 0;          ///< construction waves (tableau or subset)
+  std::size_t frontier_sets = 0;  ///< expansion tasks across those waves
+  std::size_t sweep_tasks = 0;    ///< tableau per-eventuality backward sweeps
+  std::size_t prefix_hits = 0;    ///< LLL prefix-product accumulator reuse
+  std::size_t prefix_misses = 0;  ///< … levels that had to be computed
+};
+
+/// Work-unit counters for the intra-decision fan-out, summed over a run's
+/// jobs.  Shared by BatchDecider (inside DecisionStats) and MonitorService
+/// (per shard, rendered by dump()).
+struct IntraDecisionStats {
+  std::size_t threads = 0;        ///< width lent to each decision (1 = off)
+  std::size_t waves = 0;
+  std::size_t frontier_sets = 0;
+  std::size_t sweep_tasks = 0;
+  std::size_t prefix_hits = 0;
+  std::size_t prefix_misses = 0;
+
+  void add(const DecisionResult& r) {
+    waves += r.waves;
+    frontier_sets += r.frontier_sets;
+    sweep_tasks += r.sweep_tasks;
+    prefix_hits += r.prefix_hits;
+    prefix_misses += r.prefix_misses;
+  }
+
+  /// Counter-export hook for the introspection surface (engine/introspect.h):
+  /// calls fn(name, value) for every counter.
+  template <typename Fn>
+  void for_each_counter(Fn&& fn) const {
+    fn("threads", static_cast<std::uint64_t>(threads));
+    fn("waves", static_cast<std::uint64_t>(waves));
+    fn("frontier_sets", static_cast<std::uint64_t>(frontier_sets));
+    fn("sweep_tasks", static_cast<std::uint64_t>(sweep_tasks));
+    fn("prefix_hits", static_cast<std::uint64_t>(prefix_hits));
+    fn("prefix_misses", static_cast<std::uint64_t>(prefix_misses));
+  }
 };
 
 /// Aggregate counters from the last run().  The decision_* quad follows the
 /// engine-wide *_hits/_misses/_inserts/_entries convention (engine.h).
 struct DecisionStats {
   std::size_t jobs = 0;
-  std::size_t threads = 0;  ///< workers actually spawned (0 = inline)
+  std::size_t threads = 0;  ///< pool workers serving the outer fan-out (0 = inline)
   std::size_t tableau_jobs = 0;
   std::size_t lll_jobs = 0;
   std::size_t unique_jobs = 0;  ///< jobs actually decided (cache/dedup removed the rest)
@@ -73,10 +120,8 @@ struct DecisionStats {
   std::size_t decision_misses = 0;
   std::size_t decision_inserts = 0;  ///< results stored this run
   std::size_t decision_entries = 0;  ///< entries resident after the run
+  IntraDecisionStats intra;          ///< summed over the run's results
 };
-
-/// Deprecated name, kept for one release.
-using DecisionEngineStats = DecisionStats;
 
 /// Cross-batch memo of decision results, mirroring what EvalCache does for
 /// trace checks: the hash-consed intern layer makes a formula a stable
@@ -149,7 +194,14 @@ class DecisionCache {
 
 class BatchDecider {
  public:
+  /// Spawns the resident worker pool (engine/pool.h) sized for both fan-out
+  /// axes: max(resolved num_threads, intra_decision_threads).  Workers park
+  /// between runs, so a decider serving many batches pays the spawn once.
   explicit BatchDecider(Options options = {});
+  ~BatchDecider();
+
+  BatchDecider(const BatchDecider&) = delete;
+  BatchDecider& operator=(const BatchDecider&) = delete;
 
   /// Decides every job; results[i] corresponds to jobs[i].  Deterministic:
   /// independent of thread count, scheduling, and cache temperature.
@@ -174,11 +226,15 @@ class BatchDecider {
   Options options_;
   DecisionStats stats_;
   DecisionCache cache_;
+  std::unique_ptr<detail::ParkedPool> pool_;  ///< null = fully inline
 };
 
 /// Decides one job — the unit of work a BatchDecider worker executes,
-/// exposed so sequential call-sites run exactly the same code.
+/// exposed so sequential call-sites run exactly the same code.  The second
+/// overload lends `par` (util/parallel.h) to the decision's internal
+/// frontiers; null or width <= 1 runs them inline, bit-identically.
 DecisionResult run_decision_job(const DecisionJob& job);
+DecisionResult run_decision_job(const DecisionJob& job, const util::ParallelFor* par);
 
 /// One-shot convenience over a temporary BatchDecider.
 std::vector<DecisionResult> decide_batch(const std::vector<DecisionJob>& jobs,

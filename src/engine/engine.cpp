@@ -87,19 +87,6 @@ std::vector<CheckResult> BatchChecker::run(const std::vector<CheckJob>& jobs) {
   return results;
 }
 
-const EngineStats& BatchChecker::stats() const {
-  stats_ = EngineStats{};
-  stats_.jobs = check_stats_.jobs;
-  stats_.threads = check_stats_.threads;
-  stats_.memo_hits = check_stats_.memo_hits;
-  stats_.memo_misses = check_stats_.memo_misses;
-  stats_.memo_inserts = check_stats_.memo_inserts;
-  stats_.memo_entries = check_stats_.memo_entries;
-  stats_.axioms_checked = check_stats_.axioms_checked;
-  stats_.axioms_failed = check_stats_.axioms_failed;
-  return stats_;
-}
-
 std::vector<CheckResult> check_batch(const std::vector<CheckJob>& jobs, Options options) {
   BatchChecker checker(options);
   return checker.run(jobs);

@@ -65,6 +65,15 @@ struct Options {
   /// Soft cap on decision-cache entries; 0 = unlimited.
   std::size_t decision_cache_capacity = 1u << 20;
 
+  /// BatchDecider and MonitorService::decide() only: worker width lent to a
+  /// *single* decision's internal frontiers — tableau expansion waves, the
+  /// per-eventuality deletion sweeps, and the LLL subset-construction waves
+  /// — via nested runs on the family's resident pool.  0 or 1 runs each
+  /// decision inline.  Verdicts, graphs, and node ids are bit-identical at
+  /// any width: the parallel phases compute pure per-item values and all
+  /// interning happens on a sequential merge in fixed input order.
+  std::size_t intra_decision_threads = 1;
+
   /// MonitorService only: bounded ingest-queue depth.  append() blocks (and
   /// try_append() reports QueueFull) while this many commands are pending —
   /// backpressure instead of unbounded buffering.  Must be >= 1.
@@ -73,9 +82,6 @@ struct Options {
   /// MonitorService only: number of monitor shards; 0 means one per worker.
   std::size_t num_shards = 0;
 };
-
-/// Deprecated name, kept for one release.
-using EngineOptions = Options;
 
 // ---------------------------------------------------------------------------
 // Per-family statistics.  One struct per workload class, with one naming
@@ -121,27 +127,6 @@ struct StreamStats {
   std::size_t obligation_recomputed = 0;  ///< re-settlements, lifetime
 };
 
-/// Deprecated pre-unification aggregate, kept for one release.  The check
-/// fields mirror CheckStats; the stream_*/obligation_* tail mirrors
-/// StreamStats under the old names.  New code reads BatchChecker::
-/// check_stats() / BatchMonitor::stream_stats() instead.
-struct EngineStats {
-  std::size_t jobs = 0;
-  std::size_t threads = 0;
-  std::size_t memo_hits = 0;
-  std::size_t memo_misses = 0;
-  std::size_t memo_inserts = 0;
-  std::size_t memo_entries = 0;
-  std::size_t axioms_checked = 0;
-  std::size_t axioms_failed = 0;
-  std::size_t stream_states = 0;
-  std::size_t stream_verdicts = 0;
-  std::size_t obligations = 0;
-  std::size_t obligations_settled = 0;
-  std::size_t obligations_dirtied = 0;
-  std::size_t obligations_recomputed = 0;
-};
-
 class BatchChecker {
  public:
   explicit BatchChecker(Options options = {});
@@ -155,14 +140,10 @@ class BatchChecker {
   const Options& options() const { return options_; }
   /// Counters from the last run().
   const CheckStats& check_stats() const { return check_stats_; }
-  /// Deprecated: the same counters under the legacy aggregate, materialized
-  /// on each call.
-  const EngineStats& stats() const;
 
  private:
   Options options_;
   CheckStats check_stats_;
-  mutable EngineStats stats_;  ///< materialized by stats()
 };
 
 /// Checks one job with an optional caller-provided cache.  This is the unit

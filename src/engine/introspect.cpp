@@ -24,6 +24,10 @@ void dump_counters(KvWriter kv, const DecisionCache& cache) {
   cache.for_each_counter([&](const char* name, std::uint64_t v) { kv.emit(name, v); });
 }
 
+void dump_counters(KvWriter kv, const IntraDecisionStats& stats) {
+  stats.for_each_counter([&](const char* name, std::uint64_t v) { kv.emit(name, v); });
+}
+
 void dump_counters(KvWriter kv, const CheckStats& stats) {
   kv.emit("jobs", stats.jobs);
   kv.emit("threads", stats.threads);
@@ -49,6 +53,7 @@ void dump_counters(KvWriter kv, const DecisionStats& stats) {
   dec.emit("misses", stats.decision_misses);
   dec.emit("inserts", stats.decision_inserts);
   dec.emit("entries", stats.decision_entries);
+  dump_counters(kv.scoped("intra"), stats.intra);
 }
 
 void dump_counters(KvWriter kv, const StreamStats& stats) {

@@ -42,6 +42,7 @@ class KvWriter {
 void dump_counters(KvWriter kv, const EvalCache& cache);
 void dump_counters(KvWriter kv, const ObligationGraph& graph);
 void dump_counters(KvWriter kv, const DecisionCache& cache);
+void dump_counters(KvWriter kv, const IntraDecisionStats& stats);
 
 /// Renders a per-family stats struct (fixed key order, one key per field).
 void dump_counters(KvWriter kv, const CheckStats& stats);

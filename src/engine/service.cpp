@@ -51,6 +51,7 @@ struct MonitorService::Shard {
 
   DecisionCache decisions;  ///< cross-batch cache for decide()
   std::size_t decision_jobs = 0;
+  IntraDecisionStats intra;  ///< intra-decision work decided on this shard
 };
 
 MonitorService::MonitorService(Options options) : options_(options) {
@@ -62,8 +63,17 @@ MonitorService::MonitorService(Options options) : options_(options) {
   if (shards == 0) shards = threads;
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
-  for (const auto& sh : shards_) sh->decisions.set_capacity(options_.decision_cache_capacity);
-  if (threads > 1) pool_ = std::make_unique<detail::ParkedPool>(threads);
+  std::size_t intra = options_.intra_decision_threads;
+  if (intra == 0) intra = 1;
+  for (const auto& sh : shards_) {
+    sh->decisions.set_capacity(options_.decision_cache_capacity);
+    sh->intra.threads = intra;
+  }
+  // Sharding follows num_threads; the pool additionally covers the
+  // intra-decision width so nested decision frontiers have workers to fan
+  // across even in a single-shard deployment.
+  const std::size_t workers = threads > intra ? threads : intra;
+  if (workers > 1) pool_ = std::make_unique<detail::ParkedPool>(workers);
   coordinator_ = std::thread([this]() { coordinator_loop(); });
 }
 
@@ -375,14 +385,31 @@ std::vector<DecisionResult> MonitorService::decide(const std::vector<DecisionJob
     shards_[0]->decision_jobs += jobs.size();
   }
 
+  // Intra-decision handle: nested runs on the same resident pool, so a
+  // decision's internal frontiers fan across parked workers even while the
+  // outer claim loop is active (contexts stack; see engine/pool.h).
+  util::ParallelFor intra;
+  const util::ParallelFor* intra_par = nullptr;
+  const std::size_t intra_width =
+      options_.intra_decision_threads == 0 ? 1 : options_.intra_decision_threads;
+  if (pool_ != nullptr && intra_width > 1) {
+    intra.width = intra_width;
+    intra.run = [p = pool_.get()](std::size_t count,
+                                  const std::function<void(std::size_t)>& item) {
+      p->run_nested(count, item);
+    };
+    intra_par = &intra;
+  }
+
   std::vector<DecisionResult> decided(distinct.size());
   if (!distinct.empty()) {
     if (pool_ != nullptr && distinct.size() > 1) {
-      pool_->run(distinct.size(),
-                 [&](std::size_t d) { decided[d] = run_decision_job(jobs[distinct[d]]); });
+      pool_->run(distinct.size(), [&](std::size_t d) {
+        decided[d] = run_decision_job(jobs[distinct[d]], intra_par);
+      });
     } else {
       for (std::size_t d = 0; d < distinct.size(); ++d) {
-        decided[d] = run_decision_job(jobs[distinct[d]]);
+        decided[d] = run_decision_job(jobs[distinct[d]], intra_par);
       }
     }
   }
@@ -390,12 +417,12 @@ std::vector<DecisionResult> MonitorService::decide(const std::vector<DecisionJob
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (slot[i] != kResolved) results[i] = decided[slot[i]];
   }
-  if (use_cache) {
-    for (std::size_t d = 0; d < distinct.size(); ++d) {
-      Shard& sh = *shards_[distinct_shard[d]];
-      std::lock_guard<std::mutex> lock(sh.mu);
-      sh.decisions.store(distinct_keys[d], decided[d]);
-    }
+  for (std::size_t d = 0; d < distinct.size(); ++d) {
+    const std::size_t shard = use_cache ? distinct_shard[d] : 0;
+    Shard& sh = *shards_[shard];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    sh.intra.add(decided[d]);
+    if (use_cache) sh.decisions.store(distinct_keys[d], decided[d]);
   }
   return results;
 }
@@ -517,6 +544,7 @@ void MonitorService::dump_shard(std::size_t shard, std::ostream& os) const {
   KvWriter dec = kv.scoped("decision");
   dump_counters(dec, sh.decisions);
   dec.emit("jobs", sh.decision_jobs);
+  dump_counters(dec.scoped("intra"), sh.intra);
 }
 
 }  // namespace engine

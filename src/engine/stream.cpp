@@ -83,26 +83,6 @@ const StreamStats& BatchMonitor::stream_stats() const {
   return stream_stats_;
 }
 
-const EngineStats& BatchMonitor::stats() const {
-  const StreamStats& s = stream_stats();
-  stats_ = EngineStats{};
-  stats_.jobs = s.monitors;
-  stats_.threads = s.threads;
-  stats_.memo_hits = s.memo_hits;
-  stats_.memo_misses = s.memo_misses;
-  stats_.memo_inserts = s.memo_inserts;
-  stats_.memo_entries = s.memo_entries;
-  stats_.axioms_checked = s.axioms_checked;
-  stats_.axioms_failed = s.axioms_failed;
-  stats_.stream_states = s.states;
-  stats_.stream_verdicts = s.verdicts;
-  stats_.obligations = s.obligation_entries;
-  stats_.obligations_settled = s.obligation_settled;
-  stats_.obligations_dirtied = s.obligation_dirtied;
-  stats_.obligations_recomputed = s.obligation_recomputed;
-  return stats_;
-}
-
 std::vector<MonitorJob> jobs_for_specs(const std::vector<Spec>& specs, const Env& env) {
   std::vector<MonitorJob> jobs;
   jobs.reserve(specs.size());

@@ -90,9 +90,6 @@ class BatchMonitor {
 
   /// Aggregate counters over the fleet's whole lifetime (see header).
   const StreamStats& stream_stats() const;
-  /// Deprecated: the same counters under the legacy aggregate, materialized
-  /// on each call.
-  const EngineStats& stats() const;
 
  private:
   Options options_;
@@ -104,7 +101,6 @@ class BatchMonitor {
   std::size_t axioms_checked_ = 0;
   std::size_t axioms_failed_ = 0;
   mutable StreamStats stream_stats_;  ///< materialized on stream_stats()
-  mutable EngineStats stats_;         ///< materialized on stats()
 };
 
 /// Builds the common "every spec watches the same stream" job list.

@@ -70,7 +70,7 @@ DecisionStats iterate_graph(Graph& g) {
 
   // Immediately kill contradictory edges.
   for (std::size_t i = 0; i < g.edges.size(); ++i) {
-    if (g.edges[i].prop.contradictory) edge_alive[i] = 0;
+    if (g.pool->prop_contradictory(g.edges[i].prop)) edge_alive[i] = 0;
   }
 
   for (bool changed = true; changed;) {
@@ -122,10 +122,16 @@ DecisionStats iterate_graph(Graph& g) {
   return stats;
 }
 
-DecisionStats decide(ExprId expr) {
+DecisionStats decide(ExprId expr, const util::ParallelFor* par) {
   GraphBuilder builder;
+  builder.set_parallel(par);
   Graph g = builder.build(expr);
-  return iterate_graph(g);
+  DecisionStats stats = iterate_graph(g);
+  stats.build_waves = builder.iter_stats().waves;
+  stats.build_frontier_sets = builder.iter_stats().frontier_sets;
+  stats.prefix_hits = builder.iter_stats().prefix_hits;
+  stats.prefix_misses = builder.iter_stats().prefix_misses;
+  return stats;
 }
 
 bool lll_satisfiable(ExprId expr) { return decide(expr).satisfiable; }

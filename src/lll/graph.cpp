@@ -1,20 +1,87 @@
 #include "lll/graph.h"
 
 #include <algorithm>
-#include <deque>
 #include <stdexcept>
 
 #include "util/assert.h"
 #include "util/strings.h"
 
 namespace il::lll {
-namespace {
 
-Conj conj_merge(const Conj& a, const Conj& b) {
-  Conj out = a;
-  out.merge(b);
-  return out;
+PropId NodePool::merge_props(PropId a, PropId b) {
+  if ((a >> 1) == (b >> 1) || (b >> 1) == 0) return a | (b & 1u);
+  if ((a >> 1) == 0) return b | (a & 1u);
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  if (const std::uint32_t* hit = prop_merge_memo_.find(key)) {
+    ++prop_hits_;
+    return *hit;
+  }
+  ++prop_misses_;
+  const Span<PropLit> sa = prop_lits(a);
+  const Span<PropLit> sb = prop_lits(b);
+  std::vector<PropLit> out;
+  out.reserve(sa.size() + sb.size());
+  bool clash = false;
+  const PropLit* pa = sa.begin();
+  const PropLit* pb = sb.begin();
+  while (pa != sa.end() && pb != sb.end()) {
+    if (pa->first < pb->first) {
+      out.push_back(*pa++);
+    } else if (pb->first < pa->first) {
+      out.push_back(*pb++);
+    } else {
+      if (pa->second != pb->second) clash = true;
+      out.push_back(*pa);
+      ++pa;
+      ++pb;
+    }
+  }
+  out.insert(out.end(), pa, sa.end());
+  out.insert(out.end(), pb, sb.end());
+  const PropId merged =
+      (props_.intern(out).first << 1) | ((a | b) & 1u) | (clash ? 1u : 0u);
+  prop_merge_memo_.insert(key, merged);
+  return merged;
 }
+
+PropId NodePool::prop_erase(PropId p, std::uint32_t var) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(p) << 32) | (var << 2) | 1u;
+  if (const std::uint32_t* hit = prop_scope_memo_.find(key)) {
+    ++prop_hits_;
+    return *hit;
+  }
+  ++prop_misses_;
+  const Span<PropLit> s = prop_lits(p);
+  std::vector<PropLit> out;
+  out.reserve(s.size());
+  for (const PropLit& l : s) {
+    if (l.first != var) out.push_back(l);
+  }
+  const PropId mapped = (props_.intern(out).first << 1) | (p & 1u);
+  prop_scope_memo_.insert(key, mapped);
+  return mapped;
+}
+
+PropId NodePool::prop_default(PropId p, std::uint32_t var, bool value) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(p) << 32) | (var << 2) | (value ? 3u : 2u);
+  if (const std::uint32_t* hit = prop_scope_memo_.find(key)) {
+    ++prop_hits_;
+    return *hit;
+  }
+  ++prop_misses_;
+  const Span<PropLit> s = prop_lits(p);
+  std::vector<PropLit> out(s.begin(), s.end());
+  const auto it = std::lower_bound(
+      out.begin(), out.end(), var,
+      [](const PropLit& l, std::uint32_t v) { return l.first < v; });
+  if (it == out.end() || it->first != var) out.insert(it, {var, value});
+  const PropId mapped = (props_.intern(out).first << 1) | (p & 1u);
+  prop_scope_memo_.insert(key, mapped);
+  return mapped;
+}
+
+namespace {
 
 /// Merges two sorted-unique id vectors.
 std::vector<NodeId> merge_nodes(const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
@@ -109,8 +176,8 @@ Graph GraphBuilder::build_leaf(const Conj& prop) {
   GEdge e;
   e.from = g.init;
   e.to = kEndNode;
-  e.prop = prop;
-  g.edges.push_back(std::move(e));
+  e.prop = pool_->intern_prop(prop);
+  g.edges.push_back(e);
   return g;
 }
 
@@ -204,7 +271,7 @@ Graph GraphBuilder::build_concat(Graph a, Graph b) {
       GEdge merged;
       merged.from = e.from;
       merged.to = be.to;
-      merged.prop = conj_merge(e.prop, be.prop);
+      merged.prop = pool_->merge_props(e.prop, be.prop);
       merged.evs = pool_->union_evs(e.evs, be.evs);
       merged.ses = pool_->union_evs(e.ses, be.ses);
       merged.rel = pool_->union_rels(e.rel, be.rel);
@@ -248,7 +315,7 @@ Graph GraphBuilder::build_and(Graph a, Graph b, bool same_length) {
     e.from = pool_->union_nodes(ea.from, eb.from);
     // END contributes nothing to the union, so both-END lands on END itself.
     e.to = pool_->union_nodes(ea.to, eb.to);
-    e.prop = conj_merge(ea.prop, eb.prop);
+    e.prop = pool_->merge_props(ea.prop, eb.prop);
     e.evs = pool_->union_evs(ea.evs, eb.evs);
     e.ses = pool_->union_evs(ea.ses, eb.ses);
     e.rel = pool_->union_rels(ea.rel, eb.rel);
@@ -280,13 +347,13 @@ Graph GraphBuilder::build_scoped(Kind kind, std::uint32_t var, Graph a) {
   for (GEdge& e : a.edges) {
     switch (kind) {
       case Kind::Exists:
-        e.prop.erase(var);
+        e.prop = pool_->prop_erase(e.prop, var);
         break;
       case Kind::ForceF:
-        e.prop.default_to(var, false);
+        e.prop = pool_->prop_default(e.prop, var, false);
         break;
       case Kind::ForceT:
-        e.prop.default_to(var, true);
+        e.prop = pool_->prop_default(e.prop, var, true);
         break;
       default:
         IL_CHECK(false, "not a scoped kind");
@@ -416,15 +483,14 @@ Graph GraphBuilder::build_iter(IterKind kind, Graph a, const Graph* b) {
   using Marks = std::vector<NodeId>;
   detail::SpanInterner<NodeId> mark_sets;
 
-  auto union_basis = [&](const Marks& marks) {
-    NodeId u = kEndNode;
-    for (NodeId n : marks) u = pool_->union_nodes(u, n);
-    return u;
-  };
-
   Graph out;
   out.pool = pool_;
   out.init = m0;  // the singleton marker set {m0} unions to m0 itself
+  // Subset constructions emit edges by the thousand; growing the vector a
+  // doubling at a time showed up as a top profile entry (each realloc moves
+  // every GEdge), so start at a useful size and grow 4x (capacity is not
+  // observable — budget checks look at size()).
+  out.edges.reserve(std::min(edge_budget_ + 1, std::size_t{1} << 10));
   // Node ids are pool-dense, so membership is a flat bitmap and the node
   // list is collected unsorted (one sort at the end) — O(1) per target,
   // where a sorted-vector insert would go quadratic on big constructions.
@@ -437,134 +503,307 @@ Graph GraphBuilder::build_iter(IterKind kind, Graph a, const Graph* b) {
   };
   add_node(out.init);
 
-  std::deque<Marks> work;
-  const Marks start{m0};
-  mark_sets.intern(start);
-  work.push_back(start);
+  // union_basis results memoized per interned mark-set id (ids mint densely,
+  // so a flat vector in mint order): each distinct reachable marker set pays
+  // its union_nodes chain once, not once per edge that reaches it.
+  std::vector<NodeId> basis_of{kEndNode};  // id 0: the empty set == END
 
-  // Enumerates every way to pick one edge per marked node subject to a
-  // filter, producing composite edges.
-  auto for_each_choice = [&](const Marks& marks, auto&& allowed, auto&& emit) {
+  // The wave frontier, in discovery (= sequential BFS) order.
+  struct Item {
+    Marks marks;
+    std::uint32_t mark_id = 0;
+  };
+  std::vector<Item> frontier;
+  std::vector<Item> next_frontier;
+  {
+    Marks start{m0};
+    const std::uint32_t sid = mark_sets.intern(start).first;
+    basis_of.push_back(m0);  // union_basis({m0}) == m0
+    frontier.push_back({std::move(start), sid});
+  }
+
+  // ---------------------------------------------------------------------
+  // Enumeration core (phase 1).  Walks the choice product of one family —
+  // one edge per marked node, subject to a filter — in fixed order, keeping
+  // a per-depth target-set accumulator so sibling tuples share their common
+  // prefix; the payload and proposition products are left to the sequential
+  // merge, which computes them over interned ids.  Touches only the
+  // read-only G' edge table, never the pool, so frontier items may run
+  // concurrently; `leaf` receives each complete tuple and returns false to
+  // stop the item (plan cap reached).
+  // ---------------------------------------------------------------------
+  struct Scratch {
     std::vector<std::vector<const ERef*>> options;
-    options.reserve(marks.size());
-    for (NodeId n : marks) {
-      std::vector<const ERef*> opts;
-      for (const ERef& e : out_edges[n]) {
-        if (allowed(e)) opts.push_back(&e);
-      }
-      if (opts.empty()) return;  // some marker cannot move
-      options.push_back(std::move(opts));
-    }
-    std::vector<const ERef*> choice(options.size());
-    auto rec = [&](auto&& self, std::size_t i) -> void {
-      if (i == options.size()) {
-        emit(choice);
-        return;
-      }
-      for (const ERef* e : options[i]) {
-        choice[i] = e;
-        self(self, i + 1);
-      }
-    };
-    rec(rec, 0);
+    std::vector<const ERef*> choice;
+    std::vector<Marks> targets;  ///< targets[i]: non-END targets of 0..i
+    Marks leaf_marks;
   };
 
-  auto compose = [&](const std::vector<const ERef*>& parts, bool spawn,
-                     bool b_transition) -> std::pair<GEdge, Marks> {
-    GEdge e;
-    Marks to_marks;
-    bool all_end = true;
-    for (const ERef* p : parts) {
-      e.prop.merge(p->e->prop);
-      e.evs = pool_->union_evs(e.evs, p->e->evs);
-      e.ses = pool_->union_evs(e.ses, p->e->ses);
-      e.rel = pool_->union_rels(e.rel, p->e->rel);
-      if (!is_end(p->to)) {
-        all_end = false;
-        to_marks.push_back(p->to);
+  auto run_family = [&](const Marks& marks, Scratch& s, auto&& allowed, bool spawn,
+                        bool b_transition, auto&& leaf) -> bool {
+    const std::size_t k = marks.size();
+    if (s.options.size() < k) s.options.resize(k);
+    for (std::size_t d = 0; d < k; ++d) {
+      auto& opts = s.options[d];
+      opts.clear();
+      for (const ERef& e : out_edges[marks[d]]) {
+        if (allowed(e)) opts.push_back(&e);
+      }
+      if (opts.empty()) return true;  // some marker cannot move
+    }
+    if (s.choice.size() < k) {
+      s.choice.resize(k);
+      s.targets.resize(k);
+    }
+    auto rec = [&](auto&& self, std::size_t i) -> bool {
+      if (i == k) {
+        s.leaf_marks = s.targets[k - 1];
+        if (spawn) {
+          // The init marker reproduces: implicit self edge
+          // <m0, m0, T, θ_{m0,m0}>.
+          insert_node(s.leaf_marks, m0);
+        }
+        return leaf(s.choice.data(), k, s.leaf_marks, spawn, b_transition);
+      }
+      for (const ERef* e : s.options[i]) {
+        s.choice[i] = e;
+        if (i == 0) {
+          s.targets[0].clear();
+          if (!is_end(e->to)) s.targets[0].push_back(e->to);
+        } else {
+          s.targets[i] = s.targets[i - 1];
+          if (!is_end(e->to)) insert_node(s.targets[i], e->to);
+        }
+        if (!self(self, i + 1)) return false;
+      }
+      return true;
+    };
+    return rec(rec, 0);
+  };
+
+  // Markers whose chosen edge reaches END are simply deleted (the paper's
+  // prose marker semantics; the strict all-end-together variant of the
+  // formal as() definition would wrongly make e.g. infloop(x) for a
+  // one-instant x unsatisfiable, and the appendix itself notes the
+  // simultaneity requirement can likely be dropped).
+  auto enumerate_item = [&](const Marks& marks, Scratch& s, auto&& leaf) {
+    const bool has_init = std::binary_search(marks.begin(), marks.end(), m0);
+    if (has_init) {
+      // a-transitions: every marker moves along a non-b edge; init also
+      // spawns a fresh copy of `a` while keeping its own marker.
+      if (!run_family(
+              marks, s, [&](const ERef& e) { return !e.e->b_side; },
+              /*spawn=*/true, /*b_transition=*/false, leaf)) {
+        return;
+      }
+      if (kind != IterKind::Infloop) {
+        // b-transitions: init moves along a b edge without reproducing;
+        // the other markers move along non-b edges.
+        run_family(
+            marks, s,
+            [&](const ERef& e) {
+              const bool from_init = e.e->from == m0;
+              return from_init ? e.e->b_side : !e.e->b_side;
+            },
+            /*spawn=*/false, /*b_transition=*/true, leaf);
+      }
+    } else {
+      // Post-b transitions: every remaining marker moves.
+      run_family(
+          marks, s, [](const ERef&) { return true; },
+          /*spawn=*/false, /*b_transition=*/false, leaf);
+    }
+  };
+
+  // ---------------------------------------------------------------------
+  // Sequential merge (phase 2).  Consumes tuples in (frontier index,
+  // enumeration order) — the exact order the plain BFS emits — so edge
+  // order, mark-set interning, NodeId minting, and budget trip points are
+  // bit-identical at any thread count.  The interned payload and
+  // proposition products run through a longest-common-prefix accumulator
+  // over the tuple stream: a level shared with the previous tuple reuses
+  // its (prop, evs, ses, rel) ids outright, and an extension is one
+  // memoized conj merge plus three memoized span unions — all id-pair
+  // lookups, no vector work.
+  // ---------------------------------------------------------------------
+  struct Acc {
+    PropId prop = kEmptyProp;  ///< merged conjunction of choices 0..d
+    EvSetId evs = kEmptySet;
+    EvSetId ses = kEmptySet;
+    RelSetId rel = kEmptySet;
+  };
+  std::vector<Acc> acc;
+  std::vector<const ERef*> prev_parts;
+  NodeId from_node = kEndNode;  // set before each item is merged
+  // One-entry caches for the per-leaf post-processing unions: consecutive
+  // leaves usually share their accumulated payload ids, so each cache turns
+  // a memo-table probe into a single compare.
+  constexpr std::uint32_t kNoCache = ~std::uint32_t{0};
+  RelSetId spawn_rel_in = kNoCache, spawn_rel_out = kEmptySet;
+  EvSetId spawn_evs_in = kNoCache, spawn_evs_out = kEmptySet;
+  EvSetId b_ses_in = kNoCache, b_ses_out = kEmptySet;
+
+  auto emit_leaf = [&](const ERef* const* parts, std::size_t k, const Marks& to_marks,
+                       bool spawn, bool b_transition) {
+    ++iter_stats_.choice_tuples;
+    std::size_t lcp = 0;
+    const std::size_t bound = std::min(k, prev_parts.size());
+    while (lcp < bound && prev_parts[lcp] == parts[lcp]) ++lcp;
+    iter_stats_.prefix_hits += lcp;
+    iter_stats_.prefix_misses += k - lcp;
+    if (acc.size() < k) acc.resize(k);
+    for (std::size_t d = lcp; d < k; ++d) {
+      const GEdge* p = parts[d]->e;
+      if (d == 0) {
+        acc[0].prop = p->prop;
+        acc[0].evs = p->evs;
+        acc[0].ses = p->ses;
+        acc[0].rel = p->rel;
+      } else {
+        acc[d].prop = pool_->merge_props(acc[d - 1].prop, p->prop);
+        acc[d].evs = pool_->union_evs(acc[d - 1].evs, p->evs);
+        acc[d].ses = pool_->union_evs(acc[d - 1].ses, p->ses);
+        acc[d].rel = pool_->union_rels(acc[d - 1].rel, p->rel);
       }
     }
+    prev_parts.assign(parts, parts + k);
+
+    GEdge e;
+    e.evs = acc[k - 1].evs;
+    e.ses = acc[k - 1].ses;
+    e.rel = acc[k - 1].rel;
     if (spawn) {
-      // The init marker reproduces: implicit self edge <m0, m0, T, θ_{m0,m0}>.
-      to_marks.push_back(m0);
-      e.rel = pool_->union_rels(e.rel, rel_m0_m0);
-      all_end = false;
+      if (e.rel != spawn_rel_in) {
+        spawn_rel_in = e.rel;
+        spawn_rel_out = pool_->union_rels(e.rel, rel_m0_m0);
+      }
+      e.rel = spawn_rel_out;
     }
     if (v >= 0) {
       if (b_transition) {
-        e.ses = pool_->union_evs(e.ses, ev_v_m0);
+        if (e.ses != b_ses_in) {
+          b_ses_in = e.ses;
+          b_ses_out = pool_->union_evs(e.ses, ev_v_m0);
+        }
+        e.ses = b_ses_out;
       } else if (spawn) {
         // Only the pre-b a-transitions (where the initial marker is still
         // reproducing) assert the eventuality <v, m0>.  Post-b edges must
         // not: the obligation was discharged by the b-transition, and
         // re-asserting it there would delete every computation whose b part
         // is infinite (e.g. iter*(T*, infloop(p)), the encoding of <>[]p).
-        e.evs = pool_->union_evs(e.evs, ev_v_m0);
+        if (e.evs != spawn_evs_in) {
+          spawn_evs_in = e.evs;
+          spawn_evs_out = pool_->union_evs(e.evs, ev_v_m0);
+        }
+        e.evs = spawn_evs_out;
       }
     }
-    std::sort(to_marks.begin(), to_marks.end());
-    to_marks.erase(std::unique(to_marks.begin(), to_marks.end()), to_marks.end());
-    if (all_end) to_marks.clear();
-    return {std::move(e), std::move(to_marks)};
+    require_budget(out.edges.size() + 1, "iterator subset construction");
+    e.from = from_node;
+    e.prop = acc[k - 1].prop;
+    if (to_marks.empty()) {
+      e.to = kEndNode;
+      out.has_end = true;
+    } else {
+      const auto interned = mark_sets.intern(to_marks);
+      const std::uint32_t mid = interned.first;
+      if (interned.second) {
+        ++iter_stats_.basis_misses;
+        IL_CHECK(static_cast<std::size_t>(mid) == basis_of.size(),
+                 "mark-set ids must mint densely");
+        NodeId u = kEndNode;
+        for (NodeId n : to_marks) u = pool_->union_nodes(u, n);
+        basis_of.push_back(u);
+        next_frontier.push_back({to_marks, mid});
+      } else {
+        ++iter_stats_.basis_hits;
+      }
+      e.to = basis_of[mid];
+      add_node(e.to);
+    }
+    if (out.edges.size() == out.edges.capacity()) {
+      out.edges.reserve(out.edges.capacity() * 4);
+    }
+    out.edges.push_back(std::move(e));
   };
 
-  while (!work.empty()) {
-    const Marks marks = std::move(work.front());
-    work.pop_front();
-    const NodeId from_node = union_basis(marks);
-    const bool has_init = std::binary_search(marks.begin(), marks.end(), m0);
+  auto fused_leaf = [&](const ERef* const* parts, std::size_t k, const Marks& to_marks,
+                        bool spawn, bool b_transition) -> bool {
+    emit_leaf(parts, k, to_marks, spawn, b_transition);
+    return true;
+  };
 
-    auto emit_edge = [&](GEdge e, const Marks& to_marks) {
-      require_budget(out.edges.size() + 1, "iterator subset construction");
-      e.from = from_node;
-      if (to_marks.empty()) {
-        e.to = kEndNode;
-        out.has_end = true;
-      } else {
-        e.to = union_basis(to_marks);
-        add_node(e.to);
-        if (mark_sets.intern(to_marks).second) work.push_back(to_marks);
-      }
-      out.edges.push_back(std::move(e));
-    };
+  // Phase-1 record of one item's enumeration, replayed by the sequential
+  // merge.  Plans past the cap are re-enumerated fused on the merge thread
+  // instead — a deterministic memory bound, not an observable change.
+  struct Pending {
+    Marks to_marks;
+    std::uint32_t parts_begin = 0;
+    std::uint32_t parts_len = 0;
+    bool spawn = false;
+    bool b_transition = false;
+  };
+  struct Plan {
+    std::vector<const ERef*> parts;
+    std::vector<Pending> edges;
+    bool truncated = false;
+  };
+  constexpr std::size_t kPlanCap = 32768;
 
-    // Markers whose chosen edge reaches END are simply deleted (the paper's
-    // prose marker semantics; the strict all-end-together variant of the
-    // formal as() definition would wrongly make e.g. infloop(x) for a
-    // one-instant x unsatisfiable, and the appendix itself notes the
-    // simultaneity requirement can likely be dropped).
-    if (has_init) {
-      // a-transitions: every marker moves along a non-b edge; init also
-      // spawns a fresh copy of `a` while keeping its own marker.
-      for_each_choice(
-          marks, [&](const ERef& e) { return !e.e->b_side; },
-          [&](const std::vector<const ERef*>& parts) {
-            auto [e, to_marks] = compose(parts, /*spawn=*/true, /*b_transition=*/false);
-            emit_edge(std::move(e), to_marks);
-          });
-      if (kind != IterKind::Infloop) {
-        // b-transitions: init moves along a b edge without reproducing;
-        // the other markers move along non-b edges.
-        for_each_choice(
-            marks,
-            [&](const ERef& e) {
-              const bool from_init = e.e->from == m0;
-              return from_init ? e.e->b_side : !e.e->b_side;
-            },
-            [&](const std::vector<const ERef*>& parts) {
-              auto [e, to_marks] = compose(parts, /*spawn=*/false, /*b_transition=*/true);
-              emit_edge(std::move(e), to_marks);
-            });
+  Scratch fused_scratch;
+  std::vector<Plan> plans;
+  while (!frontier.empty()) {
+    ++iter_stats_.waves;
+    iter_stats_.frontier_sets += frontier.size();
+    next_frontier.clear();
+    if (util::usable(par_, frontier.size())) {
+      if (plans.size() < frontier.size()) plans.resize(frontier.size());
+      util::for_each_index(par_, frontier.size(), [&](std::size_t i) {
+        Plan& plan = plans[i];
+        plan.parts.clear();
+        plan.edges.clear();
+        plan.truncated = false;
+        Scratch s;
+        enumerate_item(frontier[i].marks, s,
+                       [&](const ERef* const* parts, std::size_t k, const Marks& to_marks,
+                           bool spawn, bool b_transition) -> bool {
+                         if (plan.edges.size() >= kPlanCap) {
+                           plan.truncated = true;
+                           return false;
+                         }
+                         Pending p;
+                         p.to_marks = to_marks;
+                         p.parts_begin = static_cast<std::uint32_t>(plan.parts.size());
+                         p.parts_len = static_cast<std::uint32_t>(k);
+                         p.spawn = spawn;
+                         p.b_transition = b_transition;
+                         plan.parts.insert(plan.parts.end(), parts, parts + k);
+                         plan.edges.push_back(std::move(p));
+                         return true;
+                       });
+      });
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        from_node = basis_of[frontier[i].mark_id];
+        ++iter_stats_.basis_hits;
+        Plan& plan = plans[i];
+        if (plan.truncated) {
+          enumerate_item(frontier[i].marks, fused_scratch, fused_leaf);
+          continue;
+        }
+        for (const Pending& p : plan.edges) {
+          emit_leaf(plan.parts.data() + p.parts_begin, p.parts_len, p.to_marks, p.spawn,
+                    p.b_transition);
+        }
       }
     } else {
-      // Post-b transitions: every remaining marker moves.
-      for_each_choice(
-          marks, [](const ERef&) { return true; },
-          [&](const std::vector<const ERef*>& parts) {
-            auto [e, to_marks] = compose(parts, /*spawn=*/false, /*b_transition=*/false);
-            emit_edge(std::move(e), to_marks);
-          });
+      for (const Item& item : frontier) {
+        from_node = basis_of[item.mark_id];
+        ++iter_stats_.basis_hits;
+        enumerate_item(item.marks, fused_scratch, fused_leaf);
+      }
     }
+    frontier.swap(next_frontier);
   }
   std::sort(out.nodes.begin(), out.nodes.end());
   return out;

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "ltl/formula.h"
+#include "util/parallel.h"
 
 namespace il::ltl {
 
@@ -61,7 +62,13 @@ class Tableau {
  public:
   /// Builds Graph(formula) — callers wanting validity of A pass nnf(!A).
   /// The formula must be in NNF.  The arena is only read.
-  Tableau(const Arena& arena, Id formula);
+  ///
+  /// Construction proceeds in wave-synchronous slices of the pending-node
+  /// frontier: each wave expands its distinct uncached next-sets through
+  /// `par` (expand() is const and only reads the arena), then interns nodes
+  /// and wires edges sequentially in FIFO order.  Node ids and edge order
+  /// are therefore bit-identical at any worker width, including none.
+  Tableau(const Arena& arena, Id formula, const util::ParallelFor* par = nullptr);
 
   /// Optional theory pre-pass (Algorithm A): kills edges whose literal
   /// conjunction the callback rejects.  Call before iterate().
@@ -69,7 +76,13 @@ class Tableau {
 
   /// The Iter deletion loop.  Returns true if some initial node survives
   /// (i.e. the formula is satisfiable, modulo any theory pre-pass).
-  bool iterate();
+  ///
+  /// Each pass batches the per-eventuality backward sweeps against the
+  /// pass-start alive state (one independent task per eventuality, fanned
+  /// through `par`) and applies the kill lists in eventuality order.
+  /// Deletions are monotone, so the fixpoint — and every alive flag at
+  /// return — is identical to the one-sweep-at-a-time schedule.
+  bool iterate(const util::ParallelFor* par = nullptr);
 
   /// Extracts an ultimately periodic model (prefix + loop of literal
   /// conjunctions) from the surviving graph.  Requires iterate() returned
@@ -89,6 +102,13 @@ class Tableau {
   const std::vector<TableauEdge>& edges() const { return edges_; }
   const std::vector<int>& initial_nodes() const { return initial_; }
   const Arena& arena() const { return arena_; }
+
+  /// Construction waves (frontier slices, including the seed wave).
+  std::size_t wave_count() const { return waves_; }
+  /// Distinct next-sets expanded across all waves (parallelizable units).
+  std::size_t frontier_set_count() const { return frontier_sets_; }
+  /// Per-eventuality backward sweeps run by iterate() (parallelizable units).
+  std::size_t sweep_task_count() const { return sweep_tasks_; }
 
  private:
   struct Expansion {
@@ -134,6 +154,10 @@ class Tableau {
     std::vector<Id> next;
   };
   std::vector<PendingNode> pending_next_;
+
+  std::size_t waves_ = 0;
+  std::size_t frontier_sets_ = 0;
+  std::size_t sweep_tasks_ = 0;
 };
 
 /// Convenience: satisfiability of an arbitrary (non-NNF) formula.

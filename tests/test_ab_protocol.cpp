@@ -97,7 +97,7 @@ TEST(AbBatch, AllThreeSpecsThroughEngineMatchSequential) {
   std::vector<engine::CheckJob> jobs = {{&sender, &result.trace, {}},
                                         {&receiver, &result.trace, {}},
                                         {&service, &result.trace, {}}};
-  engine::EngineOptions opts;
+  engine::Options opts;
   opts.num_threads = 3;
   auto results = engine::check_batch(jobs, opts);
   ASSERT_EQ(results.size(), jobs.size());

@@ -87,7 +87,7 @@ TEST(CrossDecision, TableauAndLllAgreeOnSeededCorpus) {
   }
   ASSERT_EQ(texts.size(), 40u) << "corpus generator starved";
 
-  engine::EngineOptions options;
+  engine::Options options;
   options.num_threads = 2;
   const auto results = engine::decide_batch(jobs, options);
   ASSERT_EQ(results.size(), jobs.size());

@@ -41,7 +41,7 @@ TEST(DecisionEngine, MatchesSequentialAndIsThreadCountInvariant) {
   for (const DecisionJob& j : jobs) sequential.push_back(run_decision_job(j));
 
   for (std::size_t threads : {1u, 2u, 4u}) {
-    EngineOptions options;
+    Options options;
     options.num_threads = threads;
     BatchDecider decider(options);
     const auto results = decider.run(jobs);

@@ -122,7 +122,7 @@ TEST(Differential, MemoizedEqualsUncachedOnAllCaseStudies) {
 
   // Engine path: shared worker caches across jobs, several pool sizes.
   for (std::size_t threads : {1u, 2u, 4u, 16u}) {
-    engine::EngineOptions opts;
+    engine::Options opts;
     opts.num_threads = threads;
     auto results = engine::check_batch(jobs, opts);
     ASSERT_EQ(results.size(), reference.size());

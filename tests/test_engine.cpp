@@ -17,7 +17,7 @@ namespace {
 
 using engine::BatchChecker;
 using engine::CheckJob;
-using engine::EngineOptions;
+using engine::Options;
 
 std::vector<std::int64_t> domain(std::size_t n) {
   std::vector<std::int64_t> d;
@@ -67,8 +67,8 @@ void expect_same(const std::vector<CheckResult>& got, const std::vector<CheckRes
 TEST(Engine, EmptyBatch) {
   BatchChecker checker;
   EXPECT_TRUE(checker.run({}).empty());
-  EXPECT_EQ(checker.stats().jobs, 0u);
-  EXPECT_EQ(checker.stats().threads, 0u);
+  EXPECT_EQ(checker.check_stats().jobs, 0u);
+  EXPECT_EQ(checker.check_stats().threads, 0u);
 }
 
 TEST(Engine, SingleJobMatchesSequentialAndRunsInline) {
@@ -77,7 +77,7 @@ TEST(Engine, SingleJobMatchesSequentialAndRunsInline) {
   Trace tr = sys::run_mutex(mc);
   Spec spec = sys::mutex_spec(3);
 
-  EngineOptions opts;
+  Options opts;
   opts.num_threads = 8;  // still inline: one job never spawns a pool
   BatchChecker checker(opts);
   auto results = checker.run({CheckJob{&spec, &tr, {}}});
@@ -85,8 +85,8 @@ TEST(Engine, SingleJobMatchesSequentialAndRunsInline) {
   CheckResult sequential = check_spec(spec, tr);
   EXPECT_EQ(results[0].ok, sequential.ok);
   EXPECT_EQ(results[0].failed, sequential.failed);
-  EXPECT_EQ(checker.stats().threads, 0u);
-  EXPECT_EQ(checker.stats().jobs, 1u);
+  EXPECT_EQ(checker.check_stats().threads, 0u);
+  EXPECT_EQ(checker.check_stats().jobs, 1u);
 }
 
 TEST(Engine, BatchMatchesSequentialAcrossThreadCounts) {
@@ -96,29 +96,29 @@ TEST(Engine, BatchMatchesSequentialAcrossThreadCounts) {
     sequential.push_back(check_spec(*job.spec, *job.trace, job.env));
   }
   for (std::size_t threads : {1u, 2u, 3u, 8u, 64u}) {
-    EngineOptions opts;
+    Options opts;
     opts.num_threads = threads;
     BatchChecker checker(opts);
     expect_same(checker.run(fleet.jobs), sequential);
-    EXPECT_EQ(checker.stats().jobs, fleet.jobs.size());
-    EXPECT_LE(checker.stats().threads, fleet.jobs.size());
+    EXPECT_EQ(checker.check_stats().jobs, fleet.jobs.size());
+    EXPECT_LE(checker.check_stats().threads, fleet.jobs.size());
   }
 }
 
 TEST(Engine, MemoizationIsTransparent) {
   Fleet fleet;
-  EngineOptions plain;
+  Options plain;
   plain.num_threads = 4;
   plain.memoize = false;
-  EngineOptions memo;
+  Options memo;
   memo.num_threads = 4;
   memo.memoize = true;
   BatchChecker without(plain);
   BatchChecker with(memo);
   auto baseline = without.run(fleet.jobs);
   expect_same(with.run(fleet.jobs), baseline);
-  EXPECT_EQ(without.stats().memo_hits, 0u);
-  EXPECT_GT(with.stats().memo_hits, 0u) << "cache should fire on case-study specs";
+  EXPECT_EQ(without.check_stats().memo_hits, 0u);
+  EXPECT_GT(with.check_stats().memo_hits, 0u) << "cache should fire on case-study specs";
 }
 
 TEST(Engine, FailedAxiomAggregationOrdering) {
@@ -144,7 +144,7 @@ TEST(Engine, FailedAxiomAggregationOrdering) {
   EXPECT_FALSE(sequential.ok);
   EXPECT_EQ(sequential.failed, want);
 
-  EngineOptions opts;
+  Options opts;
   opts.num_threads = 4;
   std::vector<CheckJob> jobs(5, CheckJob{&spec, &tr, {}});
   for (const CheckResult& r : engine::check_batch(jobs, opts)) {
@@ -163,7 +163,7 @@ TEST(Engine, QuantifiedSpecWithEnvMatchesSequential) {
   Spec spec = sys::queue_spec(domain(3));
 
   std::vector<CheckJob> jobs = {{&spec, &fifo, {}}, {&spec, &lifo, {}}};
-  EngineOptions opts;
+  Options opts;
   opts.num_threads = 2;
   auto results = engine::check_batch(jobs, opts);
   ASSERT_EQ(results.size(), 2u);
@@ -192,7 +192,7 @@ TEST(Engine, InvalidJobThrowsOnCallingThread) {
   Trace good = sys::run_mutex(mc);
   std::vector<CheckJob> jobs = {{&spec, &good, {}}, {&spec, &empty, {}}, {&spec, &good, {}},
                                 {&spec, &empty, {}}};
-  EngineOptions opts;
+  Options opts;
   opts.num_threads = 4;
   BatchChecker checker(opts);
   EXPECT_THROW(checker.run(jobs), std::invalid_argument);
@@ -203,11 +203,11 @@ TEST(Engine, BatchResultAggregatesCacheStats) {
 
   // Multi-threaded run: the batch result must sum hit/miss/insert counters
   // over every worker's private cache.
-  EngineOptions opts;
+  Options opts;
   opts.num_threads = 4;
   BatchChecker checker(opts);
   checker.run(fleet.jobs);
-  const engine::EngineStats& stats = checker.stats();
+  const engine::CheckStats& stats = checker.check_stats();
   EXPECT_GT(stats.memo_hits, 0u);
   EXPECT_GT(stats.memo_misses, 0u);
   EXPECT_GT(stats.memo_inserts, 0u);
@@ -219,20 +219,20 @@ TEST(Engine, BatchResultAggregatesCacheStats) {
   // The inline (single-job) path reports through the same fields.
   BatchChecker inline_checker;
   inline_checker.run({fleet.jobs.front()});
-  EXPECT_EQ(inline_checker.stats().threads, 0u);
-  EXPECT_GT(inline_checker.stats().memo_inserts, 0u);
-  EXPECT_EQ(inline_checker.stats().memo_entries, inline_checker.stats().memo_inserts);
+  EXPECT_EQ(inline_checker.check_stats().threads, 0u);
+  EXPECT_GT(inline_checker.check_stats().memo_inserts, 0u);
+  EXPECT_EQ(inline_checker.check_stats().memo_entries, inline_checker.check_stats().memo_inserts);
 
   // With memoization disabled every cache counter stays zero.
-  EngineOptions off;
+  Options off;
   off.num_threads = 4;
   off.memoize = false;
   BatchChecker plain(off);
   plain.run(fleet.jobs);
-  EXPECT_EQ(plain.stats().memo_hits, 0u);
-  EXPECT_EQ(plain.stats().memo_misses, 0u);
-  EXPECT_EQ(plain.stats().memo_inserts, 0u);
-  EXPECT_EQ(plain.stats().memo_entries, 0u);
+  EXPECT_EQ(plain.check_stats().memo_hits, 0u);
+  EXPECT_EQ(plain.check_stats().memo_misses, 0u);
+  EXPECT_EQ(plain.check_stats().memo_inserts, 0u);
+  EXPECT_EQ(plain.check_stats().memo_entries, 0u);
 }
 
 TEST(Engine, StatsCountAxioms) {
@@ -242,8 +242,8 @@ TEST(Engine, StatsCountAxioms) {
   std::vector<CheckJob> jobs(3, CheckJob{&spec, &tr, {}});
   BatchChecker checker;
   checker.run(jobs);
-  EXPECT_EQ(checker.stats().axioms_checked, 3 * spec.all().size());
-  EXPECT_EQ(checker.stats().axioms_failed, 0u);
+  EXPECT_EQ(checker.check_stats().axioms_checked, 3 * spec.all().size());
+  EXPECT_EQ(checker.check_stats().axioms_failed, 0u);
 }
 
 }  // namespace

@@ -217,7 +217,7 @@ TEST(GraphSubstrate, DenseVerdictsMatchTableauOnSeededCorpusAcrossThreadCounts) 
 
   std::vector<engine::DecisionResult> reference;
   for (std::size_t threads : {1u, 2u, 4u}) {
-    engine::EngineOptions options;
+    engine::Options options;
     options.num_threads = threads;
     const auto results = engine::decide_batch(jobs, options);
     ASSERT_EQ(results.size(), jobs.size());
@@ -304,7 +304,7 @@ TEST(DecisionCache, WithinBatchDuplicatesDecideOnce) {
 TEST(DecisionCache, KnobDisablesCachingEntirely) {
   ltl::Arena arena;
   const auto jobs = small_corpus(arena);
-  engine::EngineOptions options;
+  engine::Options options;
   options.decision_cache = false;
   engine::BatchDecider decider(options);
   decider.run(jobs);

@@ -256,8 +256,9 @@ TEST(GraphCtor, Section43Example) {
   bool saw_p_self = false, saw_q_end = false;
   const bool* v = nullptr;
   for (const GEdge& e : g.edges) {
-    if (is_end(e.to) && (v = e.prop.find(sym("Q"))) != nullptr && *v) saw_q_end = true;
-    if (!is_end(e.to) && (v = e.prop.find(sym("P"))) != nullptr && *v) saw_p_self = true;
+    const Conj prop = g.pool->prop_conj(e.prop);
+    if (is_end(e.to) && (v = prop.find(sym("Q"))) != nullptr && *v) saw_q_end = true;
+    if (!is_end(e.to) && (v = prop.find(sym("P"))) != nullptr && *v) saw_p_self = true;
   }
   EXPECT_TRUE(saw_p_self);
   EXPECT_TRUE(saw_q_end);

@@ -159,7 +159,7 @@ TEST(MonitorIncremental, BatchMonitorPoolsAreDeterministicAndIdentical) {
     // Reference stream: single-threaded fleet.
     std::vector<std::vector<CheckResult>> reference;
     {
-      engine::EngineOptions opts;
+      engine::Options opts;
       opts.num_threads = 1;
       engine::BatchMonitor fleet(jobs, opts);
       for (const State& s : run.states()) {
@@ -172,16 +172,16 @@ TEST(MonitorIncremental, BatchMonitorPoolsAreDeterministicAndIdentical) {
         reference.push_back(v);
       }
       EXPECT_EQ(fleet.states_fed(), run.size());
-      const engine::EngineStats& stats = fleet.stats();
-      EXPECT_EQ(stats.stream_states, run.size());
-      EXPECT_EQ(stats.stream_verdicts, run.size() * jobs.size());
-      EXPECT_GT(stats.obligations, 0u);
-      EXPECT_GT(stats.obligations_recomputed, 0u);
+      const engine::StreamStats& stats = fleet.stream_stats();
+      EXPECT_EQ(stats.states, run.size());
+      EXPECT_EQ(stats.verdicts, run.size() * jobs.size());
+      EXPECT_GT(stats.obligation_entries, 0u);
+      EXPECT_GT(stats.obligation_recomputed, 0u);
     }
 
     // Wider pools must reproduce the reference verdict stream exactly.
     for (const std::size_t threads : {2u, 4u}) {
-      engine::EngineOptions opts;
+      engine::Options opts;
       opts.num_threads = threads;
       engine::BatchMonitor fleet(jobs, opts);
       std::size_t k = 0;

@@ -300,6 +300,12 @@ TEST(MonitorService, GoldenDumpOfFreshService) {
     expected += p + ".decision.inserts 0\n";
     expected += p + ".decision.entries 0\n";
     expected += p + ".decision.jobs 0\n";
+    expected += p + ".decision.intra.threads 1\n";
+    expected += p + ".decision.intra.waves 0\n";
+    expected += p + ".decision.intra.frontier_sets 0\n";
+    expected += p + ".decision.intra.sweep_tasks 0\n";
+    expected += p + ".decision.intra.prefix_hits 0\n";
+    expected += p + ".decision.intra.prefix_misses 0\n";
   }
   EXPECT_EQ(os.str(), expected);
 }

@@ -75,7 +75,7 @@ TEST(MutexBatch, SeedSweepThroughEngineMatchesSequential) {
     traces.push_back(run_mutex(config));
     traces.push_back(run_mutex_buggy(config));
   }
-  engine::EngineOptions opts;
+  engine::Options opts;
   opts.num_threads = 4;
   auto results = engine::check_batch(engine::jobs_for_traces(spec, traces), opts);
   ASSERT_EQ(results.size(), traces.size());

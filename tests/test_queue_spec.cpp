@@ -98,7 +98,7 @@ TEST(QueueBatch, MixedRunsThroughEngineMatchSequential) {
     traces.push_back(run_lifo_stack(config));
     traces.push_back(run_swapping_queue(config));
   }
-  engine::EngineOptions opts;
+  engine::Options opts;
   opts.num_threads = 3;
   auto results = engine::check_batch(engine::jobs_for_traces(spec, traces), opts);
   ASSERT_EQ(results.size(), traces.size());

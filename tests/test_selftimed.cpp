@@ -73,7 +73,7 @@ TEST(SelfTimedBatch, SeedSweepThroughEngineMatchesSequential) {
     traces.push_back(run_request_ack(config));
     traces.push_back(run_request_ack_buggy(config));
   }
-  engine::EngineOptions opts;
+  engine::Options opts;
   opts.num_threads = 4;
   auto results = engine::check_batch(engine::jobs_for_traces(spec, traces), opts);
   ASSERT_EQ(results.size(), traces.size());
