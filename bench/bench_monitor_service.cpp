@@ -11,10 +11,19 @@
 //                                 one appended state through a MonitorService
 //                                 with N resident monitors (10^2..10^4),
 //                                 including verdict-row assembly and drain
+//   bench_service_batch_ingest/N/B
+//                                 a 32-state burst through a resident fleet
+//                                 of N monitors (10^2..10^4) with
+//                                 max_epoch_batch = B; B=1 is strict
+//                                 per-state epochs, B=32 folds the whole
+//                                 burst into one multi-state epoch.  The
+//                                 queue is loaded while paused so the block
+//                                 shape is deterministic, not a race.
 //
-// CI asserts feed_parked < feed_spawn at 4 threads from the emitted JSON:
+// CI asserts feed_parked < feed_spawn at 4 threads, and batched (B=32)
+// >= per-state (B=1) states/s at every fleet size, from the emitted JSON:
 // parking the workers is the reason the service can afford an epoch per
-// state.
+// state, and batching is the reason a state costs less than an epoch.
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
@@ -126,10 +135,53 @@ void bench_service_resident_fleet(benchmark::State& state) {
   state.counters["shards"] = static_cast<double>(service.shards());
 }
 
+/// A 32-state burst through a resident fleet at a fixed epoch-batch bound.
+/// The burst is enqueued while the coordinator is paused, so the B=32 run
+/// folds it into one epoch (one pool wake, one begin_epoch() walk per
+/// monitor) while the B=1 run pays the full per-state epoch loop — the
+/// states/s ratio is exactly what Options::max_epoch_batch buys.
+void bench_service_batch_ingest(benchmark::State& state) {
+  const std::size_t monitors = static_cast<std::size_t>(state.range(0));
+  const std::size_t batch = static_cast<std::size_t>(state.range(1));
+  const Spec spec = monitored_spec();
+  const Trace tr = mutex_run(8);
+  engine::Options options;
+  options.num_threads = 4;
+  options.max_epoch_batch = batch;
+  options.queue_capacity = 2 * kBlock;
+  engine::MonitorService service(options);
+  for (std::size_t i = 0; i < monitors; ++i) service.register_spec(spec);
+  service.flush();
+  std::size_t k = 0;
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    service.pause();
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      service.append(tr.at(k));
+      k = (k + 1) % tr.size();
+    }
+    service.resume();
+    service.flush();
+    rows += service.drain().size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kBlock));
+  state.counters["monitors"] = static_cast<double>(monitors);
+  state.counters["batch"] = static_cast<double>(batch);
+  state.counters["batch_max"] = static_cast<double>(service.stats().states_per_batch_max);
+}
+
 }  // namespace
 
 BENCHMARK(bench_service_feed_parked)->Arg(2)->Arg(4);
 BENCHMARK(bench_service_feed_spawn)->Arg(2)->Arg(4);
 BENCHMARK(bench_service_resident_fleet)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(bench_service_batch_ingest)
+    ->Args({100, 1})
+    ->Args({100, 32})
+    ->Args({1000, 1})
+    ->Args({1000, 32})
+    ->Args({10000, 1})
+    ->Args({10000, 32});
 
 BENCHMARK_MAIN();

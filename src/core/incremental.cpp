@@ -10,8 +10,16 @@ namespace il {
 
 IncrementalEvaluator::IncrementalEvaluator(const Trace& trace, ObligationGraph* graph,
                                            EvalCache* settled_cache)
-    : trace_(trace), graph_(graph), delegate_(trace, settled_cache, trace.stable_id()) {
+    : IncrementalEvaluator(trace, graph, settled_cache, trace.last_index()) {}
+
+IncrementalEvaluator::IncrementalEvaluator(const Trace& trace, ObligationGraph* graph,
+                                           EvalCache* settled_cache, std::uint64_t horizon)
+    : trace_(trace),
+      graph_(graph),
+      horizon_(horizon),
+      delegate_(trace, settled_cache, trace.stable_id()) {
   IL_REQUIRE(graph != nullptr, "IncrementalEvaluator requires an obligation graph");
+  IL_REQUIRE(horizon <= trace.last_index(), "virtual horizon beyond the trace");
 }
 
 bool IncrementalEvaluator::sat_root(const Formula& formula, const Env& env) {
@@ -59,7 +67,10 @@ IncrementalEvaluator::Val IncrementalEvaluator::sat_inc(const Formula& f, Interv
       graph_->note_settled_hit();
       return {ob.result.value, true};
     }
-    if (!ob.dirty && ob.epoch > 0) {
+    // Fresh means recomputed at THIS horizon: inside a batched epoch the
+    // dirty bit was cleared once for the whole block, so the horizon stamp
+    // is what forces re-settlement between the block's virtual horizons.
+    if (!ob.dirty && ob.epoch > 0 && ob.horizon == horizon_) {
       graph_->note_fresh_hit();
       return {ob.result.value, false};
     }
@@ -71,6 +82,7 @@ IncrementalEvaluator::Val IncrementalEvaluator::sat_inc(const Formula& f, Interv
   ob.settled = v.settled;
   ob.dirty = false;
   ob.epoch = graph_->epoch();
+  ob.horizon = horizon_;
   return v;
 }
 
@@ -92,7 +104,7 @@ IncrementalEvaluator::Found IncrementalEvaluator::find_inc(const Term& t, Interv
   if (dep_to != kNoOb) graph_->add_dep(dep_to, self);
   {
     const ObligationGraph::Obligation& ob = graph_->at(self);
-    if (ob.settled || (!ob.dirty && ob.epoch > 0)) {
+    if (ob.settled || (!ob.dirty && ob.epoch > 0 && ob.horizon == horizon_)) {
       ob.settled ? graph_->note_settled_hit() : graph_->note_fresh_hit();
       const Interval iv =
           ob.result.null ? Interval::none() : Interval::make(ob.result.lo, ob.result.hi);
@@ -108,6 +120,7 @@ IncrementalEvaluator::Found IncrementalEvaluator::find_inc(const Term& t, Interv
   ob.settled = found.settled;
   ob.dirty = false;
   ob.epoch = graph_->epoch();
+  ob.horizon = horizon_;
   return found;
 }
 
@@ -134,7 +147,7 @@ IncrementalEvaluator::Val IncrementalEvaluator::stars_inc(const Term& t, Interva
       graph_->note_settled_hit();
       return {ob.result.value, true};
     }
-    if (!ob.dirty && ob.epoch > 0) {
+    if (!ob.dirty && ob.epoch > 0 && ob.horizon == horizon_) {
       graph_->note_fresh_hit();
       return {ob.result.value, false};
     }
@@ -146,6 +159,7 @@ IncrementalEvaluator::Val IncrementalEvaluator::stars_inc(const Term& t, Interva
   ob.settled = v.settled;
   ob.dirty = false;
   ob.epoch = graph_->epoch();
+  ob.horizon = horizon_;
   return v;
 }
 
@@ -245,7 +259,7 @@ IncrementalEvaluator::Val IncrementalEvaluator::always_compute(const Formula& f,
   // <lo,inf> |= []a  iff  forall k in [lo, horizon] : <k,inf> |= a.  The
   // horizon grows with every append, so the obligation always reads it.
   add_horizon_dep(attach);
-  const std::uint64_t h = trace_.last_index();
+  const std::uint64_t h = horizon_;
   std::uint64_t frontier = lo;
   std::vector<std::uint64_t> opens;
   if (self != kNoOb) {
@@ -307,7 +321,7 @@ IncrementalEvaluator::Val IncrementalEvaluator::eventually_compute(const Formula
   // open while false (a witness may yet arrive), and rechecks only the
   // positions whose body verdict is still in flux.
   add_horizon_dep(attach);
-  const std::uint64_t h = trace_.last_index();
+  const std::uint64_t h = horizon_;
   std::uint64_t frontier = lo;
   std::vector<std::uint64_t> opens;
   if (self != kNoOb) {
@@ -434,7 +448,7 @@ IncrementalEvaluator::Found IncrementalEvaluator::find_event_fwd(const Term& t,
   // buys depends on the defining formula:
   add_horizon_dep(attach);
   const Formula& defining = *t.event();
-  const std::uint64_t h = trace_.last_index();
+  const std::uint64_t h = horizon_;
   const std::uint64_t first_k = lo + 1;
 
   if (defining.suffix_sensitive()) {
@@ -498,7 +512,7 @@ IncrementalEvaluator::Found IncrementalEvaluator::find_event_bwd(const Term& t,
   // search over an open context never settles.
   add_horizon_dep(attach);
   const Formula& defining = *t.event();
-  const std::uint64_t h = trace_.last_index();
+  const std::uint64_t h = horizon_;
   const std::uint64_t first_k = lo + 1;
 
   if (defining.suffix_sensitive()) {

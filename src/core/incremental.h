@@ -65,6 +65,19 @@ class IncrementalEvaluator {
   /// Trace::rewrites()).
   IncrementalEvaluator(const Trace& trace, ObligationGraph* graph, EvalCache* settled_cache);
 
+  /// Virtual-horizon variant for batched epochs (Monitor::append_block):
+  /// evaluates as if the trace ended at index `horizon` (inclusive), which
+  /// must be <= trace.last_index().  Open-world scans stop there and open
+  /// obligations record it, so a block of appends can run ONE
+  /// begin_epoch() and still read every intermediate verdict bit-identical
+  /// to per-state epochs: resume state (frontiers, open positions, rolling
+  /// probes) evolves through the same horizon sequence either way.  The
+  /// closed-world delegate needs no override — settled results are
+  /// horizon-invariant by construction (that is what lets the settled cache
+  /// live forever under appends).
+  IncrementalEvaluator(const Trace& trace, ObligationGraph* graph, EvalCache* settled_cache,
+                       std::uint64_t horizon);
+
   /// Whole-computation satisfaction (s<0,inf> |= formula) at the current
   /// trace length, re-settling only dirty obligations.
   bool sat_root(const Formula& formula, const Env& env);
@@ -117,7 +130,8 @@ class IncrementalEvaluator {
 
   const Trace& trace_;
   ObligationGraph* graph_;
-  Evaluator delegate_;  ///< closed-world path, over the settled cache
+  std::uint64_t horizon_;  ///< last visible index (== trace_.last_index() unless virtual)
+  Evaluator delegate_;     ///< closed-world path, over the settled cache
 };
 
 }  // namespace il

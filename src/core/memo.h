@@ -226,6 +226,13 @@ class ObligationGraph {
     bool settled = false;     ///< pinned: no future append can change result
     bool dirty = true;        ///< must re-settle before result is reusable
     std::uint64_t epoch = 0;  ///< epoch the result was (re)computed at
+    /// Trace horizon (last visible index) the result was computed at.  An
+    /// open result is only reusable at the *same* horizon: a batched epoch
+    /// (one begin_epoch() covering several appended states) evaluates the
+    /// block's intermediate verdicts at increasing virtual horizons, and
+    /// this field — not the dirty bit, which the single invalidation walk
+    /// cleared block-wide — is what forces re-settlement between them.
+    std::uint64_t horizon = 0;
 
     // Resume state for the delta pass (meaning depends on the node kind):
     std::uint64_t frontier = 0;     ///< next start position to scan ([], <>, fwd search)

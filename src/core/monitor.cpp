@@ -15,6 +15,24 @@ CheckResult Monitor::append(const State& s) {
   return current();
 }
 
+void Monitor::append_block(const State* const* states, std::size_t count, CheckResult* out) {
+  if (count == 0) return;
+  if (mode_ == Mode::Scratch) {
+    for (std::size_t i = 0; i < count; ++i) {
+      observe(*states[i]);
+      out[i] = current_scratch();
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) trace_.push(*states[i]);
+  // One epoch for the whole block (plus any states observe()d since the
+  // last verdict): the invalidation walk and the settled-cache reuse run
+  // once, and the per-prefix verdicts come from virtual horizons.
+  sync_incremental_epoch();
+  const std::size_t base = trace_.size() - count;
+  for (std::size_t i = 0; i < count; ++i) out[i] = verdict_at(base + i);
+}
+
 CheckResult Monitor::current() const {
   IL_REQUIRE(!trace_.empty(), "no states observed yet");
   return mode_ == Mode::Incremental ? current_incremental() : current_scratch();
@@ -35,11 +53,11 @@ CheckResult Monitor::current_scratch() const {
   return check_spec_cached(spec_, trace_, env_, &cache_);
 }
 
-CheckResult Monitor::current_incremental() const {
-  // The delta pass.  The trace is owned by this monitor and only ever
-  // grows through observe(); if some future caller nevertheless rewrites a
-  // state in place, the append-delta premise is gone — drop both stores and
-  // start over (correct, just no longer incremental for that step).
+void Monitor::sync_incremental_epoch() const {
+  // The trace is owned by this monitor and only ever grows through
+  // observe(); if some future caller nevertheless rewrites a state in
+  // place, the append-delta premise is gone — drop both stores and start
+  // over (correct, just no longer incremental for that step).
   if (trace_.rewrites() != seen_rewrites_) {
     graph_.reset();
     cache_.evict_entries();
@@ -52,7 +70,10 @@ CheckResult Monitor::current_incremental() const {
     graph_.begin_epoch();
     seen_appends_ = trace_.appends();
   }
-  IncrementalEvaluator ev(trace_, &graph_, &cache_);
+}
+
+CheckResult Monitor::verdict_at(std::size_t horizon) const {
+  IncrementalEvaluator ev(trace_, &graph_, &cache_, horizon);
   CheckResult result;
   for (const Axiom* axiom : spec_.all()) {
     if (!ev.sat_root(*axiom->formula, env_)) {
@@ -61,6 +82,11 @@ CheckResult Monitor::current_incremental() const {
     }
   }
   return result;
+}
+
+CheckResult Monitor::current_incremental() const {
+  sync_incremental_epoch();
+  return verdict_at(trace_.last_index());
 }
 
 }  // namespace il

@@ -69,6 +69,15 @@ class Monitor {
   /// append-delta pass (equivalent to observe() + current()).
   CheckResult append(const State& s);
 
+  /// Observes `count` states as one block and writes the verdict after each
+  /// into out[0..count): bit-identical to `count` append() calls, per state.
+  /// Incremental mode runs ONE obligation-graph epoch covering the whole
+  /// block — a single invalidation walk instead of one per state — and
+  /// evaluates the intermediate verdicts at increasing *virtual* horizons
+  /// (core/incremental.h), which is what makes batched service epochs pay.
+  /// Scratch mode degrades to the per-state loop.
+  void append_block(const State* const* states, std::size_t count, CheckResult* out);
+
   /// Verdicts for the trace so far (provisional; see header comment).
   CheckResult current() const;
 
@@ -91,6 +100,8 @@ class Monitor {
  private:
   CheckResult current_scratch() const;
   CheckResult current_incremental() const;
+  void sync_incremental_epoch() const;  ///< fold unseen appends into one epoch
+  CheckResult verdict_at(std::size_t horizon) const;  ///< epoch already synced
 
   Spec spec_;
   Env env_;

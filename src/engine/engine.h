@@ -81,6 +81,16 @@ struct Options {
 
   /// MonitorService only: number of monitor shards; 0 means one per worker.
   std::size_t num_shards = 0;
+
+  /// MonitorService only: how many queued Append commands the coordinator
+  /// may fold into one multi-state epoch (one pool wake and one
+  /// begin_epoch() invalidation walk per monitor for the whole block;
+  /// verdict rows are bit-identical to per-state epochs at any value).
+  /// Larger batches amortize per-state overhead — higher ingest throughput
+  /// — at the cost of verdict latency for the states early in a block; 1
+  /// restores strict per-state epochs.  Register/Retire commands always
+  /// act as batch barriers.  Must be >= 1.
+  std::size_t max_epoch_batch = 32;
 };
 
 // ---------------------------------------------------------------------------

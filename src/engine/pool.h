@@ -148,6 +148,14 @@ class ParkedPool {
   /// Rethrows the lowest-indexed captured exception, if any.
   void run(std::size_t count, const std::function<void(std::size_t)>& body) {
     if (count == 0) return;
+    if (count == 1) {
+      // Single work item: publishing a context just wakes workers to lose
+      // the claim race.  Run inline — same order, same error contract — so
+      // e.g. a service epoch touching one dirty shard costs no wake at all.
+      epochs_.fetch_add(1, std::memory_order_relaxed);
+      body(0);
+      return;
+    }
     std::lock_guard<std::mutex> serialize(run_mu_);
     epochs_.fetch_add(1, std::memory_order_relaxed);
     run_context(count, body);

@@ -14,13 +14,16 @@ namespace engine {
 /// One command on the ingest queue.  Register/Retire ride the same queue as
 /// Append, which is what makes lifecycle interleavings deterministic: a
 /// monitor observes exactly the states enqueued after its registration and
-/// before its retirement.
+/// before its retirement.  They are also the *batch barriers*: the
+/// coordinator folds consecutive Appends into one epoch, so membership is
+/// fixed within a block.
 struct MonitorService::Command {
   enum class Kind : std::uint8_t { Append, Register, Retire };
 
   Kind kind = Kind::Append;
   State state;            ///< Append
-  std::uint64_t seq = 0;  ///< Append: state sequence number
+  StreamId stream = kDefaultStream;  ///< Append / Register
+  std::uint64_t seq = 0;  ///< Append: per-stream sequence number
   MonitorId id = 0;       ///< Register / Retire
   Spec spec;              ///< Register (owned copy)
   Env env;                ///< Register
@@ -28,11 +31,26 @@ struct MonitorService::Command {
 };
 
 /// Monitors live in the shard owning their id (id % shards).  The shard
-/// mutex covers the monitor map, the counters, and the decision cache, so a
+/// mutex covers the slot vector, the counters, and the decision cache, so a
 /// dump_shard() between epochs reads one consistent snapshot.
+///
+/// Slots are id-ascending by construction: ids are minted monotonically and
+/// Register commands apply in queue (= mint) order.  retire() tombstones
+/// the slot in place (binary search by id) instead of erasing, so the
+/// vector never shifts under an id lookup; once tombstones exceed 1/4 of
+/// the slots the vector is compacted in one sweep (retired_compactions).
 struct MonitorService::Shard {
+  struct Slot {
+    MonitorId id = 0;
+    StreamId stream = kDefaultStream;
+    std::unique_ptr<Monitor> monitor;  ///< null = tombstone (retired)
+  };
+
   mutable std::mutex mu;
-  std::map<MonitorId, Monitor> monitors;  ///< id order = deterministic row order
+  std::vector<Slot> monitors;  ///< id order = deterministic row order
+  std::size_t live = 0;        ///< slots with a resident monitor
+  std::size_t tombstones = 0;
+  std::size_t retired_compactions = 0;  ///< tombstone sweeps, lifetime
 
   // Stream counters (lifetime; survive retirement).
   std::size_t states = 0;
@@ -56,6 +74,8 @@ struct MonitorService::Shard {
 
 MonitorService::MonitorService(Options options) : options_(options) {
   IL_REQUIRE(options_.queue_capacity >= 1, "MonitorService needs a queue capacity of at least 1");
+  IL_REQUIRE(options_.max_epoch_batch >= 1, "MonitorService needs max_epoch_batch >= 1");
+  max_batch_ = options_.max_epoch_batch;
   std::size_t threads = options_.num_threads;
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
@@ -69,6 +89,7 @@ MonitorService::MonitorService(Options options) : options_(options) {
     sh->decisions.set_capacity(options_.decision_cache_capacity);
     sh->intra.threads = intra;
   }
+  streams_.push_back(StreamInfo{"default", 0});
   // Sharding follows num_threads; the pool additionally covers the
   // intra-decision width so nested decision frontiers have workers to fan
   // across even in a single-shard deployment.
@@ -95,6 +116,13 @@ std::size_t MonitorService::resident() const {
   return resident_;
 }
 
+StreamId MonitorService::open_stream(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const StreamId id = static_cast<StreamId>(streams_.size());
+  streams_.push_back(StreamInfo{std::move(name), 0});
+  return id;
+}
+
 // ---------------------------------------------------------------------------
 // Ingest side: every public mutation is an enqueue under backpressure.
 // ---------------------------------------------------------------------------
@@ -106,28 +134,39 @@ void MonitorService::enqueue(Command cmd) {
   });
   if (error_) std::rethrow_exception(error_);
   IL_REQUIRE(!stopping_, "MonitorService is shutting down");
-  if (cmd.kind == Command::Kind::Append) cmd.seq = next_seq_++;
+  if (cmd.kind == Command::Kind::Append) {
+    IL_REQUIRE(cmd.stream < streams_.size(), "append to an unopened stream");
+    cmd.seq = streams_[cmd.stream].next_seq++;
+  }
   queue_.push_back(std::move(cmd));
+  if (queue_.size() > queue_peak_) queue_peak_ = queue_.size();
   ++submitted_;
   queue_ready_.notify_one();
 }
 
-MonitorId MonitorService::register_spec(const Spec& spec, Env env, Monitor::Mode mode) {
+MonitorId MonitorService::register_spec(StreamId stream, const Spec& spec, Env env,
+                                        Monitor::Mode mode) {
   MonitorId id;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    IL_REQUIRE(stream < streams_.size(), "register on an unopened stream");
     id = next_id_++;
     ++registered_;
     ++resident_;
   }
   Command cmd;
   cmd.kind = Command::Kind::Register;
+  cmd.stream = stream;
   cmd.id = id;
   cmd.spec = spec;
   cmd.env = std::move(env);
   cmd.mode = mode;
   enqueue(std::move(cmd));
   return id;
+}
+
+MonitorId MonitorService::register_spec(const Spec& spec, Env env, Monitor::Mode mode) {
+  return register_spec(kDefaultStream, spec, std::move(env), mode);
 }
 
 void MonitorService::retire(MonitorId id) {
@@ -137,28 +176,38 @@ void MonitorService::retire(MonitorId id) {
   enqueue(std::move(cmd));
 }
 
-void MonitorService::append(const State& s) {
+void MonitorService::append(StreamId stream, const State& s) {
   Command cmd;
   cmd.kind = Command::Kind::Append;
+  cmd.stream = stream;
   cmd.state = s;
   enqueue(std::move(cmd));
 }
 
-AppendStatus MonitorService::try_append(const State& s) {
+void MonitorService::append(const State& s) { append(kDefaultStream, s); }
+
+AppendStatus MonitorService::try_append(StreamId stream, const State& s) {
   Command cmd;
   cmd.kind = Command::Kind::Append;
+  cmd.stream = stream;
   cmd.state = s;
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (error_) std::rethrow_exception(error_);
     IL_REQUIRE(!stopping_, "MonitorService is shutting down");
+    IL_REQUIRE(stream < streams_.size(), "append to an unopened stream");
     if (queue_.size() >= options_.queue_capacity) return AppendStatus::QueueFull;
-    cmd.seq = next_seq_++;
+    cmd.seq = streams_[stream].next_seq++;
     queue_.push_back(std::move(cmd));
+    if (queue_.size() > queue_peak_) queue_peak_ = queue_.size();
     ++submitted_;
   }
   queue_ready_.notify_one();
   return AppendStatus::Ok;
+}
+
+AppendStatus MonitorService::try_append(const State& s) {
+  return try_append(kDefaultStream, s);
 }
 
 void MonitorService::flush() {
@@ -194,8 +243,9 @@ std::vector<VerdictRow> MonitorService::drain() {
 // ---------------------------------------------------------------------------
 
 void MonitorService::coordinator_loop() {
+  std::vector<Command> block;
   for (;;) {
-    Command cmd;
+    block.clear();
     {
       std::unique_lock<std::mutex> lock(mu_);
       queue_ready_.wait(lock,
@@ -206,16 +256,42 @@ void MonitorService::coordinator_loop() {
       }
       // Shutdown drains the queue (stopping_ overrides paused_), so a
       // destructor never abandons accepted commands.
-      cmd = std::move(queue_.front());
-      queue_.pop_front();
+      //
+      // Batch assembly: greedily fold consecutive Appends — whatever
+      // streams they belong to — into one block, up to max_epoch_batch.
+      // A Register/Retire at the queue head is a barrier and goes alone.
+      if (queue_.front().kind == Command::Kind::Append) {
+        while (!queue_.empty() && queue_.front().kind == Command::Kind::Append &&
+               block.size() < max_batch_) {
+          block.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+      } else {
+        block.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
       in_flight_ = true;
-      queue_space_.notify_one();
+      queue_space_.notify_all();
     }
-    apply(cmd);
+    if (block.front().kind != Command::Kind::Append) {
+      apply_barrier(block.front());
+    } else {
+      try {
+        run_epoch_batch(block);
+        std::lock_guard<std::mutex> lock(mu_);
+        states_applied_ += block.size();
+        ++epoch_batches_;
+        if (block.size() > states_per_batch_max_) states_per_batch_max_ = block.size();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        poisoned_ = true;
+        error_ = std::current_exception();
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       in_flight_ = false;
-      ++applied_count_;
+      applied_count_ += block.size();
       if (poisoned_) {
         // Wake everyone so blocked producers observe the stored exception.
         applied_.notify_all();
@@ -227,84 +303,167 @@ void MonitorService::coordinator_loop() {
   }
 }
 
-void MonitorService::apply(Command& cmd) {
-  switch (cmd.kind) {
-    case Command::Kind::Register: {
-      Shard& sh = *shards_[cmd.id % shards_.size()];
-      std::lock_guard<std::mutex> lock(sh.mu);
-      sh.monitors.emplace(
-          std::piecewise_construct, std::forward_as_tuple(cmd.id),
-          std::forward_as_tuple(std::move(cmd.spec), std::move(cmd.env), cmd.mode));
-      return;
-    }
-    case Command::Kind::Retire: {
-      Shard& sh = *shards_[cmd.id % shards_.size()];
-      bool found = false;
-      {
-        std::lock_guard<std::mutex> lock(sh.mu);
-        auto it = sh.monitors.find(cmd.id);
-        if (it != sh.monitors.end()) {
-          found = true;
-          // Keep the lifetime counters monotone; the resident entries (the
-          // gauges) fall with the destruction, which is the point: retiring
-          // frees the monitor's obligations and settled-cache entries.
-          const EvalCache& c = it->second.cache();
-          sh.retired_memo_hits += c.hits();
-          sh.retired_memo_misses += c.misses();
-          sh.retired_memo_inserts += c.inserts();
-          const ObligationGraph& g = it->second.obligations();
-          sh.retired_obligation_dirtied += g.total_dirtied();
-          sh.retired_obligation_recomputed += g.recomputes();
-          sh.monitors.erase(it);
-        }
+void MonitorService::apply_barrier(Command& cmd) {
+  if (cmd.kind == Command::Kind::Register) {
+    Shard& sh = *shards_[cmd.id % shards_.size()];
+    auto monitor =
+        std::make_unique<Monitor>(std::move(cmd.spec), std::move(cmd.env), cmd.mode);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    // Ids are minted monotonically and applied in mint order: push_back
+    // keeps the vector id-ascending.
+    sh.monitors.push_back(Shard::Slot{cmd.id, cmd.stream, std::move(monitor)});
+    ++sh.live;
+    return;
+  }
+  IL_CHECK(cmd.kind == Command::Kind::Retire);
+  Shard& sh = *shards_[cmd.id % shards_.size()];
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto it = std::lower_bound(
+        sh.monitors.begin(), sh.monitors.end(), cmd.id,
+        [](const Shard::Slot& slot, MonitorId id) { return slot.id < id; });
+    if (it != sh.monitors.end() && it->id == cmd.id && it->monitor != nullptr) {
+      found = true;
+      // Keep the lifetime counters monotone; the resident entries (the
+      // gauges) fall with the destruction, which is the point: retiring
+      // frees the monitor's obligations and settled-cache entries.
+      const EvalCache& c = it->monitor->cache();
+      sh.retired_memo_hits += c.hits();
+      sh.retired_memo_misses += c.misses();
+      sh.retired_memo_inserts += c.inserts();
+      const ObligationGraph& g = it->monitor->obligations();
+      sh.retired_obligation_dirtied += g.total_dirtied();
+      sh.retired_obligation_recomputed += g.recomputes();
+      it->monitor.reset();  // tombstone: ranks/lookups stay stable
+      --sh.live;
+      ++sh.tombstones;
+      if (sh.tombstones * 4 > sh.monitors.size()) {
+        // Retired fraction exceeds 1/4: sweep the tombstones so a
+        // retire-heavy fleet does not hold dead slots forever.
+        sh.monitors.erase(
+            std::remove_if(sh.monitors.begin(), sh.monitors.end(),
+                           [](const Shard::Slot& slot) { return slot.monitor == nullptr; }),
+            sh.monitors.end());
+        sh.tombstones = 0;
+        ++sh.retired_compactions;
       }
-      std::lock_guard<std::mutex> lock(mu_);
-      if (found) {
-        ++retired_;
-        --resident_;
-      } else {
-        ++retire_misses_;
-      }
-      return;
     }
-    case Command::Kind::Append: {
-      try {
-        run_epoch(cmd.state, cmd.seq);
-        std::lock_guard<std::mutex> lock(mu_);
-        ++states_applied_;
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mu_);
-        poisoned_ = true;
-        error_ = std::current_exception();
-      }
-      return;
-    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (found) {
+    ++retired_;
+    --resident_;
+  } else {
+    ++retire_misses_;
   }
 }
 
-void MonitorService::run_epoch(const State& s, std::uint64_t seq) {
-  // One work item per *dirty* shard: a shard with no resident monitors is
-  // never locked, never woken for, never touched.
+void MonitorService::run_epoch_batch(std::vector<Command>& block) {
+  const std::size_t nstates = block.size();
+
+  // Group the block's states by stream, preserving block (= ingest) order.
+  // A batch touches few distinct streams, so a linear scan beats a map.
+  std::vector<StreamId> batch_streams;
+  std::vector<std::vector<std::size_t>> positions;  ///< block indices per stream
+  std::vector<std::size_t> stream_of(nstates);      ///< block index -> batch stream index
+  for (std::size_t j = 0; j < nstates; ++j) {
+    std::size_t si = 0;
+    for (; si < batch_streams.size(); ++si) {
+      if (batch_streams[si] == block[j].stream) break;
+    }
+    if (si == batch_streams.size()) {
+      batch_streams.push_back(block[j].stream);
+      positions.emplace_back();
+    }
+    positions[si].push_back(j);
+    stream_of[j] = si;
+  }
+  std::vector<std::vector<const State*>> sub_block(batch_streams.size());
+  for (std::size_t si = 0; si < batch_streams.size(); ++si) {
+    sub_block[si].reserve(positions[si].size());
+    for (const std::size_t j : positions[si]) sub_block[si].push_back(&block[j].state);
+  }
+
+  // Membership snapshot and row-slot ranks.  Only the coordinator mutates
+  // shard membership (Register/Retire are barriers applied on this thread),
+  // so the slot vectors can be read without the shard locks here; the
+  // ranks fix each monitor's verdict slot in every row of its stream, so
+  // the shard tasks below write disjoint slots concurrently and no
+  // post-epoch sort is needed.
+  struct WorkItem {
+    std::size_t slot = 0;  ///< index into the shard's monitor vector
+    std::size_t si = 0;    ///< batch stream index
+    std::size_t rank = 0;  ///< id-ascending rank within the stream
+  };
+  struct Candidate {
+    MonitorId id;
+    std::size_t shard;
+    std::size_t slot;
+    std::size_t si;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& sh = *shards_[i];
+    for (std::size_t k = 0; k < sh.monitors.size(); ++k) {
+      const Shard::Slot& slot = sh.monitors[k];
+      if (slot.monitor == nullptr) continue;
+      for (std::size_t si = 0; si < batch_streams.size(); ++si) {
+        if (batch_streams[si] == slot.stream) {
+          candidates.push_back(Candidate{slot.id, i, k, si});
+          break;
+        }
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.id < b.id; });
+  std::vector<std::size_t> stream_live(batch_streams.size(), 0);
+  std::vector<std::vector<WorkItem>> plan(shards_.size());
+  for (const Candidate& c : candidates) {
+    plan[c.shard].push_back(WorkItem{c.slot, c.si, stream_live[c.si]++});
+  }
+
+  std::vector<VerdictRow> rows(nstates);
+  for (std::size_t j = 0; j < nstates; ++j) {
+    rows[j].stream = block[j].stream;
+    rows[j].seq = block[j].seq;
+    rows[j].verdicts.resize(stream_live[stream_of[j]]);
+  }
+
+  // One work item per *dirty* shard: a shard with no monitor on any of the
+  // block's streams is never locked, never woken for, never touched.
   std::vector<std::size_t> dirty;
   dirty.reserve(shards_.size());
   for (std::size_t i = 0; i < shards_.size(); ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i]->mu);
-    if (!shards_[i]->monitors.empty()) dirty.push_back(i);
+    if (!plan[i].empty()) dirty.push_back(i);
   }
 
-  std::vector<std::vector<ServiceVerdict>> per_shard(dirty.size());
   const auto body = [&](std::size_t k) {
     Shard& sh = *shards_[dirty[k]];
     std::lock_guard<std::mutex> lock(sh.mu);
-    std::vector<ServiceVerdict>& out = per_shard[k];
-    out.reserve(sh.monitors.size());
-    for (auto& [id, monitor] : sh.monitors) {
-      out.push_back(ServiceVerdict{id, monitor.append(s)});
-      sh.axioms_checked += monitor.spec().all().size();
-      sh.axioms_failed += out.back().result.failed.size();
+    std::vector<CheckResult> column;
+    std::vector<char> touched(batch_streams.size(), 0);
+    for (const WorkItem& w : plan[dirty[k]]) {
+      Shard::Slot& slot = sh.monitors[w.slot];
+      const std::vector<const State*>& states = sub_block[w.si];
+      column.clear();
+      column.resize(states.size());
+      // The whole sub-block in one call: one begin_epoch() walk, one
+      // settled-cache pass, per-state verdicts at virtual horizons.
+      slot.monitor->append_block(states.data(), states.size(), column.data());
+      for (std::size_t t = 0; t < states.size(); ++t) {
+        sh.axioms_failed += column[t].failed.size();
+        rows[positions[w.si][t]].verdicts[w.rank] =
+            ServiceVerdict{slot.id, std::move(column[t])};
+      }
+      sh.axioms_checked += slot.monitor->spec().all().size() * states.size();
+      sh.verdicts += states.size();
+      touched[w.si] = 1;
     }
-    ++sh.states;
-    sh.verdicts += out.size();
+    for (std::size_t si = 0; si < batch_streams.size(); ++si) {
+      if (touched[si]) sh.states += sub_block[si].size();
+    }
   };
   if (pool_ != nullptr && dirty.size() > 1) {
     pool_->run(dirty.size(), body);
@@ -314,18 +473,9 @@ void MonitorService::run_epoch(const State& s, std::uint64_t seq) {
     for (std::size_t k = 0; k < dirty.size(); ++k) body(k);
   }
 
-  VerdictRow row;
-  row.seq = seq;
-  std::size_t total = 0;
-  for (const auto& part : per_shard) total += part.size();
-  row.verdicts.reserve(total);
-  for (auto& part : per_shard) {
-    for (ServiceVerdict& v : part) row.verdicts.push_back(std::move(v));
-  }
-  std::sort(row.verdicts.begin(), row.verdicts.end(),
-            [](const ServiceVerdict& a, const ServiceVerdict& b) { return a.id < b.id; });
   std::lock_guard<std::mutex> lock(out_mu_);
-  rows_.push_back(std::move(row));
+  rows_.reserve(rows_.size() + rows.size());
+  for (VerdictRow& row : rows) rows_.push_back(std::move(row));
 }
 
 // ---------------------------------------------------------------------------
@@ -433,7 +583,7 @@ std::vector<DecisionResult> MonitorService::decide(const std::vector<DecisionJob
 
 StreamStats MonitorService::shard_stats_locked(const Shard& sh) const {
   StreamStats out;
-  out.monitors = sh.monitors.size();
+  out.monitors = sh.live;
   out.threads = threads();
   out.states = sh.states;
   out.verdicts = sh.verdicts;
@@ -444,14 +594,14 @@ StreamStats MonitorService::shard_stats_locked(const Shard& sh) const {
   out.memo_inserts = sh.retired_memo_inserts;
   out.obligation_dirtied = sh.retired_obligation_dirtied;
   out.obligation_recomputed = sh.retired_obligation_recomputed;
-  for (const auto& [id, monitor] : sh.monitors) {
-    (void)id;
-    const EvalCache& c = monitor.cache();
+  for (const Shard::Slot& slot : sh.monitors) {
+    if (slot.monitor == nullptr) continue;
+    const EvalCache& c = slot.monitor->cache();
     out.memo_hits += c.hits();
     out.memo_misses += c.misses();
     out.memo_inserts += c.inserts();
     out.memo_entries += c.size();
-    const ObligationGraph& g = monitor.obligations();
+    const ObligationGraph& g = slot.monitor->obligations();
     out.obligation_entries += g.size();
     out.obligation_settled += g.settled_count();
     out.obligation_open += g.open_count();
@@ -475,10 +625,16 @@ ServiceStats MonitorService::stats() const {
   out.threads = threads();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    out.streams = streams_.size();
     out.queue_capacity = options_.queue_capacity;
     out.queue_depth = queue_.size();
-    out.states_ingested = next_seq_;
+    out.queue_peak = queue_peak_;
+    for (const StreamInfo& stream : streams_) {
+      out.states_ingested += static_cast<std::size_t>(stream.next_seq);
+    }
     out.states_applied = static_cast<std::size_t>(states_applied_);
+    out.epoch_batches = epoch_batches_;
+    out.states_per_batch_max = states_per_batch_max_;
     out.monitors_registered = registered_;
     out.monitors_resident = resident_;
     out.monitors_retired = retired_;
@@ -490,7 +646,10 @@ ServiceStats MonitorService::stats() const {
     out.rows_pending = rows_.size();
   }
   for (std::size_t i = 0; i < shards_.size(); ++i) {
-    const StreamStats ss = shard_stats(i);
+    const Shard& sh = *shards_[i];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const StreamStats ss = shard_stats_locked(sh);
+    out.retired_compactions += sh.retired_compactions;
     out.totals.monitors += ss.monitors;
     out.totals.verdicts += ss.verdicts;
     out.totals.axioms_checked += ss.axioms_checked;
@@ -506,7 +665,7 @@ ServiceStats MonitorService::stats() const {
     out.totals.obligation_dirtied += ss.obligation_dirtied;
     out.totals.obligation_recomputed += ss.obligation_recomputed;
   }
-  // A shard's `states` gauge counts the epochs that actually touched it, so
+  // A shard's `states` gauge counts the states that actually touched it, so
   // the fleet-level figure is the service's own applied count.
   out.totals.threads = out.threads;
   out.totals.states = out.states_applied;
@@ -519,15 +678,20 @@ void MonitorService::dump(std::ostream& os) const {
   KvWriter service = kv.scoped("service");
   service.emit("shards", s.shards);
   service.emit("threads", s.threads);
+  service.emit("streams", s.streams);
   service.emit("queue_capacity", s.queue_capacity);
   service.emit("queue_depth", s.queue_depth);
+  service.emit("queue_peak", s.queue_peak);
   service.emit("states_ingested", s.states_ingested);
   service.emit("states_applied", s.states_applied);
+  service.emit("epoch_batches", s.epoch_batches);
+  service.emit("states_per_batch_max", s.states_per_batch_max);
   service.emit("rows_pending", s.rows_pending);
   service.emit("monitors_registered", s.monitors_registered);
   service.emit("monitors_resident", s.monitors_resident);
   service.emit("monitors_retired", s.monitors_retired);
   service.emit("retire_misses", s.retire_misses);
+  service.emit("retired_compactions", s.retired_compactions);
   service.emit("decision_jobs", s.decision_jobs);
   for (std::size_t i = 0; i < shards_.size(); ++i) dump_shard(i, os);
 }
@@ -541,6 +705,7 @@ void MonitorService::dump_shard(std::size_t shard, std::ostream& os) const {
   const StreamStats ss = shard_stats_locked(sh);
   KvWriter kv(os, "shard" + std::to_string(shard) + ".");
   dump_counters(kv, ss);
+  kv.emit("retired_compactions", sh.retired_compactions);
   KvWriter dec = kv.scoped("decision");
   dump_counters(dec, sh.decisions);
   dec.emit("jobs", sh.decision_jobs);

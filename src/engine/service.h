@@ -2,7 +2,7 @@
 //
 // BatchMonitor (stream.h) is a fleet with a fixed membership driven from the
 // caller's thread.  A production deployment needs the transpose of control:
-// monitors come and go at runtime while one ingest stream flows, the caller
+// monitors come and go at runtime while ingest streams flow, the caller
 // must never be blocked by evaluation (only by explicit backpressure), and
 // an operator must be able to watch the engine's internals live.  The
 // MonitorService is that resident process component:
@@ -10,30 +10,45 @@
 //   Ingest — append()/try_append() enqueue states onto a *bounded* command
 //   queue (Options::queue_capacity).  append() blocks while the queue is
 //   full; try_append() returns AppendStatus::QueueFull instead.  There is no
-//   unbounded buffering anywhere on the ingest path.
+//   unbounded buffering anywhere on the ingest path.  Ingestion is
+//   *multi-stream*: open_stream() mints a named StreamId (stream 0 always
+//   exists), every append carries (stream, seq) with per-stream FIFO
+//   sequencing, and a monitor subscribes to exactly one stream at
+//   registration.  Distinct streams share the queue and coalesce into the
+//   same batched epochs; within a stream, order is the caller's call order.
 //
 //   Registry — register_spec() may be called at any time and returns a
 //   stable MonitorId; retire() frees the monitor's obligation graph and
 //   settled-cache entries.  Both are sequenced through the same command
 //   queue as appends, so a monitor observes exactly the states appended
 //   after its registration and before its retirement — the interleaving is
-//   the caller's call order, deterministically.
+//   the caller's call order, deterministically.  Retirement tombstones the
+//   monitor's shard slot; a shard whose tombstones exceed 1/4 of its slots
+//   is compacted (shardN.retired_compactions counts the sweeps), so a
+//   retire-heavy fleet does not leak slots.
 //
-//   Evaluation — a coordinator thread drains the queue one command at a
-//   time.  Each appended state becomes one epoch over a persistent *parked*
-//   worker pool (detail::ParkedPool, engine/pool.h): workers sleep on a
-//   condition variable between epochs, so the per-state cost is a wake +
-//   drain, not a thread spawn.  Monitors are sharded by stable id
-//   (id % num_shards); an epoch fans out one work item per *dirty* shard
-//   (a shard with no resident monitors is never touched), and each shard's
-//   monitors are appended in id order under the shard's mutex.
+//   Evaluation — a coordinator thread drains the queue in *batched epochs*:
+//   it greedily folds consecutive queued Appends — any mix of streams, up
+//   to Options::max_epoch_batch — into one multi-state epoch; Register and
+//   Retire act as batch barriers (applied singly, so membership is fixed
+//   within a block).  The epoch fans one work item per *dirty* shard (a
+//   shard with no monitor on any of the block's streams is never touched)
+//   across a persistent *parked* worker pool (detail::ParkedPool,
+//   engine/pool.h), and each shard advances every subscribed monitor
+//   through its stream's whole sub-block in one Monitor::append_block call
+//   — one begin_epoch() invalidation walk and one settled-cache pass cover
+//   the block, which is what converts per-state coordinator overhead
+//   (wake + walk + drain x N) into per-batch overhead.
 //
-//   Verdicts — every appended state produces one VerdictRow (the per-monitor
-//   verdicts, ordered by MonitorId) into an output buffer the caller
-//   drains.  Rows are input-ordered by construction (the coordinator is the
-//   only appender) and bit-identical for any thread/shard count (monitors
-//   are share-nothing; tests pin them to BatchMonitor and to the scratch
-//   evaluator on the PR 5 differential corpus).
+//   Verdicts — every appended state produces one VerdictRow (stream, seq,
+//   and the per-monitor verdicts of that stream, ordered by MonitorId) into
+//   an output buffer the caller drains.  Rows are ingest-ordered by
+//   construction and bit-identical for any thread/shard count AND any
+//   max_epoch_batch (monitors are share-nothing; blocked evaluation uses
+//   virtual horizons, pinned against per-state epochs by the differential
+//   suite in tests/test_service_batch.cpp).  Row slots are pre-assigned by
+//   rank before the fan-out, so shard tasks write disjoint slots and no
+//   post-epoch sort is needed.
 //
 //   Decisions — decide() serves decision batches through the same resident
 //   pool with per-shard cross-batch DecisionCaches (jobs shard by content
@@ -41,16 +56,18 @@
 //   workload classes.
 //
 //   Introspection — dump() / dump_shard() render every counter family as
-//   stable `key value` text (engine/introspect.h): service-level gauges,
-//   then per shard the engine, eval-cache (memo.*), decision-cache
-//   (decision.*), and obligation-graph counters.  A shard dump is snapshot-
+//   stable `key value` text (engine/introspect.h): service-level gauges
+//   (including queue_peak, epoch_batches, states_per_batch_max), then per
+//   shard the engine, eval-cache (memo.*), obligation-graph, compaction,
+//   and decision-cache (decision.*) counters.  A shard dump is snapshot-
 //   consistent: all of its lines are read under the shard's mutex, between
 //   epochs touching that shard.
 //
 // Error contract: if a monitor's append throws during an epoch, the service
-// is poisoned — the row is not emitted, the coordinator stops, and the
-// lowest-indexed captured exception is rethrown from flush() (and from any
-// later append()/try_append()).  Mirrors BatchMonitor's torn-fleet rule.
+// is poisoned — no row of the failing block is emitted, the coordinator
+// stops, and the lowest-indexed captured exception is rethrown from flush()
+// (and from any later append()/try_append()).  Mirrors BatchMonitor's
+// torn-fleet rule.
 #pragma once
 
 #include <condition_variable>
@@ -58,10 +75,10 @@
 #include <cstdint>
 #include <deque>
 #include <exception>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -82,6 +99,11 @@ class ParkedPool;
 /// retirement.
 using MonitorId = std::uint64_t;
 
+/// Handle for an ingest stream (open_stream()).  Stream 0 — kDefaultStream
+/// — always exists, so single-stream callers never open anything.
+using StreamId = std::uint32_t;
+constexpr StreamId kDefaultStream = 0;
+
 enum class AppendStatus : std::uint8_t {
   Ok,
   QueueFull,  ///< bounded ingest queue is full; state was NOT enqueued
@@ -94,8 +116,11 @@ struct ServiceVerdict {
 };
 
 /// All verdicts for one appended state, ordered by MonitorId.  seq is the
-/// 0-based index of the state in the ingest order.
+/// 0-based index of the state in its *stream's* ingest order (streams
+/// sequence independently; rows from distinct streams interleave in the
+/// service-wide ingest order).
 struct VerdictRow {
+  StreamId stream = kDefaultStream;
   std::uint64_t seq = 0;
   std::vector<ServiceVerdict> verdicts;
 };
@@ -104,15 +129,20 @@ struct VerdictRow {
 struct ServiceStats {
   std::size_t shards = 0;
   std::size_t threads = 0;
+  std::size_t streams = 0;  ///< open ingest streams (incl. the default)
   std::size_t queue_capacity = 0;
   std::size_t queue_depth = 0;  ///< commands pending right now
-  std::size_t states_ingested = 0;
+  std::size_t queue_peak = 0;   ///< high-water mark of queue_depth, lifetime
+  std::size_t states_ingested = 0;  ///< summed over streams
   std::size_t states_applied = 0;
+  std::size_t epoch_batches = 0;  ///< batched append epochs run
+  std::size_t states_per_batch_max = 0;  ///< largest block folded so far
   std::size_t rows_pending = 0;  ///< rows awaiting drain()
   std::size_t monitors_registered = 0;  ///< lifetime
   std::size_t monitors_resident = 0;
   std::size_t monitors_retired = 0;
   std::size_t retire_misses = 0;  ///< retire() of an unknown/already-retired id
+  std::size_t retired_compactions = 0;  ///< tombstone sweeps, summed over shards
   std::size_t decision_jobs = 0;  ///< lifetime, via decide()
   StreamStats totals;  ///< summed over shards
 };
@@ -125,12 +155,23 @@ class MonitorService {
   MonitorService(const MonitorService&) = delete;
   MonitorService& operator=(const MonitorService&) = delete;
 
+  // -- streams ------------------------------------------------------------
+
+  /// Opens a new ingest stream and returns its id.  `name` is a label for
+  /// operators (dump()); it need not be unique.  Streams are never closed:
+  /// a stream nobody appends to costs one sequence counter.
+  StreamId open_stream(std::string name = {});
+
   // -- registry -----------------------------------------------------------
 
   /// Registers a monitor for `spec` (copied; the caller need not keep it
-  /// alive) and returns its stable id.  Sequenced on the command queue: the
-  /// monitor sees exactly the states appended after this call.  Blocks
-  /// while the queue is full.
+  /// alive) subscribed to `stream`, and returns its stable id.  Sequenced
+  /// on the command queue: the monitor sees exactly the states appended to
+  /// its stream after this call.  Blocks while the queue is full.
+  MonitorId register_spec(StreamId stream, const Spec& spec, Env env = {},
+                          Monitor::Mode mode = Monitor::Mode::Incremental);
+
+  /// Single-stream convenience: register on kDefaultStream.
   MonitorId register_spec(const Spec& spec, Env env = {},
                           Monitor::Mode mode = Monitor::Mode::Incremental);
 
@@ -141,18 +182,22 @@ class MonitorService {
 
   // -- ingest -------------------------------------------------------------
 
-  /// Enqueues one state for every resident monitor; blocks while the
-  /// bounded queue is full (backpressure).
+  /// Enqueues one state for every monitor subscribed to `stream`; blocks
+  /// while the bounded queue is full (backpressure).
+  void append(StreamId stream, const State& s);
+
+  /// Single-stream convenience: append to kDefaultStream.
   void append(const State& s);
 
   /// Non-blocking append: QueueFull if the bounded queue is full.
+  AppendStatus try_append(StreamId stream, const State& s);
   AppendStatus try_append(const State& s);
 
   /// Blocks until every command enqueued before this call has been applied;
   /// rethrows the poisoning exception if an epoch failed.
   void flush();
 
-  /// Pauses the coordinator between commands (ingestion keeps queueing up
+  /// Pauses the coordinator between blocks (ingestion keeps queueing up
   /// to the backpressure bound); returns once no command is mid-flight.
   /// For maintenance windows and deterministic backpressure tests.
   void pause();
@@ -193,14 +238,19 @@ class MonitorService {
  private:
   struct Command;
   struct Shard;
+  struct StreamInfo {
+    std::string name;
+    std::uint64_t next_seq = 0;  ///< per-stream FIFO sequence
+  };
 
   void coordinator_loop();
-  void apply(Command& cmd);
-  void run_epoch(const State& s, std::uint64_t seq);
+  void apply_barrier(Command& cmd);  ///< Register / Retire
+  void run_epoch_batch(std::vector<Command>& block);  ///< Appends only
   void enqueue(Command cmd);  ///< blocks on backpressure; throws if poisoned
   StreamStats shard_stats_locked(const Shard& sh) const;  ///< caller holds sh.mu
 
   Options options_;
+  std::size_t max_batch_ = 1;  ///< resolved Options::max_epoch_batch
   std::unique_ptr<detail::ParkedPool> pool_;  ///< null = single worker, inline epochs
   std::vector<std::unique_ptr<Shard>> shards_;
 
@@ -209,10 +259,13 @@ class MonitorService {
   std::condition_variable queue_ready_;  ///< waiter: coordinator
   std::condition_variable applied_;      ///< waiters: flush/pause
   std::deque<Command> queue_;
+  std::vector<StreamInfo> streams_;  ///< [0] is the default stream
   std::uint64_t submitted_ = 0;  ///< commands enqueued, lifetime
   std::uint64_t applied_count_ = 0;  ///< commands fully applied, lifetime
-  std::uint64_t next_seq_ = 0;       ///< next state sequence number
-  std::uint64_t states_applied_ = 0;  ///< epochs completed without poisoning
+  std::uint64_t states_applied_ = 0;  ///< states epoch'd without poisoning
+  std::size_t queue_peak_ = 0;
+  std::size_t epoch_batches_ = 0;
+  std::size_t states_per_batch_max_ = 0;
   MonitorId next_id_ = 1;
   std::size_t resident_ = 0;  ///< registered minus retired (incl. queued)
   std::size_t registered_ = 0;
@@ -221,7 +274,7 @@ class MonitorService {
   std::size_t decision_jobs_ = 0;
   bool stopping_ = false;
   bool paused_ = false;
-  bool in_flight_ = false;  ///< coordinator is mid-command
+  bool in_flight_ = false;  ///< coordinator is mid-block
   bool poisoned_ = false;
   std::exception_ptr error_;
 

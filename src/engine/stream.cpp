@@ -58,6 +58,42 @@ const std::vector<CheckResult>& BatchMonitor::feed_all(const Trace& t) {
   return verdicts_;
 }
 
+const std::vector<std::vector<CheckResult>>& BatchMonitor::feed_block(const State* states,
+                                                                      std::size_t count) {
+  IL_REQUIRE(!poisoned_, "a previous feed() threw mid-state; the fleet is torn");
+  const std::size_t monitors = monitors_.size();
+  block_.assign(count, std::vector<CheckResult>(monitors));
+  if (count == 0) return block_;
+  std::vector<const State*> ptrs(count);
+  for (std::size_t k = 0; k < count; ++k) ptrs[k] = &states[k];
+  // One column per monitor, written into the rows after the block lands —
+  // columns are monitor-private, so the pooled path stays share-nothing.
+  const auto column = [&](std::size_t i) {
+    std::vector<CheckResult> col(count);
+    monitors_[i].append_block(ptrs.data(), count, col.data());
+    for (std::size_t k = 0; k < count; ++k) block_[k][i] = std::move(col[k]);
+  };
+  try {
+    if (pool_ == nullptr || monitors <= 1) {
+      for (std::size_t i = 0; i < monitors; ++i) column(i);
+    } else {
+      pool_->run(monitors, column);
+    }
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
+  states_fed_ += count;
+  for (std::size_t i = 0; i < monitors; ++i) {
+    axioms_checked_ += monitors_[i].spec().all().size() * count;
+  }
+  for (const auto& row : block_) {
+    for (const CheckResult& r : row) axioms_failed_ += r.failed.size();
+  }
+  if (!block_.empty()) verdicts_ = block_.back();
+  return block_;
+}
+
 const StreamStats& BatchMonitor::stream_stats() const {
   stream_stats_ = StreamStats{};
   stream_stats_.monitors = monitors_.size();

@@ -80,6 +80,16 @@ class BatchMonitor {
   /// Feeds every explicit state of `t` in order; returns the final verdicts.
   const std::vector<CheckResult>& feed_all(const Trace& t);
 
+  /// Feeds `count` consecutive states as ONE block: each monitor consumes
+  /// the whole block through Monitor::append_block — one obligation-graph
+  /// epoch per monitor instead of one per state — and the returned rows are
+  /// bit-identical to `count` feed() calls: row[k][i] is monitors_[i]'s
+  /// verdict after states[k].  verdicts() refreshes to the last row.  The
+  /// reference is valid until the next feed()/feed_block().  Poisoning rule
+  /// as for feed(): a throw mid-block tears the fleet.
+  const std::vector<std::vector<CheckResult>>& feed_block(const State* states,
+                                                          std::size_t count);
+
   /// The verdicts from the last feed() (empty before the first).
   const std::vector<CheckResult>& verdicts() const { return verdicts_; }
 
@@ -95,6 +105,7 @@ class BatchMonitor {
   Options options_;
   std::vector<Monitor> monitors_;
   std::vector<CheckResult> verdicts_;
+  std::vector<std::vector<CheckResult>> block_;  ///< rows of the last feed_block()
   std::unique_ptr<detail::ParkedPool> pool_;  ///< persistent; null = inline
   std::size_t states_fed_ = 0;
   bool poisoned_ = false;  ///< a feed threw mid-state: fleet prefixes differ

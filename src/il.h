@@ -9,7 +9,7 @@
 //   Batch checking        BatchChecker / CheckJob / check_batch()
 //   Batch decisions       BatchDecider / DecisionJob / decide_batch()
 //   Streaming fleets      BatchMonitor / MonitorJob, Monitor
-//   Resident service      MonitorService / MonitorId / VerdictRow
+//   Resident service      MonitorService / MonitorId / StreamId / VerdictRow
 //   Introspection         KvWriter, dump_counters(), MonitorService::dump()
 //   Options & stats       Options, CheckStats / DecisionStats / StreamStats /
 //                         ServiceStats
@@ -72,9 +72,11 @@ using engine::MonitorJob;
 
 // The resident monitoring service (engine/service.h).
 using engine::AppendStatus;
+using engine::kDefaultStream;
 using engine::MonitorId;
 using engine::MonitorService;
 using engine::ServiceVerdict;
+using engine::StreamId;
 using engine::VerdictRow;
 
 // Introspection (engine/introspect.h).

@@ -267,15 +267,20 @@ TEST(MonitorService, GoldenDumpOfFreshService) {
   expected +=
       "service.shards 2\n"
       "service.threads 2\n"
+      "service.streams 1\n"
       "service.queue_capacity 4\n"
       "service.queue_depth 0\n"
+      "service.queue_peak 0\n"
       "service.states_ingested 0\n"
       "service.states_applied 0\n"
+      "service.epoch_batches 0\n"
+      "service.states_per_batch_max 0\n"
       "service.rows_pending 0\n"
       "service.monitors_registered 0\n"
       "service.monitors_resident 0\n"
       "service.monitors_retired 0\n"
       "service.retire_misses 0\n"
+      "service.retired_compactions 0\n"
       "service.decision_jobs 0\n";
   for (const char* shard : {"shard0", "shard1"}) {
     const std::string p(shard);
@@ -295,6 +300,7 @@ TEST(MonitorService, GoldenDumpOfFreshService) {
     expected += p + ".obligation.edges 0\n";
     expected += p + ".obligation.dirtied 0\n";
     expected += p + ".obligation.recomputed 0\n";
+    expected += p + ".retired_compactions 0\n";
     expected += p + ".decision.hits 0\n";
     expected += p + ".decision.misses 0\n";
     expected += p + ".decision.inserts 0\n";
