@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/assert.h"
+#include "util/fault.h"
 
 namespace il {
 
@@ -23,6 +24,7 @@ IncrementalEvaluator::IncrementalEvaluator(const Trace& trace, ObligationGraph* 
 }
 
 bool IncrementalEvaluator::sat_root(const Formula& formula, const Env& env) {
+  IL_INJECT_FAULT("incremental.expand");
   IL_REQUIRE(!trace_.empty(), "evaluation requires a non-empty trace");
   return sat_inc(formula, Interval::make(0, Interval::INF), env, kNoOb).value;
 }

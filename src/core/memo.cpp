@@ -93,6 +93,13 @@ void EvalCache::evict_entries() {
   count_ = 0;
 }
 
+void EvalCache::release() {
+  slots_.clear();
+  slots_.shrink_to_fit();
+  mask_ = 0;
+  count_ = 0;
+}
+
 void EvalCache::clear() {
   slots_.clear();
   slots_.shrink_to_fit();
@@ -201,6 +208,63 @@ void ObligationGraph::reset() {
   obligations_.emplace_back();
   reverse_.emplace_back();
   last_dirtied_ = 0;
+}
+
+std::size_t ObligationGraph::compact_settled() {
+  ++compactions_;
+  std::size_t swept = 0;
+  for (std::size_t i = 1; i < obligations_.size(); ++i) {
+    Obligation& ob = obligations_[i];
+    if (!ob.settled) continue;
+    ++swept;
+    // The resume state of a settled obligation can never be read again:
+    // recomputation is what reads it, and settlement is permanent.
+    std::vector<std::uint64_t>().swap(ob.open_positions);
+    std::vector<ObId>().swap(ob.deps);
+    // Nor can its reverse list: the invalidation walk only reads the
+    // reverse list of a node it just dirtied, and settled nodes are never
+    // dirtied.
+    std::vector<ObId>().swap(reverse_[i]);
+  }
+  // Prune the reverse index the same way begin_epoch() does lazily, but
+  // everywhere at once, and shed the matching edge-set records (add_dep may
+  // re-insert an edge from a live parent to a settled child later; that
+  // costs one re-insert and stays unreachable, which is fine).
+  for (std::size_t child = 0; child < reverse_.size(); ++child) {
+    std::vector<ObId>& parents = reverse_[child];
+    std::size_t w = 0;
+    for (const ObId parent : parents) {
+      if (!obligations_[parent].settled) parents[w++] = parent;
+    }
+    parents.resize(w);
+    parents.shrink_to_fit();
+  }
+  for (auto it = edge_set_.begin(); it != edge_set_.end();) {
+    const ObId parent = static_cast<ObId>(*it >> 32);
+    const ObId child = static_cast<ObId>(*it & 0xffffffffu);
+    if (obligations_[parent].settled || obligations_[child].settled) {
+      it = edge_set_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return swept;
+}
+
+std::size_t ObligationGraph::bytes() const {
+  std::size_t b = obligations_.capacity() * sizeof(Obligation);
+  for (const Obligation& ob : obligations_) {
+    b += ob.open_positions.capacity() * sizeof(std::uint64_t);
+    b += ob.deps.capacity() * sizeof(ObId);
+  }
+  b += reverse_.capacity() * sizeof(std::vector<ObId>);
+  for (const std::vector<ObId>& parents : reverse_) b += parents.capacity() * sizeof(ObId);
+  // Hash tables estimated at one node/bucket overhead per entry: exact
+  // allocator charges are implementation-specific, but a budget check only
+  // needs a monotone, same-order figure.
+  b += index_.size() * (sizeof(Key) + sizeof(ObId) + 2 * sizeof(void*));
+  b += edge_set_.size() * (sizeof(std::uint64_t) + 2 * sizeof(void*));
+  return b;
 }
 
 std::size_t ObligationGraph::settled_count() const {

@@ -92,11 +92,21 @@ class EvalCache {
   /// accumulating toward the capacity cap.
   void evict_entries();
 
+  /// Frees the slot table itself (unlike evict_entries(), which keeps the
+  /// allocation) while preserving the lifetime counters (unlike clear(),
+  /// which resets them).  For resource-budget enforcement: demoting or
+  /// quarantining a monitor must actually return the bytes.
+  void release();
+
   std::size_t hits() const { return hits_; }
   std::size_t misses() const { return misses_; }
   std::size_t inserts() const { return inserts_; }
   std::size_t env_overflows() const { return env_overflows_; }
   std::size_t size() const { return count_; }
+
+  /// Bytes held by the slot table (gauge; capacity, not load, since the
+  /// table is what the allocator charges us for).
+  std::size_t bytes() const { return slots_.capacity() * sizeof(Slot); }
 
   /// Called by the evaluator when a node's observable bindings exceed
   /// kMaxEnv and the query bypasses the cache.
@@ -112,6 +122,7 @@ class EvalCache {
     fn("inserts", static_cast<std::uint64_t>(inserts_));
     fn("entries", static_cast<std::uint64_t>(count_));
     fn("env_overflows", static_cast<std::uint64_t>(env_overflows_));
+    fn("bytes", static_cast<std::uint64_t>(bytes()));
   }
 
   /// Soft cap on stored entries; 0 means unlimited.
@@ -275,6 +286,24 @@ class ObligationGraph {
   /// owners whose trace was rewritten rather than appended to.
   void reset();
 
+  /// Forced settled-parent sweep: frees the resume state (open-position
+  /// lists, dependency lists) of every settled obligation and drops every
+  /// edge with a settled endpoint from the reverse index and the edge set.
+  /// Safe because settlement is permanent — a settled obligation is never
+  /// recomputed and the invalidation walk never passes through it, so none
+  /// of the freed structure can be read again.  This is the first rung of
+  /// the budget-degradation ladder (engine/service.h); begin_epoch()
+  /// performs the same pruning lazily, edge by edge, as its walk happens to
+  /// touch them, while this sweeps everything at once.  Returns the
+  /// obligations swept; counted in compactions().
+  std::size_t compact_settled();
+
+  /// Estimated bytes resident in the store (gauge): the obligation and
+  /// reverse-index vectors at capacity, per-obligation resume state, and
+  /// the index/edge hash tables at their per-entry footprint.  O(n); meant
+  /// for budget checks at epoch boundaries, not per-query accounting.
+  std::size_t bytes() const;
+
   // Accounting (lifetime counters unless noted).
   std::size_t size() const { return obligations_.size() - 1; }  ///< excl. sentinel
   std::size_t edges() const { return edge_set_.size(); }
@@ -288,6 +317,8 @@ class ObligationGraph {
   /// Open-world queries whose observable bindings overflowed the inline key
   /// capacity and were evaluated without an obligation record.
   std::size_t env_overflows() const { return env_overflows_; }
+  /// Forced settled-parent sweeps (compact_settled() calls), lifetime.
+  std::size_t compactions() const { return compactions_; }
 
   /// Called by the evaluator: an obligation was re-settled this epoch / was
   /// answered from its pinned result / was answered because it was already
@@ -312,6 +343,8 @@ class ObligationGraph {
     fn("settled_hits", static_cast<std::uint64_t>(settled_hits_));
     fn("fresh_hits", static_cast<std::uint64_t>(fresh_hits_));
     fn("env_overflows", static_cast<std::uint64_t>(env_overflows_));
+    fn("compactions", static_cast<std::uint64_t>(compactions_));
+    fn("bytes", static_cast<std::uint64_t>(bytes()));
   }
 
  private:
@@ -330,6 +363,7 @@ class ObligationGraph {
   std::size_t settled_hits_ = 0;
   std::size_t fresh_hits_ = 0;
   std::size_t env_overflows_ = 0;
+  std::size_t compactions_ = 0;
 };
 
 }  // namespace il

@@ -2,13 +2,17 @@
 
 #include "core/incremental.h"
 #include "util/assert.h"
+#include "util/fault.h"
 
 namespace il {
 
 Monitor::Monitor(Spec spec, Env env, Mode mode)
     : spec_(std::move(spec)), env_(std::move(env)), mode_(mode) {}
 
-void Monitor::observe(const State& s) { trace_.push(s); }
+void Monitor::observe(const State& s) {
+  IL_INJECT_FAULT("monitor.append");
+  trace_.push(s);
+}
 
 CheckResult Monitor::append(const State& s) {
   observe(s);
@@ -24,7 +28,7 @@ void Monitor::append_block(const State* const* states, std::size_t count, CheckR
     }
     return;
   }
-  for (std::size_t i = 0; i < count; ++i) trace_.push(*states[i]);
+  for (std::size_t i = 0; i < count; ++i) observe(*states[i]);
   // One epoch for the whole block (plus any states observe()d since the
   // last verdict): the invalidation walk and the settled-cache reuse run
   // once, and the per-prefix verdicts come from virtual horizons.
@@ -38,6 +42,24 @@ CheckResult Monitor::current() const {
   return mode_ == Mode::Incremental ? current_incremental() : current_scratch();
 }
 
+std::size_t Monitor::compact_settled() {
+  if (mode_ != Mode::Incremental) return 0;
+  return graph_.compact_settled();
+}
+
+void Monitor::demote_to_scratch() {
+  if (mode_ == Mode::Scratch) return;
+  mode_ = Mode::Scratch;
+  // Both stores go: the graph's obligations and the settled cache's entries
+  // are only reachable from the incremental path.  The trace stays, so the
+  // scratch evaluator — the reference semantics — produces bit-identical
+  // verdicts from here on.  release() (not clear()) keeps the lifetime
+  // hit/miss history an operator has been watching.
+  graph_.reset();
+  cache_.release();
+  cache_trace_id_ = trace_.id();
+}
+
 CheckResult Monitor::current_scratch() const {
   // One persistent cache across calls: entries keyed on the trace identity
   // id stay valid exactly as long as the trace is unmodified, so a repeated
@@ -46,6 +68,7 @@ CheckResult Monitor::current_scratch() const {
   // every resident entry is unreachable forever — evict them wholesale so a
   // long-running monitor's memory stays bounded by one trace's working set
   // (the lifetime hit/miss counters survive eviction).
+  IL_INJECT_FAULT("monitor.verdict");
   if (trace_.id() != cache_trace_id_) {
     cache_.evict_entries();
     cache_trace_id_ = trace_.id();
@@ -73,6 +96,7 @@ void Monitor::sync_incremental_epoch() const {
 }
 
 CheckResult Monitor::verdict_at(std::size_t horizon) const {
+  IL_INJECT_FAULT("monitor.verdict");
   IncrementalEvaluator ev(trace_, &graph_, &cache_, horizon);
   CheckResult result;
   for (const Axiom* axiom : spec_.all()) {

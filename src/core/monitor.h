@@ -97,6 +97,26 @@ class Monitor {
   /// Incremental mode's open-world store (empty in scratch mode).
   const ObligationGraph& obligations() const { return graph_; }
 
+  // -- resource-budget hooks (engine/service.h degradation ladder) ---------
+
+  /// Bytes resident in this monitor's evaluation stores: the memo cache's
+  /// slot table plus the obligation graph's estimate (gauge).
+  std::size_t footprint_bytes() const { return cache_.bytes() + graph_.bytes(); }
+
+  /// Forces a settled-parent compaction sweep on the obligation graph
+  /// (ObligationGraph::compact_settled).  Verdicts are unaffected: only
+  /// structure that can never be read again is freed.  No-op in scratch
+  /// mode.  Returns the obligations swept.
+  std::size_t compact_settled();
+
+  /// Demotes an incremental monitor to Mode::Scratch in place: the
+  /// obligation graph and the settled cache are freed (their lifetime
+  /// counters survive), the trace is kept, and every later verdict comes
+  /// from the scratch path — bit-identical to the incremental verdicts it
+  /// would have produced, at full re-evaluation cost.  The second rung of
+  /// the budget-degradation ladder.  No-op if already scratch.
+  void demote_to_scratch();
+
  private:
   CheckResult current_scratch() const;
   CheckResult current_incremental() const;

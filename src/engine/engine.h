@@ -91,6 +91,23 @@ struct Options {
   /// restores strict per-state epochs.  Register/Retire commands always
   /// act as batch barriers.  Must be >= 1.
   std::size_t max_epoch_batch = 32;
+
+  /// MonitorService only: per-monitor byte budget for the evaluation stores
+  /// (Monitor::footprint_bytes(): obligation graph + memo cache).  0 (the
+  /// default) disables accounting entirely.  A monitor found over budget at
+  /// an epoch boundary degrades one rung per epoch: first a forced
+  /// settled-parent compaction sweep, then demotion to Mode::Scratch
+  /// (correct but slower, and with the stores freed), then quarantine —
+  /// each transition counted in ServiceStats and rendered by dump().
+  std::size_t obligation_byte_budget = 0;
+
+  /// MonitorService only: how many times a quarantined monitor may be
+  /// reinstate()d.  A monitor quarantined more than this many times has its
+  /// reinstate requests refused (ServiceStats::reinstate_refused).
+  /// Reinstatement is also backoff-gated: after its k-th fault a monitor
+  /// must sit out 2^(k-1) states of its stream (capped at 2^16) before a
+  /// reinstate is accepted.
+  std::size_t max_reinstate_attempts = 3;
 };
 
 // ---------------------------------------------------------------------------
@@ -129,10 +146,12 @@ struct StreamStats {
   std::size_t memo_misses = 0;
   std::size_t memo_inserts = 0;
   std::size_t memo_entries = 0;
+  std::size_t memo_bytes = 0;          ///< resident cache tables, summed (gauge)
   std::size_t obligation_entries = 0;  ///< resident obligations, all graphs
   std::size_t obligation_settled = 0;  ///< of which pinned forever
   std::size_t obligation_open = 0;     ///< of which still provisional
   std::size_t obligation_edges = 0;    ///< dependency edges resident
+  std::size_t obligation_bytes = 0;    ///< resident graph bytes, summed (gauge)
   std::size_t obligation_dirtied = 0;  ///< invalidation-pass marks, lifetime
   std::size_t obligation_recomputed = 0;  ///< re-settlements, lifetime
 };

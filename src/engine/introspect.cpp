@@ -69,11 +69,13 @@ void dump_counters(KvWriter kv, const StreamStats& stats) {
   memo.emit("misses", stats.memo_misses);
   memo.emit("inserts", stats.memo_inserts);
   memo.emit("entries", stats.memo_entries);
+  memo.emit("bytes", stats.memo_bytes);
   KvWriter ob = kv.scoped("obligation");
   ob.emit("entries", stats.obligation_entries);
   ob.emit("settled", stats.obligation_settled);
   ob.emit("open", stats.obligation_open);
   ob.emit("edges", stats.obligation_edges);
+  ob.emit("bytes", stats.obligation_bytes);
   ob.emit("dirtied", stats.obligation_dirtied);
   ob.emit("recomputed", stats.obligation_recomputed);
 }

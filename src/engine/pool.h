@@ -37,6 +37,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/fault.h"
+
 namespace il::engine::detail {
 
 /// Resolves Options::num_threads against a workload: 0 means the hardware
@@ -212,6 +214,7 @@ class ParkedPool {
       const std::size_t i = ctx.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= ctx.count) break;
       try {
+        IL_INJECT_FAULT("pool.dispatch");
         (*ctx.body)(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu_);

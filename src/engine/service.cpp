@@ -1,12 +1,14 @@
 #include "engine/service.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
 #include "engine/introspect.h"
 #include "engine/pool.h"
 #include "util/assert.h"
+#include "util/fault.h"
 
 namespace il {
 namespace engine {
@@ -18,13 +20,13 @@ namespace engine {
 /// coordinator folds consecutive Appends into one epoch, so membership is
 /// fixed within a block.
 struct MonitorService::Command {
-  enum class Kind : std::uint8_t { Append, Register, Retire };
+  enum class Kind : std::uint8_t { Append, Register, Retire, Reinstate };
 
   Kind kind = Kind::Append;
   State state;            ///< Append
   StreamId stream = kDefaultStream;  ///< Append / Register
   std::uint64_t seq = 0;  ///< Append: per-stream sequence number
-  MonitorId id = 0;       ///< Register / Retire
+  MonitorId id = 0;       ///< Register / Retire / Reinstate
   Spec spec;              ///< Register (owned copy)
   Env env;                ///< Register
   Monitor::Mode mode = Monitor::Mode::Incremental;  ///< Register
@@ -40,10 +42,28 @@ struct MonitorService::Command {
 /// vector never shifts under an id lookup; once tombstones exceed 1/4 of
 /// the slots the vector is compacted in one sweep (retired_compactions).
 struct MonitorService::Shard {
+  /// Slot lifecycle.  Retired slots are tombstones awaiting the compaction
+  /// sweep and drop out of every epoch plan.  Quarantined slots also hold
+  /// no monitor, but they stay in the plan — their row slots render
+  /// Verdict::Faulted — and may be reinstate()d.
+  enum class SlotState : std::uint8_t { Active, Quarantined, Retired };
+
   struct Slot {
     MonitorId id = 0;
     StreamId stream = kDefaultStream;
-    std::unique_ptr<Monitor> monitor;  ///< null = tombstone (retired)
+    std::unique_ptr<Monitor> monitor;  ///< null unless Active
+    SlotState state = SlotState::Active;
+    // Registration-time inputs, kept so reinstate() rebuilds the monitor
+    // from scratch after its stores were freed by the quarantine.
+    Spec spec;
+    Env env;
+    Monitor::Mode mode = Monitor::Mode::Incremental;
+    std::exception_ptr fault;  ///< set while Quarantined
+    std::uint32_t faults = 0;  ///< quarantine events on this slot, lifetime
+    /// States of the slot's stream applied since the last fault — the
+    /// deterministic backoff clock gating reinstate().
+    std::uint64_t states_since_fault = 0;
+    std::uint8_t degrade = 0;  ///< budget-ladder rungs already taken (0..2)
   };
 
   mutable std::mutex mu;
@@ -51,6 +71,11 @@ struct MonitorService::Shard {
   std::size_t live = 0;        ///< slots with a resident monitor
   std::size_t tombstones = 0;
   std::size_t retired_compactions = 0;  ///< tombstone sweeps, lifetime
+  std::size_t quarantined = 0;  ///< slots in SlotState::Quarantined (gauge)
+  std::size_t quarantines = 0;  ///< quarantine events, lifetime
+  std::size_t budget_compactions = 0;  ///< budget rung 1: forced sweeps
+  std::size_t budget_demotions = 0;    ///< budget rung 2: to Mode::Scratch
+  std::size_t budget_quarantines = 0;  ///< budget rung 3: quarantined
 
   // Stream counters (lifetime; survive retirement).
   std::size_t states = 0;
@@ -116,6 +141,11 @@ std::size_t MonitorService::resident() const {
   return resident_;
 }
 
+bool MonitorService::poisoned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return poisoned_;
+}
+
 StreamId MonitorService::open_stream(std::string name) {
   std::lock_guard<std::mutex> lock(mu_);
   const StreamId id = static_cast<StreamId>(streams_.size());
@@ -132,7 +162,10 @@ void MonitorService::enqueue(Command cmd) {
   queue_space_.wait(lock, [&]() {
     return poisoned_ || stopping_ || queue_.size() < options_.queue_capacity;
   });
-  if (error_) std::rethrow_exception(error_);
+  // The captured exception itself is never handed out: every producer gets
+  // its own ServiceFault built from the once-extracted message, so
+  // concurrent throwers share no exception state.
+  if (poisoned_) throw ServiceFault(fault_message_);
   IL_REQUIRE(!stopping_, "MonitorService is shutting down");
   if (cmd.kind == Command::Kind::Append) {
     IL_REQUIRE(cmd.stream < streams_.size(), "append to an unopened stream");
@@ -176,6 +209,13 @@ void MonitorService::retire(MonitorId id) {
   enqueue(std::move(cmd));
 }
 
+void MonitorService::reinstate(MonitorId id) {
+  Command cmd;
+  cmd.kind = Command::Kind::Reinstate;
+  cmd.id = id;
+  enqueue(std::move(cmd));
+}
+
 void MonitorService::append(StreamId stream, const State& s) {
   Command cmd;
   cmd.kind = Command::Kind::Append;
@@ -193,8 +233,10 @@ AppendStatus MonitorService::try_append(StreamId stream, const State& s) {
   cmd.state = s;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (error_) std::rethrow_exception(error_);
-    IL_REQUIRE(!stopping_, "MonitorService is shutting down");
+    // Distinct statuses instead of throws: a non-blocking producer polls —
+    // it should learn *why* the enqueue failed, not unwind.
+    if (poisoned_) return AppendStatus::Poisoned;
+    if (stopping_) return AppendStatus::Stopped;
     IL_REQUIRE(stream < streams_.size(), "append to an unopened stream");
     if (queue_.size() >= options_.queue_capacity) return AppendStatus::QueueFull;
     cmd.seq = streams_[stream].next_seq++;
@@ -214,13 +256,17 @@ void MonitorService::flush() {
   std::unique_lock<std::mutex> lock(mu_);
   const std::uint64_t target = submitted_;
   applied_.wait(lock, [&]() { return poisoned_ || stopping_ || applied_count_ >= target; });
-  if (error_) std::rethrow_exception(error_);
+  if (poisoned_) throw ServiceFault(fault_message_);
 }
 
 void MonitorService::pause() {
   std::unique_lock<std::mutex> lock(mu_);
+  // Fail fast: a poisoned coordinator is gone, so "pause" can never mean
+  // anything again — surface the fault instead of silently succeeding.
+  if (poisoned_) throw ServiceFault(fault_message_);
   paused_ = true;
-  applied_.wait(lock, [&]() { return !in_flight_; });
+  applied_.wait(lock, [&]() { return poisoned_ || !in_flight_; });
+  if (poisoned_) throw ServiceFault(fault_message_);
 }
 
 void MonitorService::resume() {
@@ -273,20 +319,33 @@ void MonitorService::coordinator_loop() {
       in_flight_ = true;
       queue_space_.notify_all();
     }
-    if (block.front().kind != Command::Kind::Append) {
-      apply_barrier(block.front());
-    } else {
-      try {
+    // Monitor-evaluation throws are caught *inside* the epoch (quarantine);
+    // anything escaping to here — a barrier that failed an invariant, a
+    // fault injected into the command loop or the pool dispatch itself —
+    // is a coordinator-level violation and poisons the service.  The
+    // message is extracted exactly once, here, so the producer-facing
+    // ServiceFault never touches the captured exception again.
+    try {
+      IL_INJECT_FAULT("service.command");
+      if (block.front().kind != Command::Kind::Append) {
+        apply_barrier(block.front());
+      } else {
         run_epoch_batch(block);
         std::lock_guard<std::mutex> lock(mu_);
         states_applied_ += block.size();
         ++epoch_batches_;
         if (block.size() > states_per_batch_max_) states_per_batch_max_ = block.size();
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mu_);
-        poisoned_ = true;
-        error_ = std::current_exception();
       }
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(mu_);
+      poisoned_ = true;
+      error_ = std::current_exception();
+      fault_message_ = e.what();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      poisoned_ = true;
+      error_ = std::current_exception();
+      fault_message_ = "unknown coordinator fault";
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -306,13 +365,88 @@ void MonitorService::coordinator_loop() {
 void MonitorService::apply_barrier(Command& cmd) {
   if (cmd.kind == Command::Kind::Register) {
     Shard& sh = *shards_[cmd.id % shards_.size()];
-    auto monitor =
-        std::make_unique<Monitor>(std::move(cmd.spec), std::move(cmd.env), cmd.mode);
+    Shard::Slot slot;
+    slot.id = cmd.id;
+    slot.stream = cmd.stream;
+    slot.spec = std::move(cmd.spec);
+    slot.env = std::move(cmd.env);
+    slot.mode = cmd.mode;
+    try {
+      IL_FAULT_SCOPE(cmd.id);
+      IL_INJECT_FAULT("service.register");
+      slot.monitor = std::make_unique<Monitor>(slot.spec, slot.env, slot.mode);
+    } catch (...) {
+      // Quarantined at birth: the spec failed to build.  The slot still
+      // exists — its row slots render Faulted, and reinstate() may retry
+      // the build later — and nothing else about the fleet changes.
+      slot.state = Shard::SlotState::Quarantined;
+      slot.fault = std::current_exception();
+      slot.faults = 1;
+    }
+    const bool born_quarantined = slot.state == Shard::SlotState::Quarantined;
     std::lock_guard<std::mutex> lock(sh.mu);
     // Ids are minted monotonically and applied in mint order: push_back
     // keeps the vector id-ascending.
-    sh.monitors.push_back(Shard::Slot{cmd.id, cmd.stream, std::move(monitor)});
-    ++sh.live;
+    sh.monitors.push_back(std::move(slot));
+    if (born_quarantined) {
+      ++sh.quarantined;
+      ++sh.quarantines;
+    } else {
+      ++sh.live;
+    }
+    return;
+  }
+  if (cmd.kind == Command::Kind::Reinstate) {
+    Shard& sh = *shards_[cmd.id % shards_.size()];
+    enum class Outcome : std::uint8_t { Miss, Refused, Reinstated, Requarantined };
+    Outcome outcome = Outcome::Miss;
+    {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      auto it = std::lower_bound(
+          sh.monitors.begin(), sh.monitors.end(), cmd.id,
+          [](const Shard::Slot& slot, MonitorId id) { return slot.id < id; });
+      if (it != sh.monitors.end() && it->id == cmd.id &&
+          it->state == Shard::SlotState::Quarantined) {
+        Shard::Slot& slot = *it;
+        // Backoff gate: after the k-th fault the monitor must have sat out
+        // 2^(k-1) states of its stream (capped at 2^16), and the retry
+        // budget must not be exhausted.
+        const std::uint64_t backoff =
+            std::uint64_t{1} << std::min<std::uint32_t>(slot.faults > 0 ? slot.faults - 1 : 0, 16);
+        if (slot.faults > options_.max_reinstate_attempts ||
+            slot.states_since_fault < backoff) {
+          outcome = Outcome::Refused;
+        } else {
+          try {
+            IL_FAULT_SCOPE(cmd.id);
+            IL_INJECT_FAULT("service.register");
+            slot.monitor = std::make_unique<Monitor>(slot.spec, slot.env, slot.mode);
+            slot.state = Shard::SlotState::Active;
+            slot.fault = nullptr;
+            slot.degrade = 0;
+            slot.states_since_fault = 0;
+            ++sh.live;
+            --sh.quarantined;
+            outcome = Outcome::Reinstated;
+          } catch (...) {
+            // The rebuild itself failed: stay quarantined with the new
+            // fault and restart the backoff clock.
+            slot.fault = std::current_exception();
+            ++slot.faults;
+            slot.states_since_fault = 0;
+            ++sh.quarantines;
+            outcome = Outcome::Requarantined;
+          }
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (outcome) {
+      case Outcome::Miss: ++reinstate_misses_; break;
+      case Outcome::Refused: ++reinstate_refused_; break;
+      case Outcome::Reinstated: ++reinstates_; break;
+      case Outcome::Requarantined: break;  // counted as a quarantine above
+    }
     return;
   }
   IL_CHECK(cmd.kind == Command::Kind::Retire);
@@ -323,27 +457,37 @@ void MonitorService::apply_barrier(Command& cmd) {
     auto it = std::lower_bound(
         sh.monitors.begin(), sh.monitors.end(), cmd.id,
         [](const Shard::Slot& slot, MonitorId id) { return slot.id < id; });
-    if (it != sh.monitors.end() && it->id == cmd.id && it->monitor != nullptr) {
+    if (it != sh.monitors.end() && it->id == cmd.id &&
+        it->state != Shard::SlotState::Retired) {
       found = true;
-      // Keep the lifetime counters monotone; the resident entries (the
-      // gauges) fall with the destruction, which is the point: retiring
-      // frees the monitor's obligations and settled-cache entries.
-      const EvalCache& c = it->monitor->cache();
-      sh.retired_memo_hits += c.hits();
-      sh.retired_memo_misses += c.misses();
-      sh.retired_memo_inserts += c.inserts();
-      const ObligationGraph& g = it->monitor->obligations();
-      sh.retired_obligation_dirtied += g.total_dirtied();
-      sh.retired_obligation_recomputed += g.recomputes();
-      it->monitor.reset();  // tombstone: ranks/lookups stay stable
-      --sh.live;
+      if (it->state == Shard::SlotState::Active) {
+        // Keep the lifetime counters monotone; the resident entries (the
+        // gauges) fall with the destruction, which is the point: retiring
+        // frees the monitor's obligations and settled-cache entries.
+        const EvalCache& c = it->monitor->cache();
+        sh.retired_memo_hits += c.hits();
+        sh.retired_memo_misses += c.misses();
+        sh.retired_memo_inserts += c.inserts();
+        const ObligationGraph& g = it->monitor->obligations();
+        sh.retired_obligation_dirtied += g.total_dirtied();
+        sh.retired_obligation_recomputed += g.recomputes();
+        it->monitor.reset();  // tombstone: ranks/lookups stay stable
+        --sh.live;
+      } else {
+        // Quarantined: stores already freed and counters already folded.
+        --sh.quarantined;
+      }
+      it->state = Shard::SlotState::Retired;
+      it->fault = nullptr;
       ++sh.tombstones;
       if (sh.tombstones * 4 > sh.monitors.size()) {
         // Retired fraction exceeds 1/4: sweep the tombstones so a
         // retire-heavy fleet does not hold dead slots forever.
         sh.monitors.erase(
             std::remove_if(sh.monitors.begin(), sh.monitors.end(),
-                           [](const Shard::Slot& slot) { return slot.monitor == nullptr; }),
+                           [](const Shard::Slot& slot) {
+                             return slot.state == Shard::SlotState::Retired;
+                           }),
             sh.monitors.end());
         sh.tombstones = 0;
         ++sh.retired_compactions;
@@ -357,6 +501,28 @@ void MonitorService::apply_barrier(Command& cmd) {
   } else {
     ++retire_misses_;
   }
+}
+
+void MonitorService::quarantine_slot_locked(Shard& sh, std::size_t slot_index,
+                                            std::exception_ptr fault) {
+  Shard::Slot& slot = sh.monitors[slot_index];
+  // The retire path's accounting: lifetime counters stay monotone while the
+  // resident gauges drop with the freed stores.
+  const EvalCache& c = slot.monitor->cache();
+  sh.retired_memo_hits += c.hits();
+  sh.retired_memo_misses += c.misses();
+  sh.retired_memo_inserts += c.inserts();
+  const ObligationGraph& g = slot.monitor->obligations();
+  sh.retired_obligation_dirtied += g.total_dirtied();
+  sh.retired_obligation_recomputed += g.recomputes();
+  slot.monitor.reset();  // frees the obligation graph and settled cache
+  slot.state = Shard::SlotState::Quarantined;
+  slot.fault = std::move(fault);
+  ++slot.faults;
+  slot.states_since_fault = 0;
+  --sh.live;
+  ++sh.quarantined;
+  ++sh.quarantines;
 }
 
 void MonitorService::run_epoch_batch(std::vector<Command>& block) {
@@ -407,7 +573,10 @@ void MonitorService::run_epoch_batch(std::vector<Command>& block) {
     const Shard& sh = *shards_[i];
     for (std::size_t k = 0; k < sh.monitors.size(); ++k) {
       const Shard::Slot& slot = sh.monitors[k];
-      if (slot.monitor == nullptr) continue;
+      // Quarantined slots stay in the plan: they hold their rank and their
+      // row slots render Faulted, so every *other* monitor's verdict stream
+      // is bit-identical to a fleet that never contained the faulty spec.
+      if (slot.state == Shard::SlotState::Retired) continue;
       for (std::size_t si = 0; si < batch_streams.size(); ++si) {
         if (batch_streams[si] == slot.stream) {
           candidates.push_back(Candidate{slot.id, i, k, si});
@@ -439,27 +608,98 @@ void MonitorService::run_epoch_batch(std::vector<Command>& block) {
     if (!plan[i].empty()) dirty.push_back(i);
   }
 
+  const std::size_t budget = options_.obligation_byte_budget;
+  // Fault payloads are collected per dirty shard and folded into the rows
+  // after the epoch: the shard tasks keep writing disjoint preassigned row
+  // slots, and the (rare) exception_ptr traffic stays off the healthy path.
+  struct FaultMark {
+    std::size_t row;      ///< index into rows
+    std::uint32_t rank;   ///< index into that row's verdicts
+    std::exception_ptr fault;
+  };
+  std::vector<std::vector<FaultMark>> marks(dirty.size());
   const auto body = [&](std::size_t k) {
     Shard& sh = *shards_[dirty[k]];
     std::lock_guard<std::mutex> lock(sh.mu);
     std::vector<CheckResult> column;
     std::vector<char> touched(batch_streams.size(), 0);
+    // Fills every row slot of a (possibly mid-block) faulted monitor.
+    const auto emit_faulted = [&](const Shard::Slot& slot, const WorkItem& w,
+                                  std::size_t count) {
+      for (std::size_t t = 0; t < count; ++t) {
+        ServiceVerdict& v = rows[positions[w.si][t]].verdicts[w.rank];
+        v.id = slot.id;
+        v.result.ok = false;
+        marks[k].push_back(FaultMark{positions[w.si][t],
+                                     static_cast<std::uint32_t>(w.rank),
+                                     slot.fault});
+      }
+      sh.verdicts += count;
+    };
     for (const WorkItem& w : plan[dirty[k]]) {
       Shard::Slot& slot = sh.monitors[w.slot];
       const std::vector<const State*>& states = sub_block[w.si];
+      touched[w.si] = 1;
+      if (slot.state == Shard::SlotState::Quarantined) {
+        // The stream advances without the monitor: tick the backoff clock
+        // and render the slot's rows as Faulted.
+        slot.states_since_fault += states.size();
+        emit_faulted(slot, w, states.size());
+        continue;
+      }
       column.clear();
       column.resize(states.size());
-      // The whole sub-block in one call: one begin_epoch() walk, one
-      // settled-cache pass, per-state verdicts at virtual horizons.
-      slot.monitor->append_block(states.data(), states.size(), column.data());
+      bool threw = false;
+      {
+        // Scope injected faults to this monitor's id, so a site armed with
+        // key == MonitorId fires deterministically at any pool width.
+        IL_FAULT_SCOPE(slot.id);
+        try {
+          // The whole sub-block in one call: one begin_epoch() walk, one
+          // settled-cache pass, per-state verdicts at virtual horizons.
+          slot.monitor->append_block(states.data(), states.size(), column.data());
+        } catch (...) {
+          // Per-monitor fault isolation: the throw stops at the epoch
+          // boundary.  Free the stores, park the fault, render the whole
+          // failing block Faulted — nobody else notices.
+          threw = true;
+          quarantine_slot_locked(sh, w.slot, std::current_exception());
+        }
+      }
+      if (threw) {
+        emit_faulted(slot, w, states.size());
+        continue;
+      }
       for (std::size_t t = 0; t < states.size(); ++t) {
         sh.axioms_failed += column[t].failed.size();
-        rows[positions[w.si][t]].verdicts[w.rank] =
-            ServiceVerdict{slot.id, std::move(column[t])};
+        // In place: the slot was value-initialized by the row build, so
+        // only id/result need stores and no temporary is built.
+        ServiceVerdict& v = rows[positions[w.si][t]].verdicts[w.rank];
+        v.id = slot.id;
+        v.result = std::move(column[t]);
       }
       sh.axioms_checked += slot.monitor->spec().all().size() * states.size();
       sh.verdicts += states.size();
-      touched[w.si] = 1;
+      // Staged degradation: one rung per epoch while the monitor's stores
+      // exceed the byte budget — compaction, then Scratch demotion, then
+      // quarantine.  The rows of the epoch that crossed a rung are already
+      // written (the degradation applies from the *next* epoch on).
+      if (budget != 0 && slot.monitor->footprint_bytes() > budget) {
+        if (slot.degrade == 0 && slot.mode == Monitor::Mode::Incremental) {
+          slot.monitor->compact_settled();
+          slot.degrade = 1;
+          ++sh.budget_compactions;
+        } else if (slot.degrade <= 1 && slot.mode == Monitor::Mode::Incremental) {
+          slot.monitor->demote_to_scratch();
+          slot.degrade = 2;
+          ++sh.budget_demotions;
+        } else {
+          quarantine_slot_locked(sh, w.slot,
+                                 std::make_exception_ptr(std::runtime_error(
+                                     "monitor exceeded obligation_byte_budget")));
+          ++sh.budget_quarantines;
+        }
+      }
     }
     for (std::size_t si = 0; si < batch_streams.size(); ++si) {
       if (touched[si]) sh.states += sub_block[si].size();
@@ -471,6 +711,21 @@ void MonitorService::run_epoch_batch(std::vector<Command>& block) {
     // Inline: in-order execution, so the first throw is the lowest index —
     // the same contract the pool provides.
     for (std::size_t k = 0; k < dirty.size(); ++k) body(k);
+  }
+
+  // Fold the per-shard fault marks into their rows, then order each touched
+  // row's payloads rank-ascending so drain() output is independent of shard
+  // layout and pool width.
+  for (std::vector<FaultMark>& list : marks) {
+    for (FaultMark& m : list) {
+      rows[m.row].faults.emplace_back(m.rank, std::move(m.fault));
+    }
+  }
+  for (VerdictRow& row : rows) {
+    if (row.faults.size() > 1) {
+      std::sort(row.faults.begin(), row.faults.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+    }
   }
 
   std::lock_guard<std::mutex> lock(out_mu_);
@@ -601,11 +856,13 @@ StreamStats MonitorService::shard_stats_locked(const Shard& sh) const {
     out.memo_misses += c.misses();
     out.memo_inserts += c.inserts();
     out.memo_entries += c.size();
+    out.memo_bytes += c.bytes();
     const ObligationGraph& g = slot.monitor->obligations();
     out.obligation_entries += g.size();
     out.obligation_settled += g.settled_count();
     out.obligation_open += g.open_count();
     out.obligation_edges += g.edges();
+    out.obligation_bytes += g.bytes();
     out.obligation_dirtied += g.total_dirtied();
     out.obligation_recomputed += g.recomputes();
   }
@@ -639,6 +896,9 @@ ServiceStats MonitorService::stats() const {
     out.monitors_resident = resident_;
     out.monitors_retired = retired_;
     out.retire_misses = retire_misses_;
+    out.reinstates = reinstates_;
+    out.reinstate_misses = reinstate_misses_;
+    out.reinstate_refused = reinstate_refused_;
     out.decision_jobs = decision_jobs_;
   }
   {
@@ -650,6 +910,11 @@ ServiceStats MonitorService::stats() const {
     std::lock_guard<std::mutex> lock(sh.mu);
     const StreamStats ss = shard_stats_locked(sh);
     out.retired_compactions += sh.retired_compactions;
+    out.monitors_quarantined += sh.quarantined;
+    out.quarantines += sh.quarantines;
+    out.budget_compactions += sh.budget_compactions;
+    out.budget_demotions += sh.budget_demotions;
+    out.budget_quarantines += sh.budget_quarantines;
     out.totals.monitors += ss.monitors;
     out.totals.verdicts += ss.verdicts;
     out.totals.axioms_checked += ss.axioms_checked;
@@ -658,10 +923,12 @@ ServiceStats MonitorService::stats() const {
     out.totals.memo_misses += ss.memo_misses;
     out.totals.memo_inserts += ss.memo_inserts;
     out.totals.memo_entries += ss.memo_entries;
+    out.totals.memo_bytes += ss.memo_bytes;
     out.totals.obligation_entries += ss.obligation_entries;
     out.totals.obligation_settled += ss.obligation_settled;
     out.totals.obligation_open += ss.obligation_open;
     out.totals.obligation_edges += ss.obligation_edges;
+    out.totals.obligation_bytes += ss.obligation_bytes;
     out.totals.obligation_dirtied += ss.obligation_dirtied;
     out.totals.obligation_recomputed += ss.obligation_recomputed;
   }
@@ -692,6 +959,14 @@ void MonitorService::dump(std::ostream& os) const {
   service.emit("monitors_retired", s.monitors_retired);
   service.emit("retire_misses", s.retire_misses);
   service.emit("retired_compactions", s.retired_compactions);
+  service.emit("monitors_quarantined", s.monitors_quarantined);
+  service.emit("quarantines", s.quarantines);
+  service.emit("reinstates", s.reinstates);
+  service.emit("reinstate_misses", s.reinstate_misses);
+  service.emit("reinstate_refused", s.reinstate_refused);
+  service.emit("budget_compactions", s.budget_compactions);
+  service.emit("budget_demotions", s.budget_demotions);
+  service.emit("budget_quarantines", s.budget_quarantines);
   service.emit("decision_jobs", s.decision_jobs);
   for (std::size_t i = 0; i < shards_.size(); ++i) dump_shard(i, os);
 }
@@ -706,6 +981,11 @@ void MonitorService::dump_shard(std::size_t shard, std::ostream& os) const {
   KvWriter kv(os, "shard" + std::to_string(shard) + ".");
   dump_counters(kv, ss);
   kv.emit("retired_compactions", sh.retired_compactions);
+  kv.emit("quarantined", sh.quarantined);
+  kv.emit("quarantines", sh.quarantines);
+  kv.emit("budget_compactions", sh.budget_compactions);
+  kv.emit("budget_demotions", sh.budget_demotions);
+  kv.emit("budget_quarantines", sh.budget_quarantines);
   KvWriter dec = kv.scoped("decision");
   dump_counters(dec, sh.decisions);
   dec.emit("jobs", sh.decision_jobs);

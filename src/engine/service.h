@@ -63,11 +63,32 @@
 //   consistent: all of its lines are read under the shard's mutex, between
 //   epochs touching that shard.
 //
-// Error contract: if a monitor's append throws during an epoch, the service
-// is poisoned — no row of the failing block is emitted, the coordinator
-// stops, and the lowest-indexed captured exception is rethrown from flush()
-// (and from any later append()/try_append()).  Mirrors BatchMonitor's
-// torn-fleet rule.
+//   Fault isolation — a monitor whose evaluation throws is *quarantined*,
+//   not fatal: the throw is caught inside the shard task at the epoch
+//   boundary, the monitor's obligation graph and settled-cache entries are
+//   freed (the retire path's accounting), and the captured exception_ptr is
+//   parked on the slot.  Every row slot the monitor would have filled —
+//   including the whole failing block — renders as Verdict::Faulted carrying
+//   that exception; every *other* monitor's verdict stream is bit-identical
+//   to a fleet that never contained the faulty spec (pinned by
+//   tests/test_service_fault.cpp across batch/shard/thread sweeps).
+//   reinstate() re-registers a quarantined monitor from its stored spec,
+//   gated by a capped exponential backoff (after its k-th fault the monitor
+//   must sit out 2^(k-1) states of its stream, capped at 2^16) and a retry
+//   budget (Options::max_reinstate_attempts).  Resource faults feed the same
+//   machinery: with Options::obligation_byte_budget set, a monitor found
+//   over budget at an epoch boundary degrades one rung per epoch —
+//   forced settled-parent compaction, then demotion to Mode::Scratch, then
+//   quarantine — each rung counted in ServiceStats and rendered by dump().
+//
+// Error contract: *poisoning* remains only for coordinator-level invariant
+// violations (a throw escaping the command loop itself, e.g. an injected
+// pool-dispatch fault) — the coordinator stops and every later
+// append()/flush()/pause() throws ServiceFault (try_append() reports
+// AppendStatus::Poisoned).  The offending exception is captured once; the
+// rethrown ServiceFault is a stable wrapper, so concurrent producers never
+// race on shared exception state.  Per-monitor evaluation throws never
+// poison: they quarantine.
 #pragma once
 
 #include <condition_variable>
@@ -78,6 +99,7 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -107,9 +129,33 @@ constexpr StreamId kDefaultStream = 0;
 enum class AppendStatus : std::uint8_t {
   Ok,
   QueueFull,  ///< bounded ingest queue is full; state was NOT enqueued
+  Poisoned,   ///< service hit a coordinator-level fault; see ServiceFault
+  Stopped,    ///< service is shutting down; state was NOT enqueued
 };
 
-/// One monitor's verdict for one appended state.
+/// Row-level verdict kind, derived per slot by VerdictRow::verdict_at().
+/// Ok/Failed mirror CheckResult::ok; Faulted marks a slot whose monitor is
+/// quarantined — its CheckResult carries no axiom information and
+/// VerdictRow::faults holds the quarantining exception.
+enum class Verdict : std::uint8_t {
+  Ok,
+  Failed,
+  Faulted,
+};
+
+/// The stable exception every producer-facing call throws once the service
+/// is poisoned.  The coordinator extracts the offending exception's message
+/// exactly once; producers each get their own ServiceFault, so no two
+/// throwers share (or race on) the captured exception object.
+class ServiceFault : public std::runtime_error {
+ public:
+  explicit ServiceFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One monitor's verdict for one appended state.  Deliberately identical to
+/// the pre-quarantine layout: the drain path tears down fleet-width vectors
+/// of these every epoch, so fault state lives in VerdictRow::faults instead
+/// of widening every element.
 struct ServiceVerdict {
   MonitorId id = 0;
   CheckResult result;
@@ -123,6 +169,35 @@ struct VerdictRow {
   StreamId stream = kDefaultStream;
   std::uint64_t seq = 0;
   std::vector<ServiceVerdict> verdicts;
+  /// Sparse fault payloads, index-ascending: one (index into `verdicts`,
+  /// quarantining exception) entry per Faulted slot in this row
+  /// (std::rethrow_exception() to inspect; the pointer is shared with the
+  /// slot).  Kept out of ServiceVerdict so a healthy fleet's drain path
+  /// never pays per-verdict exception_ptr storage or teardown.
+  std::vector<std::pair<std::uint32_t, std::exception_ptr>> faults;
+
+  /// The exception that quarantined `verdicts[index]`'s monitor, or null if
+  /// that slot is not Faulted in this row.
+  std::exception_ptr fault_at(std::size_t index) const {
+    for (const auto& entry : faults) {
+      if (entry.first == index) return entry.second;
+    }
+    return nullptr;
+  }
+
+  /// True iff `verdicts[index]`'s monitor is quarantined in this row.
+  bool faulted_at(std::size_t index) const {
+    for (const auto& entry : faults) {
+      if (entry.first == index) return true;
+    }
+    return false;
+  }
+
+  /// The row-level verdict kind for `verdicts[index]`.
+  Verdict verdict_at(std::size_t index) const {
+    if (faulted_at(index)) return Verdict::Faulted;
+    return verdicts[index].result.ok ? Verdict::Ok : Verdict::Failed;
+  }
 };
 
 /// Service-level gauges and counters (per-shard detail via shard_stats()).
@@ -143,6 +218,14 @@ struct ServiceStats {
   std::size_t monitors_retired = 0;
   std::size_t retire_misses = 0;  ///< retire() of an unknown/already-retired id
   std::size_t retired_compactions = 0;  ///< tombstone sweeps, summed over shards
+  std::size_t monitors_quarantined = 0;  ///< quarantined right now (gauge)
+  std::size_t quarantines = 0;  ///< quarantine events, lifetime
+  std::size_t reinstates = 0;   ///< successful reinstate()s, lifetime
+  std::size_t reinstate_misses = 0;   ///< reinstate() of unknown/active id
+  std::size_t reinstate_refused = 0;  ///< refused by backoff or retry budget
+  std::size_t budget_compactions = 0;  ///< degradation rung 1: forced sweeps
+  std::size_t budget_demotions = 0;    ///< degradation rung 2: to Scratch
+  std::size_t budget_quarantines = 0;  ///< degradation rung 3: quarantined
   std::size_t decision_jobs = 0;  ///< lifetime, via decide()
   StreamStats totals;  ///< summed over shards
 };
@@ -178,7 +261,22 @@ class MonitorService {
   /// Retires `id`: the monitor's obligation graph and settled-cache entries
   /// are freed when the command is applied.  Retiring an unknown id is
   /// counted (retire_misses), not an error.  Blocks while the queue is full.
+  /// Quarantined monitors retire like any other (their stores are already
+  /// freed; the slot is released).
   void retire(MonitorId id);
+
+  /// Asks the service to bring a quarantined monitor back.  Sequenced on
+  /// the command queue as a barrier, so the rebuilt monitor observes
+  /// exactly the states appended after this call.  The request is counted
+  /// and dropped — never an error — when the id is unknown or not
+  /// quarantined (reinstate_misses), when the monitor's retry budget
+  /// (Options::max_reinstate_attempts) is exhausted, or when its backoff
+  /// window — 2^(k-1) states of its stream after the k-th fault, capped at
+  /// 2^16 — has not yet elapsed (reinstate_refused).  An accepted reinstate
+  /// rebuilds the monitor from the registration-time spec with fresh
+  /// stores; if the rebuild itself throws, the monitor is re-quarantined
+  /// with the new fault.  Blocks while the queue is full.
+  void reinstate(MonitorId id);
 
   // -- ingest -------------------------------------------------------------
 
@@ -223,8 +321,14 @@ class MonitorService {
   std::size_t threads() const;
   /// Resident (registered and not yet retired) monitors.  Counts a
   /// registration as soon as register_spec() returns, even while the
-  /// command is still queued.
+  /// command is still queued.  Quarantined monitors are resident: they
+  /// still hold a slot and may be reinstate()d.
   std::size_t resident() const;
+
+  /// True once a coordinator-level fault stopped the service; producer
+  /// calls throw (or report) rather than hang.  Per-monitor quarantines
+  /// never set this.
+  bool poisoned() const;
 
   ServiceStats stats() const;
   /// Aggregate counters for one shard (snapshot-consistent).
@@ -244,9 +348,14 @@ class MonitorService {
   };
 
   void coordinator_loop();
-  void apply_barrier(Command& cmd);  ///< Register / Retire
+  void apply_barrier(Command& cmd);  ///< Register / Retire / Reinstate
   void run_epoch_batch(std::vector<Command>& block);  ///< Appends only
   void enqueue(Command cmd);  ///< blocks on backpressure; throws if poisoned
+  /// Frees the faulting monitor in sh.monitors[slot_index], folds its
+  /// lifetime counters into the shard accumulators (the retire path's
+  /// accounting), and parks `fault` on the slot.  Caller holds sh.mu.
+  void quarantine_slot_locked(Shard& sh, std::size_t slot_index,
+                              std::exception_ptr fault);
   StreamStats shard_stats_locked(const Shard& sh) const;  ///< caller holds sh.mu
 
   Options options_;
@@ -271,12 +380,16 @@ class MonitorService {
   std::size_t registered_ = 0;
   std::size_t retired_ = 0;
   std::size_t retire_misses_ = 0;
+  std::size_t reinstates_ = 0;
+  std::size_t reinstate_misses_ = 0;
+  std::size_t reinstate_refused_ = 0;
   std::size_t decision_jobs_ = 0;
   bool stopping_ = false;
   bool paused_ = false;
   bool in_flight_ = false;  ///< coordinator is mid-block
   bool poisoned_ = false;
-  std::exception_ptr error_;
+  std::exception_ptr error_;    ///< captured once; never rethrown to producers
+  std::string fault_message_;   ///< what() extracted once; feeds ServiceFault
 
   mutable std::mutex out_mu_;
   std::vector<VerdictRow> rows_;

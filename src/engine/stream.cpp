@@ -2,6 +2,7 @@
 
 #include "engine/pool.h"
 #include "util/assert.h"
+#include "util/fault.h"
 
 namespace il {
 namespace engine {
@@ -35,11 +36,15 @@ const std::vector<CheckResult>& BatchMonitor::feed(const State& s) {
   IL_REQUIRE(!poisoned_, "a previous feed() threw mid-state; the fleet is torn");
   const std::size_t count = monitors_.size();
   try {
+    const auto one = [&](std::size_t i) {
+      IL_FAULT_SCOPE(i);
+      verdicts_[i] = monitors_[i].append(s);
+    };
     if (pool_ == nullptr || count <= 1) {
       // Inline fast path: the sequential-equivalent case never touches the pool.
-      for (std::size_t i = 0; i < count; ++i) verdicts_[i] = monitors_[i].append(s);
+      for (std::size_t i = 0; i < count; ++i) one(i);
     } else {
-      pool_->run(count, [&](std::size_t i) { verdicts_[i] = monitors_[i].append(s); });
+      pool_->run(count, one);
     }
   } catch (...) {
     poisoned_ = true;
@@ -69,6 +74,7 @@ const std::vector<std::vector<CheckResult>>& BatchMonitor::feed_block(const Stat
   // One column per monitor, written into the rows after the block lands —
   // columns are monitor-private, so the pooled path stays share-nothing.
   const auto column = [&](std::size_t i) {
+    IL_FAULT_SCOPE(i);
     std::vector<CheckResult> col(count);
     monitors_[i].append_block(ptrs.data(), count, col.data());
     for (std::size_t k = 0; k < count; ++k) block_[k][i] = std::move(col[k]);
@@ -108,11 +114,13 @@ const StreamStats& BatchMonitor::stream_stats() const {
     stream_stats_.memo_misses += c.misses();
     stream_stats_.memo_inserts += c.inserts();
     stream_stats_.memo_entries += c.size();
+    stream_stats_.memo_bytes += c.bytes();
     const ObligationGraph& g = m.obligations();
     stream_stats_.obligation_entries += g.size();
     stream_stats_.obligation_settled += g.settled_count();
     stream_stats_.obligation_open += g.open_count();
     stream_stats_.obligation_edges += g.edges();
+    stream_stats_.obligation_bytes += g.bytes();
     stream_stats_.obligation_dirtied += g.total_dirtied();
     stream_stats_.obligation_recomputed += g.recomputes();
   }

@@ -95,6 +95,11 @@ class BatchMonitor {
 
   std::size_t size() const { return monitors_.size(); }
   std::size_t states_fed() const { return states_fed_; }
+  /// True once a feed threw mid-state: the fleet's prefixes diverged and
+  /// every later feed will refuse.  Lets a caller distinguish "torn, stop
+  /// feeding" from a per-feed error it can skip (the resident
+  /// MonitorService offers per-monitor quarantine instead; see service.h).
+  bool poisoned() const { return poisoned_; }
   const Monitor& monitor(std::size_t i) const { return monitors_[i]; }
   const Options& options() const { return options_; }
 

@@ -9,7 +9,8 @@
 //   Batch checking        BatchChecker / CheckJob / check_batch()
 //   Batch decisions       BatchDecider / DecisionJob / decide_batch()
 //   Streaming fleets      BatchMonitor / MonitorJob, Monitor
-//   Resident service      MonitorService / MonitorId / StreamId / VerdictRow
+//   Resident service      MonitorService / MonitorId / StreamId / VerdictRow,
+//                         Verdict / ServiceFault (fault isolation)
 //   Introspection         KvWriter, dump_counters(), MonitorService::dump()
 //   Options & stats       Options, CheckStats / DecisionStats / StreamStats /
 //                         ServiceStats
@@ -75,8 +76,10 @@ using engine::AppendStatus;
 using engine::kDefaultStream;
 using engine::MonitorId;
 using engine::MonitorService;
+using engine::ServiceFault;
 using engine::ServiceVerdict;
 using engine::StreamId;
+using engine::Verdict;
 using engine::VerdictRow;
 
 // Introspection (engine/introspect.h).

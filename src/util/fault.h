@@ -1,0 +1,236 @@
+// Deterministic fault injection for the engine's robustness surface.
+//
+// A FaultInjector is a process-wide registry of named trigger points
+// ("sites").  Production code marks a site with IL_INJECT_FAULT("name");
+// tests arm a site with a trigger — fire on the nth matching hit, fire
+// every k-th hit, or fire with probability p under a seeded counter-based
+// generator — and the next matching hit throws util::FaultError.  Every
+// trigger is a pure function of the site's own hit count (and, for
+// probability mode, the seed), so a given arm fires at the same logical
+// point on every run regardless of thread scheduling.
+//
+// Determinism across threads comes from *scope keys*: a worker advancing
+// monitor 7 wraps the work in IL_FAULT_SCOPE(7), and a site armed with
+// key 7 counts (and fires on) only hits made under that scope.  Hits made
+// under other keys do not advance the counter, so "fire on monitor 7's
+// third append" means the same thing at any pool width.  Arming with
+// FaultInjector::kAnyKey matches every scope (including none).
+//
+// The whole layer compiles to no-ops unless IL_FAULT_INJECTION is defined
+// (CMake option of the same name): the macros expand to (void)0 and no
+// site ever registers a hit.  The class itself is always defined so tests
+// can reference it behind their own #ifdef without build-graph contortions.
+//
+// Thread-safe: all registry state is guarded by one mutex (injection
+// builds are test builds; the hit path is not a production hot path).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace il {
+namespace util {
+
+/// What an armed site throws when its trigger fires.
+class FaultError : public std::runtime_error {
+ public:
+  explicit FaultError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class FaultInjector {
+ public:
+  /// Arm key matching every scope (and code running under no scope).
+  static constexpr std::uint64_t kAnyKey = ~std::uint64_t{0};
+
+  static FaultInjector& instance() {
+    static FaultInjector injector;
+    return injector;
+  }
+
+  /// Fire exactly once, on the nth (1-based) matching hit, then disarm.
+  void arm_nth(const std::string& site, std::uint64_t nth, std::uint64_t key = kAnyKey) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Site& s = sites_[site];
+    s.mode = Site::Mode::Nth;
+    s.n = nth == 0 ? 1 : nth;
+    s.key = key;
+    s.armed = true;
+    s.matched = 0;
+    any_armed_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Fire on every k-th matching hit (k >= 1), indefinitely.
+  void arm_every(const std::string& site, std::uint64_t k, std::uint64_t key = kAnyKey) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Site& s = sites_[site];
+    s.mode = Site::Mode::Every;
+    s.n = k == 0 ? 1 : k;
+    s.key = key;
+    s.armed = true;
+    s.matched = 0;
+    any_armed_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Fire each matching hit with probability p under a counter-based
+  /// generator seeded by `seed`: hit i fires iff mix(seed, i) < p, so the
+  /// firing pattern is a function of (seed, hit index) alone.
+  void arm_probability(const std::string& site, double p, std::uint64_t seed,
+                       std::uint64_t key = kAnyKey) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Site& s = sites_[site];
+    s.mode = Site::Mode::Probability;
+    s.p = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+    s.seed = seed;
+    s.key = key;
+    s.armed = true;
+    s.matched = 0;
+    any_armed_.store(true, std::memory_order_relaxed);
+  }
+
+  void disarm(const std::string& site) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    if (it != sites_.end()) it->second.armed = false;
+    refresh_gate_locked();
+  }
+
+  void disarm_all() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, site] : sites_) site.armed = false;
+    refresh_gate_locked();
+  }
+
+  /// Matching hits a site has seen since it was last armed (keyed arms
+  /// count only in-scope hits).  0 for a never-armed site.
+  std::uint64_t hits(const std::string& site) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.matched;
+  }
+
+  /// Times the site's trigger has fired, lifetime.
+  std::uint64_t fired(const std::string& site) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.fired;
+  }
+
+  /// The IL_INJECT_FAULT entry: registers a hit and throws FaultError when
+  /// an armed trigger fires.  No-op (no lookup even) when nothing is armed.
+  void hit(const char* site) {
+    if (!any_armed_.load(std::memory_order_relaxed)) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    if (it == sites_.end() || !it->second.armed) return;
+    Site& s = it->second;
+    if (s.key != kAnyKey && s.key != current_key()) return;
+    const std::uint64_t index = ++s.matched;
+    bool fire = false;
+    switch (s.mode) {
+      case Site::Mode::Nth:
+        if (index == s.n) {
+          fire = true;
+          s.armed = false;  // one-shot
+        }
+        break;
+      case Site::Mode::Every:
+        fire = index % s.n == 0;
+        break;
+      case Site::Mode::Probability:
+        fire = mix(s.seed, index) < s.p;
+        break;
+    }
+    if (!fire) return;
+    ++s.fired;
+    const std::string what = "injected fault at " + std::string(site);
+    lock.unlock();
+    throw FaultError(what);
+  }
+
+  // -- scope keys (thread-local; see IL_FAULT_SCOPE) ------------------------
+
+  static void push_key(std::uint64_t key) { key_stack().push_back(key); }
+  static void pop_key() { key_stack().pop_back(); }
+  /// The innermost scope key on this thread, or kNoScope outside any scope
+  /// (an unscoped hit matches only kAnyKey arms).
+  static std::uint64_t current_key() {
+    const std::vector<std::uint64_t>& keys = key_stack();
+    return keys.empty() ? kNoScope : keys.back();
+  }
+
+ private:
+  /// Distinct from every real key and from kAnyKey, so a keyed arm never
+  /// matches unscoped code.
+  static constexpr std::uint64_t kNoScope = ~std::uint64_t{0} - 1;
+
+  struct Site {
+    enum class Mode : std::uint8_t { Nth, Every, Probability };
+    Mode mode = Mode::Nth;
+    std::uint64_t n = 1;
+    double p = 0.0;
+    std::uint64_t seed = 0;
+    std::uint64_t key = kAnyKey;
+    bool armed = false;
+    std::uint64_t matched = 0;  ///< matching hits since last armed
+    std::uint64_t fired = 0;    ///< lifetime
+  };
+
+  FaultInjector() = default;
+
+  static std::vector<std::uint64_t>& key_stack() {
+    static thread_local std::vector<std::uint64_t> keys;
+    return keys;
+  }
+
+  /// splitmix64 over (seed, index), folded to [0, 1).
+  static double mix(std::uint64_t seed, std::uint64_t index) {
+    std::uint64_t x = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  void refresh_gate_locked() {
+    bool any = false;
+    for (const auto& [name, site] : sites_) any = any || site.armed;
+    any_armed_.store(any, std::memory_order_relaxed);
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Site> sites_;
+  // Cheap gate for the disarmed case: hit() must cost one relaxed load in
+  // an injection build where no test has armed anything (an nth trigger
+  // that auto-disarmed leaves the gate up until the next disarm, which is
+  // harmless: the slow path re-checks `armed`).
+  std::atomic<bool> any_armed_{false};
+};
+
+/// RAII scope key: hits made on this thread inside the scope match arms
+/// keyed to `key` (see FaultInjector).  Scopes nest; the innermost wins.
+class FaultScope {
+ public:
+  explicit FaultScope(std::uint64_t key) { FaultInjector::push_key(key); }
+  ~FaultScope() { FaultInjector::pop_key(); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+};
+
+}  // namespace util
+}  // namespace il
+
+#ifdef IL_FAULT_INJECTION
+#define IL_FAULT_CONCAT2(a, b) a##b
+#define IL_FAULT_CONCAT(a, b) IL_FAULT_CONCAT2(a, b)
+#define IL_INJECT_FAULT(site) ::il::util::FaultInjector::instance().hit(site)
+#define IL_FAULT_SCOPE(key) \
+  ::il::util::FaultScope IL_FAULT_CONCAT(il_fault_scope_, __LINE__)(key)
+#else
+#define IL_INJECT_FAULT(site) ((void)0)
+#define IL_FAULT_SCOPE(key) ((void)0)
+#endif

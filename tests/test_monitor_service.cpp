@@ -281,6 +281,14 @@ TEST(MonitorService, GoldenDumpOfFreshService) {
       "service.monitors_retired 0\n"
       "service.retire_misses 0\n"
       "service.retired_compactions 0\n"
+      "service.monitors_quarantined 0\n"
+      "service.quarantines 0\n"
+      "service.reinstates 0\n"
+      "service.reinstate_misses 0\n"
+      "service.reinstate_refused 0\n"
+      "service.budget_compactions 0\n"
+      "service.budget_demotions 0\n"
+      "service.budget_quarantines 0\n"
       "service.decision_jobs 0\n";
   for (const char* shard : {"shard0", "shard1"}) {
     const std::string p(shard);
@@ -294,13 +302,20 @@ TEST(MonitorService, GoldenDumpOfFreshService) {
     expected += p + ".memo.misses 0\n";
     expected += p + ".memo.inserts 0\n";
     expected += p + ".memo.entries 0\n";
+    expected += p + ".memo.bytes 0\n";
     expected += p + ".obligation.entries 0\n";
     expected += p + ".obligation.settled 0\n";
     expected += p + ".obligation.open 0\n";
     expected += p + ".obligation.edges 0\n";
+    expected += p + ".obligation.bytes 0\n";
     expected += p + ".obligation.dirtied 0\n";
     expected += p + ".obligation.recomputed 0\n";
     expected += p + ".retired_compactions 0\n";
+    expected += p + ".quarantined 0\n";
+    expected += p + ".quarantines 0\n";
+    expected += p + ".budget_compactions 0\n";
+    expected += p + ".budget_demotions 0\n";
+    expected += p + ".budget_quarantines 0\n";
     expected += p + ".decision.hits 0\n";
     expected += p + ".decision.misses 0\n";
     expected += p + ".decision.inserts 0\n";
