@@ -40,7 +40,9 @@ bool IncrementalEvaluator::make_key(std::uint32_t node, ObligationGraph::Op op,
 }
 
 void IncrementalEvaluator::add_horizon_dep(ObId attach) {
-  if (attach != kNoOb) graph_->add_dep(attach, ObligationGraph::kHorizon);
+  // Indexed mode registers the sensitivity window [key.lo, inf) in the
+  // interval tree; ReverseWalk adds the legacy kHorizon edge.
+  graph_->touch_horizon(attach);
 }
 
 // ---------------------------------------------------------------------------
@@ -62,7 +64,11 @@ IncrementalEvaluator::Val IncrementalEvaluator::sat_inc(const Formula& f, Interv
     return sat_compute(f, iv.lo, env, dep_to, kNoOb);
   }
   const ObId self = graph_->obtain(key);
-  if (dep_to != kNoOb) graph_->add_dep(dep_to, self);
+  if (dep_to != kNoOb) {
+    graph_->add_dep(dep_to, self);
+  } else {
+    graph_->mark_root(self);
+  }
   {
     const ObligationGraph::Obligation& ob = graph_->at(self);
     if (ob.settled) {
@@ -78,6 +84,7 @@ IncrementalEvaluator::Val IncrementalEvaluator::sat_inc(const Formula& f, Interv
     }
   }
   graph_->note_recompute();
+  graph_->begin_recompute(self);
   const Val v = sat_compute(f, iv.lo, env, self, self);
   ObligationGraph::Obligation& ob = graph_->at(self);  // re-fetch: recursion reallocates
   ob.result.value = v.value;
@@ -85,6 +92,7 @@ IncrementalEvaluator::Val IncrementalEvaluator::sat_inc(const Formula& f, Interv
   ob.dirty = false;
   ob.epoch = graph_->epoch();
   ob.horizon = horizon_;
+  if (v.settled) graph_->on_settle(self);
   return v;
 }
 
@@ -103,7 +111,11 @@ IncrementalEvaluator::Found IncrementalEvaluator::find_inc(const Term& t, Interv
     return find_compute(t, ctx.lo, dir, env, dep_to, kNoOb);
   }
   const ObId self = graph_->obtain(key);
-  if (dep_to != kNoOb) graph_->add_dep(dep_to, self);
+  if (dep_to != kNoOb) {
+    graph_->add_dep(dep_to, self);
+  } else {
+    graph_->mark_root(self);
+  }
   {
     const ObligationGraph::Obligation& ob = graph_->at(self);
     if (ob.settled || (!ob.dirty && ob.epoch > 0 && ob.horizon == horizon_)) {
@@ -114,6 +126,7 @@ IncrementalEvaluator::Found IncrementalEvaluator::find_inc(const Term& t, Interv
     }
   }
   graph_->note_recompute();
+  graph_->begin_recompute(self);
   const Found found = find_compute(t, ctx.lo, dir, env, self, self);
   ObligationGraph::Obligation& ob = graph_->at(self);
   ob.result.lo = found.iv.lo;
@@ -123,6 +136,7 @@ IncrementalEvaluator::Found IncrementalEvaluator::find_inc(const Term& t, Interv
   ob.dirty = false;
   ob.epoch = graph_->epoch();
   ob.horizon = horizon_;
+  if (found.settled) graph_->on_settle(self);
   return found;
 }
 
@@ -142,7 +156,11 @@ IncrementalEvaluator::Val IncrementalEvaluator::stars_inc(const Term& t, Interva
     return stars_compute(t, ctx.lo, dir, env, dep_to, kNoOb);
   }
   const ObId self = graph_->obtain(key);
-  if (dep_to != kNoOb) graph_->add_dep(dep_to, self);
+  if (dep_to != kNoOb) {
+    graph_->add_dep(dep_to, self);
+  } else {
+    graph_->mark_root(self);
+  }
   {
     const ObligationGraph::Obligation& ob = graph_->at(self);
     if (ob.settled) {
@@ -155,6 +173,7 @@ IncrementalEvaluator::Val IncrementalEvaluator::stars_inc(const Term& t, Interva
     }
   }
   graph_->note_recompute();
+  graph_->begin_recompute(self);
   const Val v = stars_compute(t, ctx.lo, dir, env, self, self);
   ObligationGraph::Obligation& ob = graph_->at(self);
   ob.result.value = v.value;
@@ -162,6 +181,7 @@ IncrementalEvaluator::Val IncrementalEvaluator::stars_inc(const Term& t, Interva
   ob.dirty = false;
   ob.epoch = graph_->epoch();
   ob.horizon = horizon_;
+  if (v.settled) graph_->on_settle(self);
   return v;
 }
 
@@ -214,6 +234,29 @@ IncrementalEvaluator::Val IncrementalEvaluator::sat_compute(const Formula& f,
       const Val s = stars_inc(*f.term(), iv, Dir::Forward, env, attach);
       if (!s.value) return {false, s.settled};
       const Found fnd = find_inc(*f.term(), iv, Dir::Forward, env, attach);
+      if (self != kNoOb && graph_->indexed()) {
+        // Orphan fix: when the find relocates, the body obligation the
+        // previous recomputation attached (recorded in aux_lo) is superseded
+        // — unlink it now so the record is reclaimed instead of lingering
+        // until a sweep.  Only open-ended, suffix-sensitive bodies are
+        // obligation-keyed at all (everything else went to the settled
+        // cache), so only those are tracked.
+        const bool body_open =
+            !fnd.iv.null && fnd.iv.hi == Interval::INF && f.lhs()->suffix_sensitive();
+        ObligationGraph::Obligation& ob = graph_->at(self);
+        if (ob.have_aux && (!body_open || ob.aux_lo != fnd.iv.lo)) {
+          ObligationGraph::Key old_key;
+          if (make_key(f.lhs()->id(), ObligationGraph::Op::Sat, ob.aux_lo,
+                       f.lhs()->free_meta_ids(), env, old_key)) {
+            graph_->unlink_superseded(self, old_key);
+          }
+          ob.have_aux = false;
+        }
+        if (body_open) {
+          ob.have_aux = true;
+          ob.aux_lo = fnd.iv.lo;
+        }
+      }
       if (fnd.iv.null) return {true, s.settled && fnd.settled};
       const Val b = sat_inc(*f.lhs(), fnd.iv, env, attach);
       // An open find may relocate the interval later, so the verdict is only
@@ -454,20 +497,62 @@ IncrementalEvaluator::Found IncrementalEvaluator::find_event_fwd(const Term& t,
   const std::uint64_t first_k = lo + 1;
 
   if (defining.suffix_sensitive()) {
-    // Probes themselves can flip as the trace grows, so the first change
-    // can *move*: rescan the whole context each epoch (probes recurse
-    // open-world and are themselves incremental).  Settled only when every
-    // probe up to the found change is.
-    if (first_k > h) return {Interval::none(), false};
-    Val prev = probe(defining, first_k - 1, env, attach);
-    bool all_settled = prev.settled;
-    for (std::uint64_t k = first_k; k <= h; ++k) {
+    if (!graph_->indexed() || self == kNoOb) {
+      // Probes themselves can flip as the trace grows, so the first change
+      // can *move*: rescan the whole context each epoch (probes recurse
+      // open-world and are themselves incremental).  Settled only when every
+      // probe up to the found change is.
+      if (first_k > h) return {Interval::none(), false};
+      Val prev = probe(defining, first_k - 1, env, attach);
+      bool all_settled = prev.settled;
+      for (std::uint64_t k = first_k; k <= h; ++k) {
+        const Val cur = probe(defining, k, env, attach);
+        all_settled = all_settled && cur.settled;
+        if (!prev.value && cur.value) return {Interval::make(k - 1, k), all_settled};
+        prev = cur;
+      }
+      return {Interval::none(), false};
+    }
+    // Incremental: a settled probe is pinned forever, so once the pair
+    // (k-1, k) is settled with no rising edge, position k can never become
+    // the first change — the frontier skips it in every later epoch.  The
+    // resumed scan is value-identical to the full rescan: the skipped
+    // prefix contributes no edge and ends in a known settled probe value.
+    std::uint64_t sf = first_k;
+    bool have_prev = false;
+    bool prev_val = false;
+    {
+      const ObligationGraph::Obligation& ob = graph_->at(self);
+      sf = std::max<std::uint64_t>(ob.frontier, first_k);
+      have_prev = ob.have_prev;
+      prev_val = ob.prev;
+    }
+    if (sf > h) return {Interval::none(), false};  // settled prefix covers everything
+    Val prev = have_prev ? Val{prev_val, true} : probe(defining, sf - 1, env, attach);
+    bool all_settled = prev.settled;   // over [first_k-1, k]: the skipped prefix is settled
+    bool advancing = prev.settled;     // still extending the settled no-edge prefix?
+    Found found{Interval::none(), false};
+    for (std::uint64_t k = sf; k <= h; ++k) {
       const Val cur = probe(defining, k, env, attach);
       all_settled = all_settled && cur.settled;
-      if (!prev.value && cur.value) return {Interval::make(k - 1, k), all_settled};
+      if (!prev.value && cur.value) {
+        found = {Interval::make(k - 1, k), all_settled};
+        break;
+      }
+      if (advancing && prev.settled && cur.settled) {
+        sf = k + 1;
+        have_prev = true;
+        prev_val = cur.value;
+      } else {
+        advancing = false;
+      }
       prev = cur;
     }
-    return {Interval::none(), false};
+    ObligationGraph::Obligation& ob = graph_->at(self);  // re-fetch: probes recurse
+    ob.frontier = sf;
+    ob.have_prev = have_prev;
+    ob.prev = prev_val;
+    return found;
   }
 
   // Insensitive defining formula: probes are immutable, so the scan resumes
@@ -518,16 +603,60 @@ IncrementalEvaluator::Found IncrementalEvaluator::find_event_bwd(const Term& t,
   const std::uint64_t first_k = lo + 1;
 
   if (defining.suffix_sensitive()) {
-    // As in the forward case: probes can flip, rescan the whole context.
-    if (first_k > h) return {Interval::none(), false};
-    Val at_k = probe(defining, h, env, attach);
-    for (std::uint64_t k = h; k >= first_k; --k) {
-      const Val at_km1 = probe(defining, k - 1, env, attach);
-      if (!at_km1.value && at_k.value) return {Interval::make(k - 1, k), false};
-      at_k = at_km1;
-      if (k == first_k) break;  // guard size_t underflow
+    if (!graph_->indexed() || self == kNoOb) {
+      // As in the forward case: probes can flip, rescan the whole context.
+      if (first_k > h) return {Interval::none(), false};
+      Val at_k = probe(defining, h, env, attach);
+      for (std::uint64_t k = h; k >= first_k; --k) {
+        const Val at_km1 = probe(defining, k - 1, env, attach);
+        if (!at_km1.value && at_k.value) return {Interval::make(k - 1, k), false};
+        at_k = at_km1;
+        if (k == first_k) break;  // guard size_t underflow
+      }
+      return {Interval::none(), false};
     }
-    return {Interval::none(), false};
+    // Incremental: edges inside the settled prefix [first_k, sb) are
+    // permanent, so only the maximum of them needs to be remembered
+    // (aux_lo/aux_hi); each epoch extends the prefix bottom-up while the
+    // probes stay settled, then scans only the open region [sb, h]
+    // top-down — an edge there supersedes any prefix edge.
+    if (first_k > h) return {Interval::none(), false};
+    std::uint64_t sb = first_k;
+    Interval best_prefix = Interval::none();
+    {
+      const ObligationGraph::Obligation& ob = graph_->at(self);
+      sb = std::max<std::uint64_t>(ob.frontier, first_k);
+      if (ob.have_aux) best_prefix = Interval::make(ob.aux_lo, ob.aux_hi);
+    }
+    Val below = probe(defining, sb - 1, env, attach);
+    while (sb <= h && below.settled) {
+      const Val at = probe(defining, sb, env, attach);
+      if (!at.settled) break;
+      if (!below.value && at.value) best_prefix = Interval::make(sb - 1, sb);
+      below = at;
+      ++sb;
+    }
+    Found res{best_prefix, false};
+    if (h >= sb) {
+      Val at_k = probe(defining, h, env, attach);
+      for (std::uint64_t k = h; k >= sb; --k) {
+        const Val at_km1 = probe(defining, k - 1, env, attach);
+        if (!at_km1.value && at_k.value) {
+          res.iv = Interval::make(k - 1, k);
+          break;
+        }
+        at_k = at_km1;
+        if (k == sb) break;  // guard size_t underflow
+      }
+    }
+    ObligationGraph::Obligation& ob = graph_->at(self);  // re-fetch: probes recurse
+    ob.frontier = sb;
+    ob.have_aux = !best_prefix.null;
+    if (ob.have_aux) {
+      ob.aux_lo = best_prefix.lo;
+      ob.aux_hi = best_prefix.hi;
+    }
+    return res;
   }
 
   // Insensitive defining formula: old positions cannot change, so only the

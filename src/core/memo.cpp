@@ -131,6 +131,147 @@ bool restrict_env_span(const std::vector<std::uint32_t>& metas, const Env& env,
 }
 
 // ---------------------------------------------------------------------------
+// IntervalIndex
+// ---------------------------------------------------------------------------
+
+void IntervalIndex::pull(std::uint32_t n) {
+  Node& nd = nodes_[n];
+  nd.height = 1 + std::max(height(nd.left), height(nd.right));
+  nd.max_hi = std::max(nd.hi, std::max(max_hi(nd.left), max_hi(nd.right)));
+}
+
+std::uint32_t IntervalIndex::rotate_left(std::uint32_t n) {
+  const std::uint32_t r = nodes_[n].right;
+  nodes_[n].right = nodes_[r].left;
+  nodes_[r].left = n;
+  pull(n);
+  pull(r);
+  return r;
+}
+
+std::uint32_t IntervalIndex::rotate_right(std::uint32_t n) {
+  const std::uint32_t l = nodes_[n].left;
+  nodes_[n].left = nodes_[l].right;
+  nodes_[l].right = n;
+  pull(n);
+  pull(l);
+  return l;
+}
+
+std::uint32_t IntervalIndex::rebalance(std::uint32_t n) {
+  pull(n);
+  const std::int32_t bal = height(nodes_[n].left) - height(nodes_[n].right);
+  if (bal > 1) {
+    if (height(nodes_[nodes_[n].left].left) < height(nodes_[nodes_[n].left].right)) {
+      nodes_[n].left = rotate_left(nodes_[n].left);
+    }
+    return rotate_right(n);
+  }
+  if (bal < -1) {
+    if (height(nodes_[nodes_[n].right].right) < height(nodes_[nodes_[n].right].left)) {
+      nodes_[n].right = rotate_right(nodes_[n].right);
+    }
+    return rotate_left(n);
+  }
+  return n;
+}
+
+std::uint32_t IntervalIndex::insert_rec(std::uint32_t n, std::uint32_t fresh) {
+  if (n == kNil) return fresh;
+  const Node& f = nodes_[fresh];
+  if (less(f.lo, f.ob, nodes_[n].lo, nodes_[n].ob)) {
+    nodes_[n].left = insert_rec(nodes_[n].left, fresh);
+  } else {
+    nodes_[n].right = insert_rec(nodes_[n].right, fresh);
+  }
+  return rebalance(n);
+}
+
+void IntervalIndex::insert(std::uint64_t lo, std::uint64_t hi, Payload ob) {
+  std::uint32_t fresh;
+  if (!free_.empty()) {
+    fresh = free_.back();
+    free_.pop_back();
+  } else {
+    fresh = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  nodes_[fresh] = Node{lo, hi, hi, kNil, kNil, ob, 1};
+  root_ = insert_rec(root_, fresh);
+  ++size_;
+}
+
+std::uint32_t IntervalIndex::detach_min(std::uint32_t n, std::uint32_t& min_out) {
+  if (nodes_[n].left == kNil) {
+    min_out = n;
+    return nodes_[n].right;
+  }
+  nodes_[n].left = detach_min(nodes_[n].left, min_out);
+  return rebalance(n);
+}
+
+std::uint32_t IntervalIndex::remove_rec(std::uint32_t n, std::uint64_t lo, Payload ob,
+                                        bool& removed) {
+  if (n == kNil) return kNil;
+  Node& nd = nodes_[n];
+  if (less(lo, ob, nd.lo, nd.ob)) {
+    nd.left = remove_rec(nd.left, lo, ob, removed);
+  } else if (less(nd.lo, nd.ob, lo, ob)) {
+    nd.right = remove_rec(nd.right, lo, ob, removed);
+  } else {
+    removed = true;
+    std::uint32_t replacement;
+    if (nd.left == kNil || nd.right == kNil) {
+      replacement = nd.left == kNil ? nd.right : nd.left;
+    } else {
+      // Two children: splice the right subtree's minimum into this spot.
+      std::uint32_t succ = kNil;
+      const std::uint32_t right = detach_min(nd.right, succ);
+      nodes_[succ].left = nd.left;
+      nodes_[succ].right = right;
+      replacement = rebalance(succ);
+    }
+    free_.push_back(n);
+    --size_;
+    return replacement;
+  }
+  return rebalance(n);
+}
+
+bool IntervalIndex::remove(std::uint64_t lo, Payload ob) {
+  bool removed = false;
+  root_ = remove_rec(root_, lo, ob, removed);
+  return removed;
+}
+
+std::size_t IntervalIndex::stab_rec(std::uint32_t n, std::uint64_t point,
+                                    std::vector<Payload>& out) const {
+  if (n == kNil) return 0;
+  const Node& nd = nodes_[n];
+  // The augmentation prunes: nothing below can end at or after `point`.
+  if (nd.max_hi < point) return 1;
+  std::size_t visited = 1 + stab_rec(nd.left, point, out);
+  if (nd.lo <= point) {
+    if (nd.hi >= point) out.push_back(nd.ob);
+    visited += stab_rec(nd.right, point, out);
+  }
+  return visited;
+}
+
+std::size_t IntervalIndex::stab(std::uint64_t point, std::vector<Payload>& out) const {
+  return stab_rec(root_, point, out);
+}
+
+void IntervalIndex::clear() {
+  nodes_.clear();
+  nodes_.shrink_to_fit();
+  free_.clear();
+  free_.shrink_to_fit();
+  root_ = kNil;
+  size_ = 0;
+}
+
+// ---------------------------------------------------------------------------
 // ObligationGraph
 // ---------------------------------------------------------------------------
 
@@ -152,16 +293,19 @@ std::size_t ObligationGraph::KeyHash::operator()(const Key& k) const {
   return static_cast<std::size_t>(h);
 }
 
-void ObligationGraph::begin_epoch() {
-  ++epoch_;
-  // Change propagation: everything the live suffix can reach through the
+void ObligationGraph::set_invalidation(Invalidation mode) {
+  IL_REQUIRE(size() == 0 && epoch_ == 0,
+             "invalidation mode must be chosen before the graph is populated");
+  invalidation_ = mode;
+}
+
+void ObligationGraph::seed_and_close(std::vector<ObId>& stack) {
+  // Change propagation: everything the seed set can reach through the
   // reverse-dependency index must re-settle; settled obligations are
   // firewalls (their result is pinned, so nothing changes through them).
   // Settlement is permanent, so settled parents are compacted out of each
-  // reverse list as the walk passes — the pass stays proportional to the
+  // reverse list as the closure passes — the pass stays proportional to the
   // *open* frontier, not to every obligation the run has ever settled.
-  last_dirtied_ = 0;
-  std::vector<ObId> stack = {kHorizon};
   while (!stack.empty()) {
     const ObId child = stack.back();
     stack.pop_back();
@@ -169,7 +313,7 @@ void ObligationGraph::begin_epoch() {
     std::size_t w = 0;
     for (const ObId parent : parents) {
       Obligation& ob = obligations_[parent];
-      if (ob.settled) continue;  // drop the edge: it can never matter again
+      if (ob.settled || ob.freed) continue;  // drop the edge: it can never matter again
       parents[w++] = parent;
       if (ob.dirty) continue;
       ob.dirty = true;
@@ -181,15 +325,242 @@ void ObligationGraph::begin_epoch() {
   }
 }
 
+void ObligationGraph::begin_epoch(std::uint64_t horizon) {
+  ++epoch_;
+  // Slots freed during the previous epoch become reusable only now: any
+  // ObId an in-flight evaluation was still holding has gone cold.
+  if (!free_pending_.empty()) {
+    free_list_.insert(free_list_.end(), free_pending_.begin(), free_pending_.end());
+    free_pending_.clear();
+  }
+  last_dirtied_ = 0;
+  walk_stack_.clear();
+  if (invalidation_ == Invalidation::ReverseWalk) {
+    walk_stack_.push_back(kHorizon);
+    seed_and_close(walk_stack_);
+    return;
+  }
+  // The stabbing query: exactly the open obligations whose sensitivity
+  // window [lo, inf) contains the new horizon, in O(log n + touched) node
+  // visits.  They seed the dirty closure; everything else is untouched.
+  stab_out_.clear();
+  ++stabs_;
+  stab_visited_ += tree_.stab(horizon, stab_out_);
+  last_touched_ = stab_out_.size();
+  touched_total_ += stab_out_.size();
+  for (const ObId id : stab_out_) {
+    Obligation& ob = obligations_[id];
+    if (ob.freed || ob.settled || ob.dirty) continue;
+    ob.dirty = true;
+    ++last_dirtied_;
+    ++total_dirtied_;
+    walk_stack_.push_back(id);
+  }
+  seed_and_close(walk_stack_);
+}
+
 ObligationGraph::ObId ObligationGraph::obtain(const Key& key) {
-  const auto [it, inserted] = index_.try_emplace(key, static_cast<ObId>(obligations_.size()));
-  if (inserted) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  ObId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    --freed_count_;
+    Obligation& ob = obligations_[id];
+    ob = Obligation{};
+    ob.key = key;
+  } else {
+    id = static_cast<ObId>(obligations_.size());
     Obligation ob;
     ob.key = key;
     obligations_.push_back(std::move(ob));
     reverse_.emplace_back();
   }
-  return it->second;
+  index_.emplace(key, id);
+  return id;
+}
+
+void ObligationGraph::touch_horizon(ObId attach) {
+  if (attach == kNoOb) return;
+  if (invalidation_ == Invalidation::ReverseWalk) {
+    add_dep(attach, kHorizon);
+    return;
+  }
+  Obligation& ob = obligations_[attach];
+  if (ob.in_tree || ob.settled) return;
+  // Once is enough: the window [key.lo, inf) contains every later horizon,
+  // so the registration never has to move.
+  tree_.insert(ob.key.lo, IntervalIndex::kInf, attach);
+  ob.in_tree = true;
+}
+
+void ObligationGraph::on_settle(ObId id) {
+  if (id == kNoOb) return;
+  Obligation& ob = obligations_[id];
+  if (ob.in_tree) {
+    tree_.remove(ob.key.lo, id);
+    ob.in_tree = false;
+  }
+}
+
+void ObligationGraph::erase_from(std::vector<ObId>& v, ObId id) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] == id) {
+      v[i] = v.back();
+      v.pop_back();
+      return;
+    }
+  }
+}
+
+void ObligationGraph::begin_recompute(ObId self) {
+  if (invalidation_ != Invalidation::Indexed || self == kNoOb) return;
+  Obligation& ob = obligations_[self];
+  if (ob.deps.empty()) return;
+  // Phase 1: compact the dependency list (a settled child can never dirty
+  // this record; the edge is re-added through add_dep if the recomputation
+  // re-reads the child).
+  prune_scratch_.clear();
+  std::size_t w = 0;
+  for (const ObId d : ob.deps) {
+    if (d != kHorizon && !obligations_[d].freed && obligations_[d].settled) {
+      edge_set_.erase(pack_edge(self, d));
+      erase_from(reverse_[d], self);
+      prune_scratch_.push_back(d);
+      continue;
+    }
+    ob.deps[w++] = d;
+  }
+  ob.deps.resize(w);
+  // Phase 2 (after the list is compacted, so cascades cannot touch it): a
+  // pruned child left with no other parents is unreachable — free it now
+  // instead of waiting for a sweep.  Any record still read from here kept
+  // its edge in phase 1 and therefore has a non-empty reverse list.
+  for (const ObId d : prune_scratch_) maybe_cascade_free(d);
+}
+
+void ObligationGraph::mark_root(ObId id) {
+  if (id == kNoOb) return;
+  Obligation& ob = obligations_[id];
+  if (ob.is_root) return;
+  ob.is_root = true;
+  roots_.push_back(id);
+}
+
+void ObligationGraph::free_record(ObId id) {
+  Obligation& ob = obligations_[id];
+  IL_CHECK(!ob.freed && !ob.is_root && id != kHorizon);
+  // Account what the allocator gets back (the slot itself stays resident,
+  // queued for reuse).
+  gc_freed_bytes_ += ob.open_positions.capacity() * sizeof(std::uint64_t) +
+                     ob.deps.capacity() * sizeof(ObId) +
+                     reverse_[id].capacity() * sizeof(ObId) +
+                     (sizeof(Key) + sizeof(ObId) + 2 * sizeof(void*)) +
+                     (ob.in_tree ? IntervalIndex::node_bytes() : 0);
+  if (ob.in_tree) {
+    tree_.remove(ob.key.lo, id);
+    ob.in_tree = false;
+  }
+  index_.erase(ob.key);
+  // Unlink both directions so no live record is left holding this id.
+  const std::vector<ObId> kids = std::move(ob.deps);
+  ob.deps = {};
+  for (const ObId d : kids) {
+    edge_set_.erase(pack_edge(id, d));
+    erase_from(reverse_[d], id);
+  }
+  for (const ObId p : reverse_[id]) {
+    edge_set_.erase(pack_edge(p, id));
+    if (!obligations_[p].freed) erase_from(obligations_[p].deps, id);
+  }
+  std::vector<ObId>().swap(reverse_[id]);
+  std::vector<std::uint64_t>().swap(ob.open_positions);
+  ob.freed = true;
+  ob.settled = false;
+  free_pending_.push_back(id);
+  ++freed_count_;
+  ++gc_freed_;
+  // A child left with no parents (and no root mark) is unreachable too.
+  for (const ObId d : kids) maybe_cascade_free(d);
+}
+
+void ObligationGraph::maybe_cascade_free(ObId id) {
+  if (id == kHorizon || id == kNoOb) return;
+  Obligation& ob = obligations_[id];
+  if (ob.freed || ob.is_root || !reverse_[id].empty()) return;
+  free_record(id);
+}
+
+void ObligationGraph::unlink_superseded(ObId parent, const Key& child_key) {
+  const auto it = index_.find(child_key);
+  if (it == index_.end()) return;
+  const ObId child = it->second;
+  if (child == parent) return;
+  if (edge_set_.erase(pack_edge(parent, child)) != 0) {
+    erase_from(obligations_[parent].deps, child);
+    erase_from(reverse_[child], parent);
+    ++orphan_unlinks_;
+  }
+  maybe_cascade_free(child);
+}
+
+bool ObligationGraph::maybe_gc() {
+  if (gc_fraction_ <= 0.0) return false;
+  // Pacing floor: tiny graphs are never worth a sweep.
+  constexpr std::size_t kMinRecords = 256;
+  const std::size_t resident = size();
+  if (resident < kMinRecords) return false;
+  if (static_cast<double>(resident) <=
+      static_cast<double>(last_gc_live_) * (1.0 + gc_fraction_)) {
+    return false;
+  }
+  gc_sweep();
+  return true;
+}
+
+std::size_t ObligationGraph::gc_sweep() {
+  ++gc_sweeps_;
+  ++gc_stamp_;
+  // Mark: everything a root verdict can still read.  Dependency edges are
+  // traversed through open records only — a settled record never recomputes
+  // and so never re-reads its children; a settled child an open parent
+  // still reads is marked (kept) but not descended into.
+  std::size_t marked = 0;
+  walk_stack_.clear();
+  for (const ObId r : roots_) {
+    Obligation& ob = obligations_[r];
+    if (ob.freed || ob.gc_mark == gc_stamp_) continue;
+    ob.gc_mark = gc_stamp_;
+    ++marked;
+    walk_stack_.push_back(r);
+  }
+  while (!walk_stack_.empty()) {
+    const ObId id = walk_stack_.back();
+    walk_stack_.pop_back();
+    const Obligation& ob = obligations_[id];
+    if (ob.settled) continue;
+    for (const ObId d : ob.deps) {
+      if (d == kHorizon) continue;
+      Obligation& child = obligations_[d];
+      if (child.freed || child.gc_mark == gc_stamp_) continue;
+      child.gc_mark = gc_stamp_;
+      ++marked;
+      walk_stack_.push_back(d);
+    }
+  }
+  gc_marked_ += marked;
+  // Sweep: free every unmarked record.  free_record cascades, but only into
+  // records that are themselves unmarked (a marked record either carries
+  // the root flag or keeps an edge from a marked open parent).
+  const std::size_t freed_before = gc_freed_;
+  for (ObId id = 1; id < static_cast<ObId>(obligations_.size()); ++id) {
+    Obligation& ob = obligations_[id];
+    if (ob.freed || ob.gc_mark == gc_stamp_) continue;
+    free_record(id);
+  }
+  last_gc_live_ = size();
+  return gc_freed_ - freed_before;
 }
 
 void ObligationGraph::add_dep(ObId parent, ObId child) {
@@ -205,6 +576,14 @@ void ObligationGraph::reset() {
   index_.clear();
   reverse_.clear();
   edge_set_.clear();
+  tree_.clear();
+  roots_.clear();
+  free_list_.clear();
+  free_pending_.clear();
+  stab_out_.clear();
+  walk_stack_.clear();
+  freed_count_ = 0;
+  last_gc_live_ = 0;
   obligations_.emplace_back();
   reverse_.emplace_back();
   last_dirtied_ = 0;
@@ -259,6 +638,11 @@ std::size_t ObligationGraph::bytes() const {
   }
   b += reverse_.capacity() * sizeof(std::vector<ObId>);
   for (const std::vector<ObId>& parents : reverse_) b += parents.capacity() * sizeof(ObId);
+  // Interval-index node pool plus the GC bookkeeping vectors.
+  b += tree_.bytes();
+  b += (roots_.capacity() + free_list_.capacity() + free_pending_.capacity() +
+        stab_out_.capacity() + walk_stack_.capacity() + prune_scratch_.capacity()) *
+       sizeof(ObId);
   // Hash tables estimated at one node/bucket overhead per entry: exact
   // allocator charges are implementation-specific, but a budget check only
   // needs a monotone, same-order figure.

@@ -88,12 +88,30 @@ void Monitor::sync_incremental_epoch() const {
     seen_appends_ = 0;  // force an epoch: everything recomputes
   }
   if (trace_.appends() != seen_appends_) {
+    // Epoch boundary: no evaluation in flight, so this is the one safe spot
+    // for an automatic mark-and-sweep (pacing in ObligationGraph::maybe_gc).
+    graph_.maybe_gc();
     // One epoch per verdict refresh (several appends between verdicts fold
     // into one invalidation pass; the scan frontiers cover the gap).
-    graph_.begin_epoch();
+    graph_.begin_epoch(trace_.last_index());
     seen_appends_ = trace_.appends();
   }
 }
+
+std::size_t Monitor::gc_obligations() {
+  if (mode_ != Mode::Incremental) return 0;
+  return graph_.gc_sweep();
+}
+
+void Monitor::set_gc_fraction(double fraction) { graph_.set_gc_fraction(fraction); }
+
+void Monitor::set_invalidation(ObligationGraph::Invalidation mode) {
+  graph_.set_invalidation(mode);
+}
+
+void Monitor::set_cache_capacity(std::size_t cap) { cache_.set_capacity(cap); }
+
+void Monitor::reserve(std::size_t states) { trace_.reserve(states); }
 
 CheckResult Monitor::verdict_at(std::size_t horizon) const {
   IL_INJECT_FAULT("monitor.verdict");

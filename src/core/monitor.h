@@ -97,23 +97,53 @@ class Monitor {
   /// Incremental mode's open-world store (empty in scratch mode).
   const ObligationGraph& obligations() const { return graph_; }
 
+  /// Pre-sizes the trace's state storage (e.g. for benchmarks that append
+  /// a known number of states and must not pay reallocation mid-loop).
+  void reserve(std::size_t states);
+
+  /// How the obligation graph finds the obligations an append can touch
+  /// (ObligationGraph::Invalidation); must be called before the first
+  /// verdict.  Default Indexed; ReverseWalk keeps the legacy pass for
+  /// differential testing and benchmarking.
+  void set_invalidation(ObligationGraph::Invalidation mode);
+
+  /// Soft cap on settled-cache entries (EvalCache::set_capacity): bounds the
+  /// closed-world store of a long-lived monitor.  0 = unlimited.
+  void set_cache_capacity(std::size_t cap);
+
   // -- resource-budget hooks (engine/service.h degradation ladder) ---------
 
   /// Bytes resident in this monitor's evaluation stores: the memo cache's
-  /// slot table plus the obligation graph's estimate (gauge).
+  /// slot table plus the obligation graph's estimate — obligation and
+  /// reverse-index vectors, per-kind resume state, interval-tree node pool,
+  /// GC bookkeeping, and hash-table entries (gauge).
   std::size_t footprint_bytes() const { return cache_.bytes() + graph_.bytes(); }
+
+  /// Automatic mark-and-sweep pacing for the obligation graph
+  /// (ObligationGraph::set_gc_fraction); sweeps run at epoch boundaries
+  /// inside the verdict path.  <= 0 disables automatic sweeps.
+  void set_gc_fraction(double fraction);
+
+  /// Forces a mark-and-sweep GC pass on the obligation graph
+  /// (ObligationGraph::gc_sweep): frees records unreachable from the root
+  /// verdict obligations.  Verdicts are unaffected — a freed record that is
+  /// ever queried again is recomputed from scratch.  No-op in scratch mode.
+  /// The FIRST rung of the budget-degradation ladder.  Returns the records
+  /// freed.
+  std::size_t gc_obligations();
 
   /// Forces a settled-parent compaction sweep on the obligation graph
   /// (ObligationGraph::compact_settled).  Verdicts are unaffected: only
   /// structure that can never be read again is freed.  No-op in scratch
-  /// mode.  Returns the obligations swept.
+  /// mode.  The second rung of the budget-degradation ladder.  Returns the
+  /// obligations swept.
   std::size_t compact_settled();
 
   /// Demotes an incremental monitor to Mode::Scratch in place: the
   /// obligation graph and the settled cache are freed (their lifetime
   /// counters survive), the trace is kept, and every later verdict comes
   /// from the scratch path — bit-identical to the incremental verdicts it
-  /// would have produced, at full re-evaluation cost.  The second rung of
+  /// would have produced, at full re-evaluation cost.  The third rung of
   /// the budget-degradation ladder.  No-op if already scratch.
   void demote_to_scratch();
 

@@ -96,10 +96,17 @@ struct Options {
   /// (Monitor::footprint_bytes(): obligation graph + memo cache).  0 (the
   /// default) disables accounting entirely.  A monitor found over budget at
   /// an epoch boundary degrades one rung per epoch: first a forced
-  /// settled-parent compaction sweep, then demotion to Mode::Scratch
-  /// (correct but slower, and with the stores freed), then quarantine —
-  /// each transition counted in ServiceStats and rendered by dump().
+  /// mark-and-sweep GC (Monitor::gc_obligations), then a settled-parent
+  /// compaction sweep, then demotion to Mode::Scratch (correct but slower,
+  /// and with the stores freed), then quarantine — each transition counted
+  /// in ServiceStats and rendered by dump().
   std::size_t obligation_byte_budget = 0;
+
+  /// Automatic obligation-graph GC pacing, applied to every monitor the
+  /// engine creates (Monitor::set_gc_fraction): a mark-and-sweep runs at an
+  /// epoch boundary once the resident record count outgrows the last
+  /// sweep's live set by this fraction.  <= 0 disables automatic sweeps.
+  double obligation_gc_fraction = 0.25;
 
   /// MonitorService only: how many times a quarantined monitor may be
   /// reinstate()d.  A monitor quarantined more than this many times has its
@@ -154,6 +161,15 @@ struct StreamStats {
   std::size_t obligation_bytes = 0;    ///< resident graph bytes, summed (gauge)
   std::size_t obligation_dirtied = 0;  ///< invalidation-pass marks, lifetime
   std::size_t obligation_recomputed = 0;  ///< re-settlements, lifetime
+  std::size_t obligation_index_nodes = 0;    ///< interval-tree nodes resident (gauge)
+  std::size_t obligation_index_stabs = 0;    ///< stabbing queries run, lifetime
+  std::size_t obligation_index_visited = 0;  ///< tree nodes visited by stabs, lifetime
+  std::size_t obligation_index_touched = 0;  ///< obligations seeded by stabs, lifetime
+  std::size_t gc_sweeps = 0;       ///< mark-and-sweep passes, lifetime
+  std::size_t gc_marked = 0;       ///< records marked reachable, lifetime
+  std::size_t gc_freed = 0;        ///< records freed (sweeps + orphan cascades)
+  std::size_t gc_freed_bytes = 0;  ///< estimated bytes returned, lifetime
+  std::size_t gc_orphans = 0;      ///< superseded records unlinked directly
 };
 
 class BatchChecker {

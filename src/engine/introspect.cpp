@@ -78,6 +78,17 @@ void dump_counters(KvWriter kv, const StreamStats& stats) {
   ob.emit("bytes", stats.obligation_bytes);
   ob.emit("dirtied", stats.obligation_dirtied);
   ob.emit("recomputed", stats.obligation_recomputed);
+  KvWriter idx = kv.scoped("obligation_index");
+  idx.emit("nodes", stats.obligation_index_nodes);
+  idx.emit("stabs", stats.obligation_index_stabs);
+  idx.emit("visited", stats.obligation_index_visited);
+  idx.emit("touched", stats.obligation_index_touched);
+  KvWriter gc = kv.scoped("gc");
+  gc.emit("sweeps", stats.gc_sweeps);
+  gc.emit("marked", stats.gc_marked);
+  gc.emit("freed", stats.gc_freed);
+  gc.emit("freed_bytes", stats.gc_freed_bytes);
+  gc.emit("orphans", stats.gc_orphans);
 }
 
 }  // namespace il::engine

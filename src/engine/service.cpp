@@ -63,7 +63,7 @@ struct MonitorService::Shard {
     /// States of the slot's stream applied since the last fault — the
     /// deterministic backoff clock gating reinstate().
     std::uint64_t states_since_fault = 0;
-    std::uint8_t degrade = 0;  ///< budget-ladder rungs already taken (0..2)
+    std::uint8_t degrade = 0;  ///< budget-ladder rungs already taken (0..3)
   };
 
   mutable std::mutex mu;
@@ -73,9 +73,10 @@ struct MonitorService::Shard {
   std::size_t retired_compactions = 0;  ///< tombstone sweeps, lifetime
   std::size_t quarantined = 0;  ///< slots in SlotState::Quarantined (gauge)
   std::size_t quarantines = 0;  ///< quarantine events, lifetime
-  std::size_t budget_compactions = 0;  ///< budget rung 1: forced sweeps
-  std::size_t budget_demotions = 0;    ///< budget rung 2: to Mode::Scratch
-  std::size_t budget_quarantines = 0;  ///< budget rung 3: quarantined
+  std::size_t budget_gcs = 0;          ///< budget rung 1: forced GC sweeps
+  std::size_t budget_compactions = 0;  ///< budget rung 2: forced compactions
+  std::size_t budget_demotions = 0;    ///< budget rung 3: to Mode::Scratch
+  std::size_t budget_quarantines = 0;  ///< budget rung 4: quarantined
 
   // Stream counters (lifetime; survive retirement).
   std::size_t states = 0;
@@ -375,6 +376,7 @@ void MonitorService::apply_barrier(Command& cmd) {
       IL_FAULT_SCOPE(cmd.id);
       IL_INJECT_FAULT("service.register");
       slot.monitor = std::make_unique<Monitor>(slot.spec, slot.env, slot.mode);
+      slot.monitor->set_gc_fraction(options_.obligation_gc_fraction);
     } catch (...) {
       // Quarantined at birth: the spec failed to build.  The slot still
       // exists — its row slots render Faulted, and reinstate() may retry
@@ -421,6 +423,7 @@ void MonitorService::apply_barrier(Command& cmd) {
             IL_FAULT_SCOPE(cmd.id);
             IL_INJECT_FAULT("service.register");
             slot.monitor = std::make_unique<Monitor>(slot.spec, slot.env, slot.mode);
+            slot.monitor->set_gc_fraction(options_.obligation_gc_fraction);
             slot.state = Shard::SlotState::Active;
             slot.fault = nullptr;
             slot.degrade = 0;
@@ -681,17 +684,22 @@ void MonitorService::run_epoch_batch(std::vector<Command>& block) {
       sh.axioms_checked += slot.monitor->spec().all().size() * states.size();
       sh.verdicts += states.size();
       // Staged degradation: one rung per epoch while the monitor's stores
-      // exceed the byte budget — compaction, then Scratch demotion, then
-      // quarantine.  The rows of the epoch that crossed a rung are already
-      // written (the degradation applies from the *next* epoch on).
+      // exceed the byte budget — obligation GC, then compaction, then
+      // Scratch demotion, then quarantine.  The rows of the epoch that
+      // crossed a rung are already written (the degradation applies from
+      // the *next* epoch on).
       if (budget != 0 && slot.monitor->footprint_bytes() > budget) {
         if (slot.degrade == 0 && slot.mode == Monitor::Mode::Incremental) {
-          slot.monitor->compact_settled();
+          slot.monitor->gc_obligations();
           slot.degrade = 1;
-          ++sh.budget_compactions;
+          ++sh.budget_gcs;
         } else if (slot.degrade <= 1 && slot.mode == Monitor::Mode::Incremental) {
-          slot.monitor->demote_to_scratch();
+          slot.monitor->compact_settled();
           slot.degrade = 2;
+          ++sh.budget_compactions;
+        } else if (slot.degrade <= 2 && slot.mode == Monitor::Mode::Incremental) {
+          slot.monitor->demote_to_scratch();
+          slot.degrade = 3;
           ++sh.budget_demotions;
         } else {
           quarantine_slot_locked(sh, w.slot,
@@ -865,6 +873,15 @@ StreamStats MonitorService::shard_stats_locked(const Shard& sh) const {
     out.obligation_bytes += g.bytes();
     out.obligation_dirtied += g.total_dirtied();
     out.obligation_recomputed += g.recomputes();
+    out.obligation_index_nodes += g.index_nodes();
+    out.obligation_index_stabs += g.index_stabs();
+    out.obligation_index_visited += g.index_visited();
+    out.obligation_index_touched += g.touched_total();
+    out.gc_sweeps += g.gc_sweeps();
+    out.gc_marked += g.gc_marked();
+    out.gc_freed += g.gc_freed();
+    out.gc_freed_bytes += g.gc_freed_bytes();
+    out.gc_orphans += g.orphan_unlinks();
   }
   return out;
 }
@@ -912,6 +929,7 @@ ServiceStats MonitorService::stats() const {
     out.retired_compactions += sh.retired_compactions;
     out.monitors_quarantined += sh.quarantined;
     out.quarantines += sh.quarantines;
+    out.budget_gcs += sh.budget_gcs;
     out.budget_compactions += sh.budget_compactions;
     out.budget_demotions += sh.budget_demotions;
     out.budget_quarantines += sh.budget_quarantines;
@@ -931,6 +949,15 @@ ServiceStats MonitorService::stats() const {
     out.totals.obligation_bytes += ss.obligation_bytes;
     out.totals.obligation_dirtied += ss.obligation_dirtied;
     out.totals.obligation_recomputed += ss.obligation_recomputed;
+    out.totals.obligation_index_nodes += ss.obligation_index_nodes;
+    out.totals.obligation_index_stabs += ss.obligation_index_stabs;
+    out.totals.obligation_index_visited += ss.obligation_index_visited;
+    out.totals.obligation_index_touched += ss.obligation_index_touched;
+    out.totals.gc_sweeps += ss.gc_sweeps;
+    out.totals.gc_marked += ss.gc_marked;
+    out.totals.gc_freed += ss.gc_freed;
+    out.totals.gc_freed_bytes += ss.gc_freed_bytes;
+    out.totals.gc_orphans += ss.gc_orphans;
   }
   // A shard's `states` gauge counts the states that actually touched it, so
   // the fleet-level figure is the service's own applied count.
@@ -964,6 +991,7 @@ void MonitorService::dump(std::ostream& os) const {
   service.emit("reinstates", s.reinstates);
   service.emit("reinstate_misses", s.reinstate_misses);
   service.emit("reinstate_refused", s.reinstate_refused);
+  service.emit("budget_gcs", s.budget_gcs);
   service.emit("budget_compactions", s.budget_compactions);
   service.emit("budget_demotions", s.budget_demotions);
   service.emit("budget_quarantines", s.budget_quarantines);
@@ -983,6 +1011,7 @@ void MonitorService::dump_shard(std::size_t shard, std::ostream& os) const {
   kv.emit("retired_compactions", sh.retired_compactions);
   kv.emit("quarantined", sh.quarantined);
   kv.emit("quarantines", sh.quarantines);
+  kv.emit("budget_gcs", sh.budget_gcs);
   kv.emit("budget_compactions", sh.budget_compactions);
   kv.emit("budget_demotions", sh.budget_demotions);
   kv.emit("budget_quarantines", sh.budget_quarantines);

@@ -78,8 +78,9 @@
 //   budget (Options::max_reinstate_attempts).  Resource faults feed the same
 //   machinery: with Options::obligation_byte_budget set, a monitor found
 //   over budget at an epoch boundary degrades one rung per epoch —
-//   forced settled-parent compaction, then demotion to Mode::Scratch, then
-//   quarantine — each rung counted in ServiceStats and rendered by dump().
+//   forced obligation GC, then settled-parent compaction, then demotion to
+//   Mode::Scratch, then quarantine — each rung counted in ServiceStats and
+//   rendered by dump().
 //
 // Error contract: *poisoning* remains only for coordinator-level invariant
 // violations (a throw escaping the command loop itself, e.g. an injected
@@ -223,9 +224,10 @@ struct ServiceStats {
   std::size_t reinstates = 0;   ///< successful reinstate()s, lifetime
   std::size_t reinstate_misses = 0;   ///< reinstate() of unknown/active id
   std::size_t reinstate_refused = 0;  ///< refused by backoff or retry budget
-  std::size_t budget_compactions = 0;  ///< degradation rung 1: forced sweeps
-  std::size_t budget_demotions = 0;    ///< degradation rung 2: to Scratch
-  std::size_t budget_quarantines = 0;  ///< degradation rung 3: quarantined
+  std::size_t budget_gcs = 0;          ///< degradation rung 1: forced GC sweeps
+  std::size_t budget_compactions = 0;  ///< degradation rung 2: forced compactions
+  std::size_t budget_demotions = 0;    ///< degradation rung 3: to Scratch
+  std::size_t budget_quarantines = 0;  ///< degradation rung 4: quarantined
   std::size_t decision_jobs = 0;  ///< lifetime, via decide()
   StreamStats totals;  ///< summed over shards
 };

@@ -13,6 +13,7 @@ BatchMonitor::BatchMonitor(const std::vector<MonitorJob>& jobs, Options options)
   for (const MonitorJob& job : jobs) {
     IL_REQUIRE(job.spec != nullptr, "MonitorJob must bind a spec");
     monitors_.emplace_back(*job.spec, job.env, job.mode);
+    monitors_.back().set_gc_fraction(options_.obligation_gc_fraction);
   }
   verdicts_.resize(monitors_.size());
   // The pool outlives every feed: workers park between states instead of
@@ -123,6 +124,15 @@ const StreamStats& BatchMonitor::stream_stats() const {
     stream_stats_.obligation_bytes += g.bytes();
     stream_stats_.obligation_dirtied += g.total_dirtied();
     stream_stats_.obligation_recomputed += g.recomputes();
+    stream_stats_.obligation_index_nodes += g.index_nodes();
+    stream_stats_.obligation_index_stabs += g.index_stabs();
+    stream_stats_.obligation_index_visited += g.index_visited();
+    stream_stats_.obligation_index_touched += g.touched_total();
+    stream_stats_.gc_sweeps += g.gc_sweeps();
+    stream_stats_.gc_marked += g.gc_marked();
+    stream_stats_.gc_freed += g.gc_freed();
+    stream_stats_.gc_freed_bytes += g.gc_freed_bytes();
+    stream_stats_.gc_orphans += g.orphan_unlinks();
   }
   return stream_stats_;
 }

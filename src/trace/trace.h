@@ -81,6 +81,10 @@ class Trace {
   /// indices past the end read the final state.
   const State& at(std::size_t k) const;
 
+  /// Pre-sizes the state storage; identity and counters are untouched
+  /// (capacity is not content).
+  void reserve(std::size_t n) { states_.reserve(n); }
+
   /// Appends a state (invalidating previously cached results by id change;
   /// append-delta consumers instead watch appends() tick under an unchanged
   /// stable_id()).

@@ -286,6 +286,7 @@ TEST(MonitorService, GoldenDumpOfFreshService) {
       "service.reinstates 0\n"
       "service.reinstate_misses 0\n"
       "service.reinstate_refused 0\n"
+      "service.budget_gcs 0\n"
       "service.budget_compactions 0\n"
       "service.budget_demotions 0\n"
       "service.budget_quarantines 0\n"
@@ -310,9 +311,19 @@ TEST(MonitorService, GoldenDumpOfFreshService) {
     expected += p + ".obligation.bytes 0\n";
     expected += p + ".obligation.dirtied 0\n";
     expected += p + ".obligation.recomputed 0\n";
+    expected += p + ".obligation_index.nodes 0\n";
+    expected += p + ".obligation_index.stabs 0\n";
+    expected += p + ".obligation_index.visited 0\n";
+    expected += p + ".obligation_index.touched 0\n";
+    expected += p + ".gc.sweeps 0\n";
+    expected += p + ".gc.marked 0\n";
+    expected += p + ".gc.freed 0\n";
+    expected += p + ".gc.freed_bytes 0\n";
+    expected += p + ".gc.orphans 0\n";
     expected += p + ".retired_compactions 0\n";
     expected += p + ".quarantined 0\n";
     expected += p + ".quarantines 0\n";
+    expected += p + ".budget_gcs 0\n";
     expected += p + ".budget_compactions 0\n";
     expected += p + ".budget_demotions 0\n";
     expected += p + ".budget_quarantines 0\n";
@@ -366,7 +377,8 @@ TEST(MonitorService, DumpAfterTrafficKeepsTheStableFormat) {
   for (const char* shard : {"shard0", "shard1"}) {
     for (const char* group : {".engine.monitors", ".memo.hits", ".memo.entries",
                               ".decision.hits", ".decision.entries", ".obligation.entries",
-                              ".obligation.recomputed"}) {
+                              ".obligation.recomputed", ".obligation_index.stabs",
+                              ".gc.sweeps"}) {
       EXPECT_TRUE(keys.count(std::string(shard) + group) == 1)
           << "missing " << shard << group;
     }

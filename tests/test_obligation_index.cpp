@@ -1,0 +1,344 @@
+// Tests for the interval-indexed obligation graph (PR 10): the stabbing-query
+// epoch invalidation must be verdict-identical to the legacy reverse walk at
+// every prefix; relocating open event searches must unlink the obligation
+// records they supersede (the orphan leak fixed in this PR); mark-and-sweep
+// GC and settled-parent compaction may fire at arbitrary points without
+// changing a single verdict; and a GC'd long-run monitor's footprint must
+// plateau instead of growing with the trace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <random>
+#include <vector>
+
+#include "core/ast.h"
+#include "core/check.h"
+#include "core/memo.h"
+#include "core/monitor.h"
+#include "engine/stream.h"
+#include "systems/ab_protocol.h"
+#include "systems/arbiter.h"
+#include "systems/mutex.h"
+#include "systems/queue_system.h"
+#include "systems/selftimed.h"
+
+namespace il {
+namespace {
+
+std::vector<std::int64_t> domain(std::size_t n) {
+  std::vector<std::int64_t> d;
+  for (std::size_t i = 1; i <= n; ++i) d.push_back(static_cast<std::int64_t>(i));
+  return d;
+}
+
+/// The case-study corpus from tests/test_monitor_incremental.cpp, reused
+/// here to compare the two invalidation strategies on realistic graphs.
+struct StreamCases {
+  std::deque<Spec> specs;  ///< deque: spec_of pointers survive growth
+  std::vector<const Spec*> spec_of;
+  std::vector<Trace> traces;
+
+  StreamCases() {
+    traces.reserve(32);
+
+    specs.push_back(sys::mutex_spec(3));
+    const Spec* mutex = &specs.back();
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      sys::MutexRunConfig mc;
+      mc.seed = seed;
+      mc.entries = 4;
+      add(mutex, sys::run_mutex(mc));
+      add(mutex, sys::run_mutex_buggy(mc));
+    }
+
+    specs.push_back(sys::queue_spec(domain(3)));
+    const Spec* queue = &specs.back();
+    sys::QueueRunConfig qc;
+    qc.seed = 1;
+    qc.values = 3;
+    add(queue, sys::run_fifo_queue(qc));
+    add(queue, sys::run_swapping_queue(qc));
+    add(queue, sys::run_lifo_stack(qc));
+
+    sys::AbRunConfig ac;
+    ac.seed = 7;
+    specs.push_back(sys::ab_sender_spec(domain(3)));
+    const Spec* ab = &specs.back();
+    add(ab, sys::run_ab_protocol(ac).trace);
+    add(ab, sys::run_ab_protocol_stuck_bit(ac).trace);
+
+    specs.push_back(sys::request_ack_spec());
+    const Spec* selftimed = &specs.back();
+    sys::SelfTimedRunConfig sc;
+    add(selftimed, sys::run_request_ack(sc));
+    add(selftimed, sys::run_request_ack_buggy(sc));
+
+    specs.push_back(sys::arbiter_spec());
+    const Spec* arbiter = &specs.back();
+    sys::ArbiterRunConfig arc;
+    add(arbiter, sys::run_arbiter(arc));
+    add(arbiter, sys::run_arbiter_buggy(arc));
+  }
+
+  void add(const Spec* spec, Trace trace) {
+    traces.push_back(std::move(trace));
+    spec_of.push_back(spec);
+  }
+};
+
+/// One axiom whose interval start is an open forward event search that
+/// relocates: the event is []q, which under stuttering extension holds from
+/// the position after the *last* !q pulse onward — so every new !q pulse
+/// moves the found edge forward and supersedes the previous body obligation.
+/// The body <>r stays open while r never occurs.
+Spec relocating_spec() {
+  Spec spec;
+  spec.name = "reloc";
+  spec.axioms.push_back(
+      {"tail", f::interval(t::fwd(t::event(f::always(f::atom("q"))), nullptr),
+                           f::eventually(f::atom("r")))});
+  return spec;
+}
+
+State qr(bool q, bool r) {
+  State s;
+  s.set_bool("q", q);
+  s.set_bool("r", r);
+  return s;
+}
+
+/// Satellite 1: a relocating open event find must unlink the obligation
+/// record it supersedes immediately, so the graph's resident entry count
+/// stays flat across arbitrarily many relocations (GC disabled: the direct
+/// unlink alone must hold the line, not the sweeper).
+TEST(ObligationIndex, RelocatingEventFindKeepsEntriesFlat) {
+  Monitor m(relocating_spec());
+  m.set_gc_fraction(0.0);
+  constexpr std::size_t kTotal = 1024;
+  constexpr std::size_t kPulse = 64;  // q drops every kPulse-th state
+  std::vector<std::size_t> phase_entries;  // sampled at a fixed pulse phase
+  for (std::size_t k = 0; k < kTotal; ++k) {
+    m.append(qr(k % kPulse != kPulse - 1, false));
+    if (k >= 4 * kPulse && k % kPulse == 0) {
+      phase_entries.push_back(m.obligations().size());
+    }
+  }
+  ASSERT_GE(phase_entries.size(), 8u);
+  const auto [lo, hi] = std::minmax_element(phase_entries.begin(), phase_entries.end());
+  // ~16 relocations happened; without the unlink each leaves an orphaned
+  // body obligation behind and the count climbs monotonically.
+  EXPECT_LE(*hi, *lo + 4) << "obligation entries grew across relocations";
+  EXPECT_GT(m.obligations().orphan_unlinks(), 0u);
+  EXPECT_GT(m.obligations().gc_freed(), 0u);  // superseded records were freed
+}
+
+/// Tentpole oracle: the stabbing-query invalidation must produce the exact
+/// verdict stream of the legacy reverse walk at every prefix, on every
+/// case-study spec plus the relocating one.  Where the indexed side has not
+/// freed any record the dirty sets themselves must coincide (seed-set
+/// equivalence), not just the verdicts.
+TEST(ObligationIndex, IndexedMatchesReverseWalkAtEveryPrefix) {
+  StreamCases cases;
+  {
+    cases.specs.push_back(relocating_spec());
+    Trace t;
+    for (std::size_t k = 0; k < 256; ++k) t.push(qr(k % 32 != 31, k % 97 == 96));
+    cases.add(&cases.specs.back(), std::move(t));
+  }
+  std::size_t failing_prefixes = 0;
+  for (std::size_t c = 0; c < cases.traces.size(); ++c) {
+    const Spec& spec = *cases.spec_of[c];
+    const Trace& run = cases.traces[c];
+    Monitor indexed(spec);  // Invalidation::Indexed is the default
+    Monitor legacy(spec);
+    legacy.set_invalidation(ObligationGraph::Invalidation::ReverseWalk);
+    for (std::size_t k = 0; k < run.size(); ++k) {
+      const State& s = run.states()[k];
+      const CheckResult a = indexed.append(s);
+      const CheckResult b = legacy.append(s);
+      ASSERT_EQ(a.ok, b.ok) << "case " << c << " prefix " << k;
+      ASSERT_EQ(a.failed, b.failed) << "case " << c << " prefix " << k;
+      if (indexed.obligations().gc_freed() == 0) {
+        ASSERT_EQ(indexed.obligations().last_dirtied(), legacy.obligations().last_dirtied())
+            << "case " << c << " prefix " << k;
+      }
+      failing_prefixes += a.ok ? 0 : 1;
+    }
+    EXPECT_GT(indexed.obligations().index_stabs(), 0u) << "case " << c;
+    EXPECT_EQ(legacy.obligations().index_stabs(), 0u) << "case " << c;
+    EXPECT_EQ(legacy.obligations().index_nodes(), 0u) << "case " << c;
+  }
+  EXPECT_GT(failing_prefixes, 0u);  // the corpus must exercise failures
+}
+
+/// The whole point of the index: an epoch touches the overlapping open
+/// obligations, not the graph.  On a long steady-state stream the per-epoch
+/// seed count must stay far below the population an unindexed graph carries
+/// for the same stream (the reverse-walk graph reclaims nothing, so its
+/// entry count is the old cost of being wrong).
+TEST(ObligationIndex, EpochTouchesFarFewerThanUnindexedEntries) {
+  Monitor m(relocating_spec());
+  m.set_gc_fraction(0.0);
+  Monitor legacy(relocating_spec());
+  legacy.set_invalidation(ObligationGraph::Invalidation::ReverseWalk);
+  legacy.set_gc_fraction(0.0);
+  for (std::size_t k = 0; k < 2048; ++k) {
+    const State s = qr(k % 64 != 63, false);
+    m.append(s);
+    legacy.append(s);
+  }
+  const ObligationGraph& g = m.obligations();
+  ASSERT_GT(g.index_stabs(), 0u);
+  const std::size_t avg_touched = g.touched_total() / g.index_stabs();
+  EXPECT_LT(avg_touched * 20, legacy.obligations().size());
+  // Reclamation keeps the indexed graph itself small: the stab could not
+  // be selective if every record it ever made stayed resident.
+  EXPECT_LT(g.size(), legacy.obligations().size() / 10);
+  // The tree prunes: nodes visited per stab is O(log n + touched), far
+  // below one visit per resident obligation per epoch.
+  EXPECT_LT(g.index_visited(), g.index_stabs() * (avg_touched + 2) * 8);
+}
+
+/// Satellite 2: footprint honesty — the graph's byte gauge must cover the
+/// interval-tree node pool, and the monitor's footprint must cover both
+/// stores.
+TEST(ObligationIndex, FootprintAccountsForIndexNodes) {
+  StreamCases cases;
+  Monitor m(*cases.spec_of[0]);
+  for (const State& s : cases.traces[0].states()) m.append(s);
+  const ObligationGraph& g = m.obligations();
+  EXPECT_GT(g.index_nodes(), 0u);
+  EXPECT_GE(g.bytes(), g.index_nodes() * IntervalIndex::node_bytes());
+  EXPECT_GE(m.footprint_bytes(), g.bytes() + m.cache().bytes());
+}
+
+/// Satellite 3 (sequential half): a seeded randomized soak interleaving
+/// appends with forced GC sweeps and settled-parent compaction, with
+/// auto-GC armed at an aggressive fraction.  Verdicts must stay
+/// bit-identical to a scratch monitor (which has no graph, hence no GC) at
+/// every prefix, on the corpus and on the relocating spec.
+TEST(ObligationIndex, SoakGcAndCompactionPreserveVerdicts) {
+  std::mt19937 rng(0xC0FFEEu);
+  StreamCases cases;
+  {
+    cases.specs.push_back(relocating_spec());
+    Trace t;
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    for (std::size_t k = 0; k < 768; ++k) t.push(qr(u(rng) < 0.95, u(rng) < 0.02));
+    cases.add(&cases.specs.back(), std::move(t));
+  }
+  std::uniform_int_distribution<int> maintenance(0, 9);
+  std::size_t sweeps = 0;
+  for (std::size_t c = 0; c < cases.traces.size(); ++c) {
+    const Spec& spec = *cases.spec_of[c];
+    const Trace& run = cases.traces[c];
+    Monitor inc(spec);
+    inc.set_gc_fraction(0.05);
+    Monitor oracle(spec, {}, Monitor::Mode::Scratch);
+    for (std::size_t k = 0; k < run.size(); ++k) {
+      const State& s = run.states()[k];
+      const CheckResult a = inc.append(s);
+      oracle.observe(s);
+      const CheckResult b = oracle.current();
+      ASSERT_EQ(a.ok, b.ok) << "case " << c << " prefix " << k;
+      ASSERT_EQ(a.failed, b.failed) << "case " << c << " prefix " << k;
+      switch (maintenance(rng)) {
+        case 0:
+          inc.gc_obligations();
+          break;
+        case 1:
+          inc.compact_settled();
+          break;
+        default:
+          break;
+      }
+    }
+    sweeps += inc.obligations().gc_sweeps();
+  }
+  EXPECT_GT(sweeps, 0u);
+}
+
+/// Satellite 3 (pool half): the same soak through engine::BatchMonitor at
+/// pool widths 1, 2 and 4 with auto-GC armed fleet-wide — interleaved
+/// incremental and scratch subscribers must agree with each other and the
+/// wider pools must reproduce the width-1 verdict stream exactly.
+TEST(ObligationIndex, SoakPoolWidthsAreDeterministicUnderGc) {
+  std::mt19937 rng(0xB0BACAFEu);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  const Spec spec = relocating_spec();
+  std::vector<State> stream;
+  for (std::size_t k = 0; k < 512; ++k) stream.push_back(qr(u(rng) < 0.95, u(rng) < 0.02));
+
+  std::vector<engine::MonitorJob> jobs;
+  jobs.push_back({&spec, {}, Monitor::Mode::Incremental});
+  jobs.push_back({&spec, {}, Monitor::Mode::Scratch});
+  jobs.push_back({&spec, {}, Monitor::Mode::Incremental});
+  jobs.push_back({&spec, {}, Monitor::Mode::Scratch});
+
+  std::vector<std::vector<CheckResult>> reference;
+  {
+    engine::Options opts;
+    opts.num_threads = 1;
+    opts.obligation_gc_fraction = 0.05;
+    engine::BatchMonitor fleet(jobs, opts);
+    for (const State& s : stream) {
+      const auto& v = fleet.feed(s);
+      ASSERT_EQ(v.size(), jobs.size());
+      for (std::size_t j = 1; j < v.size(); ++j) {
+        ASSERT_EQ(v[j].ok, v[0].ok) << "job " << j;
+        ASSERT_EQ(v[j].failed, v[0].failed) << "job " << j;
+      }
+      reference.push_back(v);
+    }
+  }
+  for (const std::size_t threads : {2u, 4u}) {
+    engine::Options opts;
+    opts.num_threads = threads;
+    opts.obligation_gc_fraction = 0.05;
+    engine::BatchMonitor fleet(jobs, opts);
+    std::size_t k = 0;
+    for (const State& s : stream) {
+      const auto& v = fleet.feed(s);
+      for (std::size_t j = 0; j < v.size(); ++j) {
+        ASSERT_EQ(v[j].ok, reference[k][j].ok) << "threads " << threads << " state " << k;
+        ASSERT_EQ(v[j].failed, reference[k][j].failed) << "threads " << threads << " state " << k;
+      }
+      ++k;
+    }
+  }
+}
+
+/// Satellite 3 (footprint half): with the settled cache capped and GC
+/// armed, a long-lived monitor's evaluation-store footprint plateaus — the
+/// max over the final quarter of the run stays within 1.5x the max over the
+/// second quarter, instead of tracking the trace length.
+TEST(ObligationIndex, FootprintPlateausUnderGc) {
+  std::mt19937 rng(7u);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  Monitor m(relocating_spec());
+  m.set_cache_capacity(1024);
+  m.set_gc_fraction(0.25);
+  constexpr std::size_t kTotal = 4096;
+  std::vector<std::size_t> footprint;
+  footprint.reserve(kTotal);
+  for (std::size_t k = 0; k < kTotal; ++k) {
+    m.append(qr(u(rng) < 0.95, u(rng) < 0.02));
+    if (k % 257 == 256) m.gc_obligations();
+    footprint.push_back(m.footprint_bytes());
+  }
+  const auto quarter_max = [&](std::size_t q) {
+    const std::size_t lo = q * kTotal / 4;
+    const std::size_t hi = (q + 1) * kTotal / 4;
+    return *std::max_element(footprint.begin() + lo, footprint.begin() + hi);
+  };
+  const std::size_t second = quarter_max(1);
+  const std::size_t last = quarter_max(3);
+  EXPECT_LE(last, second + second / 2) << "footprint still growing after 4x the states";
+  EXPECT_GT(m.obligations().gc_sweeps(), 0u);
+}
+
+}  // namespace
+}  // namespace il

@@ -304,11 +304,13 @@ TEST(ServiceFault, BudgetLadderDegradesOneRungPerEpoch) {
   for (const State& s : run.states()) service.append(s);
   service.flush();
 
-  // Epoch 1 forced a compaction sweep, epoch 2 demoted to Scratch, epoch 3
-  // quarantined; the rows of those epochs were evaluated (degradation
-  // applies from the next epoch) and stay bit-identical to the unbudgeted
-  // monitor — Scratch is the reference semantics.
+  // Epoch 1 forced an obligation GC, epoch 2 a compaction sweep, epoch 3
+  // demoted to Scratch, epoch 4 quarantined; the rows of those epochs were
+  // evaluated (degradation applies from the next epoch) and stay
+  // bit-identical to the unbudgeted monitor — Scratch is the reference
+  // semantics.
   const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.budget_gcs, 1u);
   EXPECT_EQ(stats.budget_compactions, 1u);
   EXPECT_EQ(stats.budget_demotions, 1u);
   EXPECT_EQ(stats.budget_quarantines, 1u);
@@ -319,7 +321,7 @@ TEST(ServiceFault, BudgetLadderDegradesOneRungPerEpoch) {
   ASSERT_EQ(rows.size(), run.size());
   for (std::size_t k = 0; k < rows.size(); ++k) {
     const ServiceVerdict& v = rows[k].verdicts[0];
-    if (k < 3) {
+    if (k < 4) {
       EXPECT_NE(rows[k].verdict_at(0), Verdict::Faulted) << "row " << k;
       EXPECT_EQ(v.result.ok, reference[k].verdicts[0].result.ok) << "row " << k;
       EXPECT_EQ(v.result.failed, reference[k].verdicts[0].result.failed) << "row " << k;
